@@ -1,0 +1,62 @@
+//! Criterion benches for the compiler substrate: the building blocks whose
+//! cost dominates every experiment (one `CompileAndMeasureSize` is the unit
+//! the paper counts in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optinline_codegen::{text_size, X86Like};
+use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
+use optinline_heuristics::CostModelInliner;
+use optinline_opt::{optimize_os, optimize_os_no_inline, AlwaysInline, PipelineOptions};
+use optinline_workloads::{generate_file, GenParams};
+
+fn module_sized(n_internal: usize) -> optinline_ir::Module {
+    generate_file(&GenParams {
+        n_internal,
+        call_density: 1.5,
+        ..GenParams::named(format!("bench{n_internal}"), 42)
+    })
+}
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_and_measure");
+    for n in [4usize, 12, 32] {
+        let module = module_sized(n);
+        group.bench_with_input(BenchmarkId::new("no_inline", n), &module, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                optimize_os_no_inline(&mut m, PipelineOptions::default());
+                text_size(&m, &X86Like)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("always_inline", n), &module, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                optimize_os(&mut m, &AlwaysInline, PipelineOptions::default());
+                text_size(&m, &X86Like)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristic_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_heuristic");
+    for n in [4usize, 12, 32] {
+        let module = module_sized(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &module, |b, m| {
+            b.iter(|| CostModelInliner::default().decide(m, &X86Like))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluator_cache(c: &mut Criterion) {
+    let module = module_sized(12);
+    let ev = CompilerEvaluator::new(module, Box::new(X86Like));
+    let cfg = InliningConfiguration::clean_slate();
+    ev.size_of(&cfg);
+    c.bench_function("evaluator_cache_hit", |b| b.iter(|| ev.size_of(&cfg)));
+}
+
+criterion_group!(benches, bench_compile_pipeline, bench_heuristic_decide, bench_evaluator_cache);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # optinline-bench
+//!
+//! Criterion benchmarks for the optimal-inlining reproduction. The
+//! benchmark *harness that regenerates the paper's tables and figures* is
+//! `optinline-experiments`; this crate measures the machinery itself:
+//!
+//! - `benches/pipeline.rs` — `CompileAndMeasureSize` building blocks: the
+//!   `-Os` pipeline with and without inlining, the baseline heuristic, and
+//!   the evaluator's memo cache.
+//! - `benches/search.rs` — naïve vs recursively partitioned optimal search
+//!   (the Table 1 effect as wall-clock) and the partition-strategy ablation
+//!   from DESIGN.md (paper heuristic vs first-edge vs random).
+//! - `benches/autotune.rs` — autotuning round cost vs call-site count, the
+//!   two initialization modes, and the call-graph algorithm primitives.
+//!
+//! Run with `cargo bench --workspace`.

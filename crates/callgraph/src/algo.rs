@@ -1,0 +1,519 @@
+//! Graph algorithms on [`InlineGraph`]s: connected components, bridge
+//! groups, eccentricity, plus module-level SCCs in bottom-up order.
+
+use crate::graph::{InlineGraph, NodeRef};
+use optinline_ir::{CallSiteId, FuncId, Module};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Union–find over arbitrary `NodeRef`s.
+#[derive(Debug)]
+struct Dsu {
+    parent: HashMap<NodeRef, NodeRef>,
+}
+
+impl Dsu {
+    fn new(nodes: &[NodeRef]) -> Self {
+        Dsu { parent: nodes.iter().map(|&n| (n, n)).collect() }
+    }
+
+    fn find(&mut self, x: NodeRef) -> NodeRef {
+        let p = self.parent[&x];
+        if p == x {
+            return x;
+        }
+        let r = self.find(p);
+        self.parent.insert(x, r);
+        r
+    }
+
+    fn union(&mut self, a: NodeRef, b: NodeRef) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Partitions the live nodes into undirected connected components.
+/// Isolated nodes form singleton components.
+pub fn connected_components(graph: &InlineGraph) -> Vec<Vec<NodeRef>> {
+    components_excluding(graph, None)
+}
+
+/// Number of undirected connected components.
+pub fn component_count(graph: &InlineGraph) -> usize {
+    connected_components(graph).len()
+}
+
+fn components_excluding(graph: &InlineGraph, skip: Option<CallSiteId>) -> Vec<Vec<NodeRef>> {
+    let nodes = graph.node_refs();
+    let mut dsu = Dsu::new(&nodes);
+    for (site, from, to) in graph.live_edges() {
+        if Some(site) == skip {
+            continue;
+        }
+        dsu.union(from, to);
+    }
+    let mut groups: BTreeMap<NodeRef, Vec<NodeRef>> = BTreeMap::new();
+    for n in nodes {
+        groups.entry(dsu.find(n)).or_default().push(n);
+    }
+    groups.into_values().collect()
+}
+
+/// Returns the *bridge groups*: call sites whose group removal increases the
+/// number of connected components.
+///
+/// This is the group-level generalization of a graph bridge (footnote 4 of
+/// the paper): decisions apply to whole coupled groups, so partitioning must
+/// too. For single-copy sites it coincides with the classical notion (a
+/// parallel pair of distinct sites is not a bridge; a coupled pair acting as
+/// the only link *is*).
+pub fn bridge_groups(graph: &InlineGraph) -> Vec<CallSiteId> {
+    let base = components_excluding(graph, None).len();
+    graph
+        .undecided_sites()
+        .into_iter()
+        .filter(|&site| components_excluding(graph, Some(site)).len() > base)
+        .collect()
+}
+
+/// Linear-time bridge groups via a DFS lowpoint computation (Tarjan),
+/// generalized to coupled groups: parallel edges of *different* groups
+/// cancel bridgeness, parallel edges of the *same* group act as one edge.
+///
+/// Equivalent to [`bridge_groups`] (property-tested); preferable on large
+/// graphs where the removal-recomputation approach's `O(G·E)` bites. Falls
+/// back to the naive computation when some group has copies spanning more
+/// than one endpoint pair, where classical lowpoints do not apply.
+pub fn bridge_groups_fast(graph: &InlineGraph) -> Vec<CallSiteId> {
+    use std::collections::HashMap;
+    // Collapse each group to its distinct undirected endpoint pairs.
+    let mut group_pairs: HashMap<CallSiteId, BTreeSet<(NodeRef, NodeRef)>> = HashMap::new();
+    for (site, a, b) in graph.live_edges() {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        group_pairs.entry(site).or_default().insert(key);
+    }
+    if group_pairs.values().any(|pairs| pairs.len() > 1) {
+        return bridge_groups(graph);
+    }
+    // Build a simple undirected graph: one logical edge per (pair, group);
+    // several groups on the same pair ⇒ the pair is never a bridge, but we
+    // keep them as parallel logical edges so lowpoints handle it naturally.
+    let nodes = graph.node_refs();
+    let index: HashMap<NodeRef, usize> = nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()]; // (neighbor, edge id)
+    let mut edge_sites: Vec<CallSiteId> = Vec::new();
+    let mut self_loops: BTreeSet<CallSiteId> = BTreeSet::new();
+    for (site, pairs) in &group_pairs {
+        let (a, b) = *pairs.iter().next().expect("nonempty group");
+        if a == b {
+            self_loops.insert(*site);
+            continue;
+        }
+        let e = edge_sites.len();
+        edge_sites.push(*site);
+        adj[index[&a]].push((index[&b], e));
+        adj[index[&b]].push((index[&a], e));
+    }
+    let n = nodes.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut bridges: Vec<CallSiteId> = Vec::new();
+    let mut timer = 0usize;
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS frames: (node, parent edge id, next adjacency idx).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(&mut (v, pe, ref mut i)) = stack.last_mut() {
+            if *i < adj[v].len() {
+                let (w, e) = adj[v][*i];
+                *i += 1;
+                if e == pe {
+                    continue; // don't traverse the tree edge back
+                }
+                if disc[w] == usize::MAX {
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    stack.push((w, e, 0));
+                } else {
+                    low[v] = low[v].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] > disc[p] {
+                        bridges.push(edge_sites[pe]);
+                    }
+                }
+            }
+        }
+    }
+    bridges.sort();
+    bridges
+}
+
+/// BFS distances (in edges, undirected) from `start` to every reachable
+/// node.
+pub fn bfs_distances(graph: &InlineGraph, start: NodeRef) -> BTreeMap<NodeRef, usize> {
+    let adj = graph.undirected_adjacency();
+    let mut dist = BTreeMap::new();
+    dist.insert(start, 0usize);
+    let mut q = VecDeque::from([start]);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        for &m in &adj[&n] {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(m) {
+                e.insert(d + 1);
+                q.push_back(m);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of a node: its maximum BFS distance within its component.
+pub fn eccentricity(graph: &InlineGraph, node: NodeRef) -> usize {
+    bfs_distances(graph, node).into_values().max().unwrap_or(0)
+}
+
+/// Strongly connected components of a module's static call graph, returned
+/// in *bottom-up* order (callees before callers). This is the traversal
+/// order LLVM's inliner uses and our baseline heuristic mirrors.
+pub fn bottom_up_sccs(module: &Module) -> Vec<Vec<FuncId>> {
+    // Iterative Tarjan.
+    let n = module.func_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+
+    let succs: Vec<Vec<usize>> = module
+        .iter_funcs()
+        .map(|(_, f)| {
+            let mut s: Vec<usize> =
+                f.call_edges().into_iter().map(|(_, callee)| callee.index()).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+
+    #[derive(Debug)]
+    struct Frame {
+        v: usize,
+        succ_pos: usize,
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call_stack = vec![Frame { v: root, succ_pos: 0 }];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.v;
+            if frame.succ_pos < succs[v].len() {
+                let w = succs[v][frame.succ_pos];
+                frame.succ_pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push(Frame { v: w, succ_pos: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        scc.push(FuncId::new(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort();
+                    sccs.push(scc);
+                }
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    let pv = parent.v;
+                    low[pv] = low[pv].min(low[v]);
+                }
+            }
+        }
+    }
+    // Tarjan emits SCCs in reverse topological order of the condensation —
+    // i.e. callees first — which is exactly bottom-up.
+    sccs
+}
+
+/// Summary statistics of a module's inlinable call graph (used by reports
+/// and the Figure 3 experiment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Number of inlinable call sites.
+    pub inlinable_sites: usize,
+    /// Undirected connected components of the inlinable graph.
+    pub components: usize,
+    /// Sizes (site counts) of each component, descending.
+    pub component_site_counts: Vec<usize>,
+}
+
+/// Computes [`GraphStats`] for a module.
+pub fn graph_stats(module: &Module) -> GraphStats {
+    let g = InlineGraph::from_module(module);
+    let comps = connected_components(&g);
+    let mut per_comp: Vec<usize> = comps
+        .iter()
+        .map(|nodes| {
+            let set: BTreeSet<NodeRef> = nodes.iter().copied().collect();
+            let sites: BTreeSet<CallSiteId> = g
+                .live_edges()
+                .into_iter()
+                .filter(|(_, a, b)| set.contains(a) || set.contains(b))
+                .map(|(s, _, _)| s)
+                .collect();
+            sites.len()
+        })
+        .collect();
+    per_comp.sort_unstable_by(|a, b| b.cmp(a));
+    GraphStats {
+        functions: g.node_count(),
+        inlinable_sites: g.group_count(),
+        components: comps.len(),
+        component_site_counts: per_comp,
+    }
+}
+
+/// log2 of the naïve search-space size: one bit per inlinable site (§3.1).
+pub fn naive_space_log2(module: &Module) -> u32 {
+    module.inlinable_sites().len() as u32
+}
+
+/// log2 of the component-partitioned space `Σ_c 2^|E_c|` (§3.1, Figure 4) —
+/// returned as an `f64` because sums of powers are not powers.
+pub fn component_space_log2(module: &Module) -> f64 {
+    let stats = graph_stats(module);
+    let total: f64 = stats
+        .component_site_counts
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| 2f64.powi(s as i32))
+        .sum();
+    if total <= 1.0 {
+        0.0
+    } else {
+        total.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Decision;
+    use optinline_ir::{FuncBuilder, Linkage};
+
+    /// Figure 5a: F→G, G→K, K→L, L→H, H→I. K→L is a bridge.
+    fn fig5() -> InlineGraph {
+        // 0=F 1=G 2=K 3=L 4=H 5=I
+        InlineGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    /// Figure 4: F→G, G→K | H→L (two components).
+    fn fig4() -> InlineGraph {
+        // 0=F 1=G 2=K 3=H 4=L
+        InlineGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)])
+    }
+
+    #[test]
+    fn fig4_has_two_components() {
+        let comps = connected_components(&fig4());
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&3) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn chain_edges_are_all_bridges() {
+        let bridges = bridge_groups(&fig5());
+        assert_eq!(bridges.len(), 5);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = InlineGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(bridge_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn parallel_distinct_sites_are_not_bridges() {
+        // Two distinct calls A→B: removing either one leaves the other.
+        let g = InlineGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!(bridge_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn coupled_copies_act_as_one_bridge() {
+        // A→B (s0), B→C (s1), D→B (s2). After inlining s0, group s1 has two
+        // copies (B→C and A→C); removing the whole group disconnects C.
+        let mut g = InlineGraph::from_edges(4, &[(0, 1), (1, 2), (3, 1)]);
+        g.apply(CallSiteId::new(0), Decision::Inline);
+        let bridges = bridge_groups(&g);
+        assert!(bridges.contains(&CallSiteId::new(1)));
+    }
+
+    #[test]
+    fn removing_a_bridge_splits_components() {
+        let mut g = fig5();
+        g.apply(CallSiteId::new(2), Decision::NoInline); // K→L
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn bfs_and_eccentricity_on_chain() {
+        let g = fig5();
+        // Chain F-G-K-L-H-I: end nodes have eccentricity 5, middle 3.
+        assert_eq!(eccentricity(&g, NodeRef(0)), 5);
+        assert_eq!(eccentricity(&g, NodeRef(2)), 3);
+        let d = bfs_distances(&g, NodeRef(0));
+        assert_eq!(d[&NodeRef(5)], 5);
+        assert_eq!(d[&NodeRef(0)], 0);
+    }
+
+    #[test]
+    fn sccs_come_out_bottom_up() {
+        let mut m = Module::new("m");
+        let c = m.declare_function("c", 0, Linkage::Internal);
+        let b_ = m.declare_function("b", 0, Linkage::Internal);
+        let a = m.declare_function("a", 0, Linkage::Public);
+        {
+            let mut bb = FuncBuilder::new(&mut m, c);
+            bb.ret(None);
+        }
+        {
+            let mut bb = FuncBuilder::new(&mut m, b_);
+            bb.call_void(c, &[]);
+            bb.ret(None);
+        }
+        {
+            let mut bb = FuncBuilder::new(&mut m, a);
+            bb.call_void(b_, &[]);
+            bb.ret(None);
+        }
+        let sccs = bottom_up_sccs(&m);
+        assert_eq!(sccs, vec![vec![c], vec![b_], vec![a]]);
+    }
+
+    #[test]
+    fn mutually_recursive_functions_share_an_scc() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 0, Linkage::Internal);
+        let g = m.declare_function("g", 0, Linkage::Internal);
+        {
+            let mut b = FuncBuilder::new(&mut m, f);
+            b.call_void(g, &[]);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, g);
+            b.call_void(f, &[]);
+            b.ret(None);
+        }
+        let sccs = bottom_up_sccs(&m);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![f, g]);
+    }
+
+    #[test]
+    fn fast_bridges_match_naive_on_fixed_graphs() {
+        for g in [
+            fig5(),
+            fig4(),
+            InlineGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]),
+            InlineGraph::from_edges(2, &[(0, 1), (0, 1)]),
+            InlineGraph::from_edges(1, &[(0, 0)]),
+            InlineGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]),
+        ] {
+            assert_eq!(bridge_groups_fast(&g), bridge_groups(&g));
+        }
+    }
+
+    #[test]
+    fn fast_bridges_match_naive_on_random_multigraphs() {
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..60 {
+            let n = 2 + (next() % 7) as usize;
+            let m = 1 + (next() % 10) as usize;
+            let edges: Vec<(u32, u32)> =
+                (0..m).map(|_| ((next() % n as u64) as u32, (next() % n as u64) as u32)).collect();
+            let g = InlineGraph::from_edges(n, &edges);
+            assert_eq!(bridge_groups_fast(&g), bridge_groups(&g), "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn fast_bridges_match_naive_after_inlining_creates_copies() {
+        // Coupled copies (multi-pair groups) force the naive fallback.
+        let mut g = InlineGraph::from_edges(4, &[(0, 1), (1, 2), (3, 1)]);
+        g.apply(CallSiteId::new(0), Decision::Inline);
+        assert_eq!(bridge_groups_fast(&g), bridge_groups(&g));
+    }
+
+    #[test]
+    fn graph_stats_and_space_sizes() {
+        let mut m = Module::new("m");
+        let x = m.declare_function("x", 0, Linkage::Internal);
+        let y = m.declare_function("y", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        let main2 = m.declare_function("main2", 0, Linkage::Public);
+        for f in [x, y] {
+            let mut b = FuncBuilder::new(&mut m, f);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            b.call_void(x, &[]);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main2);
+            b.call_void(y, &[]);
+            b.ret(None);
+        }
+        let stats = graph_stats(&m);
+        assert_eq!(stats.functions, 4);
+        assert_eq!(stats.inlinable_sites, 2);
+        assert_eq!(stats.components, 2);
+        assert_eq!(naive_space_log2(&m), 2);
+        // 2^1 + 2^1 = 4 => log2 = 2.
+        assert!((component_space_log2(&m) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Graphviz (DOT) export of call graphs with inlining decisions — used to
+//! render the paper's case-study figures (8, 11, 13, 14): solid edges are
+//! inlined, dashed edges are not.
+
+use crate::graph::Decision;
+use optinline_ir::{CallSiteId, Module};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the module's inlinable call graph in DOT syntax.
+///
+/// Edges are labelled with their site id; edges decided `Inline` are solid,
+/// everything else (no-inline or undecided) is dashed, matching the visual
+/// convention of the paper's figures.
+pub fn to_dot(module: &Module, decisions: &BTreeMap<CallSiteId, Decision>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", module.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (id, f) in module.iter_funcs() {
+        if module.is_stub(id) {
+            continue;
+        }
+        let _ = writeln!(out, "  \"{}\";", f.name);
+    }
+    for (caller, f) in module.iter_funcs() {
+        for (site, callee) in f.call_edges() {
+            if !module.func(callee).inlinable {
+                continue;
+            }
+            let style = match decisions.get(&site) {
+                Some(Decision::Inline) => "solid",
+                _ => "dashed",
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [style={}, label=\"{}\"];",
+                module.func(caller).name,
+                module.func(callee).name,
+                style,
+                site
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{FuncBuilder, Linkage};
+
+    #[test]
+    fn dot_marks_inlined_edges_solid() {
+        let mut m = Module::new("g");
+        let callee = m.declare_function("callee", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            b.ret(None);
+        }
+        let (s0, s1) = {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let s0 = b.call_void(callee, &[]);
+            let s1 = b.call_void(callee, &[]);
+            b.ret(None);
+            (s0, s1)
+        };
+        let mut decisions = BTreeMap::new();
+        decisions.insert(s0, Decision::Inline);
+        decisions.insert(s1, Decision::NoInline);
+        let dot = to_dot(&m, &decisions);
+        assert!(dot.contains("digraph \"g\""));
+        assert!(dot.contains(&format!("[style=solid, label=\"{s0}\"]")));
+        assert!(dot.contains(&format!("[style=dashed, label=\"{s1}\"]")));
+    }
+
+    #[test]
+    fn undecided_edges_render_dashed() {
+        let mut m = Module::new("g");
+        let callee = m.declare_function("c", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            b.call_void(callee, &[]);
+            b.ret(None);
+        }
+        let dot = to_dot(&m, &BTreeMap::new());
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Partition-edge selection strategies (Algorithm 2's
+//! `SelectPartitionEdge` plus ablation alternatives).
+//!
+//! The choice does not affect the optimality of inlining-tree evaluation,
+//! only the number of configurations explored — a bad strategy degrades to
+//! the naïve `2^n` space (§3.2). The ablation benchmark
+//! `partition_strategy` quantifies this.
+
+use crate::algo::{bridge_groups, eccentricity};
+use crate::graph::InlineGraph;
+use optinline_ir::CallSiteId;
+
+/// How the inlining-tree builder picks the next edge to label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// The paper's heuristic: prefer the bridge adjacent to the least
+    /// eccentric vertex; otherwise balance out-/in-degrees (Algorithm 2).
+    Paper,
+    /// Always pick the lowest-numbered undecided site. The "no heuristic"
+    /// baseline — on a path graph this still finds bridges by accident, but
+    /// on stars it degenerates.
+    FirstEdge,
+    /// Pick a pseudo-random undecided site, deterministically derived from
+    /// the graph state and the given seed.
+    Random(u64),
+}
+
+impl Default for PartitionStrategy {
+    fn default() -> Self {
+        PartitionStrategy::Paper
+    }
+}
+
+impl PartitionStrategy {
+    /// Selects the next partition site for a graph with at least one
+    /// undecided site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no undecided sites.
+    pub fn select(self, graph: &InlineGraph) -> CallSiteId {
+        let sites = graph.undecided_sites();
+        assert!(!sites.is_empty(), "cannot select a partition edge in an edgeless graph");
+        match self {
+            PartitionStrategy::Paper => select_paper(graph),
+            PartitionStrategy::FirstEdge => *sites.iter().next().expect("nonempty"),
+            PartitionStrategy::Random(seed) => {
+                let sites: Vec<CallSiteId> = sites.into_iter().collect();
+                // SplitMix64 over (seed, graph shape) keeps the choice
+                // deterministic for a given state, which tree construction
+                // requires.
+                let mut x = seed
+                    ^ (graph.edge_count() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (graph.node_count() as u64).rotate_left(17);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                sites[(x % sites.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+fn select_paper(graph: &InlineGraph) -> CallSiteId {
+    let bridges = bridge_groups(graph);
+    if !bridges.is_empty() {
+        // Bridge adjacent to the least eccentric vertex among bridge
+        // endpoints; ties broken by the other endpoint's eccentricity so
+        // central bridges win and both halves shrink.
+        let mut best: Option<((usize, usize, CallSiteId), CallSiteId)> = None;
+        for &site in &bridges {
+            for (from, to) in graph.group_edges(site) {
+                let (e1, e2) = (eccentricity(graph, from), eccentricity(graph, to));
+                let key = (e1.min(e2), e1.max(e2), site);
+                if best.map_or(true, |(k, _)| key < k) {
+                    best = Some((key, site));
+                }
+            }
+        }
+        return best.expect("nonempty bridges").1;
+    }
+    // No bridges: from the node with the highest out-degree, pick the
+    // out-edge whose head has the least in-degree. Reducing high out-degrees
+    // unblocks partitioning; low in-degree heads are the likeliest future
+    // bridges.
+    let u = graph
+        .node_refs()
+        .into_iter()
+        .max_by_key(|&n| (graph.out_degree(n), std::cmp::Reverse(n)))
+        .expect("graph has nodes");
+    graph
+        .live_edges()
+        .into_iter()
+        .filter(|&(_, from, _)| from == u)
+        .min_by_key(|&(site, _, to)| (graph.in_degree(to), site))
+        .map(|(site, _, _)| site)
+        .unwrap_or_else(|| {
+            // The max-out-degree node can only lack out-edges if every node
+            // does, which select() already ruled out — except when all edges
+            // are self-loops elsewhere; fall back to the first site.
+            *graph.undecided_sites().iter().next().expect("nonempty")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeRef;
+
+    /// Figure 5a: F→G, G→K, K→L, L→H, H→I; sites s0..s4 in that order.
+    fn fig5() -> InlineGraph {
+        InlineGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn paper_picks_the_central_bridge_of_a_chain() {
+        // Central nodes K(2) and L(3) have eccentricity 3; the bridge
+        // adjacent to them is K→L (s2).
+        let site = PartitionStrategy::Paper.select(&fig5());
+        assert_eq!(site, CallSiteId::new(2));
+    }
+
+    #[test]
+    fn paper_falls_back_to_degree_heuristic_on_cycles() {
+        // Triangle plus a pendant edge out of node 0: 0→1,1→2,2→0 form a
+        // cycle; 0→3 is a bridge, so bridges win; remove it first.
+        let g = InlineGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        assert_eq!(PartitionStrategy::Paper.select(&g), CallSiteId::new(3));
+        // Pure cycle: no bridges; node 0 has out-degree 1 like the others;
+        // the tie-break picks a deterministic site.
+        let cyc = InlineGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = PartitionStrategy::Paper.select(&cyc);
+        assert!(s.index() < 3);
+    }
+
+    #[test]
+    fn degree_heuristic_prefers_high_out_degree_tail() {
+        // Node 0 fans out to 1,2,3 and the graph is held together by a
+        // cycle 1→2→3→1 (no bridges). Node 0 has max out-degree 3.
+        let g = InlineGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 1)]);
+        let site = PartitionStrategy::Paper.select(&g);
+        let (from, _) = g.group_edges(site)[0];
+        assert_eq!(from, NodeRef(0));
+    }
+
+    #[test]
+    fn first_edge_picks_lowest_site() {
+        assert_eq!(PartitionStrategy::FirstEdge.select(&fig5()), CallSiteId::new(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_state() {
+        let g = fig5();
+        let a = PartitionStrategy::Random(42).select(&g);
+        let b = PartitionStrategy::Random(42).select(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn selecting_on_empty_graph_panics() {
+        let g = InlineGraph::from_edges(2, &[]);
+        PartitionStrategy::Paper.select(&g);
+    }
+}

@@ -1,0 +1,462 @@
+//! # optinline-cli
+//!
+//! The command-line driver a downstream user actually touches: it reads
+//! modules in the textual IR format (see `optinline-ir`'s printer/parser),
+//! runs the size pipeline under a chosen inlining strategy, searches for
+//! the optimal configuration, autotunes, interprets, and generates
+//! corpora.
+//!
+//! ```text
+//! optinline gen --seed 7 --internal 8 -o demo.ir
+//! optinline stats demo.ir
+//! optinline optimize demo.ir --strategy heuristic --target x86
+//! optinline search demo.ir --bits 16
+//! optinline autotune demo.ir --rounds 4 --init both
+//! optinline run demo.ir
+//! ```
+//!
+//! The library half exposes each subcommand as a function returning its
+//! report as a `String`, so the whole surface is unit-testable without
+//! spawning processes; `main.rs` is a thin argv shim.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use optinline_callgraph::{component_count, InlineGraph, PartitionStrategy};
+use optinline_codegen::{text_size, Target, WasmLike, X86Like};
+use optinline_core::autotune::Autotuner;
+use optinline_core::tree::{space_size, try_build_inlining_tree};
+use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
+use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
+use optinline_ir::{parse_module, Module};
+use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// A boxed error with message context, the CLI's uniform failure type.
+pub type CliError = Box<dyn Error>;
+
+/// Which size target to measure against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TargetChoice {
+    /// The x86-64-flavoured model (default).
+    #[default]
+    X86,
+    /// The WebAssembly-flavoured model.
+    Wasm,
+}
+
+impl TargetChoice {
+    /// Parses `x86` / `wasm`.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "x86" => Ok(TargetChoice::X86),
+            "wasm" => Ok(TargetChoice::Wasm),
+            other => Err(format!("unknown target `{other}` (expected x86|wasm)").into()),
+        }
+    }
+
+    fn boxed(self) -> Box<dyn Target> {
+        match self {
+            TargetChoice::X86 => Box::new(X86Like),
+            TargetChoice::Wasm => Box::new(WasmLike),
+        }
+    }
+
+    fn as_dyn(&self) -> &'static dyn Target {
+        match self {
+            TargetChoice::X86 => &X86Like,
+            TargetChoice::Wasm => &WasmLike,
+        }
+    }
+}
+
+/// Which inlining strategy `optimize` should execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StrategyChoice {
+    /// Inline nothing.
+    Never,
+    /// Inline everything (recursion-bounded).
+    Always,
+    /// The LLVM-`-Os`-like cost model (default).
+    #[default]
+    Heuristic,
+    /// Greedy measured trials.
+    Trial,
+}
+
+impl StrategyChoice {
+    /// Parses `never` / `always` / `heuristic` / `trial`.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "never" => Ok(StrategyChoice::Never),
+            "always" => Ok(StrategyChoice::Always),
+            "heuristic" => Ok(StrategyChoice::Heuristic),
+            "trial" => Ok(StrategyChoice::Trial),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected never|always|heuristic|trial)"
+            )
+            .into()),
+        }
+    }
+
+    /// Computes this strategy's configuration for a module.
+    pub fn configuration(self, module: &Module, target: &dyn Target) -> InliningConfiguration {
+        let map = match self {
+            StrategyChoice::Never => baselines::never_inline(module),
+            StrategyChoice::Always => baselines::always_inline(module),
+            StrategyChoice::Heuristic => CostModelInliner::default().decide(module, target),
+            StrategyChoice::Trial => TrialInliner::default().decide(module, target),
+        };
+        InliningConfiguration::from_decisions(map)
+    }
+}
+
+/// Parses a module from textual IR, verifying it.
+pub fn load_module(source: &str) -> Result<Module, CliError> {
+    let module = parse_module(source)?;
+    optinline_ir::verify_module(&module)?;
+    Ok(module)
+}
+
+/// `optinline print` — parse, verify, pretty-print (round-trip check).
+pub fn cmd_print(source: &str) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    Ok(module.to_string())
+}
+
+/// `optinline stats` — structural summary of a module.
+pub fn cmd_stats(source: &str) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    let graph = InlineGraph::from_module(&module);
+    let sites = module.inlinable_sites().len();
+    let mut out = String::new();
+    let _ = writeln!(out, "module:              {}", module.name);
+    let _ = writeln!(out, "functions:           {}", module.func_count());
+    let _ = writeln!(out, "instructions:        {}", module.inst_count());
+    let _ = writeln!(out, "globals:             {}", module.globals().len());
+    let _ = writeln!(out, "inlinable sites:     {sites}");
+    let _ = writeln!(out, "graph components:    {}", component_count(&graph));
+    let _ = writeln!(out, "bridge groups:       {}", optinline_callgraph::bridge_groups(&graph).len());
+    let _ = writeln!(out, "naive space:         2^{sites}");
+    match try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1 << 22) {
+        Some(tree) => {
+            let _ = writeln!(out, "recursive space:     {} evaluations", space_size(&tree));
+        }
+        None => {
+            let _ = writeln!(out, "recursive space:     > 2^22 (not exhaustively explorable)");
+        }
+    }
+    let _ = writeln!(out, "x86-like text size:  {} B (unoptimized)", text_size(&module, &X86Like));
+    let _ = writeln!(out, "wasm-like text size: {} B (unoptimized)", text_size(&module, &WasmLike));
+    Ok(out)
+}
+
+/// `optinline optimize` — run the pipeline under a strategy; returns the
+/// report and the optimized module's text.
+pub fn cmd_optimize(
+    source: &str,
+    strategy: StrategyChoice,
+    target: TargetChoice,
+) -> Result<(String, String), CliError> {
+    let module = load_module(source)?;
+    let config = strategy.configuration(&module, target.as_dyn());
+    let mut optimized = module.clone();
+    let inlined = optimize_os(
+        &mut optimized,
+        &ForcedDecisions::new(config.decisions().clone()),
+        PipelineOptions::default(),
+    );
+    let t = target.boxed();
+    let before = text_size(&module, t.as_ref());
+    let after = text_size(&optimized, t.as_ref());
+    let mut out = String::new();
+    let _ = writeln!(out, "strategy:        {strategy:?}");
+    let _ = writeln!(out, "target:          {}", t.name());
+    let _ = writeln!(out, "sites inlined:   {} of {}", config.inlined_count(), config.decisions().len());
+    let _ = writeln!(out, "call expansions: {inlined}");
+    let _ = writeln!(out, "size:            {before} B -> {after} B ({:.1}%)", 100.0 * after as f64 / before as f64);
+    Ok((out, optimized.to_string()))
+}
+
+/// `optinline search` — exhaustive optimum through the recursively
+/// partitioned space, compared against the baseline strategies.
+pub fn cmd_search(source: &str, bits: u32, target: TargetChoice) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    let graph = InlineGraph::from_module(&module);
+    let n = module.inlinable_sites().len();
+    let Some(tree) = try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1u128 << bits)
+    else {
+        return Err(format!(
+            "recursively partitioned space exceeds 2^{bits} evaluations; \
+             raise --bits or use `autotune`"
+        )
+        .into());
+    };
+    let ev = CompilerEvaluator::new(module, target.boxed());
+    let evals = space_size(&tree);
+    let (config, size) = optinline_core::tree::evaluate_inlining_tree_parallel(
+        &tree,
+        &ev,
+        InliningConfiguration::clean_slate(),
+        3,
+    );
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    let h_size = ev.size_of(&heuristic);
+    let none = ev.size_of(&InliningConfiguration::clean_slate());
+    let mut out = String::new();
+    let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
+    let _ = writeln!(out, "evaluations needed: {evals}");
+    let _ = writeln!(out, "compilations done:  {} (memoized)", ev.compilations());
+    let _ = writeln!(out, "optimal size:       {size} B");
+    let _ = writeln!(out, "optimal config:     {config}");
+    let _ = writeln!(out, "no inlining:        {none} B ({:.1}%)", 100.0 * none as f64 / size as f64);
+    let _ = writeln!(out, "heuristic:          {h_size} B ({:.1}%)", 100.0 * h_size as f64 / size as f64);
+    Ok(out)
+}
+
+/// Initialization mode for `autotune`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InitChoice {
+    /// Start from all-no-inline.
+    Clean,
+    /// Start from the heuristic's decisions.
+    Heuristic,
+    /// Run both and keep the better (default; the paper's combined mode).
+    #[default]
+    Both,
+}
+
+impl InitChoice {
+    /// Parses `clean` / `heuristic` / `both`.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "clean" => Ok(InitChoice::Clean),
+            "heuristic" => Ok(InitChoice::Heuristic),
+            "both" => Ok(InitChoice::Both),
+            other => Err(format!("unknown init `{other}` (expected clean|heuristic|both)").into()),
+        }
+    }
+}
+
+/// `optinline autotune` — the paper's Algorithm 3 with round-based and
+/// combined variants.
+pub fn cmd_autotune(
+    source: &str,
+    rounds: usize,
+    init: InitChoice,
+    target: TargetChoice,
+) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    let ev = CompilerEvaluator::new(module, target.boxed());
+    let sites = ev.sites().clone();
+    if sites.is_empty() {
+        return Ok("module has no inlinable call sites; nothing to tune\n".into());
+    }
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    let h_size = ev.size_of(&heuristic);
+    let tuner = Autotuner::new(&ev, sites.clone());
+    let mut out = String::new();
+    let mut outcomes = Vec::new();
+    if init != InitChoice::Heuristic {
+        let clean = tuner.clean_slate(rounds);
+        let _ = writeln!(out, "clean slate:     {} B after {} round(s)", clean.best().size, clean.rounds.len());
+        outcomes.push(clean);
+    }
+    if init != InitChoice::Clean {
+        let h = tuner.run(heuristic.clone(), rounds);
+        let _ = writeln!(out, "heuristic init:  {} B after {} round(s)", h.best().size, h.rounds.len());
+        outcomes.push(h);
+    }
+    let best = Autotuner::combine(outcomes.iter());
+    let _ = writeln!(out, "baseline:        {h_size} B (100.0%)");
+    let _ = writeln!(out, "tuned best:      {} B ({:.1}%)", best.size, 100.0 * best.size as f64 / h_size as f64);
+    let _ = writeln!(out, "configuration:   {}", best.config);
+    let _ = writeln!(out, "compilations:    {}", ev.compilations());
+    Ok(out)
+}
+
+/// `optinline run` — interpret the module's `main`.
+pub fn cmd_run(source: &str) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    let outcome = optinline_ir::interp::run_main(&module)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "return value: {:?}", outcome.ret);
+    let _ = writeln!(out, "globals:      {:?}", outcome.globals);
+    let _ = writeln!(out, "cycles:       {}", outcome.cycles);
+    let _ = writeln!(out, "steps:        {}", outcome.steps);
+    Ok(out)
+}
+
+/// `optinline cfg` — render a function's control-flow graph as DOT.
+pub fn cmd_cfg(source: &str, func_name: &str) -> Result<String, CliError> {
+    let module = load_module(source)?;
+    let fid = module
+        .func_by_name(func_name)
+        .ok_or_else(|| format!("no function named `{func_name}` in {}", module.name))?;
+    Ok(optinline_ir::dot::function_cfg_dot(&module, fid))
+}
+
+/// `optinline link` — link several modules, optionally internalizing
+/// everything except the kept symbols, and return the combined module's
+/// text plus a summary line.
+pub fn cmd_link(sources: &[String], keep: Option<&str>) -> Result<(String, String), CliError> {
+    if sources.is_empty() {
+        return Err("link needs at least one input".into());
+    }
+    let modules = sources
+        .iter()
+        .map(|s| load_module(s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let per_file_sites: usize = modules.iter().map(|m| m.inlinable_sites().len()).sum();
+    let mut linked = optinline_ir::link_modules("linked", &modules);
+    let mut demoted = 0;
+    if let Some(keep) = keep {
+        let kept: Vec<&str> = keep.split(',').map(str::trim).collect();
+        demoted =
+            optinline_ir::internalize_except(&mut linked, |name| kept.contains(&name));
+    }
+    optinline_ir::verify_module(&linked)?;
+    let mut report = String::new();
+    let _ = writeln!(report, "linked {} modules: {} functions", sources.len(), linked.func_count());
+    let _ = writeln!(
+        report,
+        "inlinable sites: {} per-file -> {} linked",
+        per_file_sites,
+        linked.inlinable_sites().len()
+    );
+    if keep.is_some() {
+        let _ = writeln!(report, "internalized:    {demoted} formerly-public functions");
+    }
+    Ok((report, linked.to_string()))
+}
+
+/// `optinline corpus` — materialize the synthetic suite as `.ir` files.
+pub fn cmd_corpus(dir: &std::path::Path, small: bool) -> Result<String, CliError> {
+    let scale = if small {
+        optinline_workloads::Scale::Small
+    } else {
+        optinline_workloads::Scale::Full
+    };
+    let written = optinline_workloads::save_suite(dir, scale)?;
+    Ok(format!("wrote {} files under {}
+", written.len(), dir.display()))
+}
+
+/// `optinline gen` — emit a generated module as textual IR.
+pub fn cmd_gen(seed: u64, n_internal: usize, clusters: usize) -> Result<String, CliError> {
+    let module = optinline_workloads::generate_file(&optinline_workloads::GenParams {
+        n_internal,
+        clusters,
+        ..optinline_workloads::GenParams::named(format!("gen_{seed}"), seed)
+    });
+    Ok(module.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_source() -> String {
+        cmd_gen(11, 5, 2).expect("generation succeeds")
+    }
+
+    #[test]
+    fn gen_print_round_trips() {
+        let src = demo_source();
+        let printed = cmd_print(&src).unwrap();
+        assert_eq!(printed, src);
+    }
+
+    #[test]
+    fn stats_reports_structure() {
+        let s = cmd_stats(&demo_source()).unwrap();
+        assert!(s.contains("functions:"));
+        assert!(s.contains("inlinable sites:"));
+        assert!(s.contains("recursive space:"));
+    }
+
+    #[test]
+    fn optimize_reports_sizes_for_every_strategy() {
+        let src = demo_source();
+        for strat in
+            [StrategyChoice::Never, StrategyChoice::Always, StrategyChoice::Heuristic, StrategyChoice::Trial]
+        {
+            let (report, text) = cmd_optimize(&src, strat, TargetChoice::X86).unwrap();
+            assert!(report.contains("size:"), "{strat:?}: {report}");
+            // The optimized module still parses.
+            load_module(&text).unwrap();
+        }
+    }
+
+    #[test]
+    fn search_finds_optimum_and_beats_strategies() {
+        let src = demo_source();
+        let report = cmd_search(&src, 18, TargetChoice::X86).unwrap();
+        assert!(report.contains("optimal size:"));
+        // Relative lines are >= 100%.
+        for line in report.lines().filter(|l| l.contains('%')) {
+            let pct: f64 = line
+                .split('(')
+                .nth(1)
+                .and_then(|s| s.split('%').next())
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(100.0);
+            assert!(pct >= 100.0 - 1e-9, "strategy beat the optimum: {line}");
+        }
+    }
+
+    #[test]
+    fn autotune_improves_or_matches_baseline() {
+        let src = demo_source();
+        let report = cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86).unwrap();
+        assert!(report.contains("tuned best:"));
+        let pct: f64 = report
+            .lines()
+            .find(|l| l.contains("tuned best"))
+            .and_then(|l| l.split('(').nth(1))
+            .and_then(|s| s.split('%').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("percentage present");
+        assert!(pct <= 100.0);
+    }
+
+    #[test]
+    fn run_interprets_main() {
+        let report = cmd_run(&demo_source()).unwrap();
+        assert!(report.contains("cycles:"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(cmd_print("not ir at all").is_err());
+        assert!(TargetChoice::parse("arm").is_err());
+        assert!(StrategyChoice::parse("magic").is_err());
+        assert!(InitChoice::parse("warm").is_err());
+    }
+
+    #[test]
+    fn search_refuses_oversized_spaces() {
+        let src = cmd_gen(3, 20, 1).unwrap();
+        let module = load_module(&src).unwrap();
+        if module.inlinable_sites().len() > 12 {
+            let err = cmd_search(&src, 4, TargetChoice::X86);
+            assert!(err.is_err() || module.inlinable_sites().len() <= 12);
+        }
+    }
+
+    #[test]
+    fn cfg_renders_dot_for_named_functions() {
+        let src = demo_source();
+        let dot = cmd_cfg(&src, "main").unwrap();
+        assert!(dot.contains("digraph \"main\""));
+        assert!(cmd_cfg(&src, "no_such_fn").is_err());
+    }
+
+    #[test]
+    fn wasm_target_is_selectable() {
+        let src = demo_source();
+        let (report, _) = cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::Wasm).unwrap();
+        assert!(report.contains("wasm-like"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Thin argv shim over `optinline_cli` (the testable library half).
+
+use optinline_cli::{
+    cmd_autotune, cmd_cfg, cmd_corpus, cmd_gen, cmd_link, cmd_optimize, cmd_print, cmd_run,
+    cmd_search, cmd_stats, CliError, InitChoice, StrategyChoice, TargetChoice,
+};
+
+const USAGE: &str = "\
+optinline — optimal function inlining toolkit (ASPLOS'22 reproduction)
+
+usage:
+  optinline print    <file.ir>
+  optinline stats    <file.ir>
+  optinline optimize <file.ir> [--strategy never|always|heuristic|trial]
+                               [--target x86|wasm] [-o out.ir]
+  optinline search   <file.ir> [--bits N] [--target x86|wasm]
+  optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
+                               [--target x86|wasm]
+  optinline run      <file.ir>
+  optinline gen      [--seed N] [--internal N] [--clusters N] [-o out.ir]
+  optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
+  optinline corpus   --dir DIR [--scale small|full]
+  optinline cfg      <file.ir> --func NAME        (DOT to stdout)
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Args, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut argv = argv.peekable();
+        while let Some(a) = argv.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = argv.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value));
+            } else if a == "-o" {
+                let value = argv.next().ok_or("-o needs a path")?;
+                flags.push(("out".into(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn input(&self) -> Result<String, CliError> {
+        let path = self.positional.first().ok_or("missing input file")?;
+        Ok(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?)
+    }
+
+    fn positional_sources(&self) -> Result<Vec<String>, CliError> {
+        if self.positional.is_empty() {
+            return Err("missing input files".into());
+        }
+        self.positional
+            .iter()
+            .map(|p| {
+                std::fs::read_to_string(p).map_err(|e| -> CliError { format!("{p}: {e}").into() })
+            })
+            .collect()
+    }
+
+    fn write_or_print(&self, content: &str) -> Result<(), CliError> {
+        match self.flag("out") {
+            Some(path) => {
+                std::fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("[written to {path}]");
+            }
+            None => print!("{content}"),
+        }
+        Ok(())
+    }
+}
+
+fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
+    match cmd {
+        "print" => {
+            let out = cmd_print(&args.input()?)?;
+            args.write_or_print(&out)
+        }
+        "stats" => {
+            print!("{}", cmd_stats(&args.input()?)?);
+            Ok(())
+        }
+        "optimize" => {
+            let strategy = StrategyChoice::parse(args.flag("strategy").unwrap_or("heuristic"))?;
+            let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
+            let (report, module_text) = cmd_optimize(&args.input()?, strategy, target)?;
+            print!("{report}");
+            if args.flag("out").is_some() {
+                args.write_or_print(&module_text)?;
+            }
+            Ok(())
+        }
+        "search" => {
+            let bits: u32 = args.flag("bits").unwrap_or("16").parse()?;
+            let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
+            print!("{}", cmd_search(&args.input()?, bits, target)?);
+            Ok(())
+        }
+        "autotune" => {
+            let rounds: usize = args.flag("rounds").unwrap_or("4").parse()?;
+            let init = InitChoice::parse(args.flag("init").unwrap_or("both"))?;
+            let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
+            print!("{}", cmd_autotune(&args.input()?, rounds, init, target)?);
+            Ok(())
+        }
+        "run" => {
+            print!("{}", cmd_run(&args.input()?)?);
+            Ok(())
+        }
+        "link" => {
+            let sources = args
+                .positional_sources()
+                .map_err(|e| -> CliError { e })?;
+            let (report, text) = cmd_link(&sources, args.flag("keep"))?;
+            print!("{report}");
+            args.write_or_print(&text)
+        }
+        "cfg" => {
+            let func = args.flag("func").ok_or("cfg needs --func NAME")?;
+            print!("{}", cmd_cfg(&args.input()?, func)?);
+            Ok(())
+        }
+        "corpus" => {
+            let dir = args.flag("dir").ok_or("corpus needs --dir")?;
+            let small = args.flag("scale").map(|s| s == "small").unwrap_or(false);
+            print!("{}", cmd_corpus(std::path::Path::new(dir), small)?);
+            Ok(())
+        }
+        "gen" => {
+            let seed: u64 = args.flag("seed").unwrap_or("0").parse()?;
+            let internal: usize = args.flag("internal").unwrap_or("8").parse()?;
+            let clusters: usize = args.flag("clusters").unwrap_or("1").parse()?;
+            let text = cmd_gen(seed, internal, clusters)?;
+            args.write_or_print(&text)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = dispatch(&cmd, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

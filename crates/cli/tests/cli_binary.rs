@@ -1,0 +1,130 @@
+//! Process-level tests of the `optinline` binary: the full
+//! gen → stats → optimize → search → autotune → run workflow through argv,
+//! files, and exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_optinline"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "optinline {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("optinline_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let ir = tmp("demo.ir");
+    run_ok(&["gen", "--seed", "9", "--internal", "5", "--clusters", "2", "-o", ir.to_str().unwrap()]);
+
+    let stats = run_ok(&["stats", ir.to_str().unwrap()]);
+    let stats_text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats_text.contains("inlinable sites:"), "{stats_text}");
+
+    let opt = run_ok(&["optimize", ir.to_str().unwrap(), "--strategy", "heuristic"]);
+    assert!(String::from_utf8_lossy(&opt.stdout).contains("size:"));
+
+    let search = run_ok(&["search", ir.to_str().unwrap(), "--bits", "18"]);
+    assert!(String::from_utf8_lossy(&search.stdout).contains("optimal size:"));
+
+    let tune = run_ok(&["autotune", ir.to_str().unwrap(), "--rounds", "2"]);
+    assert!(String::from_utf8_lossy(&tune.stdout).contains("tuned best:"));
+
+    let run = run_ok(&["run", ir.to_str().unwrap()]);
+    assert!(String::from_utf8_lossy(&run.stdout).contains("cycles:"));
+
+    std::fs::remove_file(&ir).ok();
+}
+
+#[test]
+fn print_round_trips_through_a_file() {
+    let ir = tmp("rt.ir");
+    run_ok(&["gen", "--seed", "4", "--internal", "4", "-o", ir.to_str().unwrap()]);
+    let first = run_ok(&["print", ir.to_str().unwrap()]);
+    let text = std::fs::read_to_string(&ir).unwrap();
+    assert_eq!(String::from_utf8_lossy(&first.stdout), text);
+    std::fs::remove_file(&ir).ok();
+}
+
+#[test]
+fn bad_input_exits_nonzero() {
+    let out = bin().arg("print").arg("/nonexistent/x.ir").output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn optimized_output_file_parses_again() {
+    let ir = tmp("opt.ir");
+    let out_ir = tmp("opt_out.ir");
+    run_ok(&["gen", "--seed", "6", "--internal", "5", "-o", ir.to_str().unwrap()]);
+    run_ok(&[
+        "optimize",
+        ir.to_str().unwrap(),
+        "--strategy",
+        "always",
+        "-o",
+        out_ir.to_str().unwrap(),
+    ]);
+    let reprint = run_ok(&["stats", out_ir.to_str().unwrap()]);
+    assert!(String::from_utf8_lossy(&reprint.stdout).contains("functions:"));
+    std::fs::remove_file(&ir).ok();
+    std::fs::remove_file(&out_ir).ok();
+}
+
+#[test]
+fn link_combines_files_and_reports_new_sites() {
+    let a = tmp("link_a.ir");
+    let b = tmp("link_b.ir");
+    let out = tmp("link_prog.ir");
+    run_ok(&["gen", "--seed", "1", "--internal", "4", "-o", a.to_str().unwrap()]);
+    run_ok(&["gen", "--seed", "2", "--internal", "4", "-o", b.to_str().unwrap()]);
+    let linked = run_ok(&[
+        "link",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--keep",
+        "main",
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    let text = String::from_utf8_lossy(&linked.stdout).into_owned();
+    assert!(text.contains("linked 2 modules"), "{text}");
+    assert!(text.contains("internalized:"), "{text}");
+    // The linked program is valid IR.
+    run_ok(&["stats", out.to_str().unwrap()]);
+    for f in [&a, &b, &out] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn corpus_writes_a_loadable_suite() {
+    let dir = tmp("corpus_dir");
+    let out = run_ok(&["corpus", "--dir", dir.to_str().unwrap(), "--scale", "small"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+    // Spot-check one file parses.
+    let one = std::fs::read_dir(dir.join("gcc"))
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    run_ok(&["stats", one.to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+}

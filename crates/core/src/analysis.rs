@@ -1,0 +1,357 @@
+//! Analyses over configurations: decision agreement (Table 2), inlined
+//! call-chain lengths (Figure 9), and roofline statistics versus the
+//! optimum (Figure 7 / Figure 16).
+
+use crate::config::InliningConfiguration;
+use optinline_callgraph::Decision;
+use optinline_ir::{CallSiteId, FuncId, Module};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pairwise decision agreement between an optimal configuration and another
+/// strategy's configuration (the paper's Table 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Agreement {
+    /// Optimal no-inline, other no-inline.
+    pub both_no_inline: u64,
+    /// Optimal no-inline, other inline — the other strategy is too eager.
+    pub too_aggressive: u64,
+    /// Optimal inline, other no-inline — the other strategy is too shy.
+    pub too_conservative: u64,
+    /// Optimal inline, other inline.
+    pub both_inline: u64,
+}
+
+impl Agreement {
+    /// Accumulates agreement over one file's site set.
+    pub fn accumulate(
+        &mut self,
+        sites: &BTreeSet<CallSiteId>,
+        optimal: &InliningConfiguration,
+        other: &InliningConfiguration,
+    ) {
+        for &s in sites {
+            match (optimal.decision(s), other.decision(s)) {
+                (Decision::NoInline, Decision::NoInline) => self.both_no_inline += 1,
+                (Decision::NoInline, Decision::Inline) => self.too_aggressive += 1,
+                (Decision::Inline, Decision::NoInline) => self.too_conservative += 1,
+                (Decision::Inline, Decision::Inline) => self.both_inline += 1,
+            }
+        }
+    }
+
+    /// Total decisions compared.
+    pub fn total(&self) -> u64 {
+        self.both_no_inline + self.too_aggressive + self.too_conservative + self.both_inline
+    }
+
+    /// Fraction of decisions where the strategies agree.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.both_no_inline + self.both_inline) as f64 / self.total() as f64
+    }
+}
+
+/// Lengths of maximal inlined call chains (Figure 9): paths in the original
+/// call graph all of whose edges are inlined, extended as far as possible
+/// in both directions.
+///
+/// Chains are enumerated from *source* edges — inlined edges whose caller
+/// has no incoming inlined edge — and followed through every inlined
+/// continuation; each maximal path contributes its edge count.
+pub fn inlined_chain_lengths(module: &Module, config: &InliningConfiguration) -> Vec<usize> {
+    // Original call multigraph restricted to inlined edges.
+    let mut out_edges: BTreeMap<FuncId, Vec<(CallSiteId, FuncId)>> = BTreeMap::new();
+    let mut has_inlined_in: BTreeSet<FuncId> = BTreeSet::new();
+    let inlinable = module.inlinable_sites();
+    for (caller, f) in module.iter_funcs() {
+        for (site, callee) in f.call_edges() {
+            if inlinable.contains(&site) && config.decision(site) == Decision::Inline {
+                out_edges.entry(caller).or_default().push((site, callee));
+                has_inlined_in.insert(callee);
+            }
+        }
+    }
+    let mut lengths = Vec::new();
+    // DFS from sources, tracking visited sites to stay acyclic.
+    fn extend(
+        out_edges: &BTreeMap<FuncId, Vec<(CallSiteId, FuncId)>>,
+        node: FuncId,
+        depth: usize,
+        visited: &mut BTreeSet<CallSiteId>,
+        lengths: &mut Vec<usize>,
+    ) {
+        let nexts: Vec<(CallSiteId, FuncId)> = out_edges
+            .get(&node)
+            .map(|v| v.iter().filter(|(s, _)| !visited.contains(s)).copied().collect())
+            .unwrap_or_default();
+        if nexts.is_empty() {
+            lengths.push(depth);
+            return;
+        }
+        for (site, callee) in nexts {
+            visited.insert(site);
+            extend(out_edges, callee, depth + 1, visited, lengths);
+            visited.remove(&site);
+        }
+    }
+    for (&caller, _) in &out_edges {
+        if has_inlined_in.contains(&caller) {
+            continue; // not a chain start
+        }
+        let mut visited = BTreeSet::new();
+        extend(&out_edges, caller, 0, &mut visited, &mut lengths);
+    }
+    // Cycles made purely of inlined edges have no source; count each such
+    // component once with its cycle length.
+    lengths.retain(|&l| l > 0);
+    lengths
+}
+
+/// Histogram of chain lengths, indexed by length (1-based bucket `i` holds
+/// chains of exactly `i` edges).
+pub fn chain_length_histogram(lengths: &[usize]) -> Vec<u64> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0u64; max + 1];
+    for &l in lengths {
+        hist[l] += 1;
+    }
+    hist
+}
+
+/// Roofline statistics: a strategy's sizes versus the optimal sizes across
+/// a corpus of files (Figure 7 for the baseline, Figure 16 for the
+/// autotuner).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RooflineStats {
+    /// Number of files compared.
+    pub files: usize,
+    /// Files where the strategy matched the optimal size.
+    pub optimal_found: usize,
+    /// Median relative size increase of the *non-optimal* files (percent).
+    pub median_nonoptimal_overhead_pct: f64,
+    /// Files with overhead ≥ 5%.
+    pub at_least_5pct: usize,
+    /// Files with overhead ≥ 10%.
+    pub at_least_10pct: usize,
+    /// Maximum overhead (percent).
+    pub max_overhead_pct: f64,
+}
+
+impl RooflineStats {
+    /// Builds the statistics from `(strategy_size, optimal_size)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any strategy size is below its optimal size (the optimum
+    /// would not be optimal) or any optimal size is zero.
+    pub fn from_pairs(pairs: &[(u64, u64)]) -> Self {
+        let mut overheads: Vec<f64> = Vec::new();
+        let mut optimal_found = 0usize;
+        for &(got, best) in pairs {
+            assert!(best > 0, "optimal size must be positive");
+            assert!(
+                got >= best,
+                "strategy size {got} beats the 'optimal' {best}; the search is unsound"
+            );
+            if got == best {
+                optimal_found += 1;
+            } else {
+                overheads.push((got as f64 / best as f64 - 1.0) * 100.0);
+            }
+        }
+        overheads.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
+        let median = if overheads.is_empty() {
+            0.0
+        } else if overheads.len() % 2 == 1 {
+            overheads[overheads.len() / 2]
+        } else {
+            (overheads[overheads.len() / 2 - 1] + overheads[overheads.len() / 2]) / 2.0
+        };
+        RooflineStats {
+            files: pairs.len(),
+            optimal_found,
+            median_nonoptimal_overhead_pct: median,
+            at_least_5pct: overheads.iter().filter(|&&o| o >= 5.0).count(),
+            at_least_10pct: overheads.iter().filter(|&&o| o >= 10.0).count(),
+            max_overhead_pct: overheads.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Fraction of files where the optimum was found.
+    pub fn optimal_rate(&self) -> f64 {
+        if self.files == 0 {
+            return 1.0;
+        }
+        self.optimal_found as f64 / self.files as f64
+    }
+}
+
+/// Geometric mean of relative values (e.g. relative sizes or runtimes).
+///
+/// # Panics
+///
+/// Panics on empty input or non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of nothing");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{FuncBuilder, Linkage};
+
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    #[test]
+    fn agreement_buckets_match_table2_semantics() {
+        let sites: BTreeSet<_> = (0..4).map(s).collect();
+        let optimal: InliningConfiguration = [
+            (s(0), Decision::NoInline),
+            (s(1), Decision::NoInline),
+            (s(2), Decision::Inline),
+            (s(3), Decision::Inline),
+        ]
+        .into_iter()
+        .collect();
+        let other: InliningConfiguration = [
+            (s(0), Decision::NoInline),
+            (s(1), Decision::Inline),
+            (s(2), Decision::NoInline),
+            (s(3), Decision::Inline),
+        ]
+        .into_iter()
+        .collect();
+        let mut a = Agreement::default();
+        a.accumulate(&sites, &optimal, &other);
+        assert_eq!(a.both_no_inline, 1);
+        assert_eq!(a.too_aggressive, 1);
+        assert_eq!(a.too_conservative, 1);
+        assert_eq!(a.both_inline, 1);
+        assert_eq!(a.total(), 4);
+        assert!((a.agreement_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// main →s0→ a →s1→ b, plus main →s2→ c (independent).
+    fn chain_module() -> Module {
+        let mut m = Module::new("m");
+        let b_ = m.declare_function("b", 0, Linkage::Internal);
+        let a = m.declare_function("a", 0, Linkage::Internal);
+        let c = m.declare_function("c", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut bl = FuncBuilder::new(&mut m, b_);
+            bl.ret(None);
+        }
+        {
+            let mut bl = FuncBuilder::new(&mut m, c);
+            bl.ret(None);
+        }
+        {
+            let mut bl = FuncBuilder::new(&mut m, main);
+            bl.call_void(a, &[]); // s0
+            bl.call_void(c, &[]); // s1
+            bl.ret(None);
+        }
+        {
+            let mut bl = FuncBuilder::new(&mut m, a);
+            bl.call_void(b_, &[]); // s2
+            bl.ret(None);
+        }
+        m
+    }
+
+    #[test]
+    fn chain_lengths_follow_inlined_paths() {
+        let m = chain_module();
+        // Inline main→a and a→b: one chain of length 2. Inline main→c: one
+        // chain of length 1.
+        let cfg: InliningConfiguration = [
+            (s(0), Decision::Inline),
+            (s(1), Decision::Inline),
+            (s(2), Decision::Inline),
+        ]
+        .into_iter()
+        .collect();
+        let mut lengths = inlined_chain_lengths(&m, &cfg);
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![1, 2]);
+        let hist = chain_length_histogram(&lengths);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[2], 1);
+    }
+
+    #[test]
+    fn breaking_the_chain_yields_two_singletons() {
+        let m = chain_module();
+        // Inline main→a and a→b but NOT… wait, break in the middle: inline
+        // s0 (main→a) and s2 (a→b) are the chain; keep only the ends.
+        let cfg: InliningConfiguration =
+            [(s(0), Decision::Inline), (s(2), Decision::NoInline), (s(1), Decision::Inline)]
+                .into_iter()
+                .collect();
+        let mut lengths = inlined_chain_lengths(&m, &cfg);
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_configuration_has_no_chains() {
+        let m = chain_module();
+        let lengths = inlined_chain_lengths(&m, &InliningConfiguration::clean_slate());
+        assert!(lengths.is_empty());
+    }
+
+    #[test]
+    fn roofline_statistics_summarize_overheads() {
+        let pairs = [(100, 100), (105, 100), (112, 100), (100, 100), (381, 100)];
+        let r = RooflineStats::from_pairs(&pairs);
+        assert_eq!(r.files, 5);
+        assert_eq!(r.optimal_found, 2);
+        assert_eq!(r.at_least_5pct, 3);
+        assert_eq!(r.at_least_10pct, 2);
+        assert!((r.median_nonoptimal_overhead_pct - 12.0).abs() < 1e-9);
+        assert!((r.max_overhead_pct - 281.0).abs() < 1e-9);
+        assert!((r.optimal_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsound")]
+    fn roofline_rejects_sizes_below_optimal() {
+        RooflineStats::from_pairs(&[(90, 100)]);
+    }
+
+    #[test]
+    fn geometric_mean_and_median_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[3.0, 1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,553 @@
+//! The local inlining autotuner for size (§5, Algorithm 3).
+//!
+//! One round: starting from a base configuration, flip each site's label
+//! independently against the *same* base, measure, and keep exactly the
+//! flips that shrink the binary. All probes are independent, so a round is
+//! embarrassingly parallel and costs `n + 2` compilations (`n` probes, the
+//! base, and the combined result).
+//!
+//! Variants from §5.1:
+//! - **clean slate** — base = everything no-inline;
+//! - **heuristic-initialized** — base = the baseline compiler's decisions
+//!   (the paper's "LLVM-initialized" mode);
+//! - **round-based** — each round starts from the previous round's output,
+//!   extending the effective scope to non-local configurations;
+//! - **combined** — best of several runs (the paper combines clean-slate
+//!   and LLVM-initialized results per file).
+
+use crate::config::InliningConfiguration;
+use crate::evaluator::Evaluator;
+use optinline_ir::CallSiteId;
+use std::collections::BTreeSet;
+
+/// Report for one autotuning round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundReport {
+    /// 1-based round number.
+    pub round: usize,
+    /// The round's output configuration.
+    pub config: InliningConfiguration,
+    /// Size of the output configuration.
+    pub size: u64,
+    /// Size of the round's base configuration.
+    pub base_size: u64,
+    /// Number of flips kept.
+    pub flips: usize,
+    /// Compilations this round would cost uncached: `n + 2`.
+    pub evaluations: u128,
+}
+
+/// A full autotuning session (one or more rounds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TuneOutcome {
+    /// Per-round reports, in order.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl TuneOutcome {
+    /// The best configuration across all rounds (sizes can regress between
+    /// rounds — Table 4 of the paper — so "last" is not always "best").
+    pub fn best(&self) -> &RoundReport {
+        self.rounds
+            .iter()
+            .min_by_key(|r| (r.size, r.round))
+            .expect("a session has at least one round")
+    }
+
+    /// The final round's report.
+    pub fn last(&self) -> &RoundReport {
+        self.rounds.last().expect("a session has at least one round")
+    }
+
+    /// Total evaluation cost (`R * (n + 2)` when no round exits early).
+    pub fn total_evaluations(&self) -> u128 {
+        self.rounds.iter().map(|r| r.evaluations).sum()
+    }
+}
+
+/// The autotuner (Algorithm 3 plus the §5.1 variations).
+pub struct Autotuner<'e> {
+    evaluator: &'e dyn Evaluator,
+    sites: BTreeSet<CallSiteId>,
+    parallel: bool,
+}
+
+impl std::fmt::Debug for Autotuner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Autotuner")
+            .field("sites", &self.sites.len())
+            .field("parallel", &self.parallel)
+            .finish()
+    }
+}
+
+impl<'e> Autotuner<'e> {
+    /// Creates an autotuner over the given site domain.
+    pub fn new(evaluator: &'e dyn Evaluator, sites: BTreeSet<CallSiteId>) -> Self {
+        Autotuner { evaluator, sites, parallel: true }
+    }
+
+    /// Disables probe parallelism (deterministic ordering for debugging;
+    /// results are identical either way because probes are independent).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Runs one round against `base` (Algorithm 3 generalized to an
+    /// arbitrary base): each site is flipped independently; flips that
+    /// strictly shrink the binary are kept.
+    pub fn tune_round(&self, base: &InliningConfiguration) -> (InliningConfiguration, usize) {
+        let base_size = self.evaluator.size_of(base);
+        let probe = |&site: &CallSiteId| -> Option<CallSiteId> {
+            let mut flipped = base.clone();
+            flipped.flip(site);
+            (self.evaluator.size_of(&flipped) < base_size).then_some(site)
+        };
+        let keep: Vec<CallSiteId> = if self.parallel {
+            let sites: Vec<CallSiteId> = self.sites.iter().copied().collect();
+            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let chunk = sites.len().div_ceil(n_threads.max(1)).max(1);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = sites
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk.iter().filter_map(probe).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("autotuner probe thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.sites.iter().filter_map(probe).collect()
+        };
+        let mut tuned = base.clone();
+        for site in &keep {
+            tuned.flip(*site);
+        }
+        (tuned, keep.len())
+    }
+
+    /// Runs up to `rounds` rounds starting from `init`, stopping early at a
+    /// fixpoint (a round with zero kept flips).
+    pub fn run(&self, init: InliningConfiguration, rounds: usize) -> TuneOutcome {
+        assert!(rounds >= 1, "at least one round is required");
+        let mut reports = Vec::new();
+        let mut base = init;
+        for round in 1..=rounds {
+            let base_size = self.evaluator.size_of(&base);
+            let (tuned, flips) = self.tune_round(&base);
+            let size = self.evaluator.size_of(&tuned);
+            reports.push(RoundReport {
+                round,
+                config: tuned.clone(),
+                size,
+                base_size,
+                flips,
+                evaluations: self.sites.len() as u128 + 2,
+            });
+            if flips == 0 {
+                break;
+            }
+            base = tuned;
+        }
+        TuneOutcome { rounds: reports }
+    }
+
+    /// The paper's clean-slate session.
+    pub fn clean_slate(&self, rounds: usize) -> TuneOutcome {
+        self.run(InliningConfiguration::clean_slate(), rounds)
+    }
+
+    /// Incremental round-based tuning (the §6 scalability extension): after
+    /// round one, only sites in call-graph components whose configuration
+    /// changed in the previous round are re-probed.
+    ///
+    /// Under the independence property (§3.2), a probe's local size delta
+    /// only depends on decisions within its own component, so skipping
+    /// untouched components is **exact**: the outcome equals [`run`]'s,
+    /// round for round, at a fraction of the evaluations (the per-round
+    /// [`RoundReport::evaluations`] records the smaller probe counts).
+    ///
+    /// `components` partitions the site domain (see [`site_components`]);
+    /// sites missing from every part are probed every round,
+    /// conservatively.
+    ///
+    /// [`run`]: Autotuner::run
+    pub fn run_incremental(
+        &self,
+        components: &[BTreeSet<CallSiteId>],
+        init: InliningConfiguration,
+        rounds: usize,
+    ) -> TuneOutcome {
+        assert!(rounds >= 1, "at least one round is required");
+        let component_of =
+            |site: CallSiteId| -> Option<usize> { components.iter().position(|c| c.contains(&site)) };
+        let mut dirty: BTreeSet<Option<usize>> =
+            self.sites.iter().map(|&s| component_of(s)).collect();
+        let mut reports = Vec::new();
+        let mut base = init;
+        for round in 1..=rounds {
+            let base_size = self.evaluator.size_of(&base);
+            let probe_sites: BTreeSet<CallSiteId> = self
+                .sites
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    let c = component_of(s);
+                    c.is_none() || dirty.contains(&c)
+                })
+                .collect();
+            let sub = Autotuner {
+                evaluator: self.evaluator,
+                sites: probe_sites.clone(),
+                parallel: self.parallel,
+            };
+            let (tuned, flips) = sub.tune_round(&base);
+            let size = self.evaluator.size_of(&tuned);
+            // Only components that changed this round can yield new flips
+            // next round.
+            dirty = probe_sites
+                .iter()
+                .filter(|&&s| tuned.decision(s) != base.decision(s))
+                .map(|&s| component_of(s))
+                .collect();
+            reports.push(RoundReport {
+                round,
+                config: tuned.clone(),
+                size,
+                base_size,
+                flips,
+                evaluations: probe_sites.len() as u128 + 2,
+            });
+            if flips == 0 {
+                break;
+            }
+            base = tuned;
+        }
+        TuneOutcome { rounds: reports }
+    }
+
+    /// Runtime-guarded tuning (the §6 "balance between performance and code
+    /// size" direction): a flip is kept only if it strictly shrinks the
+    /// binary AND does not slow the program beyond `budget` (relative to
+    /// the round's base, e.g. `1.02` allows a 2% regression).
+    ///
+    /// `cycles_of` measures a configuration's runtime (simulated cycles);
+    /// returning `None` (e.g. no executable entry) disables the guard for
+    /// that probe. Probes run sequentially — runtime measurement is the
+    /// dominant cost and callers usually want it deterministic.
+    pub fn run_guarded(
+        &self,
+        init: InliningConfiguration,
+        rounds: usize,
+        cycles_of: &dyn Fn(&InliningConfiguration) -> Option<u64>,
+        budget: f64,
+    ) -> TuneOutcome {
+        assert!(rounds >= 1, "at least one round is required");
+        assert!(budget >= 1.0, "a budget below 1.0 would reject no-ops");
+        let mut reports = Vec::new();
+        let mut base = init;
+        for round in 1..=rounds {
+            let base_size = self.evaluator.size_of(&base);
+            let base_cycles = cycles_of(&base);
+            let mut keep = Vec::new();
+            for &site in &self.sites {
+                let mut flipped = base.clone();
+                flipped.flip(site);
+                if self.evaluator.size_of(&flipped) >= base_size {
+                    continue;
+                }
+                let ok_runtime = match (base_cycles, cycles_of(&flipped)) {
+                    (Some(b), Some(f)) => f as f64 <= b as f64 * budget,
+                    _ => true,
+                };
+                if ok_runtime {
+                    keep.push(site);
+                }
+            }
+            let mut tuned = base.clone();
+            for &site in &keep {
+                tuned.flip(site);
+            }
+            let size = self.evaluator.size_of(&tuned);
+            reports.push(RoundReport {
+                round,
+                config: tuned.clone(),
+                size,
+                base_size,
+                flips: keep.len(),
+                evaluations: self.sites.len() as u128 + 2,
+            });
+            if keep.is_empty() {
+                break;
+            }
+            base = tuned;
+        }
+        TuneOutcome { rounds: reports }
+    }
+
+    /// Best-of combination across several outcomes (per-file `min`, as in
+    /// Figures 15/18).
+    pub fn combine<'a>(outcomes: impl IntoIterator<Item = &'a TuneOutcome>) -> RoundReport {
+        outcomes
+            .into_iter()
+            .map(|o| o.best())
+            .min_by_key(|r| r.size)
+            .cloned()
+            .expect("combine() requires at least one outcome")
+    }
+}
+
+/// Partitions a module's inlinable sites by undirected call-graph
+/// component — the input [`Autotuner::run_incremental`] needs.
+pub fn site_components(module: &optinline_ir::Module) -> Vec<BTreeSet<CallSiteId>> {
+    let graph = optinline_callgraph::InlineGraph::from_module(module);
+    optinline_callgraph::connected_components(&graph)
+        .into_iter()
+        .map(|nodes| {
+            let set: BTreeSet<_> = nodes.into_iter().collect();
+            graph
+                .live_edges()
+                .into_iter()
+                .filter(|(_, a, b)| set.contains(a) || set.contains(b))
+                .map(|(s, _, _)| s)
+                .collect::<BTreeSet<CallSiteId>>()
+        })
+        .filter(|sites| !sites.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_callgraph::Decision;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A synthetic evaluator over 3 sites with a non-trivial landscape:
+    /// size = 100 - 8*[s0] + 5*[s1] - 2*[s2] + 6*[s0][s2]
+    /// (s0 good alone, s1 bad, s2 good alone but bad with s0).
+    #[derive(Debug, Default)]
+    struct Landscape {
+        compiles: AtomicU64,
+        queries: AtomicU64,
+    }
+
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    impl Evaluator for Landscape {
+        fn size_of(&self, c: &InliningConfiguration) -> u64 {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            let b = |i: u32| (c.decision(s(i)) == Decision::Inline) as i64;
+            (100 - 8 * b(0) + 5 * b(1) - 2 * b(2) + 6 * b(0) * b(2)) as u64
+        }
+        fn compilations(&self) -> u64 {
+            self.compiles.load(Ordering::Relaxed)
+        }
+        fn queries(&self) -> u64 {
+            self.queries.load(Ordering::Relaxed)
+        }
+    }
+
+    fn sites() -> BTreeSet<CallSiteId> {
+        [s(0), s(1), s(2)].into_iter().collect()
+    }
+
+    #[test]
+    fn clean_slate_round_keeps_only_improving_flips() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let (tuned, flips) = tuner.tune_round(&InliningConfiguration::clean_slate());
+        // s0 (-8) and s2 (-2) improve independently; s1 (+5) does not.
+        assert_eq!(flips, 2);
+        assert_eq!(tuned.decision(s(0)), Decision::Inline);
+        assert_eq!(tuned.decision(s(1)), Decision::NoInline);
+        assert_eq!(tuned.decision(s(2)), Decision::Inline);
+        // Interaction term: combined result (96) is worse than s0 alone (92)
+        // — the local-minimum behaviour the round-based variant fixes.
+        assert_eq!(ev.size_of(&tuned), 96);
+    }
+
+    #[test]
+    fn second_round_escapes_the_interaction_trap() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let out = tuner.clean_slate(4);
+        // Round 2 should flip s2 back off: 96 → 92.
+        assert!(out.rounds.len() >= 2);
+        assert_eq!(out.best().size, 92);
+        let best = &out.best().config;
+        assert_eq!(best.decision(s(0)), Decision::Inline);
+        assert_eq!(best.decision(s(2)), Decision::NoInline);
+    }
+
+    #[test]
+    fn fixpoint_stops_early() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let out = tuner.clean_slate(10);
+        assert!(out.rounds.len() < 10);
+        assert_eq!(out.last().flips, 0);
+    }
+
+    #[test]
+    fn heuristic_initialization_is_respected() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let init: InliningConfiguration =
+            [(s(0), Decision::Inline), (s(1), Decision::Inline), (s(2), Decision::Inline)]
+                .into_iter()
+                .collect();
+        let out = tuner.run(init, 4);
+        // From all-inline (101): flipping s1 off (-5) and s2 off (-6+2=... )
+        // reaches the optimum 92 eventually.
+        assert_eq!(out.best().size, 92);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let ev1 = Landscape::default();
+        let ev2 = Landscape::default();
+        let seq = Autotuner::new(&ev1, sites()).sequential().clean_slate(3);
+        let par = Autotuner::new(&ev2, sites()).clean_slate(3);
+        assert_eq!(seq.best().size, par.best().size);
+        assert_eq!(seq.best().config, par.best().config);
+    }
+
+    #[test]
+    fn combine_takes_the_per_file_minimum() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let a = tuner.clean_slate(1);
+        let b = tuner.clean_slate(4);
+        let best = Autotuner::combine([&a, &b]);
+        assert_eq!(best.size, 92);
+    }
+
+    #[test]
+    fn round_evaluation_budget_is_n_plus_2() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let out = tuner.clean_slate(1);
+        assert_eq!(out.rounds[0].evaluations, 3 + 2);
+    }
+
+    #[test]
+    fn empty_site_set_is_a_fixpoint_immediately() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, BTreeSet::new()).sequential();
+        let out = tuner.clean_slate(5);
+        assert_eq!(out.rounds.len(), 1);
+        assert_eq!(out.last().flips, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_is_rejected() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites());
+        tuner.run(InliningConfiguration::clean_slate(), 0);
+    }
+
+    #[test]
+    fn guarded_tuning_rejects_slow_flips() {
+        // Size landscape: s0 and s2 shrink. Runtime model: flipping s2 on
+        // doubles the cycles. A 5% budget must keep s0 and reject s2.
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let cycles = |c: &InliningConfiguration| -> Option<u64> {
+            Some(if c.decision(s(2)) == Decision::Inline { 2000 } else { 1000 })
+        };
+        let guarded = tuner.run_guarded(InliningConfiguration::clean_slate(), 3, &cycles, 1.05);
+        let best = &guarded.best().config;
+        assert_eq!(best.decision(s(0)), Decision::Inline);
+        assert_eq!(best.decision(s(2)), Decision::NoInline);
+        // With an unlimited budget the guard is a no-op and s2 is kept in
+        // round one (it shrinks size in isolation).
+        let free = tuner.run_guarded(InliningConfiguration::clean_slate(), 1, &cycles, f64::MAX);
+        assert_eq!(free.rounds[0].config.decision(s(2)), Decision::Inline);
+    }
+
+    #[test]
+    fn guarded_tuning_without_runtime_signal_matches_plain() {
+        let ev1 = Landscape::default();
+        let ev2 = Landscape::default();
+        let plain = Autotuner::new(&ev1, sites()).sequential().clean_slate(3);
+        let guarded = Autotuner::new(&ev2, sites()).sequential().run_guarded(
+            InliningConfiguration::clean_slate(),
+            3,
+            &|_| None,
+            1.0,
+        );
+        assert_eq!(plain.best().size, guarded.best().size);
+        assert_eq!(plain.best().config, guarded.best().config);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget below 1.0")]
+    fn guarded_tuning_rejects_absurd_budgets() {
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites());
+        tuner.run_guarded(InliningConfiguration::clean_slate(), 1, &|_| None, 0.5);
+    }
+
+    fn landscape_components() -> Vec<BTreeSet<CallSiteId>> {
+        // s0 and s2 interact (one component); s1 is alone.
+        vec![[s(0), s(2)].into_iter().collect(), [s(1)].into_iter().collect()]
+    }
+
+    #[test]
+    fn incremental_matches_full_rounds() {
+        let ev1 = Landscape::default();
+        let ev2 = Landscape::default();
+        let full = Autotuner::new(&ev1, sites()).sequential().clean_slate(4);
+        let incr = Autotuner::new(&ev2, sites()).sequential().run_incremental(
+            &landscape_components(),
+            InliningConfiguration::clean_slate(),
+            4,
+        );
+        assert_eq!(full.rounds.len(), incr.rounds.len());
+        for (a, b) in full.rounds.iter().zip(&incr.rounds) {
+            assert_eq!(a.size, b.size, "round {}", a.round);
+            assert_eq!(a.config, b.config, "round {}", a.round);
+        }
+    }
+
+    #[test]
+    fn incremental_probes_fewer_sites_after_round_one() {
+        let ev = Landscape::default();
+        let incr = Autotuner::new(&ev, sites()).sequential().run_incremental(
+            &landscape_components(),
+            InliningConfiguration::clean_slate(),
+            4,
+        );
+        assert_eq!(incr.rounds[0].evaluations, 3 + 2);
+        // Round 1 flips s0 and s2 (component {0,2}); s1 stays — round 2
+        // only re-probes the dirty component.
+        assert!(incr.rounds.len() >= 2);
+        assert_eq!(incr.rounds[1].evaluations, 2 + 2);
+    }
+
+    #[test]
+    fn sites_outside_any_component_are_probed_every_round() {
+        let ev = Landscape::default();
+        // Pass a partition covering only s1: s0/s2 fall outside and must be
+        // probed each round regardless.
+        let partial: Vec<BTreeSet<CallSiteId>> = vec![[s(1)].into_iter().collect()];
+        let incr = Autotuner::new(&ev, sites()).sequential().run_incremental(
+            &partial,
+            InliningConfiguration::clean_slate(),
+            4,
+        );
+        let full_ev = Landscape::default();
+        let full = Autotuner::new(&full_ev, sites()).sequential().clean_slate(4);
+        assert_eq!(incr.best().size, full.best().size);
+    }
+}

@@ -1,0 +1,217 @@
+//! Evaluating configurations: the paper's `CompileAndMeasureSize`.
+//!
+//! [`CompilerEvaluator`] clones the module, runs the decision-driven
+//! inliner plus the `-Os`-like cleanup pipeline, and measures the `.text`
+//! size under a [`Target`]. Results are memoized on the configuration's
+//! canonical identity (its inlined-site set), so the tree search and the
+//! autotuner never pay twice for the same point — the single-machine
+//! stand-in for the paper's compile-farm parallelism.
+
+use crate::config::InliningConfiguration;
+use optinline_codegen::{text_size, Target};
+use optinline_ir::{CallSiteId, Module};
+use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Anything that can score an inlining configuration.
+///
+/// Implementations must be thread-safe: the tree search and the autotuner
+/// evaluate concurrently.
+pub trait Evaluator: Sync {
+    /// The `.text` size of the module under `config`.
+    fn size_of(&self, config: &InliningConfiguration) -> u64;
+
+    /// Number of *distinct* compilations performed so far (cache misses).
+    fn compilations(&self) -> u64;
+
+    /// Number of size queries served (including cache hits).
+    fn queries(&self) -> u64;
+}
+
+/// The standard evaluator: compile the module under the configuration and
+/// measure `.text` bytes (memoized).
+pub struct CompilerEvaluator {
+    module: Module,
+    target: Box<dyn Target>,
+    options: PipelineOptions,
+    sites: BTreeSet<CallSiteId>,
+    cache: Mutex<HashMap<BTreeSet<CallSiteId>, u64>>,
+    compiles: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl std::fmt::Debug for CompilerEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompilerEvaluator")
+            .field("module", &self.module.name)
+            .field("target", &self.target.name())
+            .field("sites", &self.sites.len())
+            .field("compilations", &self.compilations())
+            .finish()
+    }
+}
+
+impl CompilerEvaluator {
+    /// Creates an evaluator for `module` under `target`.
+    pub fn new(module: Module, target: Box<dyn Target>) -> Self {
+        let sites = module.inlinable_sites();
+        CompilerEvaluator {
+            module,
+            target,
+            options: PipelineOptions::default(),
+            sites,
+            cache: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Overrides the pipeline options (e.g. verify-each for tests).
+    pub fn with_options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The module's inlinable call sites — the configuration domain.
+    pub fn sites(&self) -> &BTreeSet<CallSiteId> {
+        &self.sites
+    }
+
+    /// The pristine input module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The size-model target in use.
+    pub fn target(&self) -> &dyn Target {
+        self.target.as_ref()
+    }
+
+    /// Compiles the module under `config` and returns the optimized module
+    /// (uncached; for case-study inspection, not for search loops).
+    pub fn compile(&self, config: &InliningConfiguration) -> Module {
+        let mut m = self.module.clone();
+        let oracle = ForcedDecisions::new(config.decisions().clone());
+        optimize_os(&mut m, &oracle, self.options);
+        m
+    }
+}
+
+impl Evaluator for CompilerEvaluator {
+    fn size_of(&self, config: &InliningConfiguration) -> u64 {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key: BTreeSet<CallSiteId> =
+            config.inlined_sites().intersection(&self.sites).copied().collect();
+        if let Some(&size) = self.cache.lock().expect("poisoned cache").get(&key) {
+            return size;
+        }
+        let optimized = self.compile(config);
+        let size = text_size(&optimized, self.target.as_ref());
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().expect("poisoned cache").insert(key, size);
+        size
+    }
+
+    fn compilations(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_callgraph::Decision;
+    use optinline_codegen::X86Like;
+    use optinline_ir::{BinOp, FuncBuilder, Linkage};
+
+    fn demo_module() -> (Module, CallSiteId) {
+        let mut m = Module::new("m");
+        let inc = m.declare_function("inc", 1, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, inc);
+            let p = b.param(0);
+            let one = b.iconst(1);
+            let r = b.bin(BinOp::Add, p, one);
+            b.ret(Some(r));
+        }
+        let site = {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let x = b.iconst(41);
+            let (v, site) = b.call_with_site(inc, &[x]);
+            b.ret(Some(v));
+            site
+        };
+        (m, site)
+    }
+
+    #[test]
+    fn sizes_differ_between_configurations() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let clean = InliningConfiguration::clean_slate();
+        let inlined = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        let s_clean = ev.size_of(&clean);
+        let s_inlined = ev.size_of(&inlined);
+        assert_ne!(s_clean, s_inlined);
+        // inc folds away entirely and dies: inlined must win here.
+        assert!(s_inlined < s_clean);
+    }
+
+    #[test]
+    fn cache_hits_do_not_recompile() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        let a = ev.size_of(&cfg);
+        let b = ev.size_of(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(ev.compilations(), 1);
+        assert_eq!(ev.queries(), 2);
+    }
+
+    #[test]
+    fn partial_and_total_configs_share_cache_entries() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let partial = InliningConfiguration::clean_slate();
+        let total = InliningConfiguration::clean_slate().with(site, Decision::NoInline);
+        ev.size_of(&partial);
+        ev.size_of(&total);
+        assert_eq!(ev.compilations(), 1);
+    }
+
+    #[test]
+    fn compile_returns_the_optimized_module() {
+        let (m, site) = demo_module();
+        let inc = m.func_by_name("inc").unwrap();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        let out = ev.compile(&cfg);
+        assert!(out.is_stub(inc));
+    }
+
+    #[test]
+    fn evaluator_is_shareable_across_threads() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        ev.size_of(&cfg); // prewarm so concurrent queries all hit the cache
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+                    ev.size_of(&cfg);
+                });
+            }
+        });
+        assert_eq!(ev.compilations(), 1);
+        assert_eq!(ev.queries(), 5);
+    }
+}

@@ -1,0 +1,270 @@
+//! The call-site cost model used by the LLVM-like baseline inliner.
+//!
+//! Modeled after LLVM's `InlineCost` at `-Os`: the estimated size delta of
+//! inlining a call is the callee's body size minus the call overhead that
+//! disappears, minus speculative bonuses for constant arguments (they let
+//! the optimizer fold the inlined body) and for callees whose last call
+//! site this is (the whole function gets deleted). The call is inlined when
+//! the estimate stays below a threshold.
+
+use optinline_codegen::Target;
+use optinline_ir::{FuncId, Function, Inst, Module};
+
+/// Tunable parameters of the cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostParams {
+    /// Inline when `cost <= threshold` (bytes). Positive thresholds accept
+    /// small expected growth — the optimism that makes the baseline "too
+    /// eager" for size, as the paper observes of LLVM (Table 2).
+    pub threshold: i64,
+    /// Expected folding savings per constant argument (bytes).
+    pub const_arg_bonus: i64,
+    /// Extra savings credited when the callee has exactly one live call
+    /// site and internal linkage: its body and overhead disappear.
+    pub last_call_bonus: i64,
+    /// Hard cap on callee body size (bytes); bigger callees never inline.
+    pub max_callee_bytes: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            threshold: 68,
+            const_arg_bonus: 14,
+            last_call_bonus: 24,
+            max_callee_bytes: 600,
+        }
+    }
+}
+
+impl CostParams {
+    /// A deliberately conservative variant (never accepts growth).
+    pub fn conservative() -> Self {
+        CostParams { threshold: -8, const_arg_bonus: 6, last_call_bonus: 16, max_callee_bytes: 200 }
+    }
+
+    /// A deliberately aggressive variant (accepts sizeable growth), akin to
+    /// a performance-oriented `-O2` threshold applied to size builds.
+    pub fn aggressive() -> Self {
+        CostParams { threshold: 140, const_arg_bonus: 24, last_call_bonus: 48, max_callee_bytes: 2000 }
+    }
+}
+
+/// Estimates bytes that fold away when a constant argument decides the
+/// callee's entry-block branch: the larger arm's exclusive blocks are
+/// credited (optimistic, as LLVM's cost analyzer is when it simulates the
+/// callee with known arguments).
+fn guard_fold_bonus(callee: &Function, const_params: &[bool], target: &dyn Target) -> u64 {
+    use optinline_ir::Terminator;
+    let entry = &callee.blocks[0];
+    let Terminator::Branch { cond, then_to, else_to } = &entry.term else { return 0 };
+    // The condition must be a comparison between a constant-bound parameter
+    // and something, computed in the entry block.
+    let params = callee.params();
+    let guarded = entry.insts.iter().any(|i| match i {
+        Inst::Bin { dst, op, lhs, rhs } if dst == cond && op.is_comparison() => {
+            params.iter().enumerate().any(|(idx, p)| {
+                const_params.get(idx).copied().unwrap_or(false) && (lhs == p || rhs == p)
+            })
+        }
+        _ => false,
+    });
+    if !guarded {
+        return 0;
+    }
+    let arm_bytes = |root: optinline_ir::BlockId, other: optinline_ir::BlockId| -> u64 {
+        // Blocks reachable from `root` but not from `other`.
+        let reach_from = |start: optinline_ir::BlockId| {
+            let mut seen = vec![false; callee.blocks.len()];
+            let mut stack = vec![start];
+            seen[start.index()] = true;
+            while let Some(b) = stack.pop() {
+                for s in callee.block(b).term.successors() {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            seen
+        };
+        let mine = reach_from(root);
+        let theirs = reach_from(other);
+        let mut bytes = 0;
+        for (i, block) in callee.blocks.iter().enumerate() {
+            if mine[i] && !theirs[i] {
+                for inst in &block.insts {
+                    bytes += target.inst_bytes(inst);
+                }
+                bytes += target.terminator_bytes(&block.term);
+            }
+        }
+        bytes
+    };
+    arm_bytes(then_to.block, else_to.block).max(arm_bytes(else_to.block, then_to.block))
+}
+
+/// Unaligned body size of a function: instruction + terminator bytes, no
+/// prologue or padding. The "how much code am I about to duplicate" number.
+pub fn body_bytes(func: &Function, target: &dyn Target) -> u64 {
+    let mut total = 0;
+    for block in &func.blocks {
+        for inst in &block.insts {
+            total += target.inst_bytes(inst);
+        }
+        total += target.terminator_bytes(&block.term);
+    }
+    total
+}
+
+/// The components of one call-site cost estimate (exposed for reports and
+/// tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Callee body bytes that would be duplicated.
+    pub callee_bytes: u64,
+    /// Call instruction bytes that disappear.
+    pub call_bytes: u64,
+    /// Constant-argument folding bonus applied.
+    pub const_bonus: i64,
+    /// Last-call-site deletion bonus applied.
+    pub last_call_bonus: i64,
+    /// Final signed estimate (`<= threshold` means inline).
+    pub cost: i64,
+}
+
+/// Estimates the size cost of inlining the call `inst` (which must be a
+/// call) situated in `caller`.
+///
+/// `live_calls_to_callee` is the number of call instructions to the callee
+/// in the whole module right now; `1` triggers the deletion bonus for
+/// internal callees.
+///
+/// # Panics
+///
+/// Panics if `inst` is not a call instruction.
+pub fn estimate(
+    module: &Module,
+    params: &CostParams,
+    target: &dyn Target,
+    caller: FuncId,
+    inst: &Inst,
+    live_calls_to_callee: usize,
+) -> CostBreakdown {
+    let Inst::Call { callee, args, .. } = inst else {
+        panic!("estimate() requires a call instruction, got {inst:?}")
+    };
+    let callee_f = module.func(*callee);
+    let callee_bytes = body_bytes(callee_f, target);
+    let call_bytes = target.inst_bytes(inst);
+
+    // Constant arguments: arguments defined by `const` in the caller.
+    let caller_f = module.func(caller);
+    let mut const_params = vec![false; args.len()];
+    for (i, arg) in args.iter().enumerate() {
+        const_params[i] = caller_f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(i, Inst::Const { dst, .. } if dst == arg));
+    }
+    let n_const = const_params.iter().filter(|&&c| c).count() as i64;
+    let mut const_bonus = n_const * params.const_arg_bonus;
+    // Guard-folding simulation (the CallAnalyzer effect): when a constant
+    // argument feeds the entry block's branch condition, the inlined copy
+    // keeps only one arm. Optimistically credit the larger arm's bytes.
+    const_bonus += guard_fold_bonus(callee_f, &const_params, target) as i64;
+
+    // Deletion credit: an internal callee disappears once all its calls
+    // are inlined. The last call gets the full body-plus-overhead credit;
+    // earlier calls get it amortized over the remaining call count, which
+    // keeps the bottom-up walk willing to start multi-caller cascades.
+    let last_call_bonus = if callee_f.linkage == optinline_ir::Linkage::Internal
+        && live_calls_to_callee >= 1
+    {
+        (params.last_call_bonus + callee_bytes as i64) / live_calls_to_callee as i64
+    } else {
+        0
+    };
+
+    let cost = callee_bytes as i64 - call_bytes as i64 - const_bonus - last_call_bonus;
+    CostBreakdown {
+        callee_bytes,
+        call_bytes,
+        const_bonus,
+        last_call_bonus,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_codegen::X86Like;
+    use optinline_ir::{BinOp, FuncBuilder, Linkage};
+
+    fn module_with_call(const_arg: bool) -> (Module, FuncId, Inst) {
+        let mut m = Module::new("m");
+        let callee = m.declare_function("callee", 1, Linkage::Internal);
+        let caller = m.declare_function("caller", 1, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let r = b.bin(BinOp::Add, p, p);
+            b.ret(Some(r));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, caller);
+            let arg = if const_arg { b.iconst(3) } else { b.param(0) };
+            let v = b.call(callee, &[arg]).unwrap();
+            b.ret(Some(v));
+        }
+        let inst = m
+            .func(caller)
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .find(|i| i.is_call())
+            .cloned()
+            .unwrap();
+        (m, caller, inst)
+    }
+
+    #[test]
+    fn constant_arguments_lower_the_cost() {
+        let params = CostParams::default();
+        let (m1, c1, i1) = module_with_call(false);
+        let (m2, c2, i2) = module_with_call(true);
+        let plain = estimate(&m1, &params, &X86Like, c1, &i1, 2);
+        let konst = estimate(&m2, &params, &X86Like, c2, &i2, 2);
+        assert_eq!(konst.const_bonus, params.const_arg_bonus);
+        assert!(konst.cost < plain.cost);
+    }
+
+    #[test]
+    fn deletion_bonus_amortizes_over_live_calls() {
+        let params = CostParams::default();
+        let (m, c, i) = module_with_call(false);
+        let last = estimate(&m, &params, &X86Like, c, &i, 1);
+        let shared = estimate(&m, &params, &X86Like, c, &i, 2);
+        assert!(last.cost < shared.cost);
+        assert!(last.last_call_bonus > 0);
+        assert!(shared.last_call_bonus > 0);
+        assert!(shared.last_call_bonus < last.last_call_bonus);
+    }
+
+    #[test]
+    fn body_bytes_counts_all_blocks() {
+        let (m, _, _) = module_with_call(false);
+        let callee = m.func_by_name("callee").unwrap();
+        let b = body_bytes(m.func(callee), &X86Like);
+        // add (3 bytes) + ret (1 byte).
+        assert_eq!(b, 4);
+    }
+
+    #[test]
+    fn parameter_presets_are_ordered_by_eagerness() {
+        assert!(CostParams::conservative().threshold < CostParams::default().threshold);
+        assert!(CostParams::default().threshold < CostParams::aggressive().threshold);
+    }
+}

@@ -1,0 +1,228 @@
+//! Textual printing of modules, functions, and instructions.
+//!
+//! The format round-trips through [`crate::parse::parse_module`]:
+//!
+//! ```text
+//! module "demo" {
+//!   global @counter = 0
+//!   internal fn double {
+//!   b0(v0):
+//!     v1 = add v0, v0
+//!     ret v1
+//!   }
+//!   public fn main {
+//!   b0():
+//!     v0 = const 21
+//!     v1 = call double(v0) site s0
+//!     ret v1
+//!   }
+//! }
+//! ```
+
+use crate::function::{Function, Linkage};
+use crate::ids::FuncId;
+use crate::inst::{Inst, JumpTarget, Terminator};
+use crate::module::Module;
+use std::fmt;
+
+fn write_target(f: &mut fmt::Formatter<'_>, t: &JumpTarget) -> fmt::Result {
+    write!(f, "{}(", t.block)?;
+    for (i, a) in t.args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    write!(f, ")")
+}
+
+/// Adapter that prints one instruction with module context (function and
+/// global names).
+#[derive(Debug)]
+pub struct InstDisplay<'a> {
+    module: &'a Module,
+    inst: &'a Inst,
+}
+
+impl fmt::Display for InstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inst {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Bin { dst, op, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Inst::Call { dst, callee, args, site, inline_path } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call {}(", self.module.func(*callee).name)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") site {site}")?;
+                if !inline_path.is_empty() {
+                    write!(f, " path [")?;
+                    for (i, p) in inline_path.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{}", self.module.func(*p).name)?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            Inst::Load { dst, global } => {
+                write!(f, "{dst} = load @{}", self.module.globals()[global.index()].name)
+            }
+            Inst::Store { global, src } => {
+                write!(f, "store @{}, {src}", self.module.globals()[global.index()].name)
+            }
+        }
+    }
+}
+
+/// Adapter that prints one function with module context.
+#[derive(Debug)]
+pub struct FuncDisplay<'a> {
+    module: &'a Module,
+    func: &'a Function,
+}
+
+impl fmt::Display for FuncDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let linkage = match self.func.linkage {
+            Linkage::Public => "public",
+            Linkage::Internal => "internal",
+        };
+        write!(f, "  {linkage} fn {}", self.func.name)?;
+        if !self.func.inlinable {
+            write!(f, " noinline")?;
+        }
+        writeln!(f, " {{")?;
+        for (id, block) in self.func.iter_blocks() {
+            write!(f, "  {id}(")?;
+            for (i, p) in block.params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            writeln!(f, "):")?;
+            for inst in &block.insts {
+                writeln!(f, "    {}", InstDisplay { module: self.module, inst })?;
+            }
+            write!(f, "    ")?;
+            match &block.term {
+                Terminator::Jump(t) => {
+                    write!(f, "jump ")?;
+                    write_target(f, t)?;
+                }
+                Terminator::Branch { cond, then_to, else_to } => {
+                    write!(f, "br {cond}, ")?;
+                    write_target(f, then_to)?;
+                    write!(f, ", ")?;
+                    write_target(f, else_to)?;
+                }
+                Terminator::Return(Some(v)) => write!(f, "ret {v}")?,
+                Terminator::Return(None) => write!(f, "ret")?,
+                Terminator::Unreachable => write!(f, "unreachable")?,
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  }}")
+    }
+}
+
+impl Module {
+    /// Returns a [`Display`](fmt::Display) adapter for one instruction.
+    pub fn display_inst<'a>(&'a self, inst: &'a Inst) -> InstDisplay<'a> {
+        InstDisplay { module: self, inst }
+    }
+
+    /// Returns a [`Display`](fmt::Display) adapter for one function.
+    pub fn display_func(&self, id: FuncId) -> FuncDisplay<'_> {
+        FuncDisplay { module: self, func: self.func(id) }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module \"{}\" {{", self.name)?;
+        for g in self.globals() {
+            writeln!(f, "  global @{} = {}", g.name, g.init)?;
+        }
+        for (id, _) in self.iter_funcs() {
+            write!(f, "{}", self.display_func(id))?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FuncBuilder;
+    use crate::function::Linkage;
+    use crate::inst::BinOp;
+    use crate::module::Module;
+
+    fn sample() -> Module {
+        let mut m = Module::new("demo");
+        let g = m.add_global("counter", 0);
+        let double = m.declare_function("double", 1, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, double);
+            let p = b.param(0);
+            let r = b.bin(BinOp::Add, p, p);
+            b.ret(Some(r));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let x = b.iconst(21);
+            let y = b.call(double, &[x]).unwrap();
+            b.store(g, y);
+            b.ret(Some(y));
+        }
+        m
+    }
+
+    #[test]
+    fn module_prints_expected_shape() {
+        let text = sample().to_string();
+        assert!(text.contains("module \"demo\" {"));
+        assert!(text.contains("global @counter = 0"));
+        assert!(text.contains("internal fn double {"));
+        assert!(text.contains("public fn main {"));
+        assert!(text.contains("v1 = add v0, v0"));
+        assert!(text.contains("v1 = call double(v0) site s0"));
+        assert!(text.contains("store @counter, v1"));
+        assert!(text.contains("ret v1"));
+    }
+
+    #[test]
+    fn noinline_flag_is_printed() {
+        let mut m = sample();
+        let double = m.func_by_name("double").unwrap();
+        m.func_mut(double).inlinable = false;
+        assert!(m.to_string().contains("internal fn double noinline {"));
+    }
+
+    #[test]
+    fn branch_terminators_print_targets() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        let (e, params) = b.new_block(1);
+        b.branch(p, t, &[], e, &[p]);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(Some(params[0]));
+        let text = m.to_string();
+        assert!(text.contains("br v0, b1(), b2(v0)"));
+    }
+}

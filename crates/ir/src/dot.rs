@@ -1,0 +1,99 @@
+//! Graphviz (DOT) rendering of function CFGs — the debugging view for
+//! everything the optimizer and inliner do to a function's shape.
+
+use crate::function::Function;
+use crate::ids::FuncId;
+use crate::inst::Terminator;
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Renders one function's control-flow graph as DOT. Block nodes list their
+/// parameters and instructions; edges are labelled with branch direction
+/// and block arguments.
+pub fn function_cfg_dot(module: &Module, fid: FuncId) -> String {
+    let func: &Function = module.func(fid);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=record, fontname=\"monospace\"];");
+    for (bid, block) in func.iter_blocks() {
+        let mut label = String::new();
+        let _ = write!(label, "{bid}(");
+        for (i, p) in block.params.iter().enumerate() {
+            if i > 0 {
+                label.push_str(", ");
+            }
+            let _ = write!(label, "{p}");
+        }
+        label.push_str("):");
+        for inst in &block.insts {
+            let _ = write!(label, "\\l  {}", module.display_inst(inst));
+        }
+        match &block.term {
+            Terminator::Return(Some(v)) => {
+                let _ = write!(label, "\\l  ret {v}");
+            }
+            Terminator::Return(None) => label.push_str("\\l  ret"),
+            Terminator::Unreachable => label.push_str("\\l  unreachable"),
+            _ => {}
+        }
+        label.push_str("\\l");
+        // Record labels must escape braces and pipes.
+        let escaped = label.replace('{', "\\{").replace('}', "\\}").replace('|', "\\|");
+        let _ = writeln!(out, "  {bid} [label=\"{escaped}\"];");
+    }
+    for (bid, block) in func.iter_blocks() {
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  {bid} -> {};", t.block);
+            }
+            Terminator::Branch { then_to, else_to, .. } => {
+                let _ = writeln!(out, "  {bid} -> {} [label=\"T\"];", then_to.block);
+                let _ = writeln!(out, "  {bid} -> {} [label=\"F\"];", else_to.block);
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::Linkage;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn renders_blocks_and_edges() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        b.branch(p, t, &[], e, &[]);
+        b.switch_to(t);
+        let v = b.bin(BinOp::Add, p, p);
+        b.ret(Some(v));
+        b.switch_to(e);
+        b.ret(Some(p));
+        let dot = function_cfg_dot(&m, f);
+        assert!(dot.contains("digraph \"f\""));
+        assert!(dot.contains("b0 -> b1 [label=\"T\"]"));
+        assert!(dot.contains("b0 -> b2 [label=\"F\"]"));
+        assert!(dot.contains("add v0, v0"));
+    }
+
+    #[test]
+    fn straight_line_functions_have_no_edges() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("g", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let c = b.iconst(1);
+        b.ret(Some(c));
+        let dot = function_cfg_dot(&m, f);
+        assert!(!dot.contains("->"));
+        assert!(dot.contains("ret v0"));
+    }
+}

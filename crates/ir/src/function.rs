@@ -1,0 +1,218 @@
+//! Functions and basic blocks.
+
+use crate::ids::{BlockId, CallSiteId, FuncId, ValueId};
+use crate::inst::{Inst, Terminator};
+
+/// Linkage of a function, determining whether it may be deleted once all
+/// calls to it have been inlined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Externally visible: must be kept in the binary even if uncalled
+    /// (entry points, exported API).
+    #[default]
+    Public,
+    /// Visible only inside this module: deletable once uncalled.
+    Internal,
+}
+
+/// A basic block: parameters, straight-line instructions, one terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Block parameters (the SSA replacement for phi nodes). The entry
+    /// block's parameters are the function's parameters.
+    pub params: Vec<ValueId>,
+    /// Straight-line instructions, in execution order.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block with the given parameters. The terminator
+    /// defaults to [`Terminator::Unreachable`] until set.
+    pub fn new(params: Vec<ValueId>) -> Self {
+        Block { params, insts: Vec::new(), term: Terminator::Unreachable }
+    }
+}
+
+/// A function: a name, linkage, and a CFG of [`Block`]s.
+///
+/// The entry block is always block `b0`; its parameters are the function's
+/// parameters. Value ids are function-local and dense.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within a module).
+    pub name: String,
+    /// Externally visible or internal.
+    pub linkage: Linkage,
+    /// Whether an inliner may inline calls to this function. Mirrors the
+    /// paper's non-inlinable callees (e.g. body unavailable).
+    pub inlinable: bool,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<Block>,
+    next_value: u32,
+}
+
+impl Function {
+    /// Creates a function with `n_params` parameters and an empty entry
+    /// block. The entry block's terminator starts as `unreachable`.
+    pub fn new(name: impl Into<String>, n_params: usize, linkage: Linkage) -> Self {
+        let params: Vec<ValueId> = (0..n_params as u32).map(ValueId::new).collect();
+        Function {
+            name: name.into(),
+            linkage,
+            inlinable: true,
+            blocks: vec![Block::new(params)],
+            next_value: n_params as u32,
+        }
+    }
+
+    /// Returns the entry block id (`b0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// Returns the function's parameters (the entry block's parameters).
+    pub fn params(&self) -> &[ValueId] {
+        &self.blocks[0].params
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.blocks[0].params.len()
+    }
+
+    /// Allocates a fresh SSA value id.
+    pub fn new_value(&mut self) -> ValueId {
+        let v = ValueId::new(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// Highest value id ever allocated plus one (the dense id bound).
+    pub fn value_bound(&self) -> u32 {
+        self.next_value
+    }
+
+    /// Bumps the dense id bound to at least `bound`. Used by the parser and
+    /// by block-cloning code that copies value ids verbatim.
+    pub fn reserve_values(&mut self, bound: u32) {
+        self.next_value = self.next_value.max(bound);
+    }
+
+    /// Appends a new block with the given parameters, returning its id.
+    pub fn add_block(&mut self, params: Vec<ValueId>) -> BlockId {
+        let id = BlockId::new(self.blocks.len() as u32);
+        self.blocks.push(Block::new(params));
+        id
+    }
+
+    /// Returns a shared reference to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Returns an exclusive reference to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in layout order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i as u32), b))
+    }
+
+    /// Total number of instructions across all blocks (terminators excluded).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Collects every call site id appearing in this function (copies of the
+    /// same original site are reported once per occurrence).
+    pub fn call_sites(&self) -> Vec<CallSiteId> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for i in &b.insts {
+                if let Inst::Call { site, .. } = i {
+                    out.push(*site);
+                }
+            }
+        }
+        out
+    }
+
+    /// Collects `(site, callee)` pairs for every call instruction.
+    pub fn call_edges(&self) -> Vec<(CallSiteId, FuncId)> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for i in &b.insts {
+                if let Inst::Call { site, callee, .. } = i {
+                    out.push((*site, *callee));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalId;
+
+    #[test]
+    fn new_function_has_entry_with_params() {
+        let f = Function::new("f", 2, Linkage::Internal);
+        assert_eq!(f.entry(), BlockId::new(0));
+        assert_eq!(f.params(), &[ValueId::new(0), ValueId::new(1)]);
+        assert_eq!(f.param_count(), 2);
+        assert_eq!(f.value_bound(), 2);
+    }
+
+    #[test]
+    fn new_value_is_dense() {
+        let mut f = Function::new("f", 1, Linkage::Public);
+        let v = f.new_value();
+        assert_eq!(v, ValueId::new(1));
+        assert_eq!(f.new_value(), ValueId::new(2));
+        assert_eq!(f.value_bound(), 3);
+        f.reserve_values(10);
+        assert_eq!(f.new_value(), ValueId::new(10));
+    }
+
+    #[test]
+    fn add_block_and_access() {
+        let mut f = Function::new("f", 0, Linkage::Public);
+        let b1 = f.add_block(vec![ValueId::new(5)]);
+        assert_eq!(b1, BlockId::new(1));
+        assert_eq!(f.block(b1).params, vec![ValueId::new(5)]);
+        f.block_mut(b1).term = Terminator::Return(None);
+        assert_eq!(f.block(b1).term, Terminator::Return(None));
+        assert_eq!(f.iter_blocks().count(), 2);
+    }
+
+    #[test]
+    fn call_sites_and_edges_collected() {
+        let mut f = Function::new("f", 0, Linkage::Public);
+        let v = f.new_value();
+        f.block_mut(BlockId::new(0)).insts.push(Inst::Call {
+            dst: Some(v),
+            callee: FuncId::new(3),
+            args: vec![],
+            site: CallSiteId::new(7),
+            inline_path: vec![],
+        });
+        f.block_mut(BlockId::new(0)).insts.push(Inst::Store { global: GlobalId::new(0), src: v });
+        assert_eq!(f.call_sites(), vec![CallSiteId::new(7)]);
+        assert_eq!(f.call_edges(), vec![(CallSiteId::new(7), FuncId::new(3))]);
+        assert_eq!(f.inst_count(), 2);
+    }
+}

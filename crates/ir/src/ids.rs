@@ -1,0 +1,117 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! All identifiers are small `u32` newtypes ([C-NEWTYPE]): they are cheap to
+//! copy, hash, and order, and the type system prevents mixing, say, a block
+//! index with a value index.
+//!
+//! [`CallSiteId`] is special: it is minted once per *source-level* call and is
+//! preserved when the inliner clones a call instruction. All copies of a call
+//! are therefore *coupled* — they share one inlining decision — exactly as in
+//! §2 of the paper.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` backing this identifier.
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a function within a [`Module`](crate::Module).
+    ///
+    /// `FuncId`s are dense indices into the module's function table.
+    FuncId, "%"
+}
+
+id_type! {
+    /// Identifies a basic block within a [`Function`](crate::Function).
+    BlockId, "b"
+}
+
+id_type! {
+    /// Identifies an SSA value within a [`Function`](crate::Function).
+    ///
+    /// Values are either block parameters or instruction results.
+    ValueId, "v"
+}
+
+id_type! {
+    /// Identifies a global cell within a [`Module`](crate::Module).
+    GlobalId, "@"
+}
+
+id_type! {
+    /// Identifies an *original* call site, module-wide.
+    ///
+    /// Cloned copies of a call (produced by inlining) keep the original id, so
+    /// a single inlining decision applies to every copy (the "coupled" model
+    /// from §2 of the paper).
+    CallSiteId, "s"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_index() {
+        let f = FuncId::new(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(f.as_u32(), 7);
+        assert_eq!(usize::from(f), 7);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(FuncId::new(3).to_string(), "%3");
+        assert_eq!(BlockId::new(0).to_string(), "b0");
+        assert_eq!(ValueId::new(12).to_string(), "v12");
+        assert_eq!(GlobalId::new(1).to_string(), "@1");
+        assert_eq!(CallSiteId::new(9).to_string(), "s9");
+        assert_eq!(format!("{:?}", CallSiteId::new(9)), "s9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ValueId::new(1) < ValueId::new(2));
+        assert_eq!(BlockId::new(4), BlockId::new(4));
+    }
+}

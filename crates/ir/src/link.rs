@@ -1,0 +1,310 @@
+//! Linking modules: combine several translation units into one, the way an
+//! LTO build presents a whole program to the optimizer.
+//!
+//! The paper analyzes per-file optimal inlining because C/C++ resolve
+//! cross-file calls at link time (its footnote 5); linking makes the
+//! complementary experiment possible — how much inlining headroom hides
+//! behind translation-unit boundaries?
+//!
+//! Linking concatenates functions and globals, renaming on collision
+//! (`name` → `name.lN`), and re-mints call-site ids so the combined
+//! module's ids stay dense and unique. Public functions stay public (they
+//! are the roots); internal functions stay internal.
+
+use crate::function::Function;
+use crate::ids::{CallSiteId, FuncId, GlobalId};
+use crate::inst::Inst;
+use crate::module::Module;
+use std::collections::{HashMap, HashSet};
+
+/// Links `modules` into one module named `name`.
+///
+/// Per-module `FuncId`/`GlobalId`/`CallSiteId` spaces are remapped into the
+/// combined module; colliding symbol names get a `.l<module-index>` suffix
+/// (extended with a counter if still taken), staying within the textual
+/// format's identifier alphabet.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty.
+pub fn link_modules(name: impl Into<String>, modules: &[Module]) -> Module {
+    assert!(!modules.is_empty(), "cannot link zero modules");
+    let mut out = Module::new(name);
+    let mut taken_funcs: HashSet<String> = HashSet::new();
+    let mut taken_globals: HashSet<String> = HashSet::new();
+    fn uniquify(taken: &mut HashSet<String>, base: String, mi: usize) -> String {
+        if taken.insert(base.clone()) {
+            return base;
+        }
+        let mut k = 0usize;
+        loop {
+            let candidate = if k == 0 {
+                format!("{base}.l{mi}")
+            } else {
+                format!("{base}.l{mi}.{k}")
+            };
+            if taken.insert(candidate.clone()) {
+                return candidate;
+            }
+            k += 1;
+        }
+    }
+
+    let mut func_maps: Vec<HashMap<FuncId, FuncId>> = Vec::with_capacity(modules.len());
+    let mut global_maps: Vec<HashMap<GlobalId, GlobalId>> = Vec::with_capacity(modules.len());
+
+    // First pass, definitions: declare every defined function so
+    // cross-references resolve. The first definition of a name owns it;
+    // later same-named definitions are renamed.
+    let mut definitions_by_name: HashMap<String, FuncId> = HashMap::new();
+    for (mi, m) in modules.iter().enumerate() {
+        let mut fmap = HashMap::new();
+        for (id, f) in m.iter_funcs() {
+            if m.is_extern_decl(id) {
+                continue; // resolved below
+            }
+            let unique = uniquify(&mut taken_funcs, f.name.clone(), mi);
+            let new_id = out.declare_function(unique.clone(), f.param_count(), f.linkage);
+            out.func_mut(new_id).inlinable = f.inlinable;
+            if unique == f.name {
+                definitions_by_name.insert(unique, new_id);
+            }
+            fmap.insert(id, new_id);
+        }
+        func_maps.push(fmap);
+        let mut gmap = HashMap::new();
+        for (gi, g) in m.globals().iter().enumerate() {
+            let unique = uniquify(&mut taken_globals, g.name.clone(), mi);
+            let new_id = out.add_global(unique, g.init);
+            gmap.insert(GlobalId::new(gi as u32), new_id);
+        }
+        global_maps.push(gmap);
+    }
+    // First pass, declarations: an extern prototype resolves to the
+    // definition that owns its name (the LTO payoff — the resolved call
+    // becomes an inlining candidate); unresolved prototypes unify into one
+    // shared extern per name.
+    let mut externs_by_name: HashMap<String, FuncId> = HashMap::new();
+    for (mi, m) in modules.iter().enumerate() {
+        for (id, f) in m.iter_funcs() {
+            if !m.is_extern_decl(id) {
+                continue;
+            }
+            let target = if let Some(&def) = definitions_by_name.get(&f.name) {
+                def
+            } else {
+                *externs_by_name.entry(f.name.clone()).or_insert_with(|| {
+                    taken_funcs.insert(f.name.clone());
+                    out.declare_extern(f.name.clone(), f.param_count())
+                })
+            };
+            func_maps[mi].insert(id, target);
+        }
+    }
+
+    // Second pass: copy bodies, remapping func/global/call-site ids.
+    for (mi, m) in modules.iter().enumerate() {
+        let fmap = &func_maps[mi];
+        let gmap = &global_maps[mi];
+        let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+        for (id, f) in m.iter_funcs() {
+            if m.is_extern_decl(id) {
+                continue; // no body to copy; maps to a definition or stub
+            }
+            let new_id = fmap[&id];
+            let mut body: Function = f.clone();
+            for block in &mut body.blocks {
+                for inst in &mut block.insts {
+                    match inst {
+                        Inst::Call { callee, site, inline_path, .. } => {
+                            *callee = fmap[callee];
+                            let mapped =
+                                *site_map.entry(*site).or_insert_with(|| out.new_call_site());
+                            *site = mapped;
+                            for p in inline_path.iter_mut() {
+                                *p = fmap[p];
+                            }
+                        }
+                        Inst::Load { global, .. } | Inst::Store { global, .. } => {
+                            *global = gmap[global];
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let name = out.func(new_id).name.clone();
+            body.name = name;
+            *out.func_mut(new_id) = body;
+        }
+    }
+    out
+}
+
+/// LTO-style internalization: demote public definitions to internal
+/// linkage unless `keep` says the symbol must stay exported. Extern
+/// declarations are untouched.
+///
+/// This is the second half of what makes linking profitable: once a
+/// formerly-exported function is internal, the optimizer may delete it
+/// after its last remaining call is inlined.
+pub fn internalize_except(module: &mut Module, keep: impl Fn(&str) -> bool) -> usize {
+    let ids: Vec<FuncId> = module.func_ids().collect();
+    let mut demoted = 0;
+    for id in ids {
+        if module.is_extern_decl(id) {
+            continue;
+        }
+        let f = module.func(id);
+        if f.linkage == crate::function::Linkage::Public && !keep(&f.name) {
+            module.func_mut(id).linkage = crate::function::Linkage::Internal;
+            demoted += 1;
+        }
+    }
+    demoted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::Linkage;
+    use crate::inst::BinOp;
+
+    fn unit(tag: i64, with_main: bool) -> Module {
+        let mut m = Module::new(format!("unit{tag}"));
+        let g = m.add_global("shared_name", tag);
+        let helper = m.declare_function("helper", 1, Linkage::Internal);
+        {
+            let mut b = FuncBuilder::new(&mut m, helper);
+            let p = b.param(0);
+            let c = b.iconst(tag);
+            let r = b.bin(BinOp::Add, p, c);
+            b.ret(Some(r));
+        }
+        let entry_name = if with_main { "main".to_string() } else { format!("entry{tag}") };
+        let e = m.declare_function(entry_name, 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, e);
+            let x = b.load(g);
+            let v = b.call(helper, &[x]).unwrap();
+            b.store(g, v);
+            b.ret(Some(v));
+        }
+        m
+    }
+
+    #[test]
+    fn linked_module_verifies_and_runs() {
+        let linked = link_modules("prog", &[unit(1, true), unit(2, false)]);
+        crate::verify::verify_module(&linked).unwrap();
+        let out = crate::interp::run_main(&linked).unwrap();
+        // unit1's main: counter 1 + 1 = 2.
+        assert_eq!(out.ret, Some(2));
+        assert_eq!(linked.func_count(), 4);
+        assert_eq!(linked.globals().len(), 2);
+    }
+
+    #[test]
+    fn colliding_names_are_renamed() {
+        let linked = link_modules("prog", &[unit(1, true), unit(2, false)]);
+        assert!(linked.func_by_name("helper").is_some());
+        assert!(linked.func_by_name("helper.l1").is_some());
+        let names: Vec<&str> = linked.globals().iter().map(|g| g.name.as_str()).collect();
+        assert!(names.contains(&"shared_name"));
+        assert!(names.contains(&"shared_name.l1"));
+    }
+
+    #[test]
+    fn call_sites_are_reminted_densely_and_uniquely() {
+        let a = unit(1, true);
+        let b = unit(2, false);
+        let linked = link_modules("prog", &[a, b]);
+        let sites = linked.inlinable_sites();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|s| s.as_u32() < linked.call_site_bound()));
+    }
+
+    #[test]
+    fn linked_text_round_trips_through_the_parser() {
+        let linked = link_modules("prog", &[unit(1, true), unit(2, false)]);
+        let text = linked.to_string();
+        let parsed = crate::parse::parse_module(&text).unwrap();
+        assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modules")]
+    fn linking_nothing_panics() {
+        link_modules("empty", &[]);
+    }
+
+    #[test]
+    fn extern_declarations_resolve_to_definitions() {
+        // Module A defines `shared_fn`; module B declares it extern and
+        // calls it. After linking, B's call targets A's body and becomes
+        // an inlining candidate.
+        let mut a = Module::new("a");
+        let shared = a.declare_function("shared_fn", 1, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut a, shared);
+            let p = b.param(0);
+            let r = b.bin(BinOp::Mul, p, p);
+            b.ret(Some(r));
+        }
+        let mut b_mod = Module::new("b");
+        let ext = b_mod.declare_extern("shared_fn", 1);
+        assert!(b_mod.is_extern_decl(ext));
+        let main = b_mod.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut b_mod, main);
+            let x = b.iconst(6);
+            let v = b.call(ext, &[x]).unwrap();
+            b.ret(Some(v));
+        }
+        // Per-file: the extern call is not an inlining candidate.
+        assert!(b_mod.inlinable_sites().is_empty());
+
+        let linked = link_modules("prog", &[a, b_mod]);
+        crate::verify::verify_module(&linked).unwrap();
+        // Linked: exactly the resolved call became a candidate.
+        assert_eq!(linked.inlinable_sites().len(), 1);
+        let out = crate::interp::run_main(&linked).unwrap();
+        assert_eq!(out.ret, Some(36));
+    }
+
+    #[test]
+    fn internalize_demotes_everything_but_the_kept_roots() {
+        let linked = link_modules("prog", &[unit(1, true), unit(2, false)]);
+        let demoted = internalize_except(&mut linked.clone(), |name| name == "main");
+        assert_eq!(demoted, 1); // entry2 demoted; main kept
+        let mut m = linked;
+        internalize_except(&mut m, |name| name == "main");
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(m.func(main).linkage, Linkage::Public);
+        let entry = m.func_by_name("entry2").unwrap();
+        assert_eq!(m.func(entry).linkage, Linkage::Internal);
+    }
+
+    #[test]
+    fn unresolved_externs_unify_by_name() {
+        let make = |tag: i64| {
+            let mut m = Module::new(format!("m{tag}"));
+            let ext = m.declare_extern("libc_write", 1);
+            let f = m.declare_function(format!("user{tag}"), 1, Linkage::Public);
+            let mut b = FuncBuilder::new(&mut m, f);
+            let p = b.param(0);
+            let v = b.call(ext, &[p]).unwrap();
+            b.ret(Some(v));
+            m
+        };
+        let linked = link_modules("prog", &[make(1), make(2)]);
+        crate::verify::verify_module(&linked).unwrap();
+        // One shared extern, two users, still no inlining candidates.
+        let externs: Vec<_> = linked
+            .func_ids()
+            .filter(|&id| linked.is_extern_decl(id))
+            .collect();
+        assert_eq!(externs.len(), 1);
+        assert!(linked.inlinable_sites().is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! The IR verifier: structural and SSA well-formedness checks.
+//!
+//! Run [`verify_module`] after construction or transformation; every pass in
+//! `optinline-opt` is checked against it in tests.
+
+use crate::analysis::{dominates, immediate_dominators, reachable_blocks};
+use crate::ids::{BlockId, FuncId, ValueId};
+use crate::inst::{Inst, JumpTarget, Terminator};
+use crate::module::Module;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A verifier diagnostic: which function/block, and what went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Offending function.
+    pub func: FuncId,
+    /// Offending block, when the error is block-local.
+    pub block: Option<BlockId>,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in {}", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, " at {b}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function in the module plus inter-procedural invariants
+/// (call arity, callee existence, global indices).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for (id, _) in module.iter_funcs() {
+        verify_function(module, id)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// Checks performed:
+/// - every block id referenced by a terminator exists;
+/// - jump-target argument counts match destination parameter counts;
+/// - no value is defined twice (SSA single assignment);
+/// - every use of a value is dominated by its definition;
+/// - value ids stay below the function's dense bound;
+/// - call arity matches the callee's parameter count;
+/// - global indices are in range.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(module: &Module, id: FuncId) -> Result<(), VerifyError> {
+    let func = module.func(id);
+    let err = |block: Option<BlockId>, message: String| VerifyError { func: id, block, message };
+
+    if func.blocks.is_empty() {
+        return Err(err(None, "function has no blocks".into()));
+    }
+
+    // Definitions: block params and instruction results, unique.
+    let mut def_site: HashMap<ValueId, BlockId> = HashMap::new();
+    for (bid, block) in func.iter_blocks() {
+        for &p in &block.params {
+            if p.as_u32() >= func.value_bound() {
+                return Err(err(Some(bid), format!("{p} exceeds dense value bound")));
+            }
+            if def_site.insert(p, bid).is_some() {
+                return Err(err(Some(bid), format!("{p} defined more than once")));
+            }
+        }
+        for inst in &block.insts {
+            if let Some(d) = inst.def() {
+                if d.as_u32() >= func.value_bound() {
+                    return Err(err(Some(bid), format!("{d} exceeds dense value bound")));
+                }
+                if def_site.insert(d, bid).is_some() {
+                    return Err(err(Some(bid), format!("{d} defined more than once")));
+                }
+            }
+        }
+    }
+
+    // Structural checks on terminators and calls.
+    let check_target = |bid: BlockId, t: &JumpTarget| -> Result<(), VerifyError> {
+        if t.block.index() >= func.blocks.len() {
+            return Err(err(Some(bid), format!("jump to nonexistent block {}", t.block)));
+        }
+        let want = func.block(t.block).params.len();
+        if t.args.len() != want {
+            return Err(err(
+                Some(bid),
+                format!(
+                    "jump to {} passes {} args, block takes {}",
+                    t.block,
+                    t.args.len(),
+                    want
+                ),
+            ));
+        }
+        Ok(())
+    };
+    for (bid, block) in func.iter_blocks() {
+        for inst in &block.insts {
+            if let Inst::Call { callee, args, .. } = inst {
+                if callee.index() >= module.func_count() {
+                    return Err(err(Some(bid), format!("call to nonexistent function {callee}")));
+                }
+                let want = module.func(*callee).param_count();
+                if args.len() != want {
+                    return Err(err(
+                        Some(bid),
+                        format!(
+                            "call to {} passes {} args, function takes {}",
+                            module.func(*callee).name,
+                            args.len(),
+                            want
+                        ),
+                    ));
+                }
+            }
+            if let Inst::Load { global, .. } | Inst::Store { global, .. } = inst {
+                if global.index() >= module.globals().len() {
+                    return Err(err(Some(bid), format!("reference to nonexistent global {global}")));
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => check_target(bid, t)?,
+            Terminator::Branch { then_to, else_to, .. } => {
+                check_target(bid, then_to)?;
+                check_target(bid, else_to)?;
+            }
+            Terminator::Return(_) | Terminator::Unreachable => {}
+        }
+    }
+
+    // Dominance: every use in a reachable block must be dominated by its def.
+    let reachable = reachable_blocks(func);
+    let idom = immediate_dominators(func);
+    for (bid, block) in func.iter_blocks() {
+        if !reachable[bid.index()] {
+            continue;
+        }
+        // Values defined earlier in this block (params + prior insts).
+        let mut local: Vec<ValueId> = block.params.clone();
+        let check_use = |v: ValueId, local: &[ValueId]| -> Result<(), VerifyError> {
+            if local.contains(&v) {
+                return Ok(());
+            }
+            match def_site.get(&v) {
+                None => Err(err(Some(bid), format!("use of undefined value {v}"))),
+                Some(&db) => {
+                    if db == bid {
+                        // Defined later in the same block.
+                        Err(err(Some(bid), format!("use of {v} before its definition")))
+                    } else if !reachable[db.index()] || !dominates(&idom, db, bid) {
+                        Err(err(Some(bid), format!("use of {v} not dominated by its definition")))
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        };
+        for inst in &block.insts {
+            let mut bad = None;
+            inst.for_each_use(|v| {
+                if bad.is_none() {
+                    if let Err(e) = check_use(v, &local) {
+                        bad = Some(e);
+                    }
+                }
+            });
+            if let Some(e) = bad {
+                return Err(e);
+            }
+            if let Some(d) = inst.def() {
+                local.push(d);
+            }
+        }
+        let mut bad = None;
+        block.term.for_each_use(|v| {
+            if bad.is_none() {
+                if let Err(e) = check_use(v, &local) {
+                    bad = Some(e);
+                }
+            }
+        });
+        if let Some(e) = bad {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper asserting verification success with a readable panic.
+///
+/// # Panics
+///
+/// Panics with the pretty-printed module and diagnostic if verification
+/// fails. Intended for tests and debug assertions in passes.
+pub fn assert_verified(module: &Module) {
+    if let Err(e) = verify_module(module) {
+        panic!("IR verification failed: {e}\n--- module ---\n{module}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::Linkage;
+    use crate::ids::GlobalId;
+    use crate::inst::BinOp;
+
+    fn ok_module() -> Module {
+        let mut m = Module::new("m");
+        let h = m.declare_function("h", 1, Linkage::Internal);
+        let f = m.declare_function("f", 1, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, h);
+            let p = b.param(0);
+            b.ret(Some(p));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, f);
+            let p = b.param(0);
+            let v = b.call(h, &[p]).unwrap();
+            b.ret(Some(v));
+        }
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        assert_eq!(verify_module(&ok_module()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut m = ok_module();
+        let f = m.func_by_name("f").unwrap();
+        let p0 = m.func(f).params()[0];
+        m.func_mut(f).blocks[0].insts.push(Inst::Const { dst: p0, value: 0 });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("defined more than once"));
+    }
+
+    #[test]
+    fn rejects_undefined_use() {
+        let mut m = ok_module();
+        let f = m.func_by_name("f").unwrap();
+        m.func_mut(f).blocks[0].term = Terminator::Return(Some(ValueId::new(3)));
+        m.func_mut(f).reserve_values(4);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("undefined value") || e.message.contains("not dominated"));
+    }
+
+    #[test]
+    fn rejects_use_before_definition_in_block() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 0, Linkage::Public);
+        let func = m.func_mut(f);
+        let a = func.new_value();
+        let b = func.new_value();
+        func.blocks[0].insts.push(Inst::Bin { dst: b, op: BinOp::Add, lhs: a, rhs: a });
+        func.blocks[0].insts.push(Inst::Const { dst: a, value: 1 });
+        func.blocks[0].term = Terminator::Return(Some(b));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("before its definition"));
+    }
+
+    #[test]
+    fn rejects_branch_arg_mismatch() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(1);
+        b.jump(t, &[]);
+        b.ret(Some(p));
+        let _ = t;
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("args"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = ok_module();
+        let f = m.func_by_name("f").unwrap();
+        if let Inst::Call { args, .. } = &mut m.func_mut(f).blocks[0].insts[0] {
+            args.clear();
+        }
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("passes 0 args"));
+    }
+
+    #[test]
+    fn rejects_bad_global_reference() {
+        let mut m = ok_module();
+        let f = m.func_by_name("f").unwrap();
+        let v = m.func_mut(f).new_value();
+        m.func_mut(f).blocks[0].insts.insert(0, Inst::Load { dst: v, global: GlobalId::new(9) });
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("nonexistent global"));
+    }
+
+    #[test]
+    fn rejects_nondominating_use() {
+        // b0 branches to b1 or b2; b1 defines v, b2 uses it.
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut bld = FuncBuilder::new(&mut m, f);
+        let p = bld.param(0);
+        let (b1, _) = bld.new_block(0);
+        let (b2, _) = bld.new_block(0);
+        bld.branch(p, b1, &[], b2, &[]);
+        bld.switch_to(b1);
+        let v = bld.iconst(1);
+        bld.ret(Some(v));
+        bld.switch_to(b2);
+        bld.ret(Some(v));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("not dominated"));
+        assert!(e.to_string().contains("verify error"));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominance_checked() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 0, Linkage::Public);
+        let mut bld = FuncBuilder::new(&mut m, f);
+        let (dead, _) = bld.new_block(0);
+        bld.ret(None);
+        bld.switch_to(dead);
+        // Dead block may reference values sloppily; it is ignored.
+        bld.ret(None);
+        assert_eq!(verify_module(&m), Ok(()));
+    }
+}

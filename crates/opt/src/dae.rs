@@ -1,0 +1,225 @@
+//! Dead-argument elimination: internal functions drop parameters nobody
+//! reads, and every call site drops the matching argument.
+//!
+//! This is the module-level mirror of DCE: argument set-up costs bytes at
+//! every call site (3 per argument on the x86-like target), so pruning a
+//! dead parameter pays once per caller. It also composes with inlining in
+//! both directions — inlining exposes dead arguments (a folded body stops
+//! reading its input), and eliminating them makes remaining calls cheaper,
+//! shifting later inlining trade-offs.
+
+use crate::pass::Pass;
+use optinline_ir::analysis::use_counts;
+use optinline_ir::{FuncId, Inst, Linkage, Module};
+
+/// The dead-argument elimination pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeadArgElim;
+
+impl Pass for DeadArgElim {
+    fn name(&self) -> &'static str {
+        "dead-arg-elim"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in module.func_ids() {
+            changed |= prune_function(module, fid);
+        }
+        changed
+    }
+}
+
+fn prune_function(module: &mut Module, fid: FuncId) -> bool {
+    {
+        let func = module.func(fid);
+        // Public functions keep their ABI; stubs have nothing to prune.
+        // Non-inlinable functions are also skipped — their callers may sit
+        // in *other* inlining components (their call edges are not in the
+        // inlining graph), and pruning would leak size effects across the
+        // independence boundary §3.2's search relies on. For inlinable
+        // callees every caller shares the component, so pruning is safe.
+        if func.linkage != Linkage::Internal || module.is_stub(fid) || !func.inlinable {
+            return false;
+        }
+    }
+    let counts = use_counts(module.func(fid));
+    let dead: Vec<usize> = module
+        .func(fid)
+        .params()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| counts[p.index()] == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if dead.is_empty() {
+        return false;
+    }
+    let keep = |i: usize| !dead.contains(&i);
+
+    // Drop the parameters.
+    {
+        let func = module.func_mut(fid);
+        let mut idx = 0;
+        func.blocks[0].params.retain(|_| {
+            let k = keep(idx);
+            idx += 1;
+            k
+        });
+    }
+    // Drop the matching argument at every call site in the module
+    // (including recursive calls inside `fid` itself).
+    for caller in module.func_ids() {
+        let func = module.func_mut(caller);
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee, args, .. } = inst {
+                    if *callee == fid {
+                        let mut idx = 0;
+                        args.retain(|_| {
+                            let k = keep(idx);
+                            idx += 1;
+                            k
+                        });
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{assert_verified, BinOp, FuncBuilder};
+
+    fn two_param_callee(second_used: bool) -> (Module, FuncId, FuncId) {
+        let mut m = Module::new("m");
+        let callee = m.declare_function("callee", 2, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let q = b.param(1);
+            let r = if second_used { b.bin(BinOp::Add, p, q) } else { b.bin(BinOp::Add, p, p) };
+            b.ret(Some(r));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let x = b.iconst(3);
+            let y = b.iconst(4);
+            let v = b.call(callee, &[x, y]).unwrap();
+            b.ret(Some(v));
+        }
+        (m, callee, main)
+    }
+
+    #[test]
+    fn unused_parameter_is_pruned_with_its_arguments() {
+        let (mut m, callee, main) = two_param_callee(false);
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        assert!(DeadArgElim.run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(callee).param_count(), 1);
+        match &m.func(main).blocks[0].insts.last().unwrap() {
+            Inst::Call { args, .. } => assert_eq!(args.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+        assert_eq!(after.ret, Some(6));
+    }
+
+    #[test]
+    fn used_parameters_survive() {
+        let (mut m, callee, _) = two_param_callee(true);
+        assert!(!DeadArgElim.run(&mut m));
+        assert_eq!(m.func(callee).param_count(), 2);
+    }
+
+    #[test]
+    fn public_functions_keep_their_signature() {
+        let mut m = Module::new("m");
+        let api = m.declare_function("api", 2, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, api);
+            let p = b.param(0);
+            b.ret(Some(p));
+        }
+        assert!(!DeadArgElim.run(&mut m));
+        assert_eq!(m.func(api).param_count(), 2);
+    }
+
+    #[test]
+    fn recursive_self_calls_are_rewritten_consistently() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 2, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            // f(n, junk): if n <= 0 { 0 } else { f(n-1, junk+1) } — junk is
+            // dead transitively, but syntactically it IS used (passed to the
+            // recursive call). A single pass must keep it; this documents
+            // the conservative behaviour.
+            let mut b = FuncBuilder::new(&mut m, f);
+            let n = b.param(0);
+            let junk = b.param(1);
+            let zero = b.iconst(0);
+            let done = b.bin(BinOp::Le, n, zero);
+            let (base, _) = b.new_block(0);
+            let (rec, _) = b.new_block(0);
+            b.branch(done, base, &[], rec, &[]);
+            b.switch_to(base);
+            b.ret(Some(zero));
+            b.switch_to(rec);
+            let one = b.iconst(1);
+            let n1 = b.bin(BinOp::Sub, n, one);
+            let j1 = b.bin(BinOp::Add, junk, one);
+            let v = b.call(f, &[n1, j1]).unwrap();
+            b.ret(Some(v));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let three = b.iconst(3);
+            let nine = b.iconst(9);
+            let v = b.call(f, &[three, nine]).unwrap();
+            b.ret(Some(v));
+        }
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        // junk is used by j1 which feeds the call, so nothing is pruned.
+        assert!(!DeadArgElim.run(&mut m));
+        assert_verified(&m);
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+    }
+
+    #[test]
+    fn dce_then_dae_cascade() {
+        // After DCE removes the only use of a parameter, DAE prunes it.
+        let mut m = Module::new("m");
+        let callee = m.declare_function("callee", 2, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            let p = b.param(0);
+            let q = b.param(1);
+            let _dead = b.bin(BinOp::Mul, q, q); // unused result
+            let r = b.bin(BinOp::Add, p, p);
+            b.ret(Some(r));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let x = b.iconst(3);
+            let y = b.iconst(4);
+            let v = b.call(callee, &[x, y]).unwrap();
+            b.ret(Some(v));
+        }
+        assert!(!DeadArgElim.run(&mut m)); // q still "used" by the dead mul
+        assert!(crate::Dce::default().run(&mut m));
+        assert!(DeadArgElim.run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(callee).param_count(), 1);
+        let out = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(out.ret, Some(6));
+    }
+}

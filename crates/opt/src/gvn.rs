@@ -1,0 +1,264 @@
+//! Global value numbering: dominator-scoped redundancy elimination.
+//!
+//! [`Cse`](crate::Cse) only sees one block at a time; after inlining, the
+//! interesting redundancies usually straddle the seam between the caller's
+//! code and the inlined body. GVN walks the dominator tree with a scoped
+//! hash table, so a computation is reused anywhere its first occurrence
+//! dominates — the cross-block half of the paper's "inlining enables
+//! further optimization" story.
+
+use crate::pass::Pass;
+use crate::subst::Subst;
+use optinline_ir::analysis::{immediate_dominators, reachable_blocks};
+use optinline_ir::{BinOp, BlockId, FuncId, Inst, Module, ValueId};
+use std::collections::HashMap;
+
+/// The global value-numbering pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gvn;
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in module.func_ids() {
+            changed |= gvn_function(module, fid);
+        }
+        changed
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, ValueId, ValueId),
+    Const(i64),
+}
+
+fn canonical_key(op: BinOp, lhs: ValueId, rhs: ValueId) -> Key {
+    match op {
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne => {
+            if lhs <= rhs {
+                Key::Bin(op, lhs, rhs)
+            } else {
+                Key::Bin(op, rhs, lhs)
+            }
+        }
+        _ => Key::Bin(op, lhs, rhs),
+    }
+}
+
+fn gvn_function(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func(fid);
+    let reach = reachable_blocks(func);
+    let idom = immediate_dominators(func);
+    let n = func.blocks.len();
+
+    // Dominator-tree children.
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in 1..n {
+        if !reach[b] {
+            continue;
+        }
+        if let Some(d) = idom[b] {
+            if d.index() != b {
+                children[d.index()].push(BlockId::new(b as u32));
+            }
+        }
+    }
+
+    // Pre-order walk with an explicit scope stack: entering a block pushes
+    // its definitions, leaving pops them.
+    let mut subst = Subst::new();
+    let mut available: HashMap<Key, Vec<ValueId>> = HashMap::new();
+    let mut changed = false;
+
+    enum Step {
+        Enter(BlockId),
+        Leave(Vec<Key>),
+    }
+    let func = module.func_mut(fid);
+    let mut stack = vec![Step::Enter(func.entry())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Leave(keys) => {
+                for k in keys {
+                    let bucket = available.get_mut(&k).expect("pushed on enter");
+                    bucket.pop();
+                    if bucket.is_empty() {
+                        available.remove(&k);
+                    }
+                }
+            }
+            Step::Enter(bid) => {
+                let mut pushed: Vec<Key> = Vec::new();
+                let block = func.block_mut(bid);
+                let mut kept: Vec<Inst> = Vec::with_capacity(block.insts.len());
+                for mut inst in block.insts.drain(..) {
+                    inst.map_uses(|v| subst.resolve(v));
+                    let key = match &inst {
+                        Inst::Const { value, .. } => Some(Key::Const(*value)),
+                        Inst::Bin { op, lhs, rhs, .. } => Some(canonical_key(*op, *lhs, *rhs)),
+                        _ => None,
+                    };
+                    match (key, inst.def()) {
+                        (Some(key), Some(dst)) => {
+                            if let Some(prev) =
+                                available.get(&key).and_then(|b| b.last().copied())
+                            {
+                                subst.insert(dst, prev);
+                                changed = true;
+                            } else {
+                                available.entry(key.clone()).or_default().push(dst);
+                                pushed.push(key);
+                                kept.push(inst);
+                            }
+                        }
+                        _ => kept.push(inst),
+                    }
+                }
+                block.insts = kept;
+                block.term.map_uses(|v| subst.resolve(v));
+                stack.push(Step::Leave(pushed));
+                for &c in children[bid.index()].iter().rev() {
+                    stack.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+    if !subst.is_empty() {
+        subst.apply(func);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{assert_verified, FuncBuilder, Linkage};
+
+    #[test]
+    fn removes_redundancy_across_dominated_blocks() {
+        // entry computes p+p; both branch arms recompute it.
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let a = b.bin(BinOp::Add, p, p);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        b.branch(a, t, &[], e, &[]);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Add, p, p);
+        b.ret(Some(x));
+        b.switch_to(e);
+        let y = b.bin(BinOp::Add, p, p);
+        b.ret(Some(y));
+        assert!(Gvn.run(&mut m));
+        assert_verified(&m);
+        let func = m.func(f);
+        assert!(func.blocks[1].insts.is_empty());
+        assert!(func.blocks[2].insts.is_empty());
+        assert_eq!(func.blocks[1].term, optinline_ir::Terminator::Return(Some(a)));
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share_values() {
+        // The then-arm's computation must NOT be reused in the else-arm
+        // (neither dominates the other).
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        b.branch(p, t, &[], e, &[]);
+        b.switch_to(t);
+        let x = b.bin(BinOp::Mul, p, p);
+        b.ret(Some(x));
+        b.switch_to(e);
+        let y = b.bin(BinOp::Mul, p, p);
+        b.ret(Some(y));
+        assert!(!Gvn.run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(f).blocks[1].insts.len(), 1);
+        assert_eq!(m.func(f).blocks[2].insts.len(), 1);
+    }
+
+    #[test]
+    fn constants_are_numbered_globally() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let c1 = b.iconst(42);
+        let (nxt, _) = b.new_block(0);
+        b.jump(nxt, &[]);
+        let c2 = b.iconst(42);
+        let s = b.bin(BinOp::Add, c1, c2);
+        b.ret(Some(s));
+        assert!(Gvn.run(&mut m));
+        assert_verified(&m);
+        // The second const is gone; the add sees c1 twice.
+        match &m.func(f).blocks[1].insts[..] {
+            [Inst::Bin { lhs, rhs, .. }] => {
+                assert_eq!(lhs, &c1);
+                assert_eq!(rhs, &c1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commutative_duplicates_merge_across_blocks() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 2, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let (p, q) = (b.param(0), b.param(1));
+        let a = b.bin(BinOp::Mul, p, q);
+        let (nxt, _) = b.new_block(0);
+        b.jump(nxt, &[]);
+        let c = b.bin(BinOp::Mul, q, p);
+        let s = b.bin(BinOp::Add, a, c);
+        b.ret(Some(s));
+        assert!(Gvn.run(&mut m));
+        match &m.func(f).blocks[1].insts[..] {
+            [Inst::Bin { op: BinOp::Add, lhs, rhs, .. }] => assert_eq!(lhs, rhs),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observables_preserved_with_loops() {
+        let mut m = Module::new("m");
+        let g = m.add_global("g", 0);
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let zero = b.iconst(0);
+        let five = b.iconst(5);
+        let (hdr, hp) = b.new_block(1);
+        let (body, _) = b.new_block(0);
+        let (exit, _) = b.new_block(0);
+        b.jump(hdr, &[zero]);
+        let i = hp[0];
+        let c = b.bin(BinOp::Lt, i, five);
+        b.branch(c, body, &[], exit, &[]);
+        b.switch_to(body);
+        let sq = b.bin(BinOp::Mul, i, i);
+        let acc = b.load(g);
+        let acc2 = b.bin(BinOp::Add, acc, sq);
+        b.store(g, acc2);
+        let one = b.iconst(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(hdr, &[i2]);
+        b.switch_to(exit);
+        b.ret(None);
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        Gvn.run(&mut m);
+        assert_verified(&m);
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+        assert_eq!(after.globals, vec![30]);
+    }
+}

@@ -1,0 +1,140 @@
+//! The pass framework: a [`Pass`] trait and a [`PassManager`] that iterates
+//! a pipeline to a fixpoint, optionally verifying the IR after every pass.
+
+use optinline_ir::{verify_module, Module};
+use std::fmt;
+
+/// A module transformation.
+///
+/// Passes must be deterministic and semantics-preserving (observable
+/// behaviour under the interpreter: return value and final global state).
+pub trait Pass: fmt::Debug + Send + Sync {
+    /// Stable pass name, used in reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass; returns `true` if the module changed.
+    fn run(&self, module: &mut Module) -> bool;
+}
+
+/// Runs a sequence of passes repeatedly until none of them changes the
+/// module (or an iteration cap is reached).
+#[derive(Debug)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    max_iterations: usize,
+}
+
+impl PassManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new(), verify_each: false, max_iterations: 10 }
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Enables verification after every pass (used in tests; panics on
+    /// verifier failures with the offending pass name).
+    pub fn verify_each(&mut self, on: bool) -> &mut Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Caps fixpoint iterations (default 10).
+    pub fn max_iterations(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// The registered pass names, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline to a fixpoint. Returns the number of full
+    /// iterations that made progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verify_each` is enabled and a pass breaks the IR.
+    pub fn run_to_fixpoint(&self, module: &mut Module) -> usize {
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            let mut changed = false;
+            for pass in &self.passes {
+                let c = pass.run(module);
+                if self.verify_each {
+                    if let Err(e) = verify_module(module) {
+                        panic!("pass `{}` broke the IR: {e}\n{module}", pass.name());
+                    }
+                }
+                changed |= c;
+            }
+            if !changed {
+                break;
+            }
+            iterations += 1;
+        }
+        iterations
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::Linkage;
+
+    #[derive(Debug)]
+    struct CountingPass {
+        fires: std::sync::atomic::AtomicUsize,
+        budget: usize,
+    }
+
+    impl Pass for CountingPass {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+
+        fn run(&self, _m: &mut Module) -> bool {
+            let n = self.fires.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            n + 1 < self.budget
+        }
+    }
+
+    #[test]
+    fn fixpoint_stops_when_no_pass_changes() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: 3 });
+        let mut m = Module::new("m");
+        m.declare_function("main", 0, Linkage::Public);
+        let iters = pm.run_to_fixpoint(&mut m);
+        // Changes on iterations 1 and 2, not on 3.
+        assert_eq!(iters, 2);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let mut pm = PassManager::new();
+        pm.max_iterations(2);
+        pm.add(CountingPass { fires: Default::default(), budget: usize::MAX });
+        let mut m = Module::new("m");
+        assert_eq!(pm.run_to_fixpoint(&mut m), 2);
+    }
+
+    #[test]
+    fn pass_names_are_reported_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: 0 });
+        assert_eq!(pm.pass_names(), vec!["counting"]);
+    }
+}

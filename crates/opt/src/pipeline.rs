@@ -1,0 +1,273 @@
+//! The standard `-Os`-like pipeline: inline per the oracle, then iterate
+//! the scalar/CFG cleanup passes to a fixpoint, then delete dead functions.
+//!
+//! This is the `CompileAndMeasureSize` building block of the paper's
+//! Algorithms 1 and 3: given a module and an inlining configuration, produce
+//! the final module whose `.text` size the evaluator measures.
+
+use crate::cse::Cse;
+use crate::dae::DeadArgElim;
+use crate::dce::{Dce, DeadFunctionElim};
+use crate::gvn::Gvn;
+use crate::fold::ConstFold;
+use crate::inline::{run_inliner, InlineOracle, NeverInline};
+use crate::pass::{Pass, PassManager};
+use crate::sccp::Sccp;
+use crate::simplify::Simplify;
+use crate::simplify_cfg::SimplifyCfg;
+use crate::tailmerge::TailMerge;
+use optinline_ir::Module;
+
+/// Options for [`optimize_os`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Cap on cleanup fixpoint iterations (default 10).
+    pub max_iterations: usize,
+    /// Verify the IR after every pass (slow; meant for tests).
+    pub verify_each: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { max_iterations: 10, verify_each: false }
+    }
+}
+
+/// Builds the standard cleanup pipeline (everything except inlining and
+/// dead-function elimination). When `summary` is given, CSE and DCE use it
+/// as a frozen effect oracle — the pipeline computes it on the pristine
+/// module so that purity never depends on inlining decisions made in other
+/// call-graph components (the exactness condition behind §3.2's
+/// independence argument).
+pub fn cleanup_pipeline_with(
+    options: PipelineOptions,
+    summary: Option<optinline_ir::analysis::EffectSummary>,
+) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.max_iterations(options.max_iterations);
+    pm.verify_each(options.verify_each);
+    let (cse, dce) = match summary {
+        Some(s) => (Cse::with_summary(s.clone()), Dce::with_summary(s)),
+        None => (Cse::default(), Dce::default()),
+    };
+    pm.add(ConstFold)
+        .add(Simplify)
+        .add(Sccp)
+        .add(cse)
+        .add(Gvn)
+        .add(SimplifyCfg)
+        .add(TailMerge)
+        .add(dce)
+        .add(DeadArgElim);
+    pm
+}
+
+/// [`cleanup_pipeline_with`] without a frozen summary.
+pub fn cleanup_pipeline(options: PipelineOptions) -> PassManager {
+    cleanup_pipeline_with(options, None)
+}
+
+/// Runs the full size pipeline: inline per `oracle`, clean up to a
+/// fixpoint, drop dead functions, clean up once more.
+///
+/// Returns the number of call sites the inliner expanded.
+pub fn optimize_os(module: &mut Module, oracle: &dyn InlineOracle, options: PipelineOptions) -> usize {
+    let summary = optinline_ir::analysis::EffectSummary::compute(module);
+    let inlined = run_inliner(module, oracle);
+    if options.verify_each {
+        optinline_ir::assert_verified(module);
+    }
+    let pm = cleanup_pipeline_with(options, Some(summary));
+    pm.run_to_fixpoint(module);
+    if DeadFunctionElim.run(module) {
+        // Dropping functions can orphan nothing else (stubs keep ids), but a
+        // final sweep catches calls-to-pure-stub cleanups.
+        pm.run_to_fixpoint(module);
+    }
+    inlined
+}
+
+/// The paper's "inlining disabled" baseline: full cleanup, no inlining.
+pub fn optimize_os_no_inline(module: &mut Module, options: PipelineOptions) {
+    optimize_os(module, &NeverInline, options);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inline::{AlwaysInline, ForcedDecisions};
+    use optinline_callgraph::Decision;
+    use optinline_codegen::{text_size, X86Like};
+    use optinline_ir::{assert_verified, BinOp, FuncBuilder, Linkage};
+
+    /// Listing 1 of the paper, adapted: `bar(a) = a + a`;
+    /// `foo(n) = for i in 0..n { if bar(i) == i { return 0 } } return 1`.
+    /// Inlining `bar` lets the optimizer prove `bar(i) == i` is `i == 0`…
+    /// our simpler pipeline at least folds the call overhead away and
+    /// shrinks the loop body.
+    fn listing1() -> (Module, optinline_ir::CallSiteId) {
+        let mut m = Module::new("listing1");
+        let bar = m.declare_function("bar", 1, Linkage::Internal);
+        let foo = m.declare_function("main", 1, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, bar);
+            let a = b.param(0);
+            let r = b.bin(BinOp::Add, a, a);
+            b.ret(Some(r));
+        }
+        let site = {
+            let mut b = FuncBuilder::new(&mut m, foo);
+            let n = b.param(0);
+            let zero = b.iconst(0);
+            let (hdr, hp) = b.new_block(1);
+            let (body, _) = b.new_block(0);
+            let (found, _) = b.new_block(0);
+            let (next, _) = b.new_block(0);
+            let (exit, _) = b.new_block(0);
+            b.jump(hdr, &[zero]);
+            let i = hp[0];
+            let c = b.bin(BinOp::Lt, i, n);
+            b.branch(c, body, &[], exit, &[]);
+            b.switch_to(body);
+            let (v, site) = b.call_with_site(bar, &[i]);
+            let eq = b.bin(BinOp::Eq, v, i);
+            b.branch(eq, found, &[], next, &[]);
+            b.switch_to(found);
+            let z = b.iconst(0);
+            b.ret(Some(z));
+            b.switch_to(next);
+            let one = b.iconst(1);
+            let i2 = b.bin(BinOp::Add, i, one);
+            b.jump(hdr, &[i2]);
+            b.switch_to(exit);
+            let one2 = b.iconst(1);
+            b.ret(Some(one2));
+            site
+        };
+        (m, site)
+    }
+
+    #[test]
+    fn pipeline_preserves_semantics_under_full_inlining() {
+        let (m, _) = listing1();
+        let f = m.func_by_name("main").unwrap();
+        let before = optinline_ir::interp::Interp::new(&m).run(f, &[7]).unwrap();
+        let mut opt = m.clone();
+        optimize_os(&mut opt, &AlwaysInline, PipelineOptions { verify_each: true, ..Default::default() });
+        assert_verified(&opt);
+        let after = optinline_ir::interp::Interp::new(&opt).run(f, &[7]).unwrap();
+        assert_eq!(before.observable(), after.observable());
+    }
+
+    #[test]
+    fn inlining_the_single_call_shrinks_listing1() {
+        let (m, site) = listing1();
+        let mut no_inline = m.clone();
+        optimize_os_no_inline(&mut no_inline, PipelineOptions::default());
+        let mut inlined = m.clone();
+        let oracle = ForcedDecisions::new([(site, Decision::Inline)].into_iter().collect());
+        optimize_os(&mut inlined, &oracle, PipelineOptions::default());
+        let s_no = text_size(&no_inline, &X86Like);
+        let s_in = text_size(&inlined, &X86Like);
+        // bar's body is tiny and it becomes dead after its only call is
+        // inlined: the inlined version must win.
+        assert!(s_in < s_no, "inlined {s_in} !< no-inline {s_no}");
+    }
+
+    #[test]
+    fn dead_callee_is_removed_after_inlining() {
+        let (mut m, site) = listing1();
+        let bar = m.func_by_name("bar").unwrap();
+        let oracle = ForcedDecisions::new([(site, Decision::Inline)].into_iter().collect());
+        optimize_os(&mut m, &oracle, PipelineOptions::default());
+        assert!(m.is_stub(bar));
+    }
+
+    #[test]
+    fn baseline_keeps_callee_alive() {
+        let (mut m, _) = listing1();
+        let bar = m.func_by_name("bar").unwrap();
+        optimize_os_no_inline(&mut m, PipelineOptions::default());
+        assert!(!m.is_stub(bar));
+    }
+
+    #[test]
+    fn constant_argument_cascade_folds_to_a_return() {
+        // check(flag): if flag { big computation } else { 1 }
+        // main: check(0) — inlining + folding should reduce main to `ret 1`
+        // and delete `check`.
+        let mut m = Module::new("m");
+        let check = m.declare_function("check", 1, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, check);
+            let flag = b.param(0);
+            let (heavy, _) = b.new_block(0);
+            let (cheap, _) = b.new_block(0);
+            b.branch(flag, heavy, &[], cheap, &[]);
+            b.switch_to(heavy);
+            let mut acc = b.iconst(3);
+            for _ in 0..12 {
+                acc = b.bin(BinOp::Mul, acc, acc);
+            }
+            b.ret(Some(acc));
+            b.switch_to(cheap);
+            let one = b.iconst(1);
+            b.ret(Some(one));
+        }
+        let site = {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let zero = b.iconst(0);
+            let (v, site) = b.call_with_site(check, &[zero]);
+            b.ret(Some(v));
+            site
+        };
+        let oracle = ForcedDecisions::new([(site, Decision::Inline)].into_iter().collect());
+        optimize_os(&mut m, &oracle, PipelineOptions { verify_each: true, ..Default::default() });
+        let main_f = m.func(main);
+        // Everything folded: one block, at most one const, ret.
+        assert_eq!(main_f.blocks.len(), 1, "main did not fold:\n{m}");
+        assert!(main_f.blocks[0].insts.len() <= 1);
+        assert!(m.is_stub(check));
+        let out = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(out.ret, Some(1));
+    }
+
+    #[test]
+    fn inlining_can_also_bloat() {
+        // A large pure callee with many distinct callers: inlining all of
+        // them duplicates the body and must grow the binary.
+        let mut m = Module::new("m");
+        let big = m.declare_function("big", 1, Linkage::Internal);
+        {
+            let mut b = FuncBuilder::new(&mut m, big);
+            let p = b.param(0);
+            let mut acc = p;
+            for k in 1..40 {
+                let c = b.iconst(k);
+                let t = b.bin(BinOp::Mul, acc, c);
+                acc = b.bin(BinOp::Xor, t, p);
+            }
+            b.ret(Some(acc));
+        }
+        let mut sites = Vec::new();
+        for i in 0..6 {
+            let caller = m.declare_function(format!("caller{i}"), 1, Linkage::Public);
+            let mut b = FuncBuilder::new(&mut m, caller);
+            let p = b.param(0);
+            let (v, s) = b.call_with_site(big, &[p]);
+            b.ret(Some(v));
+            sites.push(s);
+        }
+        let mut none = m.clone();
+        optimize_os_no_inline(&mut none, PipelineOptions::default());
+        let mut all = m.clone();
+        let oracle =
+            ForcedDecisions::new(sites.iter().map(|&s| (s, Decision::Inline)).collect());
+        optimize_os(&mut all, &oracle, PipelineOptions::default());
+        assert!(
+            text_size(&all, &X86Like) > text_size(&none, &X86Like),
+            "duplicating a big callee six times should bloat"
+        );
+    }
+}

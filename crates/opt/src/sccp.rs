@@ -1,0 +1,374 @@
+//! Sparse conditional constant propagation (Wegman–Zadeck), adapted to
+//! block parameters.
+//!
+//! [`ConstFold`](crate::ConstFold) folds an operation only when its
+//! operands are literally `const` instructions; SCCP additionally
+//! propagates constants *through joins* — a block parameter is constant
+//! when every **executable** predecessor passes the same constant — and it
+//! discovers executability and constancy together, so code guarded by a
+//! branch it proves dead never poisons the lattice. This is the precision
+//! that makes inlined `if (flag) {...}` bodies collapse even when the flag
+//! flows through a join.
+//!
+//! Lattice per value: ⊤ (unknown yet) → constant *c* → ⊥ (varying).
+
+use crate::pass::Pass;
+use crate::subst::Subst;
+use optinline_ir::analysis::reachable_blocks;
+use optinline_ir::{BlockId, FuncId, Inst, JumpTarget, Module, Terminator, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The SCCP pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sccp;
+
+impl Pass for Sccp {
+    fn name(&self) -> &'static str {
+        "sccp"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in module.func_ids() {
+            changed |= sccp_function(module, fid);
+        }
+        changed
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lattice {
+    Top,
+    Const(i64),
+    Bottom,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        use Lattice::*;
+        match (self, other) {
+            (Top, x) | (x, Top) => x,
+            (Const(a), Const(b)) if a == b => Const(a),
+            _ => Bottom,
+        }
+    }
+}
+
+fn sccp_function(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func(fid);
+    let n_blocks = func.blocks.len();
+    if n_blocks == 0 {
+        return false;
+    }
+    let mut value: HashMap<ValueId, Lattice> = HashMap::new();
+    // Executable CFG edges as (from, to, which-target-index).
+    let mut exec_edge: HashSet<(BlockId, BlockId, u8)> = HashSet::new();
+    let mut exec_block = vec![false; n_blocks];
+    let mut block_queue: VecDeque<BlockId> = VecDeque::new();
+
+    // Function parameters vary (callers differ).
+    for &p in func.params() {
+        value.insert(p, Lattice::Bottom);
+    }
+    exec_block[0] = true;
+    block_queue.push_back(func.entry());
+
+    let lookup = |value: &HashMap<ValueId, Lattice>, v: ValueId| -> Lattice {
+        value.get(&v).copied().unwrap_or(Lattice::Top)
+    };
+
+    // Chaotic iteration: re-evaluate whole executable blocks until the
+    // lattice stabilizes. Simpler than SSA worklists and plenty fast at our
+    // function sizes; monotonicity bounds the iteration count.
+    let mut changed_lattice = true;
+    let mut guard = 0usize;
+    let sweep_cap = 4 * (func.value_bound() as usize + n_blocks) + 16;
+    while changed_lattice {
+        changed_lattice = false;
+        guard += 1;
+        assert!(guard <= sweep_cap, "SCCP failed to stabilize");
+        for b in 0..n_blocks {
+            if !exec_block[b] {
+                continue;
+            }
+            let bid = BlockId::new(b as u32);
+            let block = func.block(bid);
+            for inst in &block.insts {
+                let new = match inst {
+                    Inst::Const { value: v, .. } => Lattice::Const(*v),
+                    Inst::Bin { op, lhs, rhs, .. } => {
+                        match (lookup(&value, *lhs), lookup(&value, *rhs)) {
+                            (Lattice::Const(a), Lattice::Const(b)) => Lattice::Const(op.eval(a, b)),
+                            (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+                            _ => Lattice::Top,
+                        }
+                    }
+                    Inst::Call { .. } | Inst::Load { .. } => Lattice::Bottom,
+                    Inst::Store { .. } => continue,
+                };
+                if let Some(d) = inst.def() {
+                    let old = lookup(&value, d);
+                    let met = old.meet(new);
+                    if met != old {
+                        value.insert(d, met);
+                        changed_lattice = true;
+                    }
+                }
+            }
+            // Terminator: mark outgoing edges executable and flow block
+            // arguments into target params.
+            let mut flow = |t: &JumpTarget, idx: u8, value: &mut HashMap<ValueId, Lattice>, changed: &mut bool| {
+                if exec_edge.insert((bid, t.block, idx)) {
+                    *changed = true;
+                }
+                if !exec_block[t.block.index()] {
+                    exec_block[t.block.index()] = true;
+                    *changed = true;
+                }
+                let params = func.block(t.block).params.clone();
+                for (&p, &a) in params.iter().zip(&t.args) {
+                    let incoming = lookup(value, a);
+                    let old = lookup(value, p);
+                    let met = old.meet(incoming);
+                    if met != old {
+                        value.insert(p, met);
+                        *changed = true;
+                    }
+                }
+            };
+            match &block.term {
+                Terminator::Jump(t) => flow(t, 0, &mut value, &mut changed_lattice),
+                Terminator::Branch { cond, then_to, else_to } => match lookup(&value, *cond) {
+                    Lattice::Const(c) => {
+                        let t = if c != 0 { then_to } else { else_to };
+                        let idx = if c != 0 { 0 } else { 1 };
+                        flow(t, idx, &mut value, &mut changed_lattice);
+                    }
+                    Lattice::Bottom => {
+                        flow(then_to, 0, &mut value, &mut changed_lattice);
+                        flow(else_to, 1, &mut value, &mut changed_lattice);
+                    }
+                    Lattice::Top => {}
+                },
+                Terminator::Return(_) | Terminator::Unreachable => {}
+            }
+        }
+    }
+
+    // Rewrite: materialize proven constants, collapse proven branches, and
+    // replace provably-constant block params with materialized constants
+    // (the param itself stays; dead-param pruning cleans it up later).
+    // Only params that still have uses get a constant — that keeps the
+    // pass idempotent.
+    let reach = reachable_blocks(func);
+    let counts = optinline_ir::analysis::use_counts(func);
+    let func = module.func_mut(fid);
+    let mut rewrote = false;
+    let mut subst = Subst::new();
+    for b in 0..n_blocks {
+        if !reach[b] || !exec_block[b] {
+            continue;
+        }
+        let bid = BlockId::new(b as u32);
+        let const_params: Vec<(ValueId, i64)> = func
+            .block(bid)
+            .params
+            .iter()
+            .filter_map(|&p| match value.get(&p) {
+                Some(&Lattice::Const(c)) if counts[p.index()] > 0 => Some((p, c)),
+                _ => None,
+            })
+            .collect();
+        for (p, c) in const_params {
+            let fresh = func.new_value();
+            func.block_mut(bid).insts.insert(0, Inst::Const { dst: fresh, value: c });
+            subst.insert(p, fresh);
+            rewrote = true;
+        }
+        let block = func.block_mut(bid);
+        for inst in &mut block.insts {
+            let Some(d) = inst.def() else { continue };
+            if matches!(inst, Inst::Const { .. } | Inst::Call { .. } | Inst::Load { .. }) {
+                continue;
+            }
+            if let Some(&Lattice::Const(c)) = value.get(&d) {
+                *inst = Inst::Const { dst: d, value: c };
+                rewrote = true;
+            }
+        }
+        if let Terminator::Branch { cond, then_to, else_to } = &block.term {
+            if let Some(&Lattice::Const(c)) = value.get(cond) {
+                let t = if c != 0 { then_to.clone() } else { else_to.clone() };
+                block.term = Terminator::Jump(t);
+                rewrote = true;
+            }
+        }
+    }
+    if !subst.is_empty() {
+        subst.apply(func);
+    }
+    rewrote
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{assert_verified, BinOp, FuncBuilder, Linkage};
+
+    #[test]
+    fn constants_propagate_through_joins() {
+        // Both arms pass 5 to the join: the join param is provably 5 and
+        // the dependent add folds — beyond ConstFold's reach.
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        let (j, jp) = b.new_block(1);
+        b.branch(p, t, &[], e, &[]);
+        b.switch_to(t);
+        let c1 = b.iconst(5);
+        b.jump(j, &[c1]);
+        b.switch_to(e);
+        let c2 = b.iconst(5);
+        b.jump(j, &[c2]);
+        b.switch_to(j);
+        let one = b.iconst(1);
+        let sum = b.bin(BinOp::Add, jp[0], one);
+        b.ret(Some(sum));
+        assert!(Sccp.run(&mut m));
+        assert_verified(&m);
+        let has_six = m.func(f).blocks[3]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 6, .. }));
+        assert!(has_six, "join add should fold to 6:\n{m}");
+        let out = optinline_ir::interp::Interp::new(&m).run(f, &[1]).unwrap();
+        assert_eq!(out.ret, Some(6));
+    }
+
+    #[test]
+    fn dead_arms_do_not_poison_the_join() {
+        // The guard is provably true, so only the then-arm's constant
+        // reaches the join — classic SCCP precision.
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let truth = b.iconst(1);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        let (j, jp) = b.new_block(1);
+        b.branch(truth, t, &[], e, &[]);
+        b.switch_to(t);
+        let c1 = b.iconst(10);
+        b.jump(j, &[c1]);
+        b.switch_to(e);
+        // Dead arm passes something varying.
+        b.jump(j, &[p]);
+        b.switch_to(j);
+        let two = b.iconst(2);
+        let r = b.bin(BinOp::Mul, jp[0], two);
+        b.ret(Some(r));
+        assert!(Sccp.run(&mut m));
+        assert_verified(&m);
+        // Branch collapsed and the multiply folded to 20.
+        match &m.func(f).blocks[0].term {
+            Terminator::Jump(t) => assert_eq!(t.block.index(), 1),
+            other => panic!("guard should collapse, got {other:?}"),
+        }
+        let has_twenty = m.func(f).blocks[3]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 20, .. }));
+        assert!(has_twenty, "multiply should fold to 20:\n{m}");
+        let out = optinline_ir::interp::Interp::new(&m).run(f, &[123]).unwrap();
+        assert_eq!(out.ret, Some(20));
+    }
+
+    #[test]
+    fn varying_joins_stay_untouched() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        let (j, jp) = b.new_block(1);
+        b.branch(p, t, &[], e, &[]);
+        b.switch_to(t);
+        let c1 = b.iconst(1);
+        b.jump(j, &[c1]);
+        b.switch_to(e);
+        let c2 = b.iconst(2);
+        b.jump(j, &[c2]);
+        b.switch_to(j);
+        b.ret(Some(jp[0]));
+        assert!(!Sccp.run(&mut m));
+    }
+
+    #[test]
+    fn loops_reach_a_sound_fixpoint() {
+        // i counts 0..10; SCCP must conclude i is Bottom (varying), not 0.
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let g = m.add_global("g", 0);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let zero = b.iconst(0);
+        let ten = b.iconst(10);
+        let (hdr, hp) = b.new_block(1);
+        let (body, _) = b.new_block(0);
+        let (exit, _) = b.new_block(0);
+        b.jump(hdr, &[zero]);
+        let i = hp[0];
+        let c = b.bin(BinOp::Lt, i, ten);
+        b.branch(c, body, &[], exit, &[]);
+        b.switch_to(body);
+        let acc = b.load(g);
+        let acc2 = b.bin(BinOp::Add, acc, i);
+        b.store(g, acc2);
+        let one = b.iconst(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(hdr, &[i2]);
+        b.switch_to(exit);
+        b.ret(None);
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        Sccp.run(&mut m);
+        assert_verified(&m);
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+        assert_eq!(after.globals, vec![45]);
+    }
+
+    #[test]
+    fn observables_preserved_on_branchy_code() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let g = m.add_global("g", 3);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let x = b.load(g);
+        let four = b.iconst(4);
+        let c = b.bin(BinOp::Lt, x, four);
+        let (t, _) = b.new_block(0);
+        let (e, _) = b.new_block(0);
+        let (j, jp) = b.new_block(1);
+        b.branch(c, t, &[], e, &[]);
+        b.switch_to(t);
+        let c9 = b.iconst(9);
+        b.jump(j, &[c9]);
+        b.switch_to(e);
+        let c9b = b.iconst(9);
+        b.jump(j, &[c9b]);
+        b.switch_to(j);
+        let r = b.bin(BinOp::Add, jp[0], x);
+        b.store(g, r);
+        b.ret(Some(r));
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        assert!(Sccp.run(&mut m));
+        assert_verified(&m);
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+        assert_eq!(after.ret, Some(12));
+    }
+}

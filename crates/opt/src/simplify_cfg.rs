@@ -1,0 +1,434 @@
+//! CFG simplification: unreachable-block removal, single-predecessor block
+//! parameter forwarding, dead block-parameter pruning, straight-line block
+//! merging, jump threading through empty forwarding blocks, and collapsing
+//! branches whose sides agree.
+//!
+//! After the inliner splices a callee's blocks into a caller, this pass is
+//! what stitches the seams back into straight-line code so folding/DCE see
+//! through them — without it, inlining would never shrink anything.
+
+use crate::pass::Pass;
+use crate::subst::Subst;
+use optinline_ir::analysis::{predecessors, reachable_blocks, use_counts};
+use optinline_ir::{BlockId, FuncId, Module, Terminator};
+
+/// The CFG simplification pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimplifyCfg;
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run(&self, module: &mut Module) -> bool {
+        let mut changed = false;
+        for fid in module.func_ids() {
+            changed |= simplify_cfg_function(module, fid);
+        }
+        changed
+    }
+}
+
+fn simplify_cfg_function(module: &mut Module, fid: FuncId) -> bool {
+    let mut changed = false;
+    for _ in 0..20 {
+        let mut progressed = false;
+        progressed |= collapse_trivial_branches(module, fid);
+        progressed |= forward_single_pred_params(module, fid);
+        progressed |= prune_dead_params(module, fid);
+        progressed |= merge_straight_line(module, fid);
+        progressed |= thread_empty_jumps(module, fid);
+        progressed |= remove_unreachable(module, fid);
+        if !progressed {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// `br c, B(args), B(args)` with identical targets → `jump B(args)`.
+fn collapse_trivial_branches(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let mut changed = false;
+    for block in &mut func.blocks {
+        if let Terminator::Branch { then_to, else_to, .. } = &block.term {
+            if then_to == else_to {
+                block.term = Terminator::Jump(then_to.clone());
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Counts incoming edges per block (branch with both arms to B counts 2).
+fn incoming_edge_counts(func: &optinline_ir::Function) -> Vec<usize> {
+    let mut counts = vec![0usize; func.blocks.len()];
+    for block in &func.blocks {
+        for s in block.term.successors() {
+            counts[s.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// A reachable non-entry block with exactly one incoming edge takes its
+/// parameters directly from that edge: substitute and drop the params.
+fn forward_single_pred_params(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let reach = reachable_blocks(func);
+    let counts = incoming_edge_counts(func);
+    let preds = predecessors(func);
+    let mut changed = false;
+    for b in 1..func.blocks.len() {
+        if !reach[b] || counts[b] != 1 || func.blocks[b].params.is_empty() {
+            continue;
+        }
+        let pred = preds[b][0];
+        if pred.index() == b {
+            // Self-loop: the parameter genuinely varies per iteration.
+            continue;
+        }
+        // Pull the args off the unique incoming edge.
+        let mut args: Option<Vec<optinline_ir::ValueId>> = None;
+        func.blocks[pred.index()].term.for_each_target_mut(|t| {
+            if t.block == BlockId::new(b as u32) {
+                args = Some(std::mem::take(&mut t.args));
+            }
+        });
+        let args = args.expect("predecessor edge must exist");
+        let params = std::mem::take(&mut func.blocks[b].params);
+        let mut subst = Subst::new();
+        for (p, a) in params.iter().zip(&args) {
+            if p != a {
+                subst.insert(*p, *a);
+            }
+        }
+        subst.apply(func);
+        changed = true;
+    }
+    changed
+}
+
+/// Drops block parameters that are never used anywhere, together with the
+/// matching argument on every incoming edge.
+fn prune_dead_params(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let counts = use_counts(func);
+    let mut changed = false;
+    for b in 1..func.blocks.len() {
+        let dead: Vec<usize> = func.blocks[b]
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| counts[p.index()] == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if dead.is_empty() {
+            continue;
+        }
+        let keep = |i: usize| !dead.contains(&i);
+        let mut idx = 0;
+        func.blocks[b].params.retain(|_| {
+            let k = keep(idx);
+            idx += 1;
+            k
+        });
+        let target = BlockId::new(b as u32);
+        for src in 0..func.blocks.len() {
+            func.blocks[src].term.for_each_target_mut(|t| {
+                if t.block == target {
+                    let mut idx = 0;
+                    t.args.retain(|_| {
+                        let k = keep(idx);
+                        idx += 1;
+                        k
+                    });
+                }
+            });
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// `A: jump B()` where B has exactly one incoming edge: splice B into A.
+fn merge_straight_line(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let reach = reachable_blocks(func);
+    let counts = incoming_edge_counts(func);
+    let mut changed = false;
+    for a in 0..func.blocks.len() {
+        if !reach[a] {
+            continue;
+        }
+        let Terminator::Jump(t) = &func.blocks[a].term else { continue };
+        let b = t.block.index();
+        if b == a || b == 0 || counts[b] != 1 || !func.blocks[b].params.is_empty() {
+            continue;
+        }
+        let mut body = std::mem::take(&mut func.blocks[b].insts);
+        let term = std::mem::replace(&mut func.blocks[b].term, Terminator::Unreachable);
+        func.blocks[a].insts.append(&mut body);
+        func.blocks[a].term = term;
+        changed = true;
+        // `counts` is now stale; finish this sweep conservatively.
+        break;
+    }
+    changed
+}
+
+/// Retargets edges that point at an empty block `B(params): jump C(args)`
+/// directly to `C`, substituting `B`'s params in `args` per edge.
+fn thread_empty_jumps(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let n = func.blocks.len();
+    let counts = use_counts(func);
+    // Collect forwarding blocks first (immutable scan). A block forwards
+    // only if its params have no uses beyond its own jump arguments —
+    // otherwise bypassing it would leave dangling uses downstream.
+    let mut forwards: Vec<Option<(Vec<optinline_ir::ValueId>, BlockId, Vec<optinline_ir::ValueId>)>> =
+        vec![None; n];
+    for b in 0..n {
+        let block = &func.blocks[b];
+        if !block.insts.is_empty() {
+            continue;
+        }
+        if let Terminator::Jump(t) = &block.term {
+            if t.block.index() == b {
+                continue;
+            }
+            let params_escape = block.params.iter().any(|p| {
+                let in_args = t.args.iter().filter(|a| *a == p).count() as u32;
+                counts[p.index()] != in_args
+            });
+            if !params_escape {
+                forwards[b] = Some((block.params.clone(), t.block, t.args.clone()));
+            }
+        }
+    }
+    let mut changed = false;
+    for src in 0..n {
+        let block = &mut func.blocks[src];
+        block.term.for_each_target_mut(|t| {
+            let b = t.block.index();
+            if b == src {
+                return;
+            }
+            if let Some((params, dest, dest_args)) = &forwards[b] {
+                // Don't thread into the forwarding block itself, and skip
+                // chains that would need the forwarder's params after it.
+                if dest.index() == src || dest.index() == b {
+                    return;
+                }
+                let incoming = std::mem::take(&mut t.args);
+                let map = |v: optinline_ir::ValueId| {
+                    params.iter().position(|p| *p == v).map(|i| incoming[i]).unwrap_or(v)
+                };
+                t.block = *dest;
+                t.args = dest_args.iter().map(|&v| map(v)).collect();
+                changed = true;
+            }
+        });
+    }
+    changed
+}
+
+/// Deletes unreachable blocks and compacts block ids.
+fn remove_unreachable(module: &mut Module, fid: FuncId) -> bool {
+    let func = module.func_mut(fid);
+    let reach = reachable_blocks(func);
+    if reach.iter().all(|&r| r) {
+        return false;
+    }
+    let mut remap = vec![BlockId::new(0); func.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reach.iter().enumerate() {
+        if r {
+            remap[i] = BlockId::new(next);
+            next += 1;
+        }
+    }
+    let mut old_blocks = std::mem::take(&mut func.blocks);
+    for (i, block) in old_blocks.drain(..).enumerate() {
+        if reach[i] {
+            func.blocks.push(block);
+        }
+    }
+    for block in &mut func.blocks {
+        block.term.for_each_target_mut(|t| t.block = remap[t.block.index()]);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{assert_verified, BinOp, FuncBuilder, Linkage};
+
+    #[test]
+    fn collapses_branch_with_equal_arms() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _) = b.new_block(0);
+        b.branch(p, t, &[], t, &[]);
+        b.switch_to(t);
+        b.ret(Some(p));
+        assert!(SimplifyCfg.run(&mut m));
+        assert_verified(&m);
+        // Branch collapsed to jump, then the chain merged into one block.
+        assert_eq!(m.func(f).blocks.len(), 1);
+        assert!(matches!(m.func(f).blocks[0].term, Terminator::Return(_)));
+    }
+
+    #[test]
+    fn forwards_params_of_single_pred_blocks() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let v = b.bin(BinOp::Add, p, p);
+        let (nxt, nxt_params) = b.new_block(1);
+        b.jump(nxt, &[v]);
+        let r = b.bin(BinOp::Mul, nxt_params[0], nxt_params[0]);
+        b.ret(Some(r));
+        assert!(SimplifyCfg.run(&mut m));
+        assert_verified(&m);
+        let func = m.func(f);
+        assert_eq!(func.blocks.len(), 1);
+        match &func.blocks[0].insts[1] {
+            optinline_ir::Inst::Bin { lhs, .. } => assert_eq!(*lhs, v),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prunes_dead_block_params() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (t, _tp) = b.new_block(1);
+        let (e, _ep) = b.new_block(1);
+        let (j, jp) = b.new_block(2);
+        b.branch(p, t, &[p], e, &[p]);
+        b.switch_to(t);
+        let one = b.iconst(1);
+        b.jump(j, &[one, p]);
+        b.switch_to(e);
+        let two = b.iconst(2);
+        b.jump(j, &[two, p]);
+        b.switch_to(j);
+        // Only the first join param is used.
+        b.ret(Some(jp[0]));
+        assert!(SimplifyCfg.run(&mut m));
+        assert_verified(&m);
+        let func = m.func(f);
+        let join = &func.blocks[3];
+        assert_eq!(join.params.len(), 1);
+    }
+
+    #[test]
+    fn threads_jumps_through_empty_forwarders() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (fwd, fwd_params) = b.new_block(1);
+        let (t, _) = b.new_block(0);
+        let (dst, dst_params) = b.new_block(1);
+        // Entry branches to fwd or t; fwd just forwards its param to dst.
+        b.branch(p, fwd, &[p], t, &[]);
+        b.switch_to(fwd);
+        b.jump(dst, &[fwd_params[0]]);
+        b.switch_to(t);
+        let nine = b.iconst(9);
+        b.jump(dst, &[nine]);
+        b.switch_to(dst);
+        b.ret(Some(dst_params[0]));
+        assert!(SimplifyCfg.run(&mut m));
+        assert_verified(&m);
+        // fwd is gone.
+        let func = m.func(f);
+        assert!(func.blocks.len() <= 3);
+        let out0 = optinline_ir::interp::Interp::new(&m).run(f, &[0]).unwrap();
+        let out1 = optinline_ir::interp::Interp::new(&m).run(f, &[1]).unwrap();
+        assert_eq!(out0.ret, Some(9));
+        assert_eq!(out1.ret, Some(1));
+    }
+
+    #[test]
+    fn removes_unreachable_blocks_and_compacts() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let (dead, _) = b.new_block(0);
+        let (live, _) = b.new_block(0);
+        b.jump(live, &[]);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        assert!(SimplifyCfg.run(&mut m));
+        assert_verified(&m);
+        assert_eq!(m.func(f).blocks.len(), 1);
+    }
+
+    #[test]
+    fn loop_structure_is_preserved() {
+        // A genuine loop must survive simplification with observables intact.
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let g = m.add_global("acc", 0);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let zero = b.iconst(0);
+        let ten = b.iconst(10);
+        let (hdr, hp) = b.new_block(1);
+        let (body, _) = b.new_block(0);
+        let (exit, _) = b.new_block(0);
+        b.jump(hdr, &[zero]);
+        let i = hp[0];
+        let c = b.bin(BinOp::Lt, i, ten);
+        b.branch(c, body, &[], exit, &[]);
+        b.switch_to(body);
+        let acc = b.load(g);
+        let acc2 = b.bin(BinOp::Add, acc, i);
+        b.store(g, acc2);
+        let one = b.iconst(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(hdr, &[i2]);
+        b.switch_to(exit);
+        b.ret(None);
+        let before = optinline_ir::interp::run_main(&m).unwrap();
+        SimplifyCfg.run(&mut m);
+        assert_verified(&m);
+        let after = optinline_ir::interp::run_main(&m).unwrap();
+        assert_eq!(before.observable(), after.observable());
+        assert_eq!(after.globals, vec![45]);
+    }
+
+    #[test]
+    fn self_looping_param_block_is_left_alone() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 1, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let p = b.param(0);
+        let (l, lp) = b.new_block(1);
+        b.jump(l, &[p]);
+        let one = b.iconst(1);
+        let nxt = b.bin(BinOp::Sub, lp[0], one);
+        let (exit, _) = b.new_block(0);
+        b.branch(nxt, l, &[nxt], exit, &[]);
+        b.switch_to(exit);
+        b.ret(Some(nxt));
+        let before = optinline_ir::interp::Interp::new(&m).run(f, &[3]).unwrap();
+        SimplifyCfg.run(&mut m);
+        assert_verified(&m);
+        let after = optinline_ir::interp::Interp::new(&m).run(f, &[3]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, Some(0));
+    }
+}

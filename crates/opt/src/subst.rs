@@ -1,0 +1,117 @@
+//! Value substitution support shared by the scalar passes.
+//!
+//! In SSA, many simplifications reduce to "replace every use of `a` with
+//! `b`". [`Subst`] collects such replacements (following chains) and applies
+//! them to a whole function in one sweep.
+
+use optinline_ir::{Function, ValueId};
+use std::collections::HashMap;
+
+/// A set of pending `old → new` value replacements.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    map: HashMap<ValueId, ValueId>,
+}
+
+impl Subst {
+    /// Creates an empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `old → new`. Chains are fine (`a → b`, `b → c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a direct self-mapping, which would loop forever.
+    pub fn insert(&mut self, old: ValueId, new: ValueId) {
+        assert_ne!(old, new, "self-substitution {old} -> {new}");
+        self.map.insert(old, new);
+    }
+
+    /// Returns `true` if no replacements are pending.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of pending replacements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Resolves a value through replacement chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substitution contains a cycle (a pass bug).
+    pub fn resolve(&self, v: ValueId) -> ValueId {
+        let mut cur = v;
+        let mut hops = 0;
+        while let Some(&next) = self.map.get(&cur) {
+            cur = next;
+            hops += 1;
+            assert!(hops <= self.map.len(), "substitution cycle at {v}");
+        }
+        cur
+    }
+
+    /// Rewrites every use in the function. Definitions are untouched;
+    /// callers are expected to have deleted the defining instructions.
+    pub fn apply(&self, func: &mut Function) {
+        if self.is_empty() {
+            return;
+        }
+        for block in &mut func.blocks {
+            for inst in &mut block.insts {
+                inst.map_uses(|v| self.resolve(v));
+            }
+            block.term.map_uses(|v| self.resolve(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::{BinOp, FuncBuilder, Linkage, Module, Terminator};
+
+    #[test]
+    fn resolve_follows_chains() {
+        let mut s = Subst::new();
+        s.insert(ValueId::new(1), ValueId::new(2));
+        s.insert(ValueId::new(2), ValueId::new(3));
+        assert_eq!(s.resolve(ValueId::new(1)), ValueId::new(3));
+        assert_eq!(s.resolve(ValueId::new(9)), ValueId::new(9));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_are_detected() {
+        let mut s = Subst::new();
+        s.insert(ValueId::new(1), ValueId::new(2));
+        s.insert(ValueId::new(2), ValueId::new(1));
+        s.resolve(ValueId::new(1));
+    }
+
+    #[test]
+    fn apply_rewrites_uses_everywhere() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", 2, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let (x, y) = (b.param(0), b.param(1));
+        let sum = b.bin(BinOp::Add, x, y);
+        b.ret(Some(sum));
+        let mut s = Subst::new();
+        s.insert(y, x);
+        s.apply(m.func_mut(f));
+        match &m.func(f).blocks[0].insts[0] {
+            optinline_ir::Inst::Bin { lhs, rhs, .. } => {
+                assert_eq!(*lhs, x);
+                assert_eq!(*rhs, x);
+            }
+            other => panic!("unexpected inst {other:?}"),
+        }
+        assert_eq!(m.func(f).blocks[0].term, Terminator::Return(Some(sum)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Saving and loading corpora as textual IR on disk.
+//!
+//! The paper's artifact ships its SPEC-derived LLVM-IR files; this module
+//! gives the reproduction the same shape: `save_suite` materializes the
+//! synthetic suite as `.ir` files (one directory per benchmark) that any
+//! external tool — or the `optinline` CLI — can pick up, and `load_dir`
+//! reads such a directory back through the parser/verifier.
+
+use crate::suite::{Benchmark, Scale};
+use optinline_ir::{parse_module, verify_module, Module};
+use std::error::Error;
+use std::path::{Path, PathBuf};
+
+/// Writes one module to `path` in textual IR.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_module(module: &Module, path: &Path) -> Result<(), Box<dyn Error>> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, module.to_string())?;
+    Ok(())
+}
+
+/// Reads one module from `path`, parsing and verifying it.
+///
+/// # Errors
+///
+/// Fails on I/O, parse, or verifier errors, with the path in the message.
+pub fn load_module(path: &Path) -> Result<Module, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let module =
+        parse_module(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    verify_module(&module).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(module)
+}
+
+/// Materializes the whole suite under `dir` as
+/// `dir/<benchmark>/<NN>.ir`, returning the written paths.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_suite(dir: &Path, scale: Scale) -> Result<Vec<PathBuf>, Box<dyn Error>> {
+    let mut written = Vec::new();
+    for bench in crate::suite::spec_suite(scale) {
+        for (i, module) in bench.files.iter().enumerate() {
+            let path = dir.join(bench.name).join(format!("{i:02}.ir"));
+            save_module(module, &path)?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+/// Loads every `.ir` file under `dir` (one directory level per benchmark,
+/// as produced by [`save_suite`]) back into [`Benchmark`]s.
+///
+/// # Errors
+///
+/// Fails if the directory cannot be read or any file fails to parse or
+/// verify.
+pub fn load_dir(dir: &Path) -> Result<Vec<Benchmark>, Box<dyn Error>> {
+    let mut benches = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let mut files: Vec<_> = std::fs::read_dir(entry.path())?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+            .collect();
+        files.sort();
+        let mut modules = Vec::new();
+        for f in files {
+            modules.push(load_module(&f)?);
+        }
+        if modules.is_empty() {
+            continue;
+        }
+        // Benchmark names are 'static in the in-memory suite; disk corpora
+        // use leaked names so both paths share one type.
+        let name: &'static str =
+            Box::leak(entry.file_name().to_string_lossy().into_owned().into_boxed_str());
+        benches.push(Benchmark { name, files: modules });
+    }
+    Ok(benches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("optinline_corpus_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn module_save_load_round_trips() {
+        let dir = tmpdir("single");
+        let module = crate::generator::generate_file(&crate::GenParams::named("disk", 9));
+        let path = dir.join("disk.ir");
+        save_module(&module, &path).unwrap();
+        let loaded = load_module(&path).unwrap();
+        assert_eq!(loaded, module);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn suite_save_load_round_trips() {
+        let dir = tmpdir("suite");
+        let written = save_suite(&dir, Scale::Small).unwrap();
+        assert!(written.len() >= 20, "at least one file per benchmark");
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 20);
+        let orig = crate::suite::spec_suite(Scale::Small);
+        let find = |name: &str| loaded.iter().find(|b| b.name == name).expect("benchmark present");
+        for b in &orig {
+            assert_eq!(find(b.name).files, b.files, "{}", b.name);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_reports_broken_files_with_path() {
+        let dir = tmpdir("broken");
+        std::fs::create_dir_all(dir.join("bad")).unwrap();
+        std::fs::write(dir.join("bad/00.ir"), "this is not IR").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("00.ir"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,529 @@
+//! The deterministic synthetic program generator.
+//!
+//! SPEC2017, SQLite, and LLVM sources are license-gated (the paper's own
+//! artifact ships derived IR for the same reason), so the experiments run
+//! on generated modules whose call graphs and bodies reproduce the
+//! *structure* that makes inlining-for-size non-trivial:
+//!
+//! - tiny wrappers and leaves (inlining wins),
+//! - fat callees with several callers (inlining bloats),
+//! - branchy callees guarded by arguments that often arrive constant
+//!   (inlining unlocks folding cascades and DCE),
+//! - call graphs with bridges, stars, diamonds, and multiple components
+//!   (the topology §3.2 exploits),
+//! - bounded loops and global stores so programs have observable,
+//!   terminating behaviour for the interpreter (Figure 19).
+//!
+//! Generation is a pure function of [`GenParams`] — same params, same
+//! module, bit for bit.
+
+use optinline_ir::{assert_verified, BinOp, FuncBuilder, FuncId, GlobalId, Linkage, Module};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one generated file (translation unit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenParams {
+    /// Module name (reported in experiment output).
+    pub name: String,
+    /// RNG seed; everything else equal, the seed selects the file.
+    pub seed: u64,
+    /// Number of internal (inlinable, deletable) functions.
+    pub n_internal: usize,
+    /// Number of extra public entry points besides `main`.
+    pub n_public: usize,
+    /// Average straight-line ops per function body.
+    pub avg_body_ops: usize,
+    /// Expected number of calls per non-leaf function.
+    pub call_density: f64,
+    /// Probability that a call argument is a literal constant.
+    pub const_arg_prob: f64,
+    /// Probability a function guards a heavy region behind an
+    /// argument-dependent branch (the folding-cascade makers).
+    pub branchy_prob: f64,
+    /// Probability a function contains a bounded loop.
+    pub loop_prob: f64,
+    /// Probability a function is a trivial forwarding wrapper.
+    pub wrapper_prob: f64,
+    /// Probability a function body is "fat" (~4× the average ops).
+    pub fat_prob: f64,
+    /// Whether to add one self-recursive function (guarded, terminating).
+    pub recursion: bool,
+    /// Number of global cells (effect sinks).
+    pub n_globals: usize,
+    /// Probability an internal function is marked non-inlinable (the
+    /// paper's footnote 1: not every callee can be inlined). Calls to such
+    /// functions are not candidates and do not join the inlining graph.
+    pub noinline_prob: f64,
+    /// Number of independent call-graph clusters. Functions only call
+    /// within their cluster, and each cluster gets its own public root, so
+    /// `clusters > 1` yields disconnected inlining components — the
+    /// topology §3.1 of the paper exploits.
+    pub clusters: usize,
+    /// Callee-selection window: a function calls functions at most this far
+    /// below it in its cluster. Small windows yield chain/tree graphs full
+    /// of bridges (§3.2); large windows yield dense shared-callee graphs.
+    pub call_window: usize,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            name: "generated".into(),
+            seed: 0,
+            n_internal: 8,
+            n_public: 1,
+            avg_body_ops: 6,
+            call_density: 1.3,
+            const_arg_prob: 0.5,
+            branchy_prob: 0.35,
+            loop_prob: 0.15,
+            wrapper_prob: 0.2,
+            fat_prob: 0.15,
+            recursion: false,
+            n_globals: 2,
+            noinline_prob: 0.0,
+            clusters: 1,
+            call_window: 4,
+        }
+    }
+}
+
+impl GenParams {
+    /// Convenience: a named, seeded variant of the defaults.
+    pub fn named(name: impl Into<String>, seed: u64) -> Self {
+        GenParams { name: name.into(), seed, ..Default::default() }
+    }
+}
+
+const OPS: [BinOp; 6] = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And, BinOp::Or, BinOp::Mul];
+
+struct Gen {
+    rng: StdRng,
+    globals: Vec<GlobalId>,
+}
+
+impl Gen {
+    fn op(&mut self) -> BinOp {
+        OPS[self.rng.gen_range(0..OPS.len())]
+    }
+
+    fn small_const(&mut self) -> i64 {
+        self.rng.gen_range(-64..256)
+    }
+
+    /// Emits `n` straight-line ops folding into an accumulator.
+    fn arith(&mut self, b: &mut FuncBuilder<'_>, mut acc: optinline_ir::ValueId, n: usize) -> optinline_ir::ValueId {
+        for _ in 0..n {
+            let op = self.op();
+            let c = self.small_const();
+            let cv = b.iconst(c);
+            acc = b.bin(op, acc, cv);
+        }
+        acc
+    }
+
+    /// Emits a call to `callee`, choosing constant or flowing arguments.
+    fn call(
+        &mut self,
+        b: &mut FuncBuilder<'_>,
+        callee: FuncId,
+        n_params: usize,
+        flow: optinline_ir::ValueId,
+        const_arg_prob: f64,
+    ) -> optinline_ir::ValueId {
+        let mut args = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            if self.rng.gen_bool(const_arg_prob) {
+                let c = self.rng.gen_range(0..8);
+                args.push(b.iconst(c));
+            } else {
+                args.push(flow);
+            }
+        }
+        b.call(callee, &args).expect("generated calls use their results")
+    }
+}
+
+/// Generates one file. The call graph is a DAG over the internal functions
+/// (higher indices call lower ones) with public roots on top, so generated
+/// programs always terminate; an optional guarded self-recursive function
+/// can be added ([`GenParams::recursion`]).
+pub fn generate_file(params: &GenParams) -> Module {
+    let mut module = Module::new(params.name.clone());
+    let globals: Vec<GlobalId> = (0..params.n_globals.max(1))
+        .map(|i| module.add_global(format!("g{i}"), i as i64 * 3 + 1))
+        .collect();
+    let mut g = Gen { rng: StdRng::seed_from_u64(params.seed), globals };
+
+    // Declare internals bottom-up: function i may call lower-indexed
+    // functions of its own cluster, within the configured window.
+    let n_clusters = params.clusters.clamp(1, params.n_internal.max(1));
+    let mut internals: Vec<(FuncId, usize)> = Vec::new(); // (id, n_params)
+    let mut cluster_of: Vec<usize> = Vec::new();
+    for i in 0..params.n_internal {
+        let n_params = g.rng.gen_range(1..=2);
+        let id = module.declare_function(format!("f{i}"), n_params, Linkage::Internal);
+        if params.noinline_prob > 0.0 && g.rng.gen_bool(params.noinline_prob) {
+            module.func_mut(id).inlinable = false;
+        }
+        internals.push((id, n_params));
+        cluster_of.push(i % n_clusters);
+    }
+
+    for i in 0..params.n_internal {
+        let (fid, _) = internals[i];
+        let window_lo = i.saturating_sub(params.call_window.max(1) * n_clusters);
+        let callees: Vec<(FuncId, usize)> = (window_lo..i)
+            .filter(|&j| cluster_of[j] == cluster_of[i])
+            .map(|j| internals[j])
+            .collect();
+        build_body(&mut g, &mut module, fid, &callees, params);
+    }
+
+    if params.recursion && params.n_internal > 0 {
+        let rec = module.declare_function("rec", 1, Linkage::Internal);
+        let (leaf, leaf_params) = internals[0];
+        let mut b = FuncBuilder::new(&mut module, rec);
+        let raw = b.param(0);
+        // Clamp the countdown so arbitrary caller values cannot overflow
+        // the interpreter's call stack.
+        let mask = b.iconst(15);
+        let n = b.bin(BinOp::And, raw, mask);
+        let zero = b.iconst(0);
+        let done = b.bin(BinOp::Le, n, zero);
+        let (base, _) = b.new_block(0);
+        let (step, _) = b.new_block(0);
+        b.branch(done, base, &[], step, &[]);
+        b.switch_to(base);
+        b.ret(Some(zero));
+        b.switch_to(step);
+        let one = b.iconst(1);
+        let n1 = b.bin(BinOp::Sub, n, one);
+        let sub = b.call(rec, &[n1]).unwrap();
+        let args: Vec<_> = (0..leaf_params).map(|_| sub).collect();
+        let leaf_v = b.call(leaf, &args).unwrap();
+        let r = b.bin(BinOp::Add, sub, leaf_v);
+        b.ret(Some(r));
+        internals.push((rec, 1));
+    }
+
+    // One public root per cluster, each calling the top functions of its
+    // cluster only — clusters stay disconnected in the call graph.
+    for c in 0..n_clusters.min(params.n_public.max(1)) {
+        let id = module.declare_function(format!("entry{c}"), 1, Linkage::Public);
+        let targets: Vec<(FuncId, usize)> = (0..params.n_internal)
+            .filter(|&j| cluster_of[j] == c)
+            .rev()
+            .take(2)
+            .map(|j| internals[j])
+            .collect();
+        build_entry(&mut g, &mut module, id, &targets, 2.min(targets.len().max(1)), params, false);
+    }
+    // `main` drives cluster 0 (and the recursive function when present).
+    let main_targets: Vec<(FuncId, usize)> = if params.recursion && !internals.is_empty() {
+        vec![*internals.last().expect("recursion pushed a function")]
+    } else {
+        (0..params.n_internal)
+            .filter(|&j| cluster_of[j] == 0)
+            .rev()
+            .take(2)
+            .map(|j| internals[j])
+            .collect()
+    };
+    let main = module.declare_function("main", 0, Linkage::Public);
+    build_entry(&mut g, &mut module, main, &main_targets, 2.min(main_targets.len().max(1)), params, true);
+
+    assert_verified(&module);
+    module
+}
+
+fn build_body(
+    g: &mut Gen,
+    module: &mut Module,
+    fid: FuncId,
+    callees: &[(FuncId, usize)],
+    params: &GenParams,
+) {
+    let is_wrapper = !callees.is_empty() && g.rng.gen_bool(params.wrapper_prob);
+    let is_branchy = g.rng.gen_bool(params.branchy_prob);
+    let has_loop = g.rng.gen_bool(params.loop_prob);
+    let is_fat = g.rng.gen_bool(params.fat_prob);
+    let base_ops = if is_fat { params.avg_body_ops * 4 } else { params.avg_body_ops };
+    let ops = g.rng.gen_range((base_ops / 2).max(1)..=base_ops.max(1) * 3 / 2 + 1);
+
+    let mut b = FuncBuilder::new(module, fid);
+    let p = b.param(0);
+
+    if is_wrapper {
+        // Forward to one callee, at most one extra op.
+        let (callee, n_params) = callees[g.rng.gen_range(0..callees.len())];
+        let v = g.call(&mut b, callee, n_params, p, params.const_arg_prob);
+        let r = if g.rng.gen_bool(0.5) { b.bin(BinOp::Add, v, p) } else { v };
+        b.ret(Some(r));
+        return;
+    }
+
+    let mut acc = g.arith(&mut b, p, ops / 2);
+
+    if is_branchy {
+        // Heavy region guarded by a comparison with a small constant —
+        // constant arguments from callers fold the guard after inlining.
+        let magic = b.iconst(g.rng.gen_range(0..4));
+        let cond = b.bin(BinOp::Eq, p, magic);
+        let (cheap, _) = b.new_block(0);
+        let (heavy, _) = b.new_block(0);
+        let (join, jp) = b.new_block(1);
+        b.branch(cond, cheap, &[], heavy, &[]);
+        b.switch_to(cheap);
+        let c = b.iconst(1);
+        b.jump(join, &[c]);
+        b.switch_to(heavy);
+        let heavy_ops = ops.max(6) * 2;
+        let hv = g.arith(&mut b, acc, heavy_ops);
+        b.jump(join, &[hv]);
+        b.switch_to(join);
+        acc = jp[0];
+    }
+
+    if has_loop {
+        let bound = b.iconst(g.rng.gen_range(3..12));
+        let zero = b.iconst(0);
+        let (hdr, hp) = b.new_block(2);
+        let (body, _) = b.new_block(0);
+        let (exit, _) = b.new_block(0);
+        b.jump(hdr, &[zero, acc]);
+        let (i, sum) = (hp[0], hp[1]);
+        let c = b.bin(BinOp::Lt, i, bound);
+        b.branch(c, body, &[], exit, &[]);
+        b.switch_to(body);
+        let sum2 = b.bin(g.op(), sum, i);
+        let one = b.iconst(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(hdr, &[i2, sum2]);
+        b.switch_to(exit);
+        acc = sum;
+    }
+
+    // Calls: Poisson-ish with expectation call_density.
+    if !callees.is_empty() {
+        let mut budget = params.call_density;
+        while budget > 0.0 {
+            let take = if budget >= 1.0 { true } else { g.rng.gen_bool(budget) };
+            if take {
+                let (callee, n_params) = callees[g.rng.gen_range(0..callees.len())];
+                let v = g.call(&mut b, callee, n_params, acc, params.const_arg_prob);
+                acc = b.bin(g.op(), acc, v);
+            }
+            budget -= 1.0;
+        }
+    }
+
+    // Occasionally touch a global so effects exist.
+    if g.rng.gen_bool(0.3) {
+        let gl = g.globals[g.rng.gen_range(0..g.globals.len())];
+        let old = b.load(gl);
+        let neu = b.bin(BinOp::Add, old, acc);
+        b.store(gl, neu);
+    }
+
+    acc = g.arith(&mut b, acc, ops.div_ceil(2));
+    b.ret(Some(acc));
+}
+
+fn build_entry(
+    g: &mut Gen,
+    module: &mut Module,
+    fid: FuncId,
+    targets: &[(FuncId, usize)],
+    n_targets: usize,
+    params: &GenParams,
+    is_main: bool,
+) {
+    let mut b = FuncBuilder::new(module, fid);
+    let seedv = if is_main { b.iconst(9) } else { b.param(0) };
+    let mut acc = seedv;
+    if targets.is_empty() || params.call_density == 0.0 {
+        // Zero call density means the whole file is trivial w.r.t.
+        // inlining (the paper's 746 decision-free files).
+        let r = g.arith(&mut b, acc, params.avg_body_ops);
+        if is_main {
+            let gl = g.globals[0];
+            b.store(gl, r);
+        }
+        b.ret(Some(r));
+        return;
+    }
+    for k in 0..n_targets.min(targets.len()) {
+        let (callee, n_params) = targets[k % targets.len()];
+        let v = g.call(&mut b, callee, n_params, acc, params.const_arg_prob);
+        acc = b.bin(g.op(), acc, v);
+    }
+    if is_main {
+        let gl = g.globals[0];
+        b.store(gl, acc);
+    }
+    b.ret(Some(acc));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::interp::run_main;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GenParams::named("det", 1234);
+        let a = generate_file(&p);
+        let b = generate_file(&p);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_file(&GenParams::named("x", 1));
+        let b = generate_file(&GenParams::named("x", 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_files_verify_and_terminate() {
+        for seed in 0..25 {
+            let p = GenParams {
+                recursion: seed % 5 == 0,
+                ..GenParams::named(format!("s{seed}"), seed)
+            };
+            let m = generate_file(&p);
+            optinline_ir::verify_module(&m).unwrap();
+            let out = run_main(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(out.steps > 0);
+        }
+    }
+
+    #[test]
+    fn generated_files_have_inlinable_sites() {
+        let m = generate_file(&GenParams::named("sites", 77));
+        assert!(!m.inlinable_sites().is_empty());
+    }
+
+    #[test]
+    fn density_controls_site_count() {
+        let sparse = generate_file(&GenParams {
+            call_density: 0.4,
+            ..GenParams::named("sparse", 5)
+        });
+        let dense = generate_file(&GenParams {
+            call_density: 3.0,
+            n_internal: 12,
+            ..GenParams::named("dense", 5)
+        });
+        assert!(dense.inlinable_sites().len() > sparse.inlinable_sites().len());
+    }
+
+    #[test]
+    fn programs_have_cross_file_externs_that_link_resolves() {
+        let files = generate_program(3, &GenParams::named("prog", 77));
+        assert_eq!(files.len(), 3);
+        let per_file_sites: usize = files.iter().map(|m| m.inlinable_sites().len()).sum();
+        let has_externs = files
+            .iter()
+            .any(|m| m.func_ids().any(|id| m.is_extern_decl(id)));
+        assert!(has_externs, "later files should import earlier files' entries");
+        let linked = optinline_ir::link_modules("prog", &files);
+        optinline_ir::verify_module(&linked).unwrap();
+        let linked_sites = linked.inlinable_sites().len();
+        assert!(
+            linked_sites > per_file_sites,
+            "linking must expose cross-TU candidates ({linked_sites} vs {per_file_sites})"
+        );
+        optinline_ir::interp::run_main(&linked).unwrap();
+    }
+
+    #[test]
+    fn noinline_probability_marks_functions_non_inlinable() {
+        let m = generate_file(&GenParams {
+            noinline_prob: 1.0,
+            ..GenParams::named("ni", 3)
+        });
+        assert!(m.iter_funcs().any(|(_, f)| !f.inlinable));
+        assert!(m.inlinable_sites().is_empty());
+        optinline_ir::verify_module(&m).unwrap();
+        optinline_ir::interp::run_main(&m).unwrap();
+    }
+
+    #[test]
+    fn program_generation_is_deterministic() {
+        let a = generate_program(3, &GenParams::named("prog", 5));
+        let b = generate_program(3, &GenParams::named("prog", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursion_flag_adds_a_guarded_recursive_function() {
+        let m = generate_file(&GenParams { recursion: true, ..GenParams::named("rec", 3) });
+        let rec = m.func_by_name("rec").unwrap();
+        let edges = m.func(rec).call_edges();
+        assert!(edges.iter().any(|(_, callee)| *callee == rec));
+        run_main(&m).unwrap();
+    }
+}
+
+/// Generates a multi-file *program*: `n_files` modules where later files
+/// call earlier files' public entry points through `extern` declarations.
+///
+/// Per-file, those cross-TU calls are not inlining candidates (the callee
+/// body is unavailable — the compilation-model limitation of the paper's
+/// footnote 5); linking the program with
+/// [`link_modules`](optinline_ir::link_modules) resolves them and exposes
+/// the cross-file headroom the `lto` experiment measures.
+pub fn generate_program(n_files: usize, base: &GenParams) -> Vec<Module> {
+    assert!(n_files >= 1, "a program needs at least one file");
+    let mut modules: Vec<Module> = Vec::with_capacity(n_files);
+    // Public symbols exported so far: (name, n_params).
+    let mut exports: Vec<(String, usize)> = Vec::new();
+    for i in 0..n_files {
+        let params = GenParams {
+            name: format!("{}/{i:02}.ir", base.name),
+            seed: base.seed.wrapping_add(i as u64 * 0x9E37),
+            ..base.clone()
+        };
+        let mut m = generate_file(&params);
+        // Qualify this file's public names so they are unique program-wide
+        // (only file 0 keeps the `main` entry point).
+        let renames: Vec<(FuncId, String)> = m
+            .iter_funcs()
+            .filter(|(_, f)| f.linkage == Linkage::Public)
+            .filter(|(_, f)| !(i == 0 && f.name == "main"))
+            .map(|(id, f)| (id, format!("u{i}_{}", f.name)))
+            .collect();
+        for (id, name) in renames {
+            m.func_mut(id).name = name;
+        }
+        // Cross-TU users: one public function per earlier file referenced,
+        // calling that file's qualified entry through an extern prototype.
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xC0FFEE);
+        let n_imports = exports.len().min(2);
+        for k in 0..n_imports {
+            let (name, n_params) = exports[rng.gen_range(0..exports.len())].clone();
+            let already = m.func_by_name(&name);
+            let ext = already.unwrap_or_else(|| m.declare_extern(name.clone(), n_params));
+            let user = m.declare_function(format!("u{i}_xuse{k}"), 1, Linkage::Public);
+            let mut b = FuncBuilder::new(&mut m, user);
+            let p = b.param(0);
+            let args: Vec<_> = (0..n_params).map(|_| p).collect();
+            let v = b.call(ext, &args).unwrap();
+            let r = b.bin(BinOp::Add, v, p);
+            b.ret(Some(r));
+        }
+        assert_verified(&m);
+        exports.extend(
+            m.iter_funcs()
+                .filter(|(id, f)| f.linkage == Linkage::Public && !m.is_extern_decl(*id))
+                .filter(|(_, f)| f.name != "main" && !f.name.contains("xuse"))
+                .map(|(_, f)| (f.name.clone(), f.param_count())),
+        );
+        modules.push(m);
+    }
+    modules
+}

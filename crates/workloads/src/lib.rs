@@ -1,0 +1,41 @@
+//! # optinline-workloads
+//!
+//! Deterministic synthetic workloads for the optimal-inlining study.
+//!
+//! SPEC2017, SQLite, and LLVM sources are license-gated (the paper's own
+//! artifact ships only derived IR for the same reason), so this crate
+//! supplies (a) a seeded program [`generator`] whose output exercises every
+//! inlining trade-off the paper's corpus exhibits, (b) a 20-benchmark
+//! SPEC2017-shaped [`suite`], an SQLite-style amalgamation, and an
+//! LLVM-style library, and (c) hand-crafted modules realizing the paper's
+//! figures ([`samples`]).
+//!
+//! Everything is a pure function of its parameters: the same suite is
+//! regenerated bit-for-bit on every run, which is what makes the
+//! experiment harness's numbers reproducible.
+//!
+//! ```
+//! use optinline_workloads::{spec_suite, Scale};
+//!
+//! let suite = spec_suite(Scale::Small);
+//! assert_eq!(suite.len(), 20);
+//! let total_sites: usize = suite
+//!     .iter()
+//!     .flat_map(|b| &b.files)
+//!     .map(|f| f.inlinable_sites().len())
+//!     .sum();
+//! assert!(total_sites > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod corpus;
+pub mod generator;
+pub mod samples;
+pub mod shapes;
+pub mod suite;
+
+pub use corpus::{load_dir, load_module, save_module, save_suite};
+pub use generator::{generate_file, generate_program, GenParams};
+pub use suite::{amalgamation, large_library, paper_samples, spec_suite, Benchmark, Scale};

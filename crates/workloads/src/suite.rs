@@ -1,0 +1,312 @@
+//! The benchmark suites the experiments run on: a 20-benchmark
+//! SPEC2017-shaped suite of generated files, an SQLite-style amalgamation,
+//! and an LLVM-style multi-module library.
+//!
+//! Each benchmark gets a *profile* chosen to reproduce the qualitative
+//! behaviour the paper reports for its namesake — e.g. `mfc` leans heavily
+//! on constant-argument folding cascades (the paper's biggest autotuning
+//! win), `imagick`/`parest` get shared-callee DCE stars (Figure 11/13
+//! territory), `leela` gets wrapper chains (Figure 14), `cam4` is trivial
+//! w.r.t. inlining, and `wrf`/`pop2` are fat-bodied and inline-averse.
+
+use crate::generator::{generate_file, GenParams};
+use crate::samples;
+use optinline_ir::Module;
+
+/// A named benchmark: a set of independently compiled files (modules).
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (SPEC2017-style).
+    pub name: &'static str,
+    /// The benchmark's translation units.
+    pub files: Vec<Module>,
+}
+
+/// Suite scale, trading experiment fidelity for runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few files per benchmark with small call graphs — CI-sized.
+    Small,
+    /// The full synthetic suite used by `optinline-experiments`.
+    Full,
+}
+
+struct Profile {
+    name: &'static str,
+    files: usize,
+    n_internal: (usize, usize),
+    avg_body_ops: usize,
+    call_density: f64,
+    const_arg_prob: f64,
+    branchy_prob: f64,
+    loop_prob: f64,
+    wrapper_prob: f64,
+    fat_prob: f64,
+    recursion: bool,
+}
+
+const fn profile(
+    name: &'static str,
+    files: usize,
+    n_internal: (usize, usize),
+    avg_body_ops: usize,
+    call_density: f64,
+    const_arg_prob: f64,
+    branchy_prob: f64,
+    wrapper_prob: f64,
+    fat_prob: f64,
+) -> Profile {
+    Profile {
+        name,
+        files,
+        n_internal,
+        avg_body_ops,
+        call_density,
+        const_arg_prob,
+        branchy_prob,
+        loop_prob: 0.15,
+        wrapper_prob,
+        fat_prob,
+        recursion: false,
+    }
+}
+
+fn profiles() -> Vec<Profile> {
+    vec![
+        profile("blender", 14, (5, 12), 4, 1.4, 0.45, 0.35, 0.4, 0.15),
+        profile("cactuBSSN", 8, (6, 11), 6, 1.6, 0.3, 0.2, 0.25, 0.3),
+        // cam4: trivial w.r.t. inlining — no calls at all.
+        profile("cam4", 5, (3, 5), 8, 0.0, 0.0, 0.2, 0.0, 0.1),
+        profile("deepsjeng", 6, (4, 8), 4, 1.1, 0.35, 0.4, 0.35, 0.1),
+        profile("gcc", 24, (6, 16), 4, 1.7, 0.4, 0.3, 0.4, 0.15),
+        profile("imagick", 10, (5, 10), 6, 1.5, 0.3, 0.55, 0.2, 0.35),
+        profile("lbm", 3, (2, 4), 4, 0.7, 0.5, 0.3, 0.3, 0.1),
+        profile("leela", 8, (5, 10), 4, 1.4, 0.6, 0.45, 0.55, 0.1),
+        profile("mfc", 4, (4, 8), 6, 1.3, 0.2, 0.5, 0.3, 0.3),
+        profile("nab", 5, (4, 7), 5, 1.1, 0.4, 0.25, 0.3, 0.12),
+        profile("namd", 6, (4, 8), 7, 1.2, 0.4, 0.3, 0.25, 0.2),
+        profile("omnetpp", 10, (5, 11), 3, 1.5, 0.5, 0.3, 0.6, 0.08),
+        profile("parest", 12, (6, 13), 5, 1.6, 0.65, 0.5, 0.3, 0.2),
+        profile("perlbench", 12, (5, 12), 4, 1.5, 0.45, 0.35, 0.4, 0.15),
+        profile("pop2", 6, (4, 8), 8, 1.0, 0.3, 0.2, 0.15, 0.35),
+        profile("povray", 10, (5, 11), 4, 1.4, 0.5, 0.4, 0.35, 0.15),
+        profile("wrf", 8, (4, 9), 9, 0.9, 0.25, 0.15, 0.12, 0.4),
+        profile("x264", 10, (5, 10), 4, 1.4, 0.45, 0.5, 0.4, 0.12),
+        profile("xalancbmk", 12, (6, 13), 3, 1.6, 0.5, 0.35, 0.55, 0.1),
+        profile("xz", 4, (3, 6), 4, 1.0, 0.3, 0.35, 0.35, 0.1),
+    ]
+}
+
+fn seed_for(bench: &str, file_idx: usize) -> u64 {
+    // FNV-1a over the benchmark name, mixed with the index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bench.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ (file_idx as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Builds the SPEC2017-shaped synthetic suite.
+pub fn spec_suite(scale: Scale) -> Vec<Benchmark> {
+    profiles()
+        .into_iter()
+        .map(|p| {
+            let files = match scale {
+                Scale::Small => p.files.min(3),
+                Scale::Full => p.files,
+            };
+            let modules = (0..files)
+                .map(|i| {
+                    let seed = seed_for(p.name, i);
+                    let (lo, hi) = p.n_internal;
+                    let span = (hi - lo).max(1) as u64;
+                    let n_internal = lo + (seed % span as u64) as usize;
+                    let n_internal = match scale {
+                        Scale::Small => n_internal.min(5),
+                        Scale::Full => n_internal,
+                    };
+                    let recursion = p.recursion || (p.name == "xz" && i == 0);
+                    generate_file(&GenParams {
+                        name: format!("{}/{:02}.ir", p.name, i),
+                        seed,
+                        n_internal,
+                        n_public: 1 + (seed % 2) as usize,
+                        avg_body_ops: p.avg_body_ops,
+                        call_density: p.call_density,
+                        const_arg_prob: p.const_arg_prob,
+                        branchy_prob: p.branchy_prob,
+                        loop_prob: p.loop_prob,
+                        wrapper_prob: p.wrapper_prob,
+                        fat_prob: p.fat_prob,
+                        recursion,
+                        n_globals: 2,
+                        noinline_prob: 0.0,
+                        clusters: 1 + (seed >> 8) as usize % 3,
+                        call_window: 1 + (seed >> 16) as usize % 3,
+                    })
+                })
+                .collect();
+            Benchmark { name: p.name, files: modules }
+        })
+        .collect()
+}
+
+/// The SQLite-style amalgamation: one large module, wrapper- and
+/// branch-heavy, with many inlinable calls (§5.2.3).
+pub fn amalgamation(scale: Scale) -> Module {
+    let n_internal = match scale {
+        Scale::Small => 24,
+        Scale::Full => 110,
+    };
+    generate_file(&GenParams {
+        name: "sqlite_amalgamation.ir".into(),
+        seed: 0x5EA7_B17E,
+        n_internal,
+        n_public: 6,
+        avg_body_ops: 6,
+        call_density: 1.8,
+        // Wins come from call elimination and single-caller collapse, not
+        // constant folding: that is what makes the x86/wasm contrast of
+        // §5.2.3 visible (folding pays on any target; call overhead and
+        // per-function overhead only pay where they are expensive).
+        const_arg_prob: 0.2,
+        branchy_prob: 0.25,
+        loop_prob: 0.12,
+        wrapper_prob: 0.45,
+        fat_prob: 0.18,
+        recursion: true,
+        n_globals: 4,
+        noinline_prob: 0.0,
+        clusters: 4,
+        call_window: 2,
+    })
+}
+
+/// The LLVM-style library: several large modules with big call graphs
+/// (§5.2.3's `llvm/lib` case study, scaled to laptop size).
+pub fn large_library(scale: Scale) -> Vec<Module> {
+    let (n_modules, n_internal) = match scale {
+        Scale::Small => (2, 18),
+        Scale::Full => (6, 60),
+    };
+    (0..n_modules)
+        .map(|i| {
+            generate_file(&GenParams {
+                name: format!("llvm_lib/{i:02}.ir"),
+                seed: 0x11_77_AA_00 + i as u64,
+                n_internal,
+                n_public: 4,
+                avg_body_ops: 7,
+                call_density: 2.0,
+                const_arg_prob: 0.5,
+                branchy_prob: 0.35,
+                loop_prob: 0.15,
+                wrapper_prob: 0.3,
+                fat_prob: 0.2,
+                recursion: i == 0,
+                n_globals: 3,
+                noinline_prob: 0.0,
+                clusters: 3,
+                call_window: 5,
+            })
+        })
+        .collect()
+}
+
+/// The hand-crafted paper-figure modules, for the case-study experiments.
+pub fn paper_samples() -> Vec<Module> {
+    vec![
+        samples::listing1(),
+        samples::fig2(),
+        samples::fig4(),
+        samples::fig5(),
+        samples::dce_star(5),
+        samples::outline_trap(6),
+        samples::dce_chain(),
+        samples::xalan_bitmap(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_benchmarks() {
+        let suite = spec_suite(Scale::Small);
+        assert_eq!(suite.len(), 20);
+        let names: Vec<_> = suite.iter().map(|b| b.name).collect();
+        assert!(names.contains(&"gcc"));
+        assert!(names.contains(&"mfc"));
+        assert!(names.contains(&"xalancbmk"));
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = spec_suite(Scale::Small);
+        let b = spec_suite(Scale::Small);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.files, y.files);
+        }
+    }
+
+    #[test]
+    fn cam4_is_trivial_with_respect_to_inlining() {
+        let suite = spec_suite(Scale::Small);
+        let cam4 = suite.iter().find(|b| b.name == "cam4").unwrap();
+        for f in &cam4.files {
+            assert!(f.inlinable_sites().is_empty(), "{} has sites", f.name);
+        }
+    }
+
+    #[test]
+    fn non_trivial_benchmarks_have_sites() {
+        let suite = spec_suite(Scale::Small);
+        for b in suite.iter().filter(|b| b.name != "cam4") {
+            let total: usize = b.files.iter().map(|f| f.inlinable_sites().len()).sum();
+            assert!(total > 0, "{} should have inlinable sites", b.name);
+        }
+    }
+
+    #[test]
+    fn all_small_suite_files_verify_and_run() {
+        for b in spec_suite(Scale::Small) {
+            for f in &b.files {
+                optinline_ir::verify_module(f).unwrap();
+                optinline_ir::interp::run_main(f)
+                    .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            }
+        }
+    }
+
+    #[test]
+    fn amalgamation_is_large_and_runnable() {
+        let m = amalgamation(Scale::Small);
+        assert!(m.inlinable_sites().len() >= 20);
+        optinline_ir::verify_module(&m).unwrap();
+        optinline_ir::interp::run_main(&m).unwrap();
+    }
+
+    #[test]
+    fn large_library_produces_multiple_modules() {
+        let lib = large_library(Scale::Small);
+        assert_eq!(lib.len(), 2);
+        for m in &lib {
+            assert!(m.inlinable_sites().len() >= 15, "{}", m.name);
+            optinline_ir::verify_module(m).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_scale_is_bigger_than_small() {
+        let small: usize = spec_suite(Scale::Small).iter().map(|b| b.files.len()).sum();
+        let full: usize = spec_suite(Scale::Full).iter().map(|b| b.files.len()).sum();
+        assert!(full > small * 2);
+        assert!(
+            amalgamation(Scale::Full).inlinable_sites().len()
+                > amalgamation(Scale::Small).inlinable_sites().len()
+        );
+    }
+}

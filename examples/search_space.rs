@@ -1,0 +1,57 @@
+//! Search-space reduction demo (§3 of the paper): for the paper's own
+//! call-graph figures and a handful of generated files, print the naïve
+//! `2^n` space against the recursively partitioned one.
+//!
+//! Run with: `cargo run --example search_space`
+
+use optinline::core::tree::{space_size, tree_stats, try_build_inlining_tree};
+use optinline::prelude::*;
+use optinline::workloads::{samples, GenParams};
+
+fn report(label: &str, module: &Module) {
+    let n = module.inlinable_sites().len();
+    let graph = InlineGraph::from_module(module);
+    // Budget-bounded: files whose recursive space would exceed 2^20 are
+    // reported as unexplorable instead of hanging the demo.
+    match try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1 << 20) {
+        Some(tree) => {
+            let stats = tree_stats(&tree);
+            println!(
+                "{label:<24} sites={n:>3}  naive=2^{n:<2} ({:>10})  recursive={:>8}  components_nodes={:>4}",
+                1u128 << n,
+                space_size(&tree),
+                stats.components_nodes,
+            );
+        }
+        None => println!(
+            "{label:<24} sites={n:>3}  naive=2^{n:<2} ({:>10})  recursive= > 2^20 (skipped)",
+            1u128 << n
+        ),
+    }
+}
+
+fn main() {
+    println!("-- paper figures --");
+    report("listing1", &samples::listing1());
+    report("fig2 (A,B,C,D)", &samples::fig2());
+    report("fig4 (2 components)", &samples::fig4());
+    report("fig5 (bridge chain)", &samples::fig5());
+    report("dce_star(5)", &samples::dce_star(5));
+    report("xalan_bitmap", &samples::xalan_bitmap());
+
+    println!("\n-- generated files (growing call graphs) --");
+    for (i, n_internal) in [6usize, 10, 14, 18].into_iter().enumerate() {
+        let m = optinline::workloads::generate_file(&GenParams {
+            n_internal,
+            call_density: 1.4,
+            clusters: 1 + i % 3,
+            call_window: 2,
+            ..GenParams::named(format!("gen{n_internal}"), 1000 + i as u64)
+        });
+        report(&format!("generated n={n_internal}"), &m);
+    }
+
+    println!("\nThe recursive space never loses the optimum — it only");
+    println!("re-orders the enumeration so independent components multiply");
+    println!("instead of exponentiating (paper §3.2).");
+}

@@ -1,0 +1,145 @@
+//! Property tests spanning crates: the optimization pipeline preserves
+//! observable behaviour, the printer/parser round-trips, and the tree
+//! search stays sound, all over *generated* programs.
+
+use optinline::prelude::*;
+use optinline::workloads::GenParams;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (
+        0u64..10_000,
+        1usize..8,
+        0usize..3,
+        1usize..10,
+        0.0f64..2.2,
+        0.0f64..1.0,
+        0.0f64..0.8,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, n_internal, n_public, avg_body_ops, call_density, const_arg_prob, wrapper_prob, recursion)| {
+                GenParams {
+                    name: format!("prop{seed}"),
+                    seed,
+                    n_internal,
+                    n_public,
+                    avg_body_ops,
+                    call_density,
+                    const_arg_prob,
+                    branchy_prob: 0.4,
+                    loop_prob: 0.2,
+                    wrapper_prob,
+                    fat_prob: 0.15,
+                    recursion,
+                    n_globals: 2,
+                    noinline_prob: if seed % 5 == 0 { 0.3 } else { 0.0 },
+                    clusters: 1 + (seed % 3) as usize,
+                    call_window: 1 + (seed % 4) as usize,
+                }
+            },
+        )
+}
+
+fn arb_decisions(module: &Module, seed: u64) -> InliningConfiguration {
+    // Deterministic pseudo-random total configuration.
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    module
+        .inlinable_sites()
+        .into_iter()
+        .map(|s| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let d = if x & 1 == 0 { Decision::Inline } else { Decision::NoInline };
+            (s, d)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_preserves_observables_under_any_configuration(
+        params in arb_params(),
+        cfg_seed in 0u64..1000,
+    ) {
+        let module = optinline::workloads::generate_file(&params);
+        let before = optinline::ir::interp::run_main(&module).expect("generated programs terminate");
+        let config = arb_decisions(&module, cfg_seed);
+        let mut optimized = module.clone();
+        optimize_os(
+            &mut optimized,
+            &ForcedDecisions::new(config.decisions().clone()),
+            PipelineOptions { verify_each: true, ..Default::default() },
+        );
+        let after = optinline::ir::interp::run_main(&optimized).expect("optimized programs terminate");
+        prop_assert_eq!(before.observable(), after.observable());
+    }
+
+    #[test]
+    fn printer_parser_round_trip(params in arb_params()) {
+        let module = optinline::workloads::generate_file(&params);
+        let text = module.to_string();
+        let parsed = optinline::ir::parse_module(&text).expect("printer output parses");
+        prop_assert_eq!(parsed.to_string(), text);
+        optinline::ir::verify_module(&parsed).expect("parsed module verifies");
+    }
+
+    #[test]
+    fn tree_search_equals_naive_on_generated_files(seed in 0u64..300) {
+        let module = optinline::workloads::generate_file(&GenParams {
+            n_internal: 2 + (seed % 4) as usize,
+            n_public: 1,
+            call_density: 1.2,
+            recursion: seed % 7 == 0,
+            ..GenParams::named(format!("tree{seed}"), seed)
+        });
+        let ev = CompilerEvaluator::new(module, Box::new(X86Like));
+        let sites = ev.sites().clone();
+        prop_assume!(sites.len() <= 10);
+        let naive = optinline::core::exhaustive_search(&ev, &sites);
+        let optimal = optinline::core::tree::optimal_configuration(&ev, PartitionStrategy::Paper);
+        prop_assert_eq!(optimal.size, naive.size);
+        prop_assert!(optimal.evaluations <= 2 * naive.evaluations + 1);
+    }
+
+    #[test]
+    fn autotuner_rounds_never_lose_to_their_best_base(
+        params in arb_params(),
+    ) {
+        let module = optinline::workloads::generate_file(&params);
+        let ev = CompilerEvaluator::new(module, Box::new(X86Like));
+        let sites = ev.sites().clone();
+        prop_assume!(!sites.is_empty());
+        let tuner = Autotuner::new(&ev, sites);
+        let init_size = ev.size_of(&InliningConfiguration::clean_slate());
+        let outcome = tuner.clean_slate(3);
+        // The best across rounds can never exceed the starting point.
+        prop_assert!(outcome.best().size <= init_size);
+    }
+
+    #[test]
+    fn size_models_are_consistent_across_targets(params in arb_params()) {
+        let module = optinline::workloads::generate_file(&params);
+        let x86 = text_size(&module, &X86Like);
+        let wasm = text_size(&module, &WasmLike);
+        prop_assert!(x86 > 0);
+        prop_assert!(wasm > 0);
+        // The compact target is smaller except when local-index pressure in
+        // very large functions dominates (by design, §5.2.3's wasm effect);
+        // even then it stays within a small factor of the x86 encoding.
+        prop_assert!(wasm as f64 <= x86 as f64 * 1.6, "wasm {wasm} >> x86 {x86}");
+        // Inlining's headline saving differs by construction: calls are far
+        // cheaper to encode on the compact target.
+        let call = optinline::ir::Inst::Call {
+            dst: None,
+            callee: optinline::ir::FuncId::new(0),
+            args: vec![],
+            site: optinline::ir::CallSiteId::new(0),
+            inline_path: vec![],
+        };
+        prop_assert!(WasmLike.inst_bytes(&call) < X86Like.inst_bytes(&call));
+    }
+}
