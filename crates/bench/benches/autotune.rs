@@ -2,7 +2,7 @@
 //! cost scaling with call-site count, initialization variants, and the
 //! graph-algorithm primitives the search leans on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optinline_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optinline_callgraph::{bridge_groups, connected_components, InlineGraph};
 use optinline_codegen::X86Like;
 use optinline_core::autotune::Autotuner;

@@ -1,7 +1,7 @@
 //! Criterion benches for the individual optimization passes and the
 //! incremental-autotuning ablation (full vs dirty-component rounds).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optinline_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optinline_codegen::X86Like;
 use optinline_core::autotune::{site_components, Autotuner};
 use optinline_core::{CompilerEvaluator, InliningConfiguration};

@@ -2,7 +2,7 @@
 //! cost dominates every experiment (one `CompileAndMeasureSize` is the unit
 //! the paper counts in).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optinline_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optinline_codegen::{text_size, X86Like};
 use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
 use optinline_heuristics::CostModelInliner;

@@ -3,7 +3,7 @@
 //! enumeration, plus the partition-strategy ablation called out in
 //! DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optinline_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optinline_callgraph::{InlineGraph, PartitionStrategy};
 use optinline_core::tree::{build_inlining_tree, evaluate_inlining_tree, space_size};
 use optinline_core::{exhaustive_search, CompilerEvaluator, InliningConfiguration};
@@ -31,19 +31,15 @@ fn bench_naive_vs_tree(c: &mut Criterion) {
         b.iter(|| {
             // A fresh evaluator per iteration: the memo cache must not leak
             // work across measurements.
-            let ev = CompilerEvaluator::new(
-                search_module(6, 2),
-                Box::new(optinline_codegen::X86Like),
-            );
+            let ev =
+                CompilerEvaluator::new(search_module(6, 2), Box::new(optinline_codegen::X86Like));
             exhaustive_search(&ev, &sites)
         })
     });
     group.bench_function(BenchmarkId::new("tree", sites.len()), |b| {
         b.iter(|| {
-            let ev = CompilerEvaluator::new(
-                search_module(6, 2),
-                Box::new(optinline_codegen::X86Like),
-            );
+            let ev =
+                CompilerEvaluator::new(search_module(6, 2), Box::new(optinline_codegen::X86Like));
             let graph = InlineGraph::from_module(ev.module());
             let tree = build_inlining_tree(&graph, PartitionStrategy::Paper);
             evaluate_inlining_tree(&tree, &ev, InliningConfiguration::clean_slate())

@@ -1,7 +1,7 @@
 //! # optinline-bench
 //!
-//! Criterion benchmarks for the optimal-inlining reproduction. The
-//! benchmark *harness that regenerates the paper's tables and figures* is
+//! Micro-benchmarks for the optimal-inlining reproduction. The benchmark
+//! *harness that regenerates the paper's tables and figures* is
 //! `optinline-experiments`; this crate measures the machinery itself:
 //!
 //! - `benches/pipeline.rs` — `CompileAndMeasureSize` building blocks: the
@@ -12,5 +12,262 @@
 //!   from DESIGN.md (paper heuristic vs first-edge vs random).
 //! - `benches/autotune.rs` — autotuning round cost vs call-site count, the
 //!   two initialization modes, and the call-graph algorithm primitives.
+//! - `benches/evaluator.rs` — full-module vs component-scoped incremental
+//!   evaluation, and memo-cache contention under parallel queries.
 //!
 //! Run with `cargo bench --workspace`.
+//!
+//! ## Harness
+//!
+//! The container builds fully offline, so instead of Criterion this crate
+//! ships a small self-contained harness exposing the same call shapes the
+//! bench files use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, [`BenchmarkId`], [`criterion_group!`]/[`criterion_main!`]
+//! macros). Each benchmark is timed as `sample_size` samples of an
+//! auto-calibrated batch of iterations; the report prints median, minimum,
+//! and mean per-iteration time.
+//!
+//! Environment knobs:
+//!
+//! - `OPTINLINE_BENCH_FAST=1` — shrink samples/batches for smoke runs.
+//! - first non-flag CLI argument — substring filter on benchmark names.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point object; mirrors `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` (and test-harness flags) to the binary;
+        // treat the first non-flag argument as a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let fast = std::env::var("OPTINLINE_BENCH_FAST").is_ok_and(|v| v != "0");
+        Criterion { filter, fast }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_string(), sample_size: 20 }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let fast = self.fast;
+        self.run_one(name.to_string(), 20, fast, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        fast: bool,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: if fast { sample_size.min(5) } else { sample_size },
+            target_sample: if fast { Duration::from_micros(500) } else { Duration::from_millis(5) },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name);
+    }
+}
+
+/// A group of related benchmarks; mirrors `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        let (n, fast) = (self.sample_size, self.c.fast);
+        self.c.run_one(name, n, fast, f);
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (report is emitted per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier; mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    target_sample: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, auto-calibrating the batch size so each sample lasts
+    /// roughly the target sample duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch is measurable.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_micros(100) || batch >= 1 << 20 {
+                break elapsed / batch as u32;
+            }
+            batch *= 4;
+        };
+        let per_sample = if per_iter.is_zero() {
+            batch
+        } else {
+            (self.target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{name:<60} median {:>12} (min {:>12}, mean {:>12}, n={})",
+            fmt(median),
+            fmt(min),
+            fmt(mean),
+            s.len()
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function; mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`; mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            sample_size: 3,
+            target_sample: Duration::from_micros(50),
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -61,6 +61,55 @@ fn components_excluding(graph: &InlineGraph, skip: Option<CallSiteId>) -> Vec<Ve
     groups.into_values().collect()
 }
 
+/// Partitions *all* of a module's functions into connected components of
+/// the full call graph: every call edge counts, inlinable or not, taken
+/// undirected. Functions without any call edges form singleton components.
+///
+/// This is deliberately coarser than [`connected_components`] on an
+/// [`InlineGraph`] (which only sees inlinable edges): whole-module analyses
+/// such as dead-function reachability and effect summaries propagate along
+/// *every* call edge, so only this coarse partition guarantees that the
+/// `-Os` pipeline distributes componentwise. The incremental evaluator in
+/// `optinline-core` relies on exactly that guarantee.
+pub fn coarse_components(module: &Module) -> Vec<BTreeSet<FuncId>> {
+    let funcs: Vec<FuncId> = module.func_ids().collect();
+    // Index-based union–find over the function list.
+    let index: HashMap<FuncId, usize> = funcs.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let mut parent: Vec<usize> = (0..funcs.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for fid in module.func_ids() {
+        let a = index[&fid];
+        // Union with every function a call instruction references: the
+        // callee, and any `inline_path` provenance entries (an already
+        // partially-inlined input references path functions it no longer
+        // calls — those must still land in the same slice).
+        for block in &module.func(fid).blocks {
+            for inst in &block.insts {
+                if let optinline_ir::Inst::Call { callee, inline_path, .. } = inst {
+                    for &target in std::iter::once(callee).chain(inline_path) {
+                        let b = index[&target];
+                        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                        if ra != rb {
+                            parent[ra] = rb;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, BTreeSet<FuncId>> = BTreeMap::new();
+    for (i, &fid) in funcs.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().insert(fid);
+    }
+    groups.into_values().collect()
+}
+
 /// Returns the *bridge groups*: call sites whose group removal increases the
 /// number of connected components.
 ///
@@ -101,7 +150,8 @@ pub fn bridge_groups_fast(graph: &InlineGraph) -> Vec<CallSiteId> {
     // several groups on the same pair ⇒ the pair is never a bridge, but we
     // keep them as parallel logical edges so lowpoints handle it naturally.
     let nodes = graph.node_refs();
-    let index: HashMap<NodeRef, usize> = nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    let index: HashMap<NodeRef, usize> =
+        nodes.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()]; // (neighbor, edge id)
     let mut edge_sites: Vec<CallSiteId> = Vec::new();
     let mut self_loops: BTreeSet<CallSiteId> = BTreeSet::new();
@@ -316,12 +366,8 @@ pub fn naive_space_log2(module: &Module) -> u32 {
 /// returned as an `f64` because sums of powers are not powers.
 pub fn component_space_log2(module: &Module) -> f64 {
     let stats = graph_stats(module);
-    let total: f64 = stats
-        .component_site_counts
-        .iter()
-        .filter(|&&s| s > 0)
-        .map(|&s| 2f64.powi(s as i32))
-        .sum();
+    let total: f64 =
+        stats.component_site_counts.iter().filter(|&&s| s > 0).map(|&s| 2f64.powi(s as i32)).sum();
     if total <= 1.0 {
         0.0
     } else {
@@ -485,6 +531,36 @@ mod tests {
         let mut g = InlineGraph::from_edges(4, &[(0, 1), (1, 2), (3, 1)]);
         g.apply(CallSiteId::new(0), Decision::Inline);
         assert_eq!(bridge_groups_fast(&g), bridge_groups(&g));
+    }
+
+    #[test]
+    fn coarse_components_follow_every_call_edge() {
+        let mut m = Module::new("m");
+        let x = m.declare_function("x", 0, Linkage::Internal);
+        let y = m.declare_function("y", 0, Linkage::Internal);
+        let lone = m.declare_function("lone", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        for f in [x, y, lone] {
+            let mut b = FuncBuilder::new(&mut m, f);
+            b.ret(None);
+        }
+        // Make x opt out of inlining: the x↔main edge vanishes from the
+        // InlineGraph but must still couple them coarsely.
+        m.func_mut(x).inlinable = false;
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            b.call_void(x, &[]);
+            b.call_void(y, &[]);
+            b.ret(None);
+        }
+        let comps = coarse_components(&m);
+        assert_eq!(comps.len(), 2);
+        let of = |f: FuncId| comps.iter().position(|c| c.contains(&f)).unwrap();
+        assert_eq!(of(x), of(main));
+        assert_eq!(of(y), of(main));
+        assert_ne!(of(lone), of(main));
+        // Every function appears exactly once.
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 4);
     }
 
     #[test]

@@ -73,10 +73,8 @@ impl InlineGraph {
     /// Builds the graph from a module: one node per function, one edge per
     /// call instruction whose callee is inlinable.
     pub fn from_module(module: &Module) -> Self {
-        let nodes = module
-            .iter_funcs()
-            .map(|(id, _)| Some(Node { members: vec![id] }))
-            .collect::<Vec<_>>();
+        let nodes =
+            module.iter_funcs().map(|(id, _)| Some(Node { members: vec![id] })).collect::<Vec<_>>();
         let mut edges = Vec::new();
         for (caller, f) in module.iter_funcs() {
             for (site, callee) in f.call_edges() {
@@ -96,8 +94,7 @@ impl InlineGraph {
     /// minting one single-edge group per pair. Used by tests and synthetic
     /// studies that don't need IR bodies.
     pub fn from_edges(n: usize, pairs: &[(u32, u32)]) -> Self {
-        let nodes =
-            (0..n).map(|i| Some(Node { members: vec![FuncId::new(i as u32)] })).collect();
+        let nodes = (0..n).map(|i| Some(Node { members: vec![FuncId::new(i as u32)] })).collect();
         let edges = pairs
             .iter()
             .enumerate()
@@ -153,12 +150,7 @@ impl InlineGraph {
 
     /// Endpoints of every live edge in `site`'s group.
     pub fn group_edges(&self, site: CallSiteId) -> Vec<(NodeRef, NodeRef)> {
-        self.edges
-            .iter()
-            .flatten()
-            .filter(|e| e.site == site)
-            .map(|e| (e.from, e.to))
-            .collect()
+        self.edges.iter().flatten().filter(|e| e.site == site).map(|e| (e.from, e.to)).collect()
     }
 
     fn in_edges(&self, node: NodeRef) -> Vec<usize> {
@@ -290,13 +282,7 @@ impl InlineGraph {
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| {
-                if nodes.contains(&NodeRef(i as u32)) {
-                    n.clone()
-                } else {
-                    None
-                }
-            })
+            .map(|(i, n)| if nodes.contains(&NodeRef(i as u32)) { n.clone() } else { None })
             .collect();
         let kept_edges = self
             .edges

@@ -11,10 +11,11 @@ use crate::graph::InlineGraph;
 use optinline_ir::CallSiteId;
 
 /// How the inlining-tree builder picks the next edge to label.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PartitionStrategy {
     /// The paper's heuristic: prefer the bridge adjacent to the least
     /// eccentric vertex; otherwise balance out-/in-degrees (Algorithm 2).
+    #[default]
     Paper,
     /// Always pick the lowest-numbered undecided site. The "no heuristic"
     /// baseline — on a path graph this still finds bridges by accident, but
@@ -23,12 +24,6 @@ pub enum PartitionStrategy {
     /// Pick a pseudo-random undecided site, deterministically derived from
     /// the graph state and the given seed.
     Random(u64),
-}
-
-impl Default for PartitionStrategy {
-    fn default() -> Self {
-        PartitionStrategy::Paper
-    }
 }
 
 impl PartitionStrategy {
@@ -74,7 +69,7 @@ fn select_paper(graph: &InlineGraph) -> CallSiteId {
             for (from, to) in graph.group_edges(site) {
                 let (e1, e2) = (eccentricity(graph, from), eccentricity(graph, to));
                 let key = (e1.min(e2), e1.max(e2), site);
-                if best.map_or(true, |(k, _)| key < k) {
+                if best.is_none_or(|(k, _)| key < k) {
                     best = Some((key, site));
                 }
             }

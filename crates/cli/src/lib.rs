@@ -26,7 +26,7 @@ use optinline_callgraph::{component_count, InlineGraph, PartitionStrategy};
 use optinline_codegen::{text_size, Target, WasmLike, X86Like};
 use optinline_core::autotune::Autotuner;
 use optinline_core::tree::{space_size, try_build_inlining_tree};
-use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
+use optinline_core::{Evaluator, InliningConfiguration, SizeEvaluator};
 use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
 use optinline_ir::{parse_module, Module};
 use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
@@ -93,10 +93,10 @@ impl StrategyChoice {
             "always" => Ok(StrategyChoice::Always),
             "heuristic" => Ok(StrategyChoice::Heuristic),
             "trial" => Ok(StrategyChoice::Trial),
-            other => Err(format!(
-                "unknown strategy `{other}` (expected never|always|heuristic|trial)"
-            )
-            .into()),
+            other => {
+                Err(format!("unknown strategy `{other}` (expected never|always|heuristic|trial)")
+                    .into())
+            }
         }
     }
 
@@ -109,6 +109,22 @@ impl StrategyChoice {
             StrategyChoice::Trial => TrialInliner::default().decide(module, target),
         };
         InliningConfiguration::from_decisions(map)
+    }
+}
+
+/// Evaluator selection and reporting options for `search` / `autotune`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Use the component-scoped incremental evaluator (default); `false`
+    /// forces whole-module compiles (`--full-eval`).
+    pub incremental: bool,
+    /// Append the evaluator's counter line to the report (`--stats`).
+    pub show_stats: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { incremental: true, show_stats: false }
     }
 }
 
@@ -137,7 +153,8 @@ pub fn cmd_stats(source: &str) -> Result<String, CliError> {
     let _ = writeln!(out, "globals:             {}", module.globals().len());
     let _ = writeln!(out, "inlinable sites:     {sites}");
     let _ = writeln!(out, "graph components:    {}", component_count(&graph));
-    let _ = writeln!(out, "bridge groups:       {}", optinline_callgraph::bridge_groups(&graph).len());
+    let _ =
+        writeln!(out, "bridge groups:       {}", optinline_callgraph::bridge_groups(&graph).len());
     let _ = writeln!(out, "naive space:         2^{sites}");
     match try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1 << 22) {
         Some(tree) => {
@@ -173,15 +190,29 @@ pub fn cmd_optimize(
     let mut out = String::new();
     let _ = writeln!(out, "strategy:        {strategy:?}");
     let _ = writeln!(out, "target:          {}", t.name());
-    let _ = writeln!(out, "sites inlined:   {} of {}", config.inlined_count(), config.decisions().len());
+    let _ = writeln!(
+        out,
+        "sites inlined:   {} of {}",
+        config.inlined_count(),
+        config.decisions().len()
+    );
     let _ = writeln!(out, "call expansions: {inlined}");
-    let _ = writeln!(out, "size:            {before} B -> {after} B ({:.1}%)", 100.0 * after as f64 / before as f64);
+    let _ = writeln!(
+        out,
+        "size:            {before} B -> {after} B ({:.1}%)",
+        100.0 * after as f64 / before as f64
+    );
     Ok((out, optimized.to_string()))
 }
 
 /// `optinline search` — exhaustive optimum through the recursively
 /// partitioned space, compared against the baseline strategies.
-pub fn cmd_search(source: &str, bits: u32, target: TargetChoice) -> Result<String, CliError> {
+pub fn cmd_search(
+    source: &str,
+    bits: u32,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<String, CliError> {
     let module = load_module(source)?;
     let graph = InlineGraph::from_module(&module);
     let n = module.inlinable_sites().len();
@@ -193,7 +224,7 @@ pub fn cmd_search(source: &str, bits: u32, target: TargetChoice) -> Result<Strin
         )
         .into());
     };
-    let ev = CompilerEvaluator::new(module, target.boxed());
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let evals = space_size(&tree);
     let (config, size) = optinline_core::tree::evaluate_inlining_tree_parallel(
         &tree,
@@ -207,11 +238,19 @@ pub fn cmd_search(source: &str, bits: u32, target: TargetChoice) -> Result<Strin
     let mut out = String::new();
     let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
     let _ = writeln!(out, "evaluations needed: {evals}");
-    let _ = writeln!(out, "compilations done:  {} (memoized)", ev.compilations());
+    let _ = writeln!(out, "compilations done:  {} (memoized)", ev.stats().compiles);
     let _ = writeln!(out, "optimal size:       {size} B");
     let _ = writeln!(out, "optimal config:     {config}");
-    let _ = writeln!(out, "no inlining:        {none} B ({:.1}%)", 100.0 * none as f64 / size as f64);
-    let _ = writeln!(out, "heuristic:          {h_size} B ({:.1}%)", 100.0 * h_size as f64 / size as f64);
+    let _ =
+        writeln!(out, "no inlining:        {none} B ({:.1}%)", 100.0 * none as f64 / size as f64);
+    let _ = writeln!(
+        out,
+        "heuristic:          {h_size} B ({:.1}%)",
+        100.0 * h_size as f64 / size as f64
+    );
+    if eval.show_stats {
+        let _ = writeln!(out, "evaluator:          {}", ev.stats().render());
+    }
     Ok(out)
 }
 
@@ -246,9 +285,10 @@ pub fn cmd_autotune(
     rounds: usize,
     init: InitChoice,
     target: TargetChoice,
+    eval: EvalOptions,
 ) -> Result<String, CliError> {
     let module = load_module(source)?;
-    let ev = CompilerEvaluator::new(module, target.boxed());
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let sites = ev.sites().clone();
     if sites.is_empty() {
         return Ok("module has no inlinable call sites; nothing to tune\n".into());
@@ -260,19 +300,33 @@ pub fn cmd_autotune(
     let mut outcomes = Vec::new();
     if init != InitChoice::Heuristic {
         let clean = tuner.clean_slate(rounds);
-        let _ = writeln!(out, "clean slate:     {} B after {} round(s)", clean.best().size, clean.rounds.len());
+        let _ = writeln!(
+            out,
+            "clean slate:     {} B after {} round(s)",
+            clean.best().size,
+            clean.rounds.len()
+        );
         outcomes.push(clean);
     }
     if init != InitChoice::Clean {
         let h = tuner.run(heuristic.clone(), rounds);
-        let _ = writeln!(out, "heuristic init:  {} B after {} round(s)", h.best().size, h.rounds.len());
+        let _ =
+            writeln!(out, "heuristic init:  {} B after {} round(s)", h.best().size, h.rounds.len());
         outcomes.push(h);
     }
     let best = Autotuner::combine(outcomes.iter());
     let _ = writeln!(out, "baseline:        {h_size} B (100.0%)");
-    let _ = writeln!(out, "tuned best:      {} B ({:.1}%)", best.size, 100.0 * best.size as f64 / h_size as f64);
+    let _ = writeln!(
+        out,
+        "tuned best:      {} B ({:.1}%)",
+        best.size,
+        100.0 * best.size as f64 / h_size as f64
+    );
     let _ = writeln!(out, "configuration:   {}", best.config);
-    let _ = writeln!(out, "compilations:    {}", ev.compilations());
+    let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
+    if eval.show_stats {
+        let _ = writeln!(out, "evaluator:       {}", ev.stats().render());
+    }
     Ok(out)
 }
 
@@ -304,17 +358,13 @@ pub fn cmd_link(sources: &[String], keep: Option<&str>) -> Result<(String, Strin
     if sources.is_empty() {
         return Err("link needs at least one input".into());
     }
-    let modules = sources
-        .iter()
-        .map(|s| load_module(s))
-        .collect::<Result<Vec<_>, _>>()?;
+    let modules = sources.iter().map(|s| load_module(s)).collect::<Result<Vec<_>, _>>()?;
     let per_file_sites: usize = modules.iter().map(|m| m.inlinable_sites().len()).sum();
     let mut linked = optinline_ir::link_modules("linked", &modules);
     let mut demoted = 0;
     if let Some(keep) = keep {
         let kept: Vec<&str> = keep.split(',').map(str::trim).collect();
-        demoted =
-            optinline_ir::internalize_except(&mut linked, |name| kept.contains(&name));
+        demoted = optinline_ir::internalize_except(&mut linked, |name| kept.contains(&name));
     }
     optinline_ir::verify_module(&linked)?;
     let mut report = String::new();
@@ -333,14 +383,15 @@ pub fn cmd_link(sources: &[String], keep: Option<&str>) -> Result<(String, Strin
 
 /// `optinline corpus` — materialize the synthetic suite as `.ir` files.
 pub fn cmd_corpus(dir: &std::path::Path, small: bool) -> Result<String, CliError> {
-    let scale = if small {
-        optinline_workloads::Scale::Small
-    } else {
-        optinline_workloads::Scale::Full
-    };
+    let scale =
+        if small { optinline_workloads::Scale::Small } else { optinline_workloads::Scale::Full };
     let written = optinline_workloads::save_suite(dir, scale)?;
-    Ok(format!("wrote {} files under {}
-", written.len(), dir.display()))
+    Ok(format!(
+        "wrote {} files under {}
+",
+        written.len(),
+        dir.display()
+    ))
 }
 
 /// `optinline gen` — emit a generated module as textual IR.
@@ -379,9 +430,12 @@ mod tests {
     #[test]
     fn optimize_reports_sizes_for_every_strategy() {
         let src = demo_source();
-        for strat in
-            [StrategyChoice::Never, StrategyChoice::Always, StrategyChoice::Heuristic, StrategyChoice::Trial]
-        {
+        for strat in [
+            StrategyChoice::Never,
+            StrategyChoice::Always,
+            StrategyChoice::Heuristic,
+            StrategyChoice::Trial,
+        ] {
             let (report, text) = cmd_optimize(&src, strat, TargetChoice::X86).unwrap();
             assert!(report.contains("size:"), "{strat:?}: {report}");
             // The optimized module still parses.
@@ -392,7 +446,7 @@ mod tests {
     #[test]
     fn search_finds_optimum_and_beats_strategies() {
         let src = demo_source();
-        let report = cmd_search(&src, 18, TargetChoice::X86).unwrap();
+        let report = cmd_search(&src, 18, TargetChoice::X86, EvalOptions::default()).unwrap();
         assert!(report.contains("optimal size:"));
         // Relative lines are >= 100%.
         for line in report.lines().filter(|l| l.contains('%')) {
@@ -407,9 +461,35 @@ mod tests {
     }
 
     #[test]
+    fn search_stats_line_and_full_eval_agree() {
+        let src = demo_source();
+        let inc = cmd_search(
+            &src,
+            18,
+            TargetChoice::X86,
+            EvalOptions { incremental: true, show_stats: true },
+        )
+        .unwrap();
+        let full = cmd_search(
+            &src,
+            18,
+            TargetChoice::X86,
+            EvalOptions { incremental: false, show_stats: true },
+        )
+        .unwrap();
+        assert!(inc.contains("evaluator:"), "{inc}");
+        assert!(full.contains("evaluator:"), "{full}");
+        let optimal =
+            |r: &str| r.lines().find(|l| l.starts_with("optimal size:")).map(str::to_owned);
+        assert_eq!(optimal(&inc), optimal(&full), "evaluators disagree on the optimum");
+    }
+
+    #[test]
     fn autotune_improves_or_matches_baseline() {
         let src = demo_source();
-        let report = cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86).unwrap();
+        let report =
+            cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86, EvalOptions::default())
+                .unwrap();
         assert!(report.contains("tuned best:"));
         let pct: f64 = report
             .lines()
@@ -440,7 +520,7 @@ mod tests {
         let src = cmd_gen(3, 20, 1).unwrap();
         let module = load_module(&src).unwrap();
         if module.inlinable_sites().len() > 12 {
-            let err = cmd_search(&src, 4, TargetChoice::X86);
+            let err = cmd_search(&src, 4, TargetChoice::X86, EvalOptions::default());
             assert!(err.is_err() || module.inlinable_sites().len() <= 12);
         }
     }
@@ -456,7 +536,8 @@ mod tests {
     #[test]
     fn wasm_target_is_selectable() {
         let src = demo_source();
-        let (report, _) = cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::Wasm).unwrap();
+        let (report, _) =
+            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::Wasm).unwrap();
         assert!(report.contains("wasm-like"));
     }
 }

@@ -2,7 +2,7 @@
 
 use optinline_cli::{
     cmd_autotune, cmd_cfg, cmd_corpus, cmd_gen, cmd_link, cmd_optimize, cmd_print, cmd_run,
-    cmd_search, cmd_stats, CliError, InitChoice, StrategyChoice, TargetChoice,
+    cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, StrategyChoice, TargetChoice,
 };
 
 const USAGE: &str = "\
@@ -14,8 +14,9 @@ usage:
   optinline optimize <file.ir> [--strategy never|always|heuristic|trial]
                                [--target x86|wasm] [-o out.ir]
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
+                               [--full-eval] [--stats]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
-                               [--target x86|wasm]
+                               [--target x86|wasm] [--full-eval] [--stats]
   optinline run      <file.ir>
   optinline gen      [--seed N] [--internal N] [--clusters N] [-o out.ir]
   optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
@@ -33,8 +34,14 @@ impl Args {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut argv = argv.peekable();
+        // Flags that take no value; present means "on".
+        const BOOLEAN: &[&str] = &["stats", "full-eval"];
         while let Some(a) = argv.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN.contains(&name) {
+                    flags.push((name.to_string(), String::new()));
+                    continue;
+                }
                 let value = argv.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.push((name.to_string(), value));
             } else if a == "-o" {
@@ -49,6 +56,13 @@ impl Args {
 
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            incremental: self.flag("full-eval").is_none(),
+            show_stats: self.flag("stats").is_some(),
+        }
     }
 
     fn input(&self) -> Result<String, CliError> {
@@ -103,14 +117,14 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "search" => {
             let bits: u32 = args.flag("bits").unwrap_or("16").parse()?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_search(&args.input()?, bits, target)?);
+            print!("{}", cmd_search(&args.input()?, bits, target, args.eval_options())?);
             Ok(())
         }
         "autotune" => {
             let rounds: usize = args.flag("rounds").unwrap_or("4").parse()?;
             let init = InitChoice::parse(args.flag("init").unwrap_or("both"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_autotune(&args.input()?, rounds, init, target)?);
+            print!("{}", cmd_autotune(&args.input()?, rounds, init, target, args.eval_options())?);
             Ok(())
         }
         "run" => {
@@ -118,9 +132,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
             Ok(())
         }
         "link" => {
-            let sources = args
-                .positional_sources()
-                .map_err(|e| -> CliError { e })?;
+            let sources = args.positional_sources().map_err(|e| -> CliError { e })?;
             let (report, text) = cmd_link(&sources, args.flag("keep"))?;
             print!("{report}");
             args.write_or_print(&text)

@@ -27,7 +27,17 @@ fn tmp(name: &str) -> PathBuf {
 #[test]
 fn full_workflow_through_the_binary() {
     let ir = tmp("demo.ir");
-    run_ok(&["gen", "--seed", "9", "--internal", "5", "--clusters", "2", "-o", ir.to_str().unwrap()]);
+    run_ok(&[
+        "gen",
+        "--seed",
+        "9",
+        "--internal",
+        "5",
+        "--clusters",
+        "2",
+        "-o",
+        ir.to_str().unwrap(),
+    ]);
 
     let stats = run_ok(&["stats", ir.to_str().unwrap()]);
     let stats_text = String::from_utf8_lossy(&stats.stdout).into_owned();
@@ -119,12 +129,7 @@ fn corpus_writes_a_loadable_suite() {
     let out = run_ok(&["corpus", "--dir", dir.to_str().unwrap(), "--scale", "small"]);
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
     // Spot-check one file parses.
-    let one = std::fs::read_dir(dir.join("gcc"))
-        .unwrap()
-        .next()
-        .unwrap()
-        .unwrap()
-        .path();
+    let one = std::fs::read_dir(dir.join("gcc")).unwrap().next().unwrap().unwrap().path();
     run_ok(&["stats", one.to_str().unwrap()]);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -138,7 +138,7 @@ impl Target for WasmLike {
     fn inst_bytes(&self, inst: &Inst) -> u64 {
         match inst {
             Inst::Const { value, .. } => 1 + sleb_len(*value) + 2, // i64.const + local.set
-            Inst::Bin { .. } => 2 + 2 + 1 + 2, // two local.get, op, local.set
+            Inst::Bin { .. } => 2 + 2 + 1 + 2,                     // two local.get, op, local.set
             Inst::Call { args, .. } => 2 + args.len() as u64 * 2 + 2,
             Inst::Load { .. } => 2 + 2,  // global.get + local.set
             Inst::Store { .. } => 2 + 2, // local.get + global.set
@@ -223,6 +223,19 @@ pub fn function_size(module: &Module, target: &dyn Target, fid: FuncId) -> u64 {
 /// every experiment in the paper optimizes.
 pub fn text_size(module: &Module, target: &dyn Target) -> u64 {
     module.func_ids().map(|f| function_size(module, target, f)).sum()
+}
+
+/// The `.text` contribution of a subset of functions (e.g. one call-graph
+/// component). Since [`function_size`] aligns each function independently,
+/// summing `subset_size` over any partition of the module's functions
+/// equals [`text_size`] exactly — the identity the component-scoped
+/// incremental evaluator is built on.
+pub fn subset_size(
+    module: &Module,
+    target: &dyn Target,
+    funcs: impl IntoIterator<Item = FuncId>,
+) -> u64 {
+    funcs.into_iter().map(|f| function_size(module, target, f)).sum()
 }
 
 /// Per-function size report, for case-study output.

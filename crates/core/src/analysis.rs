@@ -96,7 +96,7 @@ pub fn inlined_chain_lengths(module: &Module, config: &InliningConfiguration) ->
             visited.remove(&site);
         }
     }
-    for (&caller, _) in &out_edges {
+    for &caller in out_edges.keys() {
         if has_inlined_in.contains(&caller) {
             continue; // not a chain start
         }
@@ -293,13 +293,10 @@ mod tests {
         let m = chain_module();
         // Inline main→a and a→b: one chain of length 2. Inline main→c: one
         // chain of length 1.
-        let cfg: InliningConfiguration = [
-            (s(0), Decision::Inline),
-            (s(1), Decision::Inline),
-            (s(2), Decision::Inline),
-        ]
-        .into_iter()
-        .collect();
+        let cfg: InliningConfiguration =
+            [(s(0), Decision::Inline), (s(1), Decision::Inline), (s(2), Decision::Inline)]
+                .into_iter()
+                .collect();
         let mut lengths = inlined_chain_lengths(&m, &cfg);
         lengths.sort_unstable();
         assert_eq!(lengths, vec![1, 2]);

@@ -105,23 +105,13 @@ impl<'e> Autotuner<'e> {
             (self.evaluator.size_of(&flipped) < base_size).then_some(site)
         };
         let keep: Vec<CallSiteId> = if self.parallel {
+            // Probes fan out over the worker pool's shared atomic cursor:
+            // unlike static chunking, a thread whose probes all hit the memo
+            // cache immediately claims more, so one expensive chunk cannot
+            // serialize the round. Per-index result slots keep the kept-flip
+            // order deterministic (site order, as in the sequential path).
             let sites: Vec<CallSiteId> = self.sites.iter().copied().collect();
-            let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-            let chunk = sites.len().div_ceil(n_threads.max(1)).max(1);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = sites
-                    .chunks(chunk)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk.iter().filter_map(probe).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("autotuner probe thread panicked"))
-                    .collect()
-            })
+            crate::pool::WorkerPool::global().map(&sites, probe).into_iter().flatten().collect()
         } else {
             self.sites.iter().filter_map(probe).collect()
         };
@@ -185,8 +175,9 @@ impl<'e> Autotuner<'e> {
         rounds: usize,
     ) -> TuneOutcome {
         assert!(rounds >= 1, "at least one round is required");
-        let component_of =
-            |site: CallSiteId| -> Option<usize> { components.iter().position(|c| c.contains(&site)) };
+        let component_of = |site: CallSiteId| -> Option<usize> {
+            components.iter().position(|c| c.contains(&site))
+        };
         let mut dirty: BTreeSet<Option<usize>> =
             self.sites.iter().map(|&s| component_of(s)).collect();
         let mut reports = Vec::new();

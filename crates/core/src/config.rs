@@ -57,11 +57,7 @@ impl InliningConfiguration {
     /// Sites currently labelled `Inline` — the canonical identity of the
     /// configuration (used as the evaluator cache key).
     pub fn inlined_sites(&self) -> BTreeSet<CallSiteId> {
-        self.decisions
-            .iter()
-            .filter(|(_, &d)| d == Decision::Inline)
-            .map(|(&s, _)| s)
-            .collect()
+        self.decisions.iter().filter(|(_, &d)| d == Decision::Inline).map(|(&s, _)| s).collect()
     }
 
     /// Number of sites labelled `Inline`.
@@ -107,7 +103,8 @@ impl InliningConfiguration {
             .iter()
             .enumerate()
             .map(|(i, &s)| {
-                let d = if mask & (1u128 << i) != 0 { Decision::Inline } else { Decision::NoInline };
+                let d =
+                    if mask & (1u128 << i) != 0 { Decision::Inline } else { Decision::NoInline };
                 (s, d)
             })
             .collect();

@@ -5,15 +5,23 @@
 //! size under a [`Target`]. Results are memoized on the configuration's
 //! canonical identity (its inlined-site set), so the tree search and the
 //! autotuner never pay twice for the same point — the single-machine
-//! stand-in for the paper's compile-farm parallelism.
+//! stand-in for the paper's compile-farm parallelism. The memo lives in a
+//! [`ShardedCache`], so concurrent hits from the parallel search do not
+//! serialize on one lock.
+//!
+//! [`IncrementalEvaluator`](crate::IncrementalEvaluator) is the
+//! component-scoped alternative that compiles only the call-graph
+//! components a configuration actually touches; both expose the same
+//! [`EvaluatorStats`] observability surface through `stats()`.
 
+use crate::cache::ShardedCache;
 use crate::config::InliningConfiguration;
 use optinline_codegen::{text_size, Target};
 use optinline_ir::{CallSiteId, Module};
 use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Anything that can score an inlining configuration.
 ///
@@ -30,6 +38,62 @@ pub trait Evaluator: Sync {
     fn queries(&self) -> u64;
 }
 
+/// An [`Evaluator`] backed by an actual module — enough surface for the
+/// searches (which need the call graph) to run against either the full
+/// or the incremental evaluator.
+pub trait ModuleEvaluator: Evaluator {
+    /// The pristine input module.
+    fn module(&self) -> &Module;
+
+    /// The module's inlinable call sites — the configuration domain.
+    fn sites(&self) -> &BTreeSet<CallSiteId>;
+
+    /// Snapshot of the evaluator's observability counters.
+    fn stats(&self) -> EvaluatorStats;
+}
+
+/// Observability snapshot shared by both evaluators: how many queries were
+/// served, what they cost, and how well the memoization worked.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvaluatorStats {
+    /// Size queries served (including cache hits).
+    pub queries: u64,
+    /// Distinct compilations performed (cache misses).
+    pub compiles: u64,
+    /// Memo-cache hits.
+    pub cache_hits: u64,
+    /// Memo-cache misses.
+    pub cache_misses: u64,
+    /// Entries resident per cache shard.
+    pub shard_loads: Vec<usize>,
+    /// Compilations per call-graph component (empty for the full-module
+    /// evaluator, which has no component structure).
+    pub per_component_compiles: Vec<u64>,
+    /// Total wall-clock time spent inside compile-and-measure.
+    pub compile_time: Duration,
+    /// Compile work in units of one full-module compilation: each compile
+    /// weighted by its share of the pristine module's instructions. For the
+    /// full evaluator this equals `compiles`; for the incremental one it is
+    /// the headline savings metric.
+    pub full_module_equivalents: f64,
+}
+
+impl EvaluatorStats {
+    /// One-line human-readable rendering for CLI/experiment footers.
+    pub fn render(&self) -> String {
+        format!(
+            "{} queries, {} compiles ({:.2} full-module equivalents), \
+             {} cache hits / {} misses, {:.1?} compiling",
+            self.queries,
+            self.compiles,
+            self.full_module_equivalents,
+            self.cache_hits,
+            self.cache_misses,
+            self.compile_time,
+        )
+    }
+}
+
 /// The standard evaluator: compile the module under the configuration and
 /// measure `.text` bytes (memoized).
 pub struct CompilerEvaluator {
@@ -37,9 +101,10 @@ pub struct CompilerEvaluator {
     target: Box<dyn Target>,
     options: PipelineOptions,
     sites: BTreeSet<CallSiteId>,
-    cache: Mutex<HashMap<BTreeSet<CallSiteId>, u64>>,
+    cache: ShardedCache<BTreeSet<CallSiteId>, u64>,
     compiles: AtomicU64,
     queries: AtomicU64,
+    compile_nanos: AtomicU64,
 }
 
 impl std::fmt::Debug for CompilerEvaluator {
@@ -62,9 +127,10 @@ impl CompilerEvaluator {
             target,
             options: PipelineOptions::default(),
             sites,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             compiles: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            compile_nanos: AtomicU64::new(0),
         }
     }
 
@@ -89,6 +155,27 @@ impl CompilerEvaluator {
         self.target.as_ref()
     }
 
+    /// The pipeline options in use.
+    pub fn options(&self) -> PipelineOptions {
+        self.options
+    }
+
+    /// Snapshot of the observability counters.
+    pub fn stats(&self) -> EvaluatorStats {
+        let cache = self.cache.stats();
+        let compiles = self.compiles.load(Ordering::Relaxed);
+        EvaluatorStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            compiles,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            shard_loads: cache.shard_loads,
+            per_component_compiles: Vec::new(),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+            full_module_equivalents: compiles as f64,
+        }
+    }
+
     /// Compiles the module under `config` and returns the optimized module
     /// (uncached; for case-study inspection, not for search loops).
     pub fn compile(&self, config: &InliningConfiguration) -> Module {
@@ -104,13 +191,15 @@ impl Evaluator for CompilerEvaluator {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let key: BTreeSet<CallSiteId> =
             config.inlined_sites().intersection(&self.sites).copied().collect();
-        if let Some(&size) = self.cache.lock().expect("poisoned cache").get(&key) {
+        if let Some(size) = self.cache.get(&key) {
             return size;
         }
+        let start = Instant::now();
         let optimized = self.compile(config);
         let size = text_size(&optimized, self.target.as_ref());
+        self.compile_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().expect("poisoned cache").insert(key, size);
+        self.cache.insert(key, size);
         size
     }
 
@@ -120,6 +209,20 @@ impl Evaluator for CompilerEvaluator {
 
     fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+}
+
+impl ModuleEvaluator for CompilerEvaluator {
+    fn module(&self) -> &Module {
+        &self.module
+    }
+
+    fn sites(&self) -> &BTreeSet<CallSiteId> {
+        &self.sites
+    }
+
+    fn stats(&self) -> EvaluatorStats {
+        CompilerEvaluator::stats(self)
     }
 }
 
@@ -213,5 +316,23 @@ mod tests {
         });
         assert_eq!(ev.compilations(), 1);
         assert_eq!(ev.queries(), 5);
+    }
+
+    #[test]
+    fn stats_track_queries_compiles_and_cache_behaviour() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        ev.size_of(&cfg);
+        ev.size_of(&cfg);
+        ev.size_of(&InliningConfiguration::clean_slate());
+        let s = ev.stats();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.compiles, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.full_module_equivalents, 2.0);
+        assert!(s.compile_time > Duration::ZERO);
+        assert!(!s.render().is_empty());
     }
 }

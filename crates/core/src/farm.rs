@@ -101,7 +101,10 @@ pub fn autotune_work(n_sites: usize, rounds: usize, compile_cost: u64) -> Phased
 /// dependency structure is a tree; two phases is the conservative shape —
 /// combines wait for every leaf.)
 pub fn tree_work(leaves: u128, combines: u128, compile_cost: u64) -> PhasedWork {
-    PhasedWork::uniform(&[leaves.min(1 << 30) as usize, combines.min(1 << 30) as usize], compile_cost)
+    PhasedWork::uniform(
+        &[leaves.min(1 << 30) as usize, combines.min(1 << 30) as usize],
+        compile_cost,
+    )
 }
 
 #[cfg(test)]

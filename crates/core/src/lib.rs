@@ -62,15 +62,21 @@
 
 pub mod analysis;
 pub mod autotune;
-pub mod farm;
+mod cache;
 mod config;
 mod evaluator;
+pub mod farm;
+mod incremental;
 pub mod naive;
+mod pool;
 pub mod tree;
 
+pub use cache::{CacheStats, ShardedCache};
 pub use config::InliningConfiguration;
-pub use evaluator::{CompilerEvaluator, Evaluator};
+pub use evaluator::{CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator};
+pub use incremental::{IncrementalEvaluator, SizeEvaluator};
 pub use naive::{exhaustive_search, SearchOutcome};
+pub use pool::WorkerPool;
 pub use tree::{
     build_inlining_tree, evaluate_inlining_tree, evaluate_inlining_tree_parallel, space_size,
     try_build_inlining_tree, InliningTree,
@@ -119,11 +125,7 @@ mod cross_validation {
                 acc = b.bin(op, acc, c);
             }
             for callee in callees {
-                let arg = if next() % 2 == 0 {
-                    b.iconst((next() % 9) as i64)
-                } else {
-                    acc
-                };
+                let arg = if next() % 2 == 0 { b.iconst((next() % 9) as i64) } else { acc };
                 acc = b.call(callee, &[arg]).unwrap();
             }
             b.ret(Some(acc));

@@ -28,10 +28,7 @@ pub const NAIVE_SITE_CAP: usize = 22;
 ///
 /// Panics if `sites.len() > NAIVE_SITE_CAP` — use the inlining tree
 /// (`crate::tree`) for anything bigger; that is the point of the paper.
-pub fn exhaustive_search(
-    evaluator: &dyn Evaluator,
-    sites: &BTreeSet<CallSiteId>,
-) -> SearchOutcome {
+pub fn exhaustive_search(evaluator: &dyn Evaluator, sites: &BTreeSet<CallSiteId>) -> SearchOutcome {
     assert!(
         sites.len() <= NAIVE_SITE_CAP,
         "naïve search over {} sites would need 2^{} compilations",

@@ -50,10 +50,7 @@ pub fn build_inlining_tree(graph: &InlineGraph, strategy: PartitionStrategy) -> 
         .into_iter()
         .map(|nodes| nodes.into_iter().collect::<BTreeSet<_>>())
         .filter(|nodes| {
-            graph
-                .live_edges()
-                .iter()
-                .any(|(_, a, b)| nodes.contains(a) || nodes.contains(b))
+            graph.live_edges().iter().any(|(_, a, b)| nodes.contains(a) || nodes.contains(b))
         })
         .collect();
     if comps.len() > 1 {
@@ -137,9 +134,7 @@ pub fn space_size(tree: &InliningTree) -> u128 {
         InliningTree::Binary { not_inlined, inlined, .. } => {
             space_size(not_inlined) + space_size(inlined)
         }
-        InliningTree::Components(children) => {
-            children.iter().map(space_size).sum::<u128>() + 1
-        }
+        InliningTree::Components(children) => children.iter().map(space_size).sum::<u128>() + 1,
     }
 }
 
@@ -159,7 +154,9 @@ pub struct TreeStats {
 /// Computes [`TreeStats`].
 pub fn tree_stats(tree: &InliningTree) -> TreeStats {
     match tree {
-        InliningTree::Leaf => TreeStats { leaves: 1, binary_nodes: 0, components_nodes: 0, depth: 0 },
+        InliningTree::Leaf => {
+            TreeStats { leaves: 1, binary_nodes: 0, components_nodes: 0, depth: 0 }
+        }
         InliningTree::Binary { not_inlined, inlined, .. } => {
             let a = tree_stats(not_inlined);
             let b = tree_stats(inlined);
@@ -195,10 +192,12 @@ pub fn evaluate_inlining_tree(
     evaluate_inner(tree, evaluator, base, 0)
 }
 
-/// Parallel variant: children of the top `par_depth` tree levels are
-/// evaluated on scoped threads. The evaluation scheme is embarrassingly
-/// parallel (§3.2); memoization in the evaluator keeps duplicated partial
-/// configurations cheap.
+/// Parallel variant: children of the top `par_depth` tree levels fan out
+/// over the process-wide [`WorkerPool`](crate::WorkerPool) — persistent
+/// threads with help-first joins, so deep recursion costs no thread spawns
+/// and an idle sibling steals queued work instead of blocking. The
+/// evaluation scheme is embarrassingly parallel (§3.2); memoization in the
+/// evaluator keeps duplicated partial configurations cheap.
 pub fn evaluate_inlining_tree_parallel(
     tree: &InliningTree,
     evaluator: &dyn Evaluator,
@@ -223,12 +222,10 @@ fn evaluate_inner(
             let base_no = base.clone().with(*site, Decision::NoInline);
             let base_in = base.with(*site, Decision::Inline);
             let ((c1, s1), (c2, s2)) = if par > 0 {
-                std::thread::scope(|scope| {
-                    let left =
-                        scope.spawn(|| evaluate_inner(not_inlined, evaluator, base_no, par - 1));
-                    let right = evaluate_inner(inlined, evaluator, base_in, par - 1);
-                    (left.join().expect("tree eval thread panicked"), right)
-                })
+                crate::pool::WorkerPool::global().join(
+                    || evaluate_inner(not_inlined, evaluator, base_no, par - 1),
+                    || evaluate_inner(inlined, evaluator, base_in, par - 1),
+                )
             } else {
                 (
                     evaluate_inner(not_inlined, evaluator, base_no, 0),
@@ -243,24 +240,10 @@ fn evaluate_inner(
         }
         InliningTree::Components(children) => {
             let results: Vec<(InliningConfiguration, u64)> = if par > 0 {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = children
-                        .iter()
-                        .map(|c| {
-                            let b = base.clone();
-                            scope.spawn(move || evaluate_inner(c, evaluator, b, par - 1))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("tree eval thread panicked"))
-                        .collect()
-                })
+                crate::pool::WorkerPool::global()
+                    .map(children, |c| evaluate_inner(c, evaluator, base.clone(), par - 1))
             } else {
-                children
-                    .iter()
-                    .map(|c| evaluate_inner(c, evaluator, base.clone(), 0))
-                    .collect()
+                children.iter().map(|c| evaluate_inner(c, evaluator, base.clone(), 0)).collect()
             };
             let mut merged = base;
             for (c, _) in &results {
@@ -273,8 +256,11 @@ fn evaluate_inner(
 }
 
 /// Convenience: builds and evaluates the tree for an evaluator's module.
+/// Works against any [`ModuleEvaluator`] — the full
+/// [`CompilerEvaluator`](crate::CompilerEvaluator) or the component-scoped
+/// [`IncrementalEvaluator`](crate::IncrementalEvaluator).
 pub fn optimal_configuration(
-    evaluator: &crate::evaluator::CompilerEvaluator,
+    evaluator: &dyn crate::evaluator::ModuleEvaluator,
     strategy: PartitionStrategy,
 ) -> crate::naive::SearchOutcome {
     let graph = InlineGraph::from_module(evaluator.module());

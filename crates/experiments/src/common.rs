@@ -2,7 +2,7 @@
 //! relative-size accounting, and report output (stdout + `results/`).
 
 use optinline_codegen::X86Like;
-use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
+use optinline_core::{Evaluator, EvaluatorStats, InliningConfiguration, SizeEvaluator};
 use optinline_heuristics::CostModelInliner;
 use optinline_workloads::{spec_suite, Benchmark, Scale};
 use std::fmt::Write as _;
@@ -18,12 +18,21 @@ pub struct Ctx {
     pub exhaustive_bits: u32,
     /// Where reports are written.
     pub out_dir: PathBuf,
+    /// Use the component-scoped incremental evaluator (default) instead of
+    /// whole-module compiles (`--full-eval`).
+    pub incremental: bool,
 }
 
 impl Ctx {
-    /// Default context: full scale, `2^14` exhaustive budget, `results/`.
+    /// Default context: full scale, `2^14` exhaustive budget, `results/`,
+    /// incremental evaluation.
     pub fn new() -> Self {
-        Ctx { scale: Scale::Full, exhaustive_bits: 14, out_dir: PathBuf::from("results") }
+        Ctx {
+            scale: Scale::Full,
+            exhaustive_bits: 14,
+            out_dir: PathBuf::from("results"),
+            incremental: true,
+        }
     }
 
     /// Prints a report and writes it to `results/<name>.txt`.
@@ -56,8 +65,9 @@ pub struct FileCase {
     pub bench: &'static str,
     /// File (module) name.
     pub file: String,
-    /// Size evaluator (x86-like target).
-    pub evaluator: CompilerEvaluator,
+    /// Size evaluator (x86-like target; incremental or full per
+    /// [`Ctx::incremental`]).
+    pub evaluator: SizeEvaluator,
     /// The LLVM-`-Os`-like baseline configuration.
     pub heuristic: InliningConfiguration,
     /// Baseline size (the experiments' 100% reference).
@@ -67,13 +77,13 @@ pub struct FileCase {
 }
 
 /// Loads the suite and precomputes per-file baselines.
-pub fn load_cases(scale: Scale) -> Vec<FileCase> {
+pub fn load_cases(scale: Scale, incremental: bool) -> Vec<FileCase> {
     let suite: Vec<Benchmark> = spec_suite(scale);
     let mut cases = Vec::new();
     for bench in suite {
         for module in bench.files {
             let file = module.name.clone();
-            let evaluator = CompilerEvaluator::new(module, Box::new(X86Like));
+            let evaluator = SizeEvaluator::new(module, Box::new(X86Like), incremental);
             let heuristic = InliningConfiguration::from_decisions(
                 CostModelInliner::default().decide(evaluator.module(), &X86Like),
             );
@@ -90,6 +100,27 @@ pub fn load_cases(scale: Scale) -> Vec<FileCase> {
         }
     }
     cases
+}
+
+/// Aggregates evaluator counters across the whole suite.
+pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
+    let mut agg = EvaluatorStats::default();
+    for c in cases {
+        let s = c.evaluator.stats();
+        agg.queries += s.queries;
+        agg.compiles += s.compiles;
+        agg.cache_hits += s.cache_hits;
+        agg.cache_misses += s.cache_misses;
+        agg.compile_time += s.compile_time;
+        agg.full_module_equivalents += s.full_module_equivalents;
+    }
+    agg
+}
+
+/// One-line evaluator footer for experiment reports: cumulative compile
+/// work across the suite so far.
+pub fn stats_footer(cases: &[FileCase]) -> String {
+    format!("evaluator: {}", aggregate_stats(cases).render())
 }
 
 /// Benchmark names in suite order.
@@ -109,14 +140,14 @@ pub fn bench_total(cases: &[FileCase], bench: &str, f: impl Fn(&FileCase) -> u64
 }
 
 /// Renders a per-benchmark relative-size table (vs the heuristic baseline).
-pub fn relative_table(
-    title: &str,
-    cases: &[FileCase],
-    tuned: impl Fn(&FileCase) -> u64,
-) -> String {
+pub fn relative_table(title: &str, cases: &[FileCase], tuned: impl Fn(&FileCase) -> u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "{:<12} {:>12} {:>12} {:>10}", "benchmark", "baseline(B)", "tuned(B)", "relative");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>10}",
+        "benchmark", "baseline(B)", "tuned(B)", "relative"
+    );
     let mut rels = Vec::new();
     let mut grand_base = 0u64;
     let mut grand_tuned = 0u64;

@@ -42,11 +42,8 @@ pub fn tune_all(cases: &[FileCase], rounds: usize) -> TuneResults {
             let mut sizes: Vec<u64> = Vec::with_capacity(rounds);
             let mut best = u64::MAX;
             for i in 0..rounds {
-                let s = outcome
-                    .rounds
-                    .get(i)
-                    .map(|r| r.size)
-                    .unwrap_or_else(|| outcome.last().size);
+                let s =
+                    outcome.rounds.get(i).map(|r| r.size).unwrap_or_else(|| outcome.last().size);
                 best = best.min(s);
                 sizes.push(best);
             }
@@ -68,8 +65,10 @@ pub fn fig10(ctx: &Ctx, cases: &[FileCase], tunes: &TuneResults) {
         |c| tunes.clean1[&c.file],
     );
     let _ = writeln!(out, "\nshape target (paper): most benchmarks shrink (median 97.95%), a few");
-    let _ = writeln!(out, "inflate (leela 112.4%) because pairwise-local flips miss group effects;");
+    let _ =
+        writeln!(out, "inflate (leela 112.4%) because pairwise-local flips miss group effects;");
     let _ = writeln!(out, "best case mfc 72.4%.");
+    let _ = writeln!(out, "\n{}", crate::common::stats_footer(cases));
     ctx.report("fig10_clean_slate", &out);
 }
 
@@ -80,7 +79,8 @@ pub fn fig12(ctx: &Ctx, cases: &[FileCase], tunes: &TuneResults) {
         cases,
         |c| tunes.init1[&c.file],
     );
-    let _ = writeln!(out, "\nshape target (paper): regressions disappear (19 of 20 shrink) because");
+    let _ =
+        writeln!(out, "\nshape target (paper): regressions disappear (19 of 20 shrink) because");
     let _ = writeln!(out, "tuning starts from a valid good point; some benchmarks do worse than");
     let _ = writeln!(out, "their clean-slate result (Table 3).");
     ctx.report("fig12_heuristic_init", &out);
@@ -133,11 +133,10 @@ pub fn fig16(ctx: &Ctx, optima: &[OptimalCase<'_>], tunes: &TuneResults) {
     let mut pairs = Vec::new();
     let mut heur_pairs = Vec::new();
     for o in optima {
-        let tuned = tunes.clean_rounds[&o.case.file]
-            .last()
-            .copied()
-            .unwrap_or(o.case.heuristic_size)
-            .min(tunes.init_rounds[&o.case.file].last().copied().unwrap_or(o.case.heuristic_size));
+        let tuned =
+            tunes.clean_rounds[&o.case.file].last().copied().unwrap_or(o.case.heuristic_size).min(
+                tunes.init_rounds[&o.case.file].last().copied().unwrap_or(o.case.heuristic_size),
+            );
         pairs.push((tuned, o.optimal_size));
         heur_pairs.push((o.case.heuristic_size, o.optimal_size));
     }
@@ -146,9 +145,25 @@ pub fn fig16(ctx: &Ctx, optima: &[OptimalCase<'_>], tunes: &TuneResults) {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 16 — autotuner optimality (best of both inits, all rounds)");
     let _ = writeln!(out, "{:<28} {:>12} {:>12}", "", "autotuner", "baseline");
-    let _ = writeln!(out, "{:<28} {:>11.0}% {:>11.0}%", "optimal found", tuned.optimal_rate() * 100.0, heur.optimal_rate() * 100.0);
-    let _ = writeln!(out, "{:<28} {:>11.2}% {:>11.2}%", "median non-opt overhead", tuned.median_nonoptimal_overhead_pct, heur.median_nonoptimal_overhead_pct);
-    let _ = writeln!(out, "{:<28} {:>11.1}% {:>11.1}%", "max overhead", tuned.max_overhead_pct, heur.max_overhead_pct);
+    let _ = writeln!(
+        out,
+        "{:<28} {:>11.0}% {:>11.0}%",
+        "optimal found",
+        tuned.optimal_rate() * 100.0,
+        heur.optimal_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>11.2}% {:>11.2}%",
+        "median non-opt overhead",
+        tuned.median_nonoptimal_overhead_pct,
+        heur.median_nonoptimal_overhead_pct
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>11.1}% {:>11.1}%",
+        "max overhead", tuned.max_overhead_pct, heur.max_overhead_pct
+    );
     let _ = writeln!(out, "\nshape target (paper): autotuner optimal on 81% of files vs the");
     let _ = writeln!(out, "baseline's 46%.");
     ctx.report("fig16_autotuner_optimality", &out);

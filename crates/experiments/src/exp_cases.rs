@@ -13,9 +13,7 @@ use optinline_workloads::samples;
 use std::fmt::Write as _;
 
 fn heuristic_cfg(ev: &CompilerEvaluator) -> InliningConfiguration {
-    InliningConfiguration::from_decisions(
-        CostModelInliner::default().decide(ev.module(), &X86Like),
-    )
+    InliningConfiguration::from_decisions(CostModelInliner::default().decide(ev.module(), &X86Like))
 }
 
 /// Figure 8: two call graphs where the baseline inlines too aggressively —
@@ -29,7 +27,11 @@ pub fn fig8(ctx: &Ctx) {
         let optimal = tree::optimal_configuration(&ev, PartitionStrategy::Paper);
         let heur = heuristic_cfg(&ev);
         let h_size = ev.size_of(&heur);
-        let _ = writeln!(out, "== {label}: baseline is {:.0}% of optimal ==", 100.0 * h_size as f64 / optimal.size as f64);
+        let _ = writeln!(
+            out,
+            "== {label}: baseline is {:.0}% of optimal ==",
+            100.0 * h_size as f64 / optimal.size as f64
+        );
         let _ = writeln!(out, "--- optimal ({} bytes) ---", optimal.size);
         out.push_str(&dot::to_dot(ev.module(), optimal.config.decisions()));
         let _ = writeln!(out, "--- baseline ({h_size} bytes) ---");
@@ -65,7 +67,8 @@ pub fn fig11(ctx: &Ctx) {
     let all_size = ev.size_of(&all);
     let mut singles = Vec::new();
     for &s in &sites {
-        let one = InliningConfiguration::clean_slate().with(s, optinline_callgraph::Decision::Inline);
+        let one =
+            InliningConfiguration::clean_slate().with(s, optinline_callgraph::Decision::Inline);
         singles.push(ev.size_of(&one));
     }
     let mut out = String::new();
@@ -96,6 +99,7 @@ pub fn fig13_14(ctx: &Ctx) {
     let _ = writeln!(out, "heuristic init wins: the folding cascade needs both edges at once.");
     out.push_str(&dot_ib);
     let _ = writeln!(out, "\nshape target (paper): Fig13 clean slate 49% vs init 96% of baseline;");
-    let _ = writeln!(out, "Fig14 clean slate 152% vs init 78% — different graphs, different starts.");
+    let _ =
+        writeln!(out, "Fig14 clean slate 152% vs init 78% — different graphs, different starts.");
     ctx.report("fig13_14_init_cases", &out);
 }

@@ -10,7 +10,11 @@ use optinline_ir::Module;
 use optinline_workloads::{amalgamation, large_library};
 use std::fmt::Write as _;
 
-fn tune_module(module: Module, target: Box<dyn Target>, rounds: usize) -> (u64, u64, u64, u64, usize) {
+fn tune_module(
+    module: Module,
+    target: Box<dyn Target>,
+    rounds: usize,
+) -> (u64, u64, u64, u64, usize) {
     let ev = CompilerEvaluator::new(module, target);
     let sites = ev.sites().clone();
     let n_sites = sites.len();
@@ -42,8 +46,16 @@ pub fn case_sqlite(ctx: &Ctx) {
         let (base, none, best, _, n) = tune_module(module.clone(), target, 4);
         let _ = writeln!(out, "\n== {label} ({n} inlinable calls) ==");
         let _ = writeln!(out, "  baseline heuristic:  {base} B (100.0%)");
-        let _ = writeln!(out, "  inlining disabled:   {none} B ({:.1}%)", 100.0 * none as f64 / base as f64);
-        let _ = writeln!(out, "  autotuned best:      {best} B ({:.1}%)", 100.0 * best as f64 / base as f64);
+        let _ = writeln!(
+            out,
+            "  inlining disabled:   {none} B ({:.1}%)",
+            100.0 * none as f64 / base as f64
+        );
+        let _ = writeln!(
+            out,
+            "  autotuned best:      {best} B ({:.1}%)",
+            100.0 * best as f64 / base as f64
+        );
     }
     let _ = writeln!(out, "\nshape target (paper): x86 autotuning reaches ~90% of the baseline;");
     let _ = writeln!(out, "on WASM the baseline's inlining is near-useless (it *grew* code 18.3%");
@@ -63,7 +75,11 @@ pub fn case_llvm(ctx: &Ctx) {
     for module in lib {
         let name = module.name.clone();
         let (base, _none, best, _, n) = tune_module(module, Box::new(X86Like), 3);
-        let _ = writeln!(out, "  {name:<18} {n:>5} calls  {base:>8} B -> {best:>8} B ({:.1}%)", 100.0 * best as f64 / base as f64);
+        let _ = writeln!(
+            out,
+            "  {name:<18} {n:>5} calls  {base:>8} B -> {best:>8} B ({:.1}%)",
+            100.0 * best as f64 / base as f64
+        );
         base_total += base;
         tuned_total += best;
     }

@@ -46,7 +46,8 @@ pub fn trials(ctx: &Ctx, optima: &[OptimalCase<'_>]) {
     let tuned = RooflineStats::from_pairs(&pairs_tuned);
     let mut out = String::new();
     let _ = writeln!(out, "Extension — strategy tiers vs the optimum ({} files)", subset.len());
-    let _ = writeln!(out, "{:<26} {:>12} {:>14} {:>12}", "", "cost model", "trials (§7)", "autotuner");
+    let _ =
+        writeln!(out, "{:<26} {:>12} {:>14} {:>12}", "", "cost model", "trials (§7)", "autotuner");
     let _ = writeln!(
         out,
         "{:<26} {:>11.0}% {:>13.0}% {:>11.0}%",
@@ -90,10 +91,12 @@ pub fn scalability(ctx: &Ctx, cases: &[FileCase]) {
     let mut total_incr = 0u128;
     // The densest files benefit most; take the 12 largest by site count,
     // plus the amalgamation.
-    let mut big: Vec<&FileCase> = cases.iter().filter(|c| !c.evaluator.sites().is_empty()).collect();
+    let mut big: Vec<&FileCase> =
+        cases.iter().filter(|c| !c.evaluator.sites().is_empty()).collect();
     big.sort_by_key(|c| std::cmp::Reverse(c.evaluator.sites().len()));
     let amalgamation = optinline_workloads::amalgamation(ctx.scale);
-    let amalgamation_ev = CompilerEvaluator::new(amalgamation, Box::new(X86Like));
+    let amalgamation_ev =
+        optinline_core::SizeEvaluator::new(amalgamation, Box::new(X86Like), ctx.incremental);
     enum Row<'a> {
         Suite(&'a FileCase),
         Amalgamation,
@@ -101,7 +104,7 @@ pub fn scalability(ctx: &Ctx, cases: &[FileCase]) {
     let rows: Vec<Row<'_>> =
         big.into_iter().take(12).map(Row::Suite).chain([Row::Amalgamation]).collect();
     for row in rows {
-        let (name, ev): (&str, &CompilerEvaluator) = match &row {
+        let (name, ev): (&str, &optinline_core::SizeEvaluator) = match &row {
             Row::Suite(c) => (c.file.as_str(), &c.evaluator),
             Row::Amalgamation => ("sqlite_amalgamation.ir", &amalgamation_ev),
         };
@@ -173,7 +176,11 @@ pub fn lto(ctx: &Ctx, _cases: &[FileCase]) {
         let n_files = 3 + (seed % 2) as usize;
         let files = generate_program(
             n_files,
-            &GenParams { n_internal: 6, clusters: 1, ..GenParams::named(format!("prog{seed}"), seed) },
+            &GenParams {
+                n_internal: 6,
+                clusters: 1,
+                ..GenParams::named(format!("prog{seed}"), seed)
+            },
         );
         let per_file_sites: usize = files.iter().map(|m| m.inlinable_sites().len()).sum();
         let mut per_file_total = 0u64;
@@ -229,7 +236,9 @@ pub fn farm(ctx: &Ctx, cases: &[FileCase]) {
     for i in 0..reps {
         let mut cfg = InliningConfiguration::clean_slate();
         // Vary one decision per rep so the memo cache cannot short-circuit.
-        if let Some(&s) = probe.evaluator.sites().iter().nth(i as usize % probe.evaluator.sites().len()) {
+        if let Some(&s) =
+            probe.evaluator.sites().iter().nth(i as usize % probe.evaluator.sites().len())
+        {
             cfg.flip(s);
         }
         let _ = probe.evaluator.compile(&cfg);
@@ -270,7 +279,11 @@ pub fn farm(ctx: &Ctx, cases: &[FileCase]) {
     let mut out = String::new();
     let _ = writeln!(out, "Extension — compile-farm capacity model");
     let _ = writeln!(out, "measured compile cost: {cost_us} us per evaluation\n");
-    let _ = writeln!(out, "{:<28} {:>10} {:>10} {:>10} {:>10}", "workload \\ workers", "1", "8", "64", "256");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "workload \\ workers", "1", "8", "64", "256"
+    );
     let row = |label: &str, w: &PhasedWork| {
         format!(
             "{label:<28} {:>10} {:>10} {:>10} {:>10}",
@@ -295,7 +308,8 @@ pub fn farm(ctx: &Ctx, cases: &[FileCase]) {
     let _ = writeln!(out, "do not (Algorithm 3's n+2 structure).");
     let _ = writeln!(out, "\npaper reference points: exhaustive search 'required a few hours' and");
     let _ = writeln!(out, "one suite autotuning session 4.4 hours, both on a 64-core machine —");
-    let _ = writeln!(out, "with real compilers costing ~1s per compile instead of our ~{cost_us}us.", );
+    let _ =
+        writeln!(out, "with real compilers costing ~1s per compile instead of our ~{cost_us}us.",);
     ctx.report("ext_farm_model", &out);
 }
 
@@ -306,7 +320,11 @@ pub fn guarded(ctx: &Ctx, cases: &[FileCase]) {
     use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
     let cycles_of = |case: &FileCase, cfg: &InliningConfiguration| -> Option<u64> {
         let mut m = case.evaluator.module().clone();
-        optimize_os(&mut m, &ForcedDecisions::new(cfg.decisions().clone()), PipelineOptions::default());
+        optimize_os(
+            &mut m,
+            &ForcedDecisions::new(cfg.decisions().clone()),
+            PipelineOptions::default(),
+        );
         let main = m.func_by_name("main")?;
         Interp::new(&m).run(main, &[]).ok().map(|o| o.cycles)
     };
@@ -333,12 +351,8 @@ pub fn guarded(ctx: &Ctx, cases: &[FileCase]) {
             } else {
                 let tuner = Autotuner::new(&case.evaluator, sites);
                 let plain = tuner.run(case.heuristic.clone(), 2);
-                let guard = tuner.run_guarded(
-                    case.heuristic.clone(),
-                    2,
-                    &|cfg| cycles_of(case, cfg),
-                    1.02,
-                );
+                let guard =
+                    tuner.run_guarded(case.heuristic.clone(), 2, &|cfg| cycles_of(case, cfg), 1.02);
                 (plain.best().config.clone(), guard.best().config.clone())
             };
             tot[0] += case.heuristic_size;

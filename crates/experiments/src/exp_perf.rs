@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 
 fn cycles_under(case: &FileCase, config: &InliningConfiguration) -> Option<u64> {
     let mut m = case.evaluator.module().clone();
-    optimize_os(&mut m, &ForcedDecisions::new(config.decisions().clone()), PipelineOptions::default());
+    optimize_os(
+        &mut m,
+        &ForcedDecisions::new(config.decisions().clone()),
+        PipelineOptions::default(),
+    );
     let main = m.func_by_name("main")?;
     Interp::new(&m).run(main, &[]).ok().map(|o| o.cycles)
 }
@@ -20,8 +24,13 @@ fn cycles_under(case: &FileCase, config: &InliningConfiguration) -> Option<u64> 
 /// against the baseline build.
 pub fn fig19(ctx: &Ctx, cases: &[FileCase]) {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 19 — runtime of size-tuned builds vs baseline (simulated cycles)");
-    let _ = writeln!(out, "{:<12} {:>14} {:>14} {:>10}", "benchmark", "baseline(cyc)", "tuned(cyc)", "relative");
+    let _ =
+        writeln!(out, "Figure 19 — runtime of size-tuned builds vs baseline (simulated cycles)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>10}",
+        "benchmark", "baseline(cyc)", "tuned(cyc)", "relative"
+    );
     let mut rels = Vec::new();
     for name in bench_names(cases) {
         let mut base_total = 0u64;

@@ -4,7 +4,9 @@
 
 use crate::common::{Ctx, FileCase};
 use optinline_callgraph::{InlineGraph, PartitionStrategy};
-use optinline_core::analysis::{chain_length_histogram, inlined_chain_lengths, Agreement, RooflineStats};
+use optinline_core::analysis::{
+    chain_length_histogram, inlined_chain_lengths, Agreement, RooflineStats,
+};
 use optinline_core::tree::{evaluate_inlining_tree_parallel, space_size, try_build_inlining_tree};
 use optinline_core::InliningConfiguration;
 use std::fmt::Write as _;
@@ -30,11 +32,9 @@ pub fn compute_optima<'a>(ctx: &Ctx, cases: &'a [FileCase]) -> Vec<OptimalCase<'
             continue;
         }
         let graph = InlineGraph::from_module(case.evaluator.module());
-        let Some(tree) = try_build_inlining_tree(
-            &graph,
-            PartitionStrategy::Paper,
-            1u128 << ctx.exhaustive_bits,
-        ) else {
+        let Some(tree) =
+            try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1u128 << ctx.exhaustive_bits)
+        else {
             continue;
         };
         let space = space_size(&tree);
@@ -55,19 +55,32 @@ pub fn fig7(ctx: &Ctx, optima: &[OptimalCase<'_>]) {
         optima.iter().map(|o| (o.case.heuristic_size, o.optimal_size)).collect();
     let stats = RooflineStats::from_pairs(&pairs);
     let total_evals: u128 = optima.iter().map(|o| o.evaluations).sum();
-    let total_naive: u128 = optima
-        .iter()
-        .map(|o| 1u128 << o.case.evaluator.sites().len().min(100))
-        .sum();
+    let total_naive: u128 =
+        optima.iter().map(|o| 1u128 << o.case.evaluator.sites().len().min(100)).sum();
     let mut out = String::new();
     let _ = writeln!(out, "Figure 7 — baseline -Os-like heuristic vs optimal");
     let _ = writeln!(out, "files exhaustively analyzed:   {}", stats.files);
     let _ = writeln!(out, "evaluations (recursive/naive): {total_evals} / {total_naive}");
-    let _ = writeln!(out, "optimal configurations found:  {} ({:.0}%)", stats.optimal_found, stats.optimal_rate() * 100.0);
-    let _ = writeln!(out, "median overhead (non-optimal): {:.2}%", stats.median_nonoptimal_overhead_pct);
+    let _ = writeln!(
+        out,
+        "optimal configurations found:  {} ({:.0}%)",
+        stats.optimal_found,
+        stats.optimal_rate() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "median overhead (non-optimal): {:.2}%",
+        stats.median_nonoptimal_overhead_pct
+    );
     let _ = writeln!(out, "files with overhead >= 5%:     {}", stats.at_least_5pct);
     let _ = writeln!(out, "files with overhead >= 10%:    {}", stats.at_least_10pct);
     let _ = writeln!(out, "maximum overhead:              {:.1}%", stats.max_overhead_pct);
+    let work: f64 = optima.iter().map(|o| o.case.evaluator.stats().full_module_equivalents).sum();
+    let compiles: u64 = optima.iter().map(|o| o.case.evaluator.stats().compiles).sum();
+    let _ = writeln!(
+        out,
+        "compile work so far:           {compiles} compiles = {work:.1} full-module equivalents"
+    );
     let _ = writeln!(out, "\nshape target (paper): optimal on 46% of files; median non-optimal");
     let _ = writeln!(out, "overhead 2.37%; 16% of files >=5%, 8.5% >=10%; max 281%.");
     ctx.report("fig7_roofline", &out);
@@ -94,14 +107,32 @@ pub fn table2(ctx: &Ctx, optima: &[OptimalCase<'_>]) {
     let mut out = String::new();
     let _ = writeln!(out, "Table 2 — optimal vs baseline inlining choices ({total} decisions)");
     let _ = writeln!(out, "{:<34} {:>8} {:>8}", "", "count", "%");
-    let row = |label: &str, v: u64| format!("{label:<34} {v:>8} {:>7.1}%", 100.0 * v as f64 / total.max(1) as f64);
+    let row = |label: &str, v: u64| {
+        format!("{label:<34} {v:>8} {:>7.1}%", 100.0 * v as f64 / total.max(1) as f64)
+    };
     let _ = writeln!(out, "{}", row("optimal no-inline, base no-inline", agg.both_no_inline));
-    let _ = writeln!(out, "{}", row("optimal no-inline, base inline  (too aggressive)", agg.too_aggressive));
-    let _ = writeln!(out, "{}", row("optimal inline,    base no-inline (too conservative)", agg.too_conservative));
+    let _ = writeln!(
+        out,
+        "{}",
+        row("optimal no-inline, base inline  (too aggressive)", agg.too_aggressive)
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row("optimal inline,    base no-inline (too conservative)", agg.too_conservative)
+    );
     let _ = writeln!(out, "{}", row("optimal inline,    base inline", agg.both_inline));
     let _ = writeln!(out, "\nagreement rate:        {:.1}%", agg.agreement_rate() * 100.0);
-    let _ = writeln!(out, "optimal inlines:       {opt_inlined} ({:.1}%)", 100.0 * opt_inlined as f64 / total.max(1) as f64);
-    let _ = writeln!(out, "baseline inlines:      {heur_inlined} ({:.1}%)", 100.0 * heur_inlined as f64 / total.max(1) as f64);
+    let _ = writeln!(
+        out,
+        "optimal inlines:       {opt_inlined} ({:.1}%)",
+        100.0 * opt_inlined as f64 / total.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "baseline inlines:      {heur_inlined} ({:.1}%)",
+        100.0 * heur_inlined as f64 / total.max(1) as f64
+    );
     let _ = writeln!(out, "\nshape target (paper): 72.7% agreement; 23.7% too aggressive vs 3.6%");
     let _ = writeln!(out, "too conservative — the baseline over-inlines for size.");
     ctx.report("table2_agreement", &out);

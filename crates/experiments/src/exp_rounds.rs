@@ -34,8 +34,8 @@ pub fn fig17(ctx: &Ctx, cases: &[FileCase], tunes: &TuneResults, rounds: usize) 
             let _ = writeln!(out, "{row}");
         }
         let mut med = format!("{:<12}", "median");
-        for r in 0..rounds {
-            med.push_str(&format!(" {:>8.2}%", optinline_core::analysis::median(&per_round_rels[r])));
+        for rels in per_round_rels.iter().take(rounds) {
+            med.push_str(&format!(" {:>8.2}%", optinline_core::analysis::median(rels)));
         }
         let _ = writeln!(out, "{med}\n");
     }
@@ -73,7 +73,10 @@ pub fn table4(ctx: &Ctx) {
     let base_size = ev.size_of(&heuristic);
     let tuner = Autotuner::new(&ev, sites.clone());
     let count = |c: &InliningConfiguration| {
-        let inl = sites.iter().filter(|&&s| c.decision(s) == optinline_callgraph::Decision::Inline).count();
+        let inl = sites
+            .iter()
+            .filter(|&&s| c.decision(s) == optinline_callgraph::Decision::Inline)
+            .count();
         (inl, sites.len() - inl)
     };
     let mut out = String::new();
@@ -83,18 +86,38 @@ pub fn table4(ctx: &Ctx) {
         ("clean slate", InliningConfiguration::clean_slate()),
     ] {
         let outcome = tuner.run(init.clone(), 4);
-        let _ = writeln!(out, "
-== {label} ==");
-        let _ = writeln!(out, "{:<10} {:>9} {:>13} {:>10}", "round", "#inlined", "#non-inlined", "rel. size");
+        let _ = writeln!(
+            out,
+            "
+== {label} =="
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>13} {:>10}",
+            "round", "#inlined", "#non-inlined", "rel. size"
+        );
         let (i0, n0) = count(&init);
         let init_size = ev.size_of(&init);
-        let _ = writeln!(out, "{:<10} {i0:>9} {n0:>13} {:>9.1}%", "start", 100.0 * init_size as f64 / base_size as f64);
+        let _ = writeln!(
+            out,
+            "{:<10} {i0:>9} {n0:>13} {:>9.1}%",
+            "start",
+            100.0 * init_size as f64 / base_size as f64
+        );
         for r in &outcome.rounds {
             let (i, n) = count(&r.config);
-            let _ = writeln!(out, "{:<10} {i:>9} {n:>13} {:>9.1}%", format!("round {}", r.round), 100.0 * r.size as f64 / base_size as f64);
+            let _ = writeln!(
+                out,
+                "{:<10} {i:>9} {n:>13} {:>9.1}%",
+                format!("round {}", r.round),
+                100.0 * r.size as f64 / base_size as f64
+            );
         }
     }
     let _ = writeln!(out, "\nshape target (paper): few flips per round, large cumulative wins,");
-    let _ = writeln!(out, "and occasional temporary regressions (100 -> 71.6 -> 41.2 -> 41.4 -> 35.8%).");
+    let _ = writeln!(
+        out,
+        "and occasional temporary regressions (100 -> 71.6 -> 41.2 -> 41.4 -> 35.8%)."
+    );
     ctx.report("table4_round_trace", &out);
 }

@@ -8,11 +8,19 @@ use std::fmt::Write as _;
 pub fn fig1(ctx: &Ctx, cases: &[FileCase]) {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 1 — size change due to inlining (-Os-like vs inlining disabled)");
-    let _ = writeln!(out, "{:<12} {:>14} {:>14} {:>22}", "benchmark", "no-inline(B)", "inlined(B)", "size w/ inlining (%)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>22}",
+        "benchmark", "no-inline(B)", "inlined(B)", "size w/ inlining (%)"
+    );
     for name in bench_names(cases) {
         let no = bench_total(cases, name, |c| c.no_inline_size);
         let with = bench_total(cases, name, |c| c.heuristic_size);
-        let _ = writeln!(out, "{name:<12} {no:>14} {with:>14} {:>21.0}%", 100.0 * with as f64 / no as f64);
+        let _ = writeln!(
+            out,
+            "{name:<12} {no:>14} {with:>14} {:>21.0}%",
+            100.0 * with as f64 / no as f64
+        );
     }
     let _ = writeln!(out, "\nshape target: inlining shrinks every non-trivial benchmark, in the");
     let _ = writeln!(out, "paper by 23-70% (e.g. leela to 30%); cam4 is trivial (no candidates).");

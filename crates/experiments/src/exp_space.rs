@@ -13,11 +13,8 @@ pub fn fig3(ctx: &Ctx, cases: &[FileCase]) {
     let mut rows: Vec<(&str, usize)> = bench_names(cases)
         .into_iter()
         .map(|name| {
-            let bits: usize = cases
-                .iter()
-                .filter(|c| c.bench == name)
-                .map(|c| c.evaluator.sites().len())
-                .sum();
+            let bits: usize =
+                cases.iter().filter(|c| c.bench == name).map(|c| c.evaluator.sites().len()).sum();
             (name, bits)
         })
         .collect();
@@ -74,7 +71,11 @@ pub fn table1(ctx: &Ctx, cases: &[FileCase]) {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mut out = String::new();
     let _ = writeln!(out, "Table 1 — search-space size reduction (per-file, log2)");
-    let _ = writeln!(out, "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10}", "space", "median", "75th", "95th", "max", "geo-mean");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "space", "median", "75th", "95th", "max", "geo-mean"
+    );
     let m = mean(&naive_bits);
     let _ = writeln!(
         out,
@@ -97,9 +98,17 @@ pub fn table1(ctx: &Ctx, cases: &[FileCase]) {
         rec_bits.iter().copied().fold(0.0, f64::max),
         m2
     );
-    let _ = writeln!(out, "\ntotal evaluations: naive 2^{total_naive:.1} -> recursive 2^{total_rec:.1}");
-    let _ = writeln!(out, "files covered: {} (recursive space <= 2^{TABLE1_BITS}); skipped: {skipped}", naive_bits.len());
+    let _ = writeln!(
+        out,
+        "\ntotal evaluations: naive 2^{total_naive:.1} -> recursive 2^{total_rec:.1}"
+    );
+    let _ = writeln!(
+        out,
+        "files covered: {} (recursive space <= 2^{TABLE1_BITS}); skipped: {skipped}",
+        naive_bits.len()
+    );
     let _ = writeln!(out, "shape target: the recursive space trims the tail hardest (paper:");
-    let _ = writeln!(out, "95th percentile 38 -> 17.4 bits, max 349 -> 19.9; total 2^349 -> 2^25.2).");
+    let _ =
+        writeln!(out, "95th percentile 38 -> 17.4 bits, max 349 -> 19.9; total 2^349 -> 2^25.2).");
     ctx.report("table1_space_reduction", &out);
 }

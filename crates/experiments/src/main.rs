@@ -52,7 +52,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--small] [--bits N] [--out DIR] <experiment|all>...\n");
+    eprintln!(
+        "usage: experiments [--small] [--bits N] [--out DIR] [--full-eval] <experiment|all>...\n"
+    );
+    eprintln!("  --full-eval  whole-module compiles instead of the incremental evaluator\n");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<12} {desc}");
@@ -67,6 +70,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--small" => ctx.scale = Scale::Small,
+            "--full-eval" => ctx.incremental = false,
             "--bits" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 ctx.exhaustive_bits = v.parse().unwrap_or_else(|_| usage());
@@ -86,7 +90,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     eprintln!("[generating suite + baselines ({:?} scale)...]", ctx.scale);
-    let cases = common::load_cases(ctx.scale);
+    let cases = common::load_cases(ctx.scale, ctx.incremental);
     eprintln!(
         "[{} files, {} inlinable sites, {:.1}s]",
         cases.len(),
@@ -152,5 +156,10 @@ fn main() {
             other => unreachable!("unknown experiment {other}"),
         }
     }
-    eprintln!("\n[total {:.1}s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[{} {}]",
+        if ctx.incremental { "incremental" } else { "full-module" },
+        common::stats_footer(&cases)
+    );
+    eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f64());
 }

@@ -46,7 +46,12 @@ impl CostParams {
     /// A deliberately aggressive variant (accepts sizeable growth), akin to
     /// a performance-oriented `-O2` threshold applied to size builds.
     pub fn aggressive() -> Self {
-        CostParams { threshold: 140, const_arg_bonus: 24, last_call_bonus: 48, max_callee_bytes: 2000 }
+        CostParams {
+            threshold: 140,
+            const_arg_bonus: 24,
+            last_call_bonus: 48,
+            max_callee_bytes: 2000,
+        }
     }
 }
 
@@ -179,22 +184,15 @@ pub fn estimate(
     // are inlined. The last call gets the full body-plus-overhead credit;
     // earlier calls get it amortized over the remaining call count, which
     // keeps the bottom-up walk willing to start multi-caller cascades.
-    let last_call_bonus = if callee_f.linkage == optinline_ir::Linkage::Internal
-        && live_calls_to_callee >= 1
-    {
-        (params.last_call_bonus + callee_bytes as i64) / live_calls_to_callee as i64
-    } else {
-        0
-    };
+    let last_call_bonus =
+        if callee_f.linkage == optinline_ir::Linkage::Internal && live_calls_to_callee >= 1 {
+            (params.last_call_bonus + callee_bytes as i64) / live_calls_to_callee as i64
+        } else {
+            0
+        };
 
     let cost = callee_bytes as i64 - call_bytes as i64 - const_bonus - last_call_bonus;
-    CostBreakdown {
-        callee_bytes,
-        call_bytes,
-        const_bonus,
-        last_call_bonus,
-        cost,
-    }
+    CostBreakdown { callee_bytes, call_bytes, const_bonus, last_call_bonus, cost }
 }
 
 #[cfg(test)]

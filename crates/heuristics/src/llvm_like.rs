@@ -48,19 +48,13 @@ impl CostModelInliner {
         let cleanup = cleanup_pipeline(PipelineOptions { max_iterations: 3, ..Default::default() });
 
         let sccs = bottom_up_sccs(module);
-        let scc_of: BTreeMap<FuncId, usize> = sccs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, scc)| scc.iter().map(move |&f| (f, i)))
-            .collect();
+        let scc_of: BTreeMap<FuncId, usize> =
+            sccs.iter().enumerate().flat_map(|(i, scc)| scc.iter().map(move |&f| (f, i))).collect();
 
         for scc in &sccs {
             for &f in scc {
-                loop {
-                    // First call in `f` whose site is still undecided.
-                    let Some((inst, callee, site)) = first_undecided(&work, f, &decisions) else {
-                        break;
-                    };
+                // First call in `f` whose site is still undecided.
+                while let Some((inst, callee, site)) = first_undecided(&work, f, &decisions) {
                     let decision = if !work.func(callee).inlinable
                         || work.is_stub(callee)
                         || scc_of.get(&callee) == scc_of.get(&f)
@@ -122,11 +116,7 @@ fn first_undecided(
 }
 
 fn live_calls_to(module: &Module, callee: FuncId) -> usize {
-    module
-        .iter_funcs()
-        .flat_map(|(_, f)| f.call_edges())
-        .filter(|(_, c)| *c == callee)
-        .count()
+    module.iter_funcs().flat_map(|(_, f)| f.call_edges()).filter(|(_, c)| *c == callee).count()
 }
 
 #[cfg(test)]
@@ -208,10 +198,7 @@ mod tests {
     fn decisions_cover_every_inlinable_site() {
         let m = tiny_callee_module();
         let decisions = CostModelInliner::default().decide(&m, &X86Like);
-        assert_eq!(
-            decisions.keys().copied().collect::<BTreeSet<_>>(),
-            m.inlinable_sites()
-        );
+        assert_eq!(decisions.keys().copied().collect::<BTreeSet<_>>(), m.inlinable_sites());
     }
 
     #[test]
@@ -250,11 +237,7 @@ mod tests {
         }
         let decisions = CostModelInliner::default().decide(&m, &X86Like);
         let mut tuned = m.clone();
-        optimize_os(
-            &mut tuned,
-            &ForcedDecisions::new(decisions),
-            PipelineOptions::default(),
-        );
+        optimize_os(&mut tuned, &ForcedDecisions::new(decisions), PipelineOptions::default());
         let mut baseline = m.clone();
         optimize_os_no_inline(&mut baseline, PipelineOptions::default());
         assert!(text_size(&tuned, &X86Like) < text_size(&baseline, &X86Like));

@@ -50,10 +50,7 @@ impl TrialInliner {
 
         for scc in bottom_up_sccs(module) {
             for f in scc {
-                loop {
-                    let Some((site, callee)) = first_undecided(&work, f, &decisions) else {
-                        break;
-                    };
+                while let Some((site, callee)) = first_undecided(&work, f, &decisions) {
                     if !work.func(callee).inlinable || work.is_stub(callee) {
                         decisions.insert(site, Decision::NoInline);
                         continue;
@@ -181,8 +178,9 @@ mod tests {
         let m = wrapper_chain();
         let eager = TrialInliner { min_gain: 0 }.decide(&m, &X86Like);
         let picky = TrialInliner { min_gain: 10_000 }.decide(&m, &X86Like);
-        let count =
-            |d: &BTreeMap<CallSiteId, Decision>| d.values().filter(|&&x| x == Decision::Inline).count();
+        let count = |d: &BTreeMap<CallSiteId, Decision>| {
+            d.values().filter(|&&x| x == Decision::Inline).count()
+        };
         assert!(count(&picky) <= count(&eager));
         assert_eq!(count(&picky), 0);
     }

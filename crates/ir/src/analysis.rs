@@ -242,14 +242,9 @@ pub fn is_acyclic(func: &Function) -> bool {
     fn dfs(func: &Function, b: BlockId, state: &mut [u8]) -> bool {
         state[b.index()] = 1;
         for s in func.block(b).term.successors() {
-            match state[s.index()] {
-                0 => {
-                    if !dfs(func, s, state) {
-                        return false;
-                    }
-                }
-                1 => return false,
-                _ => {}
+            let seen = state[s.index()];
+            if seen == 1 || (seen == 0 && !dfs(func, s, state)) {
+                return false;
             }
         }
         state[b.index()] = 2;

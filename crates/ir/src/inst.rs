@@ -99,10 +99,7 @@ impl BinOp {
 
     /// Returns `true` for the six comparison operators.
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-        )
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
     }
 
     /// Evaluates the operator on two constants with the IR's total semantics.
@@ -403,7 +400,12 @@ mod tests {
 
     #[test]
     fn inst_def_and_uses() {
-        let i = Inst::Bin { dst: ValueId::new(3), op: BinOp::Add, lhs: ValueId::new(1), rhs: ValueId::new(2) };
+        let i = Inst::Bin {
+            dst: ValueId::new(3),
+            op: BinOp::Add,
+            lhs: ValueId::new(1),
+            rhs: ValueId::new(2),
+        };
         assert_eq!(i.def(), Some(ValueId::new(3)));
         let mut uses = vec![];
         i.for_each_use(|v| uses.push(v));

@@ -142,8 +142,7 @@ impl<'m> Interp<'m> {
 
     /// Creates an interpreter with an explicit cost model.
     pub fn with_cost(module: &'m Module, cost: CostModel) -> Self {
-        let func_units =
-            module.iter_funcs().map(|(_, f)| (f.inst_count() as u64).max(1)).collect();
+        let func_units = module.iter_funcs().map(|(_, f)| (f.inst_count() as u64).max(1)).collect();
         Interp {
             module,
             cost,
@@ -202,7 +201,12 @@ impl<'m> Interp<'m> {
         Ok(())
     }
 
-    fn call(&mut self, fid: FuncId, args: &[i64], depth: usize) -> Result<Option<i64>, InterpError> {
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: &[i64],
+        depth: usize,
+    ) -> Result<Option<i64>, InterpError> {
         if depth > self.max_depth {
             return Err(InterpError::StackOverflow);
         }

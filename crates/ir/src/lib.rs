@@ -68,6 +68,7 @@ pub mod interp;
 pub mod link;
 mod module;
 pub mod parse;
+pub mod slice;
 pub mod verify;
 
 pub use builder::FuncBuilder;
@@ -78,4 +79,5 @@ pub use inst::{BinOp, Inst, JumpTarget, Terminator};
 pub use link::{internalize_except, link_modules};
 pub use module::{Global, Module};
 pub use parse::{parse_module, ParseError};
+pub use slice::extract_slice;
 pub use verify::{assert_verified, verify_function, verify_module, VerifyError};

@@ -38,11 +38,8 @@ pub fn link_modules(name: impl Into<String>, modules: &[Module]) -> Module {
         }
         let mut k = 0usize;
         loop {
-            let candidate = if k == 0 {
-                format!("{base}.l{mi}")
-            } else {
-                format!("{base}.l{mi}.{k}")
-            };
+            let candidate =
+                if k == 0 { format!("{base}.l{mi}") } else { format!("{base}.l{mi}.{k}") };
             if taken.insert(candidate.clone()) {
                 return candidate;
             }
@@ -300,10 +297,7 @@ mod tests {
         let linked = link_modules("prog", &[make(1), make(2)]);
         crate::verify::verify_module(&linked).unwrap();
         // One shared extern, two users, still no inlining candidates.
-        let externs: Vec<_> = linked
-            .func_ids()
-            .filter(|&id| linked.is_extern_decl(id))
-            .collect();
+        let externs: Vec<_> = linked.func_ids().filter(|&id| linked.is_extern_decl(id)).collect();
         assert_eq!(externs.len(), 1);
         assert!(linked.inlinable_sites().is_empty());
     }

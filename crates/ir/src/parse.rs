@@ -133,11 +133,7 @@ impl Lexer {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
-            .unwrap_or(1)
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(1)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -172,9 +168,7 @@ impl Lexer {
         let line = self.line();
         match self.next()? {
             Tok::Ident(s) if s == kw => Ok(()),
-            other => {
-                Err(ParseError { line, message: format!("expected `{kw}`, found {other:?}") })
-            }
+            other => Err(ParseError { line, message: format!("expected `{kw}`, found {other:?}") }),
         }
     }
 
@@ -436,7 +430,9 @@ fn parse_function_body(
             let f = module.func_mut(fid);
             let got = f.add_block(params);
             if got != bid {
-                return Err(lex.err(format!("expected block {got}, found {bid} (blocks must be dense and in order)")));
+                return Err(lex.err(format!(
+                    "expected block {got}, found {bid} (blocks must be dense and in order)"
+                )));
             }
         }
 

@@ -1,0 +1,142 @@
+//! Component slices: self-contained sub-modules covering a subset of a
+//! module's functions.
+//!
+//! [`extract_slice`] clones a *call-closed* set of functions (every call
+//! edge from a member stays inside the set) into a fresh [`Module`],
+//! renumbering [`FuncId`]s densely while keeping every other identifier —
+//! globals, call sites, values, blocks — exactly as in the source. The
+//! incremental evaluator in `optinline-core` compiles such slices
+//! independently; the identifier stability is what makes per-slice results
+//! byte-comparable with a whole-module compile.
+
+use crate::ids::FuncId;
+use crate::inst::Inst;
+use crate::module::Module;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Extracts the sub-module induced by `funcs`.
+///
+/// The slice contains clones of the selected functions (declared in
+/// ascending original-id order, so the renumbering old→new is monotone),
+/// *all* of the source module's globals under unchanged [`GlobalId`]s, and
+/// the source's call-site id space (so [`CallSiteId`]s in the slice mean
+/// the same call sites as in the source). Call instructions are rewritten
+/// to the new [`FuncId`]s, including their `inline_path` provenance.
+///
+/// # Panics
+///
+/// Panics if `funcs` is not call-closed, i.e. some member calls (or records
+/// an `inline_path` through) a function outside the set. Closedness is the
+/// caller's invariant: slices are meant to be built from the connected
+/// components of the full call graph.
+///
+/// [`GlobalId`]: crate::ids::GlobalId
+/// [`CallSiteId`]: crate::ids::CallSiteId
+pub fn extract_slice(module: &Module, funcs: &BTreeSet<FuncId>) -> Module {
+    let mut out = Module::new(module.name.clone());
+    for g in module.globals() {
+        out.add_global(g.name.clone(), g.init);
+    }
+    // `funcs` iterates in ascending order, so new ids are dense and monotone.
+    let remap: BTreeMap<FuncId, FuncId> =
+        funcs.iter().enumerate().map(|(new, &old)| (old, FuncId::new(new as u32))).collect();
+    for &old in funcs {
+        let src = module.func(old);
+        let nid = out.declare_function(src.name.clone(), src.param_count(), src.linkage);
+        let mut f = src.clone();
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee, inline_path, .. } = inst {
+                    let translate = |fid: FuncId| {
+                        *remap.get(&fid).unwrap_or_else(|| {
+                            panic!(
+                                "slice of {:?} is not call-closed: {} escapes",
+                                funcs,
+                                module.func(fid).name
+                            )
+                        })
+                    };
+                    *callee = translate(*callee);
+                    for step in inline_path.iter_mut() {
+                        *step = translate(*step);
+                    }
+                }
+            }
+        }
+        *out.func_mut(nid) = f;
+    }
+    out.reserve_call_sites(module.call_site_bound());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::Linkage;
+    use crate::verify::verify_module;
+
+    /// Two components: {callee, caller} and {lone}; plus a global.
+    fn sample() -> Module {
+        let mut m = Module::new("m");
+        m.add_global("g", 7);
+        let callee = m.declare_function("callee", 1, Linkage::Internal);
+        let lone = m.declare_function("lone", 0, Linkage::Public);
+        let caller = m.declare_function("caller", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, callee);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, lone);
+            b.ret(None);
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, caller);
+            let c = b.iconst(3);
+            b.call_void(callee, &[c]);
+            b.ret(None);
+        }
+        m
+    }
+
+    #[test]
+    fn slice_renumbers_functions_and_keeps_everything_else() {
+        let m = sample();
+        let funcs: BTreeSet<FuncId> = [FuncId::new(0), FuncId::new(2)].into_iter().collect();
+        let s = extract_slice(&m, &funcs);
+        verify_module(&s).expect("slice verifies");
+        assert_eq!(s.func_count(), 2);
+        assert_eq!(s.func(FuncId::new(0)).name, "callee");
+        assert_eq!(s.func(FuncId::new(1)).name, "caller");
+        // Globals and the call-site id space carry over unchanged.
+        assert_eq!(s.globals(), m.globals());
+        assert_eq!(s.call_site_bound(), m.call_site_bound());
+        // The call in `caller` now targets the renumbered callee, under the
+        // original site id.
+        let sites_m = m.func(FuncId::new(2)).call_edges();
+        let sites_s = s.func(FuncId::new(1)).call_edges();
+        assert_eq!(sites_m.len(), 1);
+        assert_eq!(sites_s.len(), 1);
+        assert_eq!(sites_m[0].0, sites_s[0].0);
+        assert_eq!(sites_s[0].1, FuncId::new(0));
+    }
+
+    #[test]
+    fn singleton_slice_of_isolated_function_round_trips() {
+        let m = sample();
+        let funcs: BTreeSet<FuncId> = [FuncId::new(1)].into_iter().collect();
+        let s = extract_slice(&m, &funcs);
+        verify_module(&s).expect("slice verifies");
+        assert_eq!(s.func_count(), 1);
+        assert_eq!(s.func(FuncId::new(0)), m.func(FuncId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not call-closed")]
+    fn non_closed_slice_panics() {
+        let m = sample();
+        let funcs: BTreeSet<FuncId> = [FuncId::new(2)].into_iter().collect();
+        extract_slice(&m, &funcs);
+    }
+}

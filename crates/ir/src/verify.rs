@@ -101,12 +101,7 @@ pub fn verify_function(module: &Module, id: FuncId) -> Result<(), VerifyError> {
         if t.args.len() != want {
             return Err(err(
                 Some(bid),
-                format!(
-                    "jump to {} passes {} args, block takes {}",
-                    t.block,
-                    t.args.len(),
-                    want
-                ),
+                format!("jump to {} passes {} args, block takes {}", t.block, t.args.len(), want),
             ));
         }
         Ok(())
@@ -132,7 +127,10 @@ pub fn verify_function(module: &Module, id: FuncId) -> Result<(), VerifyError> {
             }
             if let Inst::Load { global, .. } | Inst::Store { global, .. } = inst {
                 if global.index() >= module.globals().len() {
-                    return Err(err(Some(bid), format!("reference to nonexistent global {global}")));
+                    return Err(err(
+                        Some(bid),
+                        format!("reference to nonexistent global {global}"),
+                    ));
                 }
             }
         }

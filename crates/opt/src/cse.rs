@@ -33,8 +33,7 @@ impl Pass for Cse {
     }
 
     fn run(&self, module: &mut Module) -> bool {
-        let effects =
-            self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
+        let effects = self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
         let mut changed = false;
         for fid in module.func_ids() {
             changed |= cse_function(module, fid, &effects);
@@ -72,8 +71,13 @@ fn cse_function(module: &mut Module, fid: FuncId, effects: &EffectSummary) -> bo
                 Inst::Bin { dst, op, lhs, rhs } => {
                     // Commutative ops: canonicalize operand order.
                     let (a, b) = match op {
-                        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-                        | BinOp::Eq | BinOp::Ne => {
+                        BinOp::Add
+                        | BinOp::Mul
+                        | BinOp::And
+                        | BinOp::Or
+                        | BinOp::Xor
+                        | BinOp::Eq
+                        | BinOp::Ne => {
                             if lhs <= rhs {
                                 (*lhs, *rhs)
                             } else {
@@ -174,7 +178,8 @@ mod tests {
         let after = optinline_ir::interp::run_main(&m).unwrap();
         assert_eq!(before.observable(), after.observable());
         // l2 and l3 eliminated.
-        let loads = m.func(f).blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
+        let loads =
+            m.func(f).blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
         assert_eq!(loads, 1);
         assert_eq!(m.func(f).blocks[0].term, Terminator::Return(Some(s)));
     }
@@ -202,7 +207,8 @@ mod tests {
         let before = optinline_ir::interp::run_main(&m).unwrap();
         // The second load must survive.
         Cse::default().run(&mut m);
-        let loads = m.func(f).blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
+        let loads =
+            m.func(f).blocks[0].insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
         assert_eq!(loads, 2);
         let after = optinline_ir::interp::run_main(&m).unwrap();
         assert_eq!(before.observable(), after.observable());

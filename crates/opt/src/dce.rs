@@ -40,8 +40,7 @@ impl Pass for Dce {
     }
 
     fn run(&self, module: &mut Module) -> bool {
-        let effects =
-            self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
+        let effects = self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
         let mut changed = false;
         for fid in module.func_ids() {
             changed |= dce_function(module, fid, &effects);
@@ -59,11 +58,11 @@ fn dce_function(module: &mut Module, fid: FuncId, effects: &EffectSummary) -> bo
         let mut progressed = false;
         for block in &mut func.blocks {
             block.insts.retain_mut(|inst| {
-                let unused = inst.def().map_or(true, |d| counts[d.index()] == 0);
+                let unused = inst.def().is_none_or(|d| counts[d.index()] == 0);
                 match inst {
                     Inst::Store { .. } => true,
                     Inst::Call { dst, callee, .. } => {
-                        if dst.map_or(true, |d| counts[d.index()] == 0) {
+                        if dst.is_none_or(|d| counts[d.index()] == 0) {
                             if effects.call_removable(*callee) {
                                 progressed = true;
                                 return false;

@@ -105,8 +105,7 @@ fn gvn_function(module: &mut Module, fid: FuncId) -> bool {
                     };
                     match (key, inst.def()) {
                         (Some(key), Some(dst)) => {
-                            if let Some(prev) =
-                                available.get(&key).and_then(|b| b.last().copied())
+                            if let Some(prev) = available.get(&key).and_then(|b| b.last().copied())
                             {
                                 subst.insert(dst, prev);
                                 changed = true;

@@ -12,10 +12,10 @@
 //! depth one via the `inline_path` recorded on cloned calls (§3.2).
 
 use crate::pass::Pass;
+use optinline_callgraph::Decision;
 use optinline_ir::{
     Block, BlockId, CallSiteId, FuncId, Inst, JumpTarget, Module, Terminator, ValueId,
 };
-use optinline_callgraph::Decision;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -179,8 +179,7 @@ fn inline_call(module: &mut Module, f: FuncId, bid: BlockId, idx: usize) {
     let removed = call_block.insts.pop();
     debug_assert!(matches!(removed, Some(Inst::Call { .. })));
     cont.term = std::mem::replace(&mut call_block.term, Terminator::Unreachable);
-    call_block.term =
-        Terminator::Jump(JumpTarget::with_args(remap_b(callee_body.entry()), args));
+    call_block.term = Terminator::Jump(JumpTarget::with_args(remap_b(callee_body.entry()), args));
     caller.blocks.push(cont);
 
     // Clone the callee's blocks.

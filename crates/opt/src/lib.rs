@@ -60,10 +60,10 @@
 mod cse;
 mod dae;
 mod dce;
-mod gvn;
-mod mergefunc;
 mod fold;
+mod gvn;
 mod inline;
+mod mergefunc;
 mod pass;
 mod pipeline;
 mod sccp;
@@ -75,16 +75,19 @@ mod tailmerge;
 pub use cse::Cse;
 pub use dae::DeadArgElim;
 pub use dce::{Dce, DeadFunctionElim};
-pub use gvn::Gvn;
-pub use mergefunc::{functions_structurally_equal, MergeFunctions};
 pub use fold::ConstFold;
+pub use gvn::Gvn;
 pub use inline::{
     run_inliner, AlwaysInline, ForcedDecisions, InlineOracle, InlinePass, NeverInline,
 };
+pub use mergefunc::{functions_structurally_equal, MergeFunctions};
 pub use pass::{Pass, PassManager};
-pub use pipeline::{cleanup_pipeline, cleanup_pipeline_with, optimize_os, optimize_os_no_inline, PipelineOptions};
+pub use pipeline::{
+    cleanup_pipeline, cleanup_pipeline_with, optimize_os, optimize_os_no_inline,
+    optimize_os_with_summary, PipelineOptions,
+};
 pub use sccp::Sccp;
 pub use simplify::Simplify;
 pub use simplify_cfg::SimplifyCfg;
-pub use tailmerge::TailMerge;
 pub use subst::Subst;
+pub use tailmerge::TailMerge;

@@ -180,7 +180,9 @@ fn target_eq(
     b: &JumpTarget,
     bind: &mut impl FnMut(optinline_ir::ValueId, optinline_ir::ValueId) -> bool,
 ) -> bool {
-    a.block == b.block && a.args.len() == b.args.len() && a.args.iter().zip(&b.args).all(|(&x, &y)| bind(x, y))
+    a.block == b.block
+        && a.args.len() == b.args.len()
+        && a.args.iter().zip(&b.args).all(|(&x, &y)| bind(x, y))
 }
 
 /// Structural-equality helper exposed for tests and reports.

@@ -8,8 +8,8 @@
 use crate::cse::Cse;
 use crate::dae::DeadArgElim;
 use crate::dce::{Dce, DeadFunctionElim};
-use crate::gvn::Gvn;
 use crate::fold::ConstFold;
+use crate::gvn::Gvn;
 use crate::inline::{run_inliner, InlineOracle, NeverInline};
 use crate::pass::{Pass, PassManager};
 use crate::sccp::Sccp;
@@ -71,8 +71,30 @@ pub fn cleanup_pipeline(options: PipelineOptions) -> PassManager {
 /// fixpoint, drop dead functions, clean up once more.
 ///
 /// Returns the number of call sites the inliner expanded.
-pub fn optimize_os(module: &mut Module, oracle: &dyn InlineOracle, options: PipelineOptions) -> usize {
+pub fn optimize_os(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+) -> usize {
     let summary = optinline_ir::analysis::EffectSummary::compute(module);
+    optimize_os_with_summary(module, oracle, options, summary)
+}
+
+/// [`optimize_os`] with a precomputed pre-inlining [`EffectSummary`].
+///
+/// The summary must have been computed on `module` in its current (pristine,
+/// pre-inlining) state — callers that compile the same module repeatedly
+/// under different oracles can hoist `EffectSummary::compute` out of the
+/// loop, which is what the incremental evaluator in `optinline-core` does
+/// per component slice.
+///
+/// [`EffectSummary`]: optinline_ir::analysis::EffectSummary
+pub fn optimize_os_with_summary(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+    summary: optinline_ir::analysis::EffectSummary,
+) -> usize {
     let inlined = run_inliner(module, oracle);
     if options.verify_each {
         optinline_ir::assert_verified(module);
@@ -153,7 +175,11 @@ mod tests {
         let f = m.func_by_name("main").unwrap();
         let before = optinline_ir::interp::Interp::new(&m).run(f, &[7]).unwrap();
         let mut opt = m.clone();
-        optimize_os(&mut opt, &AlwaysInline, PipelineOptions { verify_each: true, ..Default::default() });
+        optimize_os(
+            &mut opt,
+            &AlwaysInline,
+            PipelineOptions { verify_each: true, ..Default::default() },
+        );
         assert_verified(&opt);
         let after = optinline_ir::interp::Interp::new(&opt).run(f, &[7]).unwrap();
         assert_eq!(before.observable(), after.observable());
@@ -262,8 +288,7 @@ mod tests {
         let mut none = m.clone();
         optimize_os_no_inline(&mut none, PipelineOptions::default());
         let mut all = m.clone();
-        let oracle =
-            ForcedDecisions::new(sites.iter().map(|&s| (s, Decision::Inline)).collect());
+        let oracle = ForcedDecisions::new(sites.iter().map(|&s| (s, Decision::Inline)).collect());
         optimize_os(&mut all, &oracle, PipelineOptions::default());
         assert!(
             text_size(&all, &X86Like) > text_size(&none, &X86Like),

@@ -117,7 +117,10 @@ fn sccp_function(module: &mut Module, fid: FuncId) -> bool {
             }
             // Terminator: mark outgoing edges executable and flow block
             // arguments into target params.
-            let mut flow = |t: &JumpTarget, idx: u8, value: &mut HashMap<ValueId, Lattice>, changed: &mut bool| {
+            let mut flow = |t: &JumpTarget,
+                            idx: u8,
+                            value: &mut HashMap<ValueId, Lattice>,
+                            changed: &mut bool| {
                 if exec_edge.insert((bid, t.block, idx)) {
                     *changed = true;
                 }
@@ -239,10 +242,8 @@ mod tests {
         b.ret(Some(sum));
         assert!(Sccp.run(&mut m));
         assert_verified(&m);
-        let has_six = m.func(f).blocks[3]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Const { value: 6, .. }));
+        let has_six =
+            m.func(f).blocks[3].insts.iter().any(|i| matches!(i, Inst::Const { value: 6, .. }));
         assert!(has_six, "join add should fold to 6:\n{m}");
         let out = optinline_ir::interp::Interp::new(&m).run(f, &[1]).unwrap();
         assert_eq!(out.ret, Some(6));
@@ -278,10 +279,8 @@ mod tests {
             Terminator::Jump(t) => assert_eq!(t.block.index(), 1),
             other => panic!("guard should collapse, got {other:?}"),
         }
-        let has_twenty = m.func(f).blocks[3]
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Const { value: 20, .. }));
+        let has_twenty =
+            m.func(f).blocks[3].insts.iter().any(|i| matches!(i, Inst::Const { value: 20, .. }));
         assert!(has_twenty, "multiply should fold to 20:\n{m}");
         let out = optinline_ir::interp::Interp::new(&m).run(f, &[123]).unwrap();
         assert_eq!(out.ret, Some(20));

@@ -131,7 +131,9 @@ mod tests {
     use super::*;
     use optinline_ir::{assert_verified, FuncBuilder, Linkage, Terminator};
 
-    fn one_param_func(build: impl FnOnce(&mut FuncBuilder<'_>, ValueId) -> ValueId) -> (Module, FuncId) {
+    fn one_param_func(
+        build: impl FnOnce(&mut FuncBuilder<'_>, ValueId) -> ValueId,
+    ) -> (Module, FuncId) {
         let mut m = Module::new("m");
         let f = m.declare_function("f", 1, Linkage::Public);
         let mut b = FuncBuilder::new(&mut m, f);

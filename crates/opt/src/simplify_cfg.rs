@@ -160,8 +160,8 @@ fn merge_straight_line(module: &mut Module, fid: FuncId) -> bool {
     let reach = reachable_blocks(func);
     let counts = incoming_edge_counts(func);
     let mut changed = false;
-    for a in 0..func.blocks.len() {
-        if !reach[a] {
+    for (a, &live) in reach.iter().enumerate() {
+        if !live {
             continue;
         }
         let Terminator::Jump(t) = &func.blocks[a].term else { continue };
@@ -180,6 +180,10 @@ fn merge_straight_line(module: &mut Module, fid: FuncId) -> bool {
     changed
 }
 
+/// A forwarding block's relevant pieces: its params, the jump target, and
+/// the jump arguments.
+type Forward = (Vec<optinline_ir::ValueId>, BlockId, Vec<optinline_ir::ValueId>);
+
 /// Retargets edges that point at an empty block `B(params): jump C(args)`
 /// directly to `C`, substituting `B`'s params in `args` per edge.
 fn thread_empty_jumps(module: &mut Module, fid: FuncId) -> bool {
@@ -189,10 +193,8 @@ fn thread_empty_jumps(module: &mut Module, fid: FuncId) -> bool {
     // Collect forwarding blocks first (immutable scan). A block forwards
     // only if its params have no uses beyond its own jump arguments —
     // otherwise bypassing it would leave dangling uses downstream.
-    let mut forwards: Vec<Option<(Vec<optinline_ir::ValueId>, BlockId, Vec<optinline_ir::ValueId>)>> =
-        vec![None; n];
-    for b in 0..n {
-        let block = &func.blocks[b];
+    let mut forwards: Vec<Option<Forward>> = vec![None; n];
+    for (b, block) in func.blocks.iter().enumerate() {
         if !block.insts.is_empty() {
             continue;
         }

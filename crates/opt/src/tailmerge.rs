@@ -43,17 +43,18 @@ enum Operand {
     External(ValueId),
 }
 
+/// Normalized instruction shape: (opcode tag, operands, immediate, a, b).
+type InstKey = (u8, Vec<Operand>, i64, u32, u32);
+/// Normalized terminator shape: (tag, operands, per-target (block, args)).
+type TermKey = (u8, Vec<Operand>, Vec<(BlockId, Vec<Operand>)>);
+
 #[derive(PartialEq, Eq, Hash, Clone, Debug)]
 struct BlockKey {
-    insts: Vec<(u8, Vec<Operand>, i64, u32, u32)>,
-    term: (u8, Vec<Operand>, Vec<(BlockId, Vec<Operand>)>),
+    insts: Vec<InstKey>,
+    term: TermKey,
 }
 
-fn block_key(
-    func: &optinline_ir::Function,
-    bid: BlockId,
-    counts: &[u32],
-) -> Option<BlockKey> {
+fn block_key(func: &optinline_ir::Function, bid: BlockId, counts: &[u32]) -> Option<BlockKey> {
     let block = func.block(bid);
     if !block.params.is_empty() {
         return None;
@@ -71,7 +72,7 @@ fn block_key(
         }
     }
     block.term.for_each_use(|v| bump(v, &mut internal_uses));
-    for (&d, _) in &local {
+    for &d in local.keys() {
         if counts[d.index()] != internal_uses.get(&d).copied().unwrap_or(0) {
             return None; // defined value escapes the block
         }

@@ -30,10 +30,8 @@ pub fn save_module(module: &Module, path: &Path) -> Result<(), Box<dyn Error>> {
 ///
 /// Fails on I/O, parse, or verifier errors, with the path in the message.
 pub fn load_module(path: &Path) -> Result<Module, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
-    let module =
-        parse_module(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let module = parse_module(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     verify_module(&module).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(module)
 }
@@ -99,7 +97,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("optinline_corpus_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("optinline_corpus_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("create temp dir");
         dir

@@ -17,9 +17,8 @@
 //! Generation is a pure function of [`GenParams`] — same params, same
 //! module, bit for bit.
 
+use crate::rng::StdRng;
 use optinline_ir::{assert_verified, BinOp, FuncBuilder, FuncId, GlobalId, Linkage, Module};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of one generated file (translation unit).
 #[derive(Clone, Debug, PartialEq)]
@@ -113,7 +112,12 @@ impl Gen {
     }
 
     /// Emits `n` straight-line ops folding into an accumulator.
-    fn arith(&mut self, b: &mut FuncBuilder<'_>, mut acc: optinline_ir::ValueId, n: usize) -> optinline_ir::ValueId {
+    fn arith(
+        &mut self,
+        b: &mut FuncBuilder<'_>,
+        mut acc: optinline_ir::ValueId,
+        n: usize,
+    ) -> optinline_ir::ValueId {
         for _ in 0..n {
             let op = self.op();
             let c = self.small_const();
@@ -232,7 +236,15 @@ pub fn generate_file(params: &GenParams) -> Module {
             .collect()
     };
     let main = module.declare_function("main", 0, Linkage::Public);
-    build_entry(&mut g, &mut module, main, &main_targets, 2.min(main_targets.len().max(1)), params, true);
+    build_entry(
+        &mut g,
+        &mut module,
+        main,
+        &main_targets,
+        2.min(main_targets.len().max(1)),
+        params,
+        true,
+    );
 
     assert_verified(&module);
     module
@@ -366,109 +378,6 @@ fn build_entry(
     b.ret(Some(acc));
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use optinline_ir::interp::run_main;
-
-    #[test]
-    fn generation_is_deterministic() {
-        let p = GenParams::named("det", 1234);
-        let a = generate_file(&p);
-        let b = generate_file(&p);
-        assert_eq!(a, b);
-        assert_eq!(a.to_string(), b.to_string());
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = generate_file(&GenParams::named("x", 1));
-        let b = generate_file(&GenParams::named("x", 2));
-        assert_ne!(a, b);
-    }
-
-    #[test]
-    fn generated_files_verify_and_terminate() {
-        for seed in 0..25 {
-            let p = GenParams {
-                recursion: seed % 5 == 0,
-                ..GenParams::named(format!("s{seed}"), seed)
-            };
-            let m = generate_file(&p);
-            optinline_ir::verify_module(&m).unwrap();
-            let out = run_main(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert!(out.steps > 0);
-        }
-    }
-
-    #[test]
-    fn generated_files_have_inlinable_sites() {
-        let m = generate_file(&GenParams::named("sites", 77));
-        assert!(!m.inlinable_sites().is_empty());
-    }
-
-    #[test]
-    fn density_controls_site_count() {
-        let sparse = generate_file(&GenParams {
-            call_density: 0.4,
-            ..GenParams::named("sparse", 5)
-        });
-        let dense = generate_file(&GenParams {
-            call_density: 3.0,
-            n_internal: 12,
-            ..GenParams::named("dense", 5)
-        });
-        assert!(dense.inlinable_sites().len() > sparse.inlinable_sites().len());
-    }
-
-    #[test]
-    fn programs_have_cross_file_externs_that_link_resolves() {
-        let files = generate_program(3, &GenParams::named("prog", 77));
-        assert_eq!(files.len(), 3);
-        let per_file_sites: usize = files.iter().map(|m| m.inlinable_sites().len()).sum();
-        let has_externs = files
-            .iter()
-            .any(|m| m.func_ids().any(|id| m.is_extern_decl(id)));
-        assert!(has_externs, "later files should import earlier files' entries");
-        let linked = optinline_ir::link_modules("prog", &files);
-        optinline_ir::verify_module(&linked).unwrap();
-        let linked_sites = linked.inlinable_sites().len();
-        assert!(
-            linked_sites > per_file_sites,
-            "linking must expose cross-TU candidates ({linked_sites} vs {per_file_sites})"
-        );
-        optinline_ir::interp::run_main(&linked).unwrap();
-    }
-
-    #[test]
-    fn noinline_probability_marks_functions_non_inlinable() {
-        let m = generate_file(&GenParams {
-            noinline_prob: 1.0,
-            ..GenParams::named("ni", 3)
-        });
-        assert!(m.iter_funcs().any(|(_, f)| !f.inlinable));
-        assert!(m.inlinable_sites().is_empty());
-        optinline_ir::verify_module(&m).unwrap();
-        optinline_ir::interp::run_main(&m).unwrap();
-    }
-
-    #[test]
-    fn program_generation_is_deterministic() {
-        let a = generate_program(3, &GenParams::named("prog", 5));
-        let b = generate_program(3, &GenParams::named("prog", 5));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn recursion_flag_adds_a_guarded_recursive_function() {
-        let m = generate_file(&GenParams { recursion: true, ..GenParams::named("rec", 3) });
-        let rec = m.func_by_name("rec").unwrap();
-        let edges = m.func(rec).call_edges();
-        assert!(edges.iter().any(|(_, callee)| *callee == rec));
-        run_main(&m).unwrap();
-    }
-}
-
 /// Generates a multi-file *program*: `n_files` modules where later files
 /// call earlier files' public entry points through `extern` declarations.
 ///
@@ -526,4 +435,100 @@ pub fn generate_program(n_files: usize, base: &GenParams) -> Vec<Module> {
         modules.push(m);
     }
     modules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_ir::interp::run_main;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GenParams::named("det", 1234);
+        let a = generate_file(&p);
+        let b = generate_file(&p);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_file(&GenParams::named("x", 1));
+        let b = generate_file(&GenParams::named("x", 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_files_verify_and_terminate() {
+        for seed in 0..25 {
+            let p = GenParams {
+                recursion: seed % 5 == 0,
+                ..GenParams::named(format!("s{seed}"), seed)
+            };
+            let m = generate_file(&p);
+            optinline_ir::verify_module(&m).unwrap();
+            let out = run_main(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(out.steps > 0);
+        }
+    }
+
+    #[test]
+    fn generated_files_have_inlinable_sites() {
+        let m = generate_file(&GenParams::named("sites", 77));
+        assert!(!m.inlinable_sites().is_empty());
+    }
+
+    #[test]
+    fn density_controls_site_count() {
+        let sparse =
+            generate_file(&GenParams { call_density: 0.4, ..GenParams::named("sparse", 5) });
+        let dense = generate_file(&GenParams {
+            call_density: 3.0,
+            n_internal: 12,
+            ..GenParams::named("dense", 5)
+        });
+        assert!(dense.inlinable_sites().len() > sparse.inlinable_sites().len());
+    }
+
+    #[test]
+    fn programs_have_cross_file_externs_that_link_resolves() {
+        let files = generate_program(3, &GenParams::named("prog", 77));
+        assert_eq!(files.len(), 3);
+        let per_file_sites: usize = files.iter().map(|m| m.inlinable_sites().len()).sum();
+        let has_externs = files.iter().any(|m| m.func_ids().any(|id| m.is_extern_decl(id)));
+        assert!(has_externs, "later files should import earlier files' entries");
+        let linked = optinline_ir::link_modules("prog", &files);
+        optinline_ir::verify_module(&linked).unwrap();
+        let linked_sites = linked.inlinable_sites().len();
+        assert!(
+            linked_sites > per_file_sites,
+            "linking must expose cross-TU candidates ({linked_sites} vs {per_file_sites})"
+        );
+        optinline_ir::interp::run_main(&linked).unwrap();
+    }
+
+    #[test]
+    fn noinline_probability_marks_functions_non_inlinable() {
+        let m = generate_file(&GenParams { noinline_prob: 1.0, ..GenParams::named("ni", 3) });
+        assert!(m.iter_funcs().any(|(_, f)| !f.inlinable));
+        assert!(m.inlinable_sites().is_empty());
+        optinline_ir::verify_module(&m).unwrap();
+        optinline_ir::interp::run_main(&m).unwrap();
+    }
+
+    #[test]
+    fn program_generation_is_deterministic() {
+        let a = generate_program(3, &GenParams::named("prog", 5));
+        let b = generate_program(3, &GenParams::named("prog", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursion_flag_adds_a_guarded_recursive_function() {
+        let m = generate_file(&GenParams { recursion: true, ..GenParams::named("rec", 3) });
+        let rec = m.func_by_name("rec").unwrap();
+        let edges = m.func(rec).call_edges();
+        assert!(edges.iter().any(|(_, callee)| *callee == rec));
+        run_main(&m).unwrap();
+    }
 }

@@ -32,6 +32,7 @@
 
 pub mod corpus;
 pub mod generator;
+pub mod rng;
 pub mod samples;
 pub mod shapes;
 pub mod suite;

@@ -1,0 +1,142 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The generator only needs reproducible streams — same seed, same module,
+//! bit for bit — not cryptographic quality, so this is a self-contained
+//! SplitMix64 with the tiny slice of the `rand` API the [`generator`]
+//! actually uses (`seed_from_u64`, `gen_range`, `gen_bool`). Keeping it
+//! in-tree removes the workspace's only third-party dependency.
+//!
+//! [`generator`]: crate::generator
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded SplitMix64 stream.
+///
+/// The name mirrors `rand::rngs::StdRng` so call sites read idiomatically,
+/// but the output stream is this crate's own (stable across toolchains and
+/// releases, which `rand` does not guarantee).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 finalizer).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (`n > 0`), via the multiply-shift reduction.
+    fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 bits of the draw give a uniform float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample a `T` from. The element type is
+/// a trait *parameter* (as in `rand`) so the call site's expected return
+/// type drives integer-literal inference.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = r.gen_range(-64..256);
+            assert!((-64..256).contains(&x));
+            let y: usize = r.gen_range(3..12);
+            assert!((3..12).contains(&y));
+            let z: usize = r.gen_range(1..=2);
+            assert!((1..=2).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(5);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let heads = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&heads), "suspicious bias: {heads}/1000");
+    }
+}

@@ -14,7 +14,7 @@ use optinline_ir::{assert_verified, BinOp, FuncBuilder, FuncId, Linkage, Module}
 pub fn listing1() -> Module {
     let mut m = Module::new("listing1");
     let bar = m.declare_function("bar", 1, Linkage::Internal);
-    let foo = m.declare_function("main", 1, Linkage::Public);
+    let caller = m.declare_function("main", 1, Linkage::Public);
     {
         let mut b = FuncBuilder::new(&mut m, bar);
         let a = b.param(0);
@@ -22,7 +22,7 @@ pub fn listing1() -> Module {
         b.ret(Some(r));
     }
     {
-        let mut b = FuncBuilder::new(&mut m, foo);
+        let mut b = FuncBuilder::new(&mut m, caller);
         let n = b.param(0);
         let zero = b.iconst(0);
         let (hdr, hp) = b.new_block(1);
@@ -102,7 +102,9 @@ pub fn fig4() -> Module {
     let f = m.declare_function("F", 1, Linkage::Public);
     let l = m.declare_function("L", 1, Linkage::Internal);
     let h = m.declare_function("H", 1, Linkage::Public);
-    for (id, seed, callee) in [(k, 1, None), (g, 2, Some(k)), (f, 3, Some(g)), (l, 4, None), (h, 5, Some(l))] {
+    for (id, seed, callee) in
+        [(k, 1, None), (g, 2, Some(k)), (f, 3, Some(g)), (l, 4, None), (h, 5, Some(l))]
+    {
         let mut b = FuncBuilder::new(&mut m, id);
         let acc = medium_body(&mut b, seed, 3);
         match callee {
@@ -402,8 +404,7 @@ mod tests {
         let ev = CompilerEvaluator::new(m, Box::new(X86Like));
         let site = *ev.sites().iter().next().unwrap();
         let clean = ev.size_of(&InliningConfiguration::clean_slate());
-        let inl =
-            ev.size_of(&InliningConfiguration::clean_slate().with(site, Decision::Inline));
+        let inl = ev.size_of(&InliningConfiguration::clean_slate().with(site, Decision::Inline));
         assert!(inl < clean);
     }
 
@@ -432,8 +433,7 @@ mod tests {
             assert!(ev.size_of(&one) > clean, "single inline of {s} should bloat");
         }
         // …but inlining all of them beats the clean slate.
-        let all: InliningConfiguration =
-            sites.iter().map(|&s| (s, Decision::Inline)).collect();
+        let all: InliningConfiguration = sites.iter().map(|&s| (s, Decision::Inline)).collect();
         assert!(ev.size_of(&all) < clean, "collective inlining should win");
         // Hence one clean-slate autotuning round keeps nothing.
         let tuner = Autotuner::new(&ev, sites.clone());
@@ -492,7 +492,16 @@ mod tests {
 
     #[test]
     fn all_samples_verify_and_run() {
-        for m in [listing1(), fig2(), fig4(), fig5(), dce_star(4), outline_trap(4), dce_chain(), xalan_bitmap()] {
+        for m in [
+            listing1(),
+            fig2(),
+            fig4(),
+            fig5(),
+            dce_star(4),
+            outline_trap(4),
+            dce_chain(),
+            xalan_bitmap(),
+        ] {
             optinline_ir::verify_module(&m).unwrap();
         }
         let out = optinline_ir::interp::run_main(&dce_chain()).unwrap();

@@ -45,6 +45,7 @@ struct Profile {
     recursion: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 const fn profile(
     name: &'static str,
     files: usize,
@@ -121,7 +122,7 @@ pub fn spec_suite(scale: Scale) -> Vec<Benchmark> {
                     let seed = seed_for(p.name, i);
                     let (lo, hi) = p.n_internal;
                     let span = (hi - lo).max(1) as u64;
-                    let n_internal = lo + (seed % span as u64) as usize;
+                    let n_internal = lo + (seed % span) as usize;
                     let n_internal = match scale {
                         Scale::Small => n_internal.min(5),
                         Scale::Full => n_internal,
@@ -275,8 +276,7 @@ mod tests {
         for b in spec_suite(Scale::Small) {
             for f in &b.files {
                 optinline_ir::verify_module(f).unwrap();
-                optinline_ir::interp::run_main(f)
-                    .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+                optinline_ir::interp::run_main(f).unwrap_or_else(|e| panic!("{}: {e}", f.name));
             }
         }
     }

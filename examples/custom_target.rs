@@ -70,11 +70,7 @@ fn main() {
     let sites = module.inlinable_sites().len();
     println!("one module, {sites} inlinable call sites, three size models:\n");
     println!("{:<12} {:>16} {:>14}", "target", "optimal inlines", "optimal size");
-    for target in [
-        Box::new(X86Like) as Box<dyn Target>,
-        Box::new(WasmLike),
-        Box::new(ThumbLike),
-    ] {
+    for target in [Box::new(X86Like) as Box<dyn Target>, Box::new(WasmLike), Box::new(ThumbLike)] {
         let (inlines, size, name) = optimal_inline_count(&module, target);
         println!("{name:<12} {inlines:>13}/{sites} {size:>13} B");
     }

@@ -50,13 +50,28 @@ fn main() {
 
     println!("files analyzed: {}", heur.files);
     println!("\n-- baseline -Os-like heuristic vs optimal (Figure 7) --");
-    println!("  optimal found:      {}/{} ({:.0}%)", heur.optimal_found, heur.files, heur.optimal_rate() * 100.0);
-    println!("  median overhead:    {:.2}% (non-optimal files)", heur.median_nonoptimal_overhead_pct);
+    println!(
+        "  optimal found:      {}/{} ({:.0}%)",
+        heur.optimal_found,
+        heur.files,
+        heur.optimal_rate() * 100.0
+    );
+    println!(
+        "  median overhead:    {:.2}% (non-optimal files)",
+        heur.median_nonoptimal_overhead_pct
+    );
     println!("  >=5% / >=10%:       {} / {}", heur.at_least_5pct, heur.at_least_10pct);
     println!("  max overhead:       {:.1}%", heur.max_overhead_pct);
 
-    println!("\n-- autotuner (best of clean-slate/heuristic-init, 4 rounds) vs optimal (Figure 16) --");
-    println!("  optimal found:      {}/{} ({:.0}%)", tuned.optimal_found, tuned.files, tuned.optimal_rate() * 100.0);
+    println!(
+        "\n-- autotuner (best of clean-slate/heuristic-init, 4 rounds) vs optimal (Figure 16) --"
+    );
+    println!(
+        "  optimal found:      {}/{} ({:.0}%)",
+        tuned.optimal_found,
+        tuned.files,
+        tuned.optimal_rate() * 100.0
+    );
     println!("  median overhead:    {:.2}%", tuned.median_nonoptimal_overhead_pct);
     println!("  max overhead:       {:.1}%", tuned.max_overhead_pct);
 
@@ -67,5 +82,8 @@ fn main() {
     println!("  both inline:        {}", agreement.both_inline);
     println!("  agreement rate:     {:.1}%", agreement.agreement_rate() * 100.0);
 
-    assert!(tuned.optimal_rate() >= heur.optimal_rate(), "the autotuner should dominate the heuristic");
+    assert!(
+        tuned.optimal_rate() >= heur.optimal_rate(),
+        "the autotuner should dominate the heuristic"
+    );
 }

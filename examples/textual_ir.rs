@@ -37,7 +37,12 @@ const SOURCE: &str = r#"module "textual_demo" {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = optinline::ir::parse_module(SOURCE)?;
     optinline::ir::verify_module(&module)?;
-    println!("parsed `{}`: {} functions, {} inlinable sites\n", module.name, module.func_count(), module.inlinable_sites().len());
+    println!(
+        "parsed `{}`: {} functions, {} inlinable sites\n",
+        module.name,
+        module.func_count(),
+        module.inlinable_sites().len()
+    );
 
     // Run it before...
     let before = optinline::ir::interp::run_main(&module)?;

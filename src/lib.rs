@@ -43,7 +43,8 @@ pub mod prelude {
     pub use optinline_callgraph::{Decision, InlineGraph, PartitionStrategy};
     pub use optinline_codegen::{text_size, Target, WasmLike, X86Like};
     pub use optinline_core::{
-        autotune::Autotuner, CompilerEvaluator, Evaluator, InliningConfiguration,
+        autotune::Autotuner, CompilerEvaluator, Evaluator, EvaluatorStats, IncrementalEvaluator,
+        InliningConfiguration, ModuleEvaluator, SizeEvaluator,
     };
     pub use optinline_heuristics::CostModelInliner;
     pub use optinline_ir::{BinOp, FuncBuilder, Linkage, Module};

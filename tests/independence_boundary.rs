@@ -8,8 +8,8 @@
 //! `mergefunc` — breaks it, which is exactly why [`MergeFunctions`] is
 //! opt-in rather than part of `optimize_os`.
 
-use optinline::prelude::*;
 use optinline::opt::{DeadFunctionElim, MergeFunctions, Pass};
+use optinline::prelude::*;
 use optinline_ir::CallSiteId;
 
 /// Two isolated components, each a public caller invoking its own internal
@@ -31,7 +31,7 @@ fn twin_components() -> (Module, CallSiteId, CallSiteId) {
         b.ret(Some(acc));
     }
     // Distinct trailing constants keep the *callers* from ever merging.
-    let mut build_caller = |m: &mut Module, caller, helper, tag: i64| {
+    let build_caller = |m: &mut Module, caller, helper, tag: i64| {
         let mut b = FuncBuilder::new(m, caller);
         let p = b.param(0);
         let (v, site) = b.call_with_site(helper, &[p]);
@@ -48,19 +48,20 @@ fn twin_components() -> (Module, CallSiteId, CallSiteId) {
 
 fn size_with(m: &Module, cfg: &InliningConfiguration, merge: bool) -> u64 {
     let mut work = m.clone();
-    optimize_os(&mut work, &ForcedDecisions::new(cfg.decisions().clone()), PipelineOptions::default());
-    if merge {
-        if MergeFunctions.run(&mut work) {
-            DeadFunctionElim.run(&mut work);
-        }
+    optimize_os(
+        &mut work,
+        &ForcedDecisions::new(cfg.decisions().clone()),
+        PipelineOptions::default(),
+    );
+    if merge && MergeFunctions.run(&mut work) {
+        DeadFunctionElim.run(&mut work);
     }
     text_size(&work, &X86Like)
 }
 
 fn deltas(m: &Module, s1: CallSiteId, s2: CallSiteId, merge: bool) -> (i64, i64) {
-    let cfg = |a: Decision, b: Decision| {
-        InliningConfiguration::clean_slate().with(s1, a).with(s2, b)
-    };
+    let cfg =
+        |a: Decision, b: Decision| InliningConfiguration::clean_slate().with(s1, a).with(s2, b);
     use Decision::{Inline, NoInline};
     let f00 = size_with(m, &cfg(NoInline, NoInline), merge) as i64;
     let f10 = size_with(m, &cfg(Inline, NoInline), merge) as i64;
@@ -88,10 +89,7 @@ fn merge_functions_breaks_component_independence() {
     // also inlined (helper2 already gone, nothing to de-merge) than when
     // s2 keeps helper2 alive. Additivity must fail.
     let (d_off, d_on) = deltas(&m, s1, s2, true);
-    assert_ne!(
-        d_off, d_on,
-        "expected mergefunc to couple the components (the §6 hazard)"
-    );
+    assert_ne!(d_off, d_on, "expected mergefunc to couple the components (the §6 hazard)");
 }
 
 #[test]

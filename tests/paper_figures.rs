@@ -12,11 +12,9 @@ fn assert_tree_matches_naive(module: Module) {
     let sites = ev.sites().clone();
     assert!(sites.len() <= 16, "{name}: too many sites for a naive cross-check");
     let naive = exhaustive_search(&ev, &sites);
-    for strategy in [
-        PartitionStrategy::Paper,
-        PartitionStrategy::FirstEdge,
-        PartitionStrategy::Random(3),
-    ] {
+    for strategy in
+        [PartitionStrategy::Paper, PartitionStrategy::FirstEdge, PartitionStrategy::Random(3)]
+    {
         let graph = InlineGraph::from_module(ev.module());
         let tree = build_inlining_tree(&graph, strategy);
         let (_, size) = evaluate_inlining_tree(&tree, &ev, InliningConfiguration::clean_slate());
@@ -87,8 +85,7 @@ fn optimal_beats_or_matches_every_strategy_on_every_sample() {
         if ev.sites().len() > 16 {
             continue;
         }
-        let optimal =
-            optinline::core::tree::optimal_configuration(&ev, PartitionStrategy::Paper);
+        let optimal = optinline::core::tree::optimal_configuration(&ev, PartitionStrategy::Paper);
         let heuristic = InliningConfiguration::from_decisions(
             CostModelInliner::default().decide(ev.module(), &X86Like),
         );
@@ -112,8 +109,7 @@ fn interpreting_samples_is_invariant_under_optimal_inlining() {
         if ev.sites().len() > 16 {
             continue;
         }
-        let optimal =
-            optinline::core::tree::optimal_configuration(&ev, PartitionStrategy::Paper);
+        let optimal = optinline::core::tree::optimal_configuration(&ev, PartitionStrategy::Paper);
         let compiled = ev.compile(&optimal.config);
         let after = optinline::ir::interp::Interp::new(&compiled).run(main, &args).unwrap();
         assert_eq!(before.observable(), after.observable(), "{name}");
