@@ -1,0 +1,45 @@
+//! Differential correctness checking for the inlining search stack.
+//!
+//! The paper's search algorithms are only sound on two premises: every
+//! inlining configuration is *semantics-preserving* (the `-Os` pipeline
+//! never changes observable behaviour), and the fast `configuration → size`
+//! path agrees with the reference path (the incremental evaluator's
+//! component decomposition, the memo caches, and the worker-pool parallel
+//! probes all return the number one whole-module compile would). This crate
+//! tests both premises differentially, and shrinks anything that fails:
+//!
+//! - [`oracle`] — the **semantic oracle**: interpret every public entry
+//!   point of a module before and after the pipeline under a configuration
+//!   and assert observable equality (return value, final globals, ordered
+//!   store trace, trap kind). On divergence, the instrumented pipeline
+//!   re-runs per pass to attribute the bug to the stage that introduced it.
+//! - [`sizecheck`] — the **size oracle**: property-test
+//!   [`IncrementalEvaluator`](optinline_core::IncrementalEvaluator) against
+//!   [`CompilerEvaluator`](optinline_core::CompilerEvaluator) and the
+//!   uncached whole-module reference, sequentially (cached and uncached)
+//!   and concurrently through the worker pool.
+//! - [`reduce`] — the **delta-debugging reducer**: shrink a failing
+//!   `(module, configuration)` pair to a minimal call-closed reproducer by
+//!   dropping configuration decisions and slicing functions out.
+//! - [`fuzz`] — the driver: generate random modules and configurations
+//!   ([`GenParams::fuzz_sample`](optinline_workloads::GenParams::fuzz_sample)),
+//!   run both oracles, reduce failures, and write reproducers to
+//!   `results/repros/`.
+//! - [`inject`] — a deliberately buggy evaluator wrapper used to prove,
+//!   end to end, that the oracle catches a size lie and the reducer shrinks
+//!   it to a readable case.
+//!
+//! Everything is deterministic given a seed, so any reported failure is
+//! reproducible from its one-line record.
+
+pub mod fuzz;
+pub mod inject;
+pub mod oracle;
+pub mod reduce;
+pub mod sizecheck;
+
+pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
+pub use inject::BuggyEvaluator;
+pub use oracle::{check_semantics, observe, Behaviour, Limits, OracleReport, SemanticDivergence};
+pub use reduce::{reduce, Reduction};
+pub use sizecheck::{check_sizes, SizeMismatch, SizeReport};

@@ -1,0 +1,286 @@
+//! The semantic oracle: observable behaviour before vs. after the pipeline.
+//!
+//! A pass pipeline is semantics-preserving iff every public entry point,
+//! run on the same inputs, produces the same *observable behaviour* on the
+//! pristine and the optimized module. Observable behaviour here is strict:
+//! the return value, the final state of every global, the ordered sequence
+//! of stores to globals ([`Interp::with_effect_trace`]), and — for trapping
+//! executions — the trap kind. Step and cycle counts are explicitly *not*
+//! observable (that's the whole point of optimizing), so executions that
+//! run out of fuel or stack on either side are inconclusive rather than
+//! divergent: inlining legitimately changes both budgets.
+//!
+//! Public entry points are a stable comparison surface by construction:
+//! the pipeline never deletes, stubs, or re-signatures a `Public` function
+//! (dead-function elimination roots at them, dead-argument elimination
+//! rewrites only `Internal` ones), so the same `(name, args)` probe is
+//! meaningful on both sides.
+
+use optinline_core::InliningConfiguration;
+use optinline_ir::interp::{EffectEvent, Interp, InterpError};
+use optinline_ir::{FuncId, Linkage, Module};
+use optinline_opt::{optimize_os, optimize_os_instrumented, ForcedDecisions, PipelineOptions};
+use optinline_workloads::rng::StdRng;
+use std::fmt;
+
+/// Interpreter budgets for oracle runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Step budget per execution.
+    pub fuel: u64,
+    /// Call-depth budget per execution.
+    pub max_depth: usize,
+    /// Argument vectors interpreted per entry point.
+    pub inputs_per_entry: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { fuel: 200_000, max_depth: 128, inputs_per_entry: 4 }
+    }
+}
+
+/// What one execution looked like, in observable terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Behaviour {
+    /// Ran to completion.
+    Returns {
+        /// Entry function's return value.
+        ret: Option<i64>,
+        /// Final state of every global.
+        globals: Vec<i64>,
+        /// Ordered store-to-global events.
+        stores: Vec<EffectEvent>,
+    },
+    /// Executed an `unreachable` terminator.
+    TrapsUnreachable,
+    /// Called a stubbed-out function — on an optimized module this means
+    /// dead-function elimination deleted something reachable.
+    TrapsCalledStub,
+    /// Ran out of fuel or stack; not comparable across optimization levels
+    /// (both budgets legitimately change), so the oracle skips it.
+    Inconclusive,
+}
+
+impl Behaviour {
+    fn comparable(&self) -> bool {
+        !matches!(self, Behaviour::Inconclusive)
+    }
+}
+
+/// One input on which the pristine and optimized modules disagree.
+#[derive(Clone, Debug)]
+pub struct SemanticDivergence {
+    /// Entry function name.
+    pub entry: String,
+    /// Arguments passed.
+    pub args: Vec<i64>,
+    /// First pipeline stage whose output already misbehaves (`"inline"`,
+    /// a cleanup pass name, `"dead-function-elim"`), or `"unattributed"`
+    /// if the instrumented re-run could not localize it.
+    pub pass: String,
+    /// Behaviour on the pristine module.
+    pub expected: Behaviour,
+    /// Behaviour on the optimized module.
+    pub actual: Behaviour,
+}
+
+impl fmt::Display for SemanticDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({:?}) diverges after `{}`: expected {:?}, got {:?}",
+            self.entry, self.args, self.pass, self.expected, self.actual
+        )
+    }
+}
+
+/// Outcome of one module × configuration oracle run.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Divergences found (empty = pass).
+    pub divergences: Vec<SemanticDivergence>,
+    /// Entry × input pairs actually compared.
+    pub comparisons: usize,
+    /// Pairs skipped because either side was inconclusive.
+    pub inconclusive: usize,
+}
+
+/// Runs `func(args)` under the oracle budgets and classifies the result.
+pub fn observe(module: &Module, func: FuncId, args: &[i64], limits: &Limits) -> Behaviour {
+    let run = Interp::new(module)
+        .with_fuel(limits.fuel)
+        .with_max_depth(limits.max_depth)
+        .with_effect_trace()
+        .run(func, args);
+    match run {
+        Ok(o) => Behaviour::Returns { ret: o.ret, globals: o.globals, stores: o.effects },
+        Err(InterpError::UnreachableExecuted(_)) => Behaviour::TrapsUnreachable,
+        Err(InterpError::CalledStub(_)) => Behaviour::TrapsCalledStub,
+        Err(InterpError::FuelExhausted) | Err(InterpError::StackOverflow) => {
+            Behaviour::Inconclusive
+        }
+    }
+}
+
+/// Public, bodied entry points: the probe surface shared by the pristine
+/// and optimized modules.
+fn entries(module: &Module) -> Vec<(FuncId, String, usize)> {
+    module
+        .iter_funcs()
+        .filter(|(id, f)| f.linkage == Linkage::Public && !module.is_extern_decl(*id))
+        .map(|(id, f)| (id, f.name.clone(), f.params().len()))
+        .collect()
+}
+
+/// Deterministic argument vectors for an `arity`-parameter entry: the two
+/// canonical corners (all zeros, all ones) plus seeded small values.
+fn input_vectors(arity: usize, count: usize, rng: &mut StdRng) -> Vec<Vec<i64>> {
+    let mut inputs = vec![vec![0; arity], vec![1; arity]];
+    inputs.truncate(count.max(1));
+    while inputs.len() < count {
+        inputs.push((0..arity).map(|_| rng.gen_range(-4..12)).collect());
+    }
+    inputs.dedup();
+    inputs
+}
+
+/// Checks that optimizing `module` under `config` preserves the observable
+/// behaviour of every public entry point. Divergences are attributed to the
+/// first pipeline stage whose output misbehaves, via an instrumented
+/// re-run.
+pub fn check_semantics(
+    module: &Module,
+    config: &InliningConfiguration,
+    limits: &Limits,
+    seed: u64,
+) -> OracleReport {
+    let oracle = ForcedDecisions::new(config.decisions().clone());
+    let mut optimized = module.clone();
+    optimize_os(&mut optimized, &oracle, PipelineOptions::default());
+
+    let mut report = OracleReport::default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0f0d_dead_beef);
+    for (func, name, arity) in entries(module) {
+        for args in input_vectors(arity, limits.inputs_per_entry, &mut rng) {
+            let expected = observe(module, func, &args, limits);
+            let actual = observe(&optimized, func, &args, limits);
+            if !expected.comparable() || !actual.comparable() {
+                report.inconclusive += 1;
+                continue;
+            }
+            report.comparisons += 1;
+            if expected != actual {
+                let pass = attribute(module, config, func, &args, limits, &expected);
+                report.divergences.push(SemanticDivergence {
+                    entry: name.clone(),
+                    args,
+                    pass,
+                    expected: expected.clone(),
+                    actual,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Re-runs the pipeline instrumented and returns the name of the first
+/// stage after which `func(args)` no longer behaves like `expected`.
+fn attribute(
+    module: &Module,
+    config: &InliningConfiguration,
+    func: FuncId,
+    args: &[i64],
+    limits: &Limits,
+    expected: &Behaviour,
+) -> String {
+    let oracle = ForcedDecisions::new(config.decisions().clone());
+    let mut m = module.clone();
+    let mut culprit: Option<&'static str> = None;
+    optimize_os_instrumented(&mut m, &oracle, PipelineOptions::default(), &mut |stage, snap| {
+        if culprit.is_none() {
+            let now = observe(snap, func, args, limits);
+            if now.comparable() && &now != expected {
+                culprit = Some(stage);
+            }
+        }
+    });
+    culprit.unwrap_or("unattributed").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_callgraph::Decision;
+    use optinline_ir::{BinOp, FuncBuilder};
+    use optinline_workloads::{generate_file, GenParams};
+
+    #[test]
+    fn clean_pipeline_has_no_divergences() {
+        let m = generate_file(&GenParams::named("oracle-clean", 3));
+        let sites = m.inlinable_sites();
+        let all_in = InliningConfiguration::from_decisions(
+            sites.iter().map(|&s| (s, Decision::Inline)).collect(),
+        );
+        for cfg in [InliningConfiguration::clean_slate(), all_in] {
+            let r = check_semantics(&m, &cfg, &Limits::default(), 7);
+            assert!(r.divergences.is_empty(), "{:?}", r.divergences);
+            assert!(r.comparisons > 0, "oracle compared nothing");
+        }
+    }
+
+    #[test]
+    fn a_broken_pass_is_caught_and_attributed() {
+        // Simulate a miscompile by checking a *different* module against
+        // main's pristine behaviour: build two modules that differ in an
+        // observable constant and feed one as "optimized" via a manual
+        // comparison through `observe`.
+        let build = |k: i64| {
+            let mut m = Module::new("m");
+            let main = m.declare_function("main", 0, Linkage::Public);
+            let mut b = FuncBuilder::new(&mut m, main);
+            let c = b.iconst(k);
+            let two = b.iconst(2);
+            let r = b.bin(BinOp::Mul, c, two);
+            b.ret(Some(r));
+            m
+        };
+        let good = build(21);
+        let bad = build(22);
+        let f = good.func_by_name("main").unwrap();
+        let limits = Limits::default();
+        let a = observe(&good, f, &[], &limits);
+        let b = observe(&bad, f, &[], &limits);
+        assert!(a.comparable() && b.comparable() && a != b);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_inconclusive_not_divergent() {
+        let m = generate_file(&GenParams::named("oracle-fuel", 5));
+        let f = m.func_by_name("main").unwrap();
+        let tight = Limits { fuel: 1, ..Limits::default() };
+        assert_eq!(observe(&m, f, &[], &tight), Behaviour::Inconclusive);
+    }
+
+    #[test]
+    fn stores_are_part_of_observable_behaviour() {
+        let mut m = Module::new("m");
+        let g = m.add_global("g", 0);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, main);
+        let one = b.iconst(1);
+        let two = b.iconst(2);
+        b.store(g, one);
+        b.store(g, two);
+        b.ret(None);
+        let f = m.func_by_name("main").unwrap();
+        match observe(&m, f, &[], &Limits::default()) {
+            Behaviour::Returns { stores, globals, .. } => {
+                assert_eq!(stores.len(), 2, "both stores must be traced in order");
+                assert_eq!(globals[0], 2);
+            }
+            other => panic!("unexpected behaviour: {other:?}"),
+        }
+    }
+}

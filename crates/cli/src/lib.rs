@@ -394,6 +394,54 @@ pub fn cmd_corpus(dir: &std::path::Path, small: bool) -> Result<String, CliError
     ))
 }
 
+/// `optinline check` — the differential fuzz loop: random modules ×
+/// random configurations through the semantic and size oracles. Returns
+/// the report on a clean run; a run with divergences or mismatches is an
+/// `Err` carrying the same report, so the process exits non-zero (which is
+/// what CI keys on).
+pub fn cmd_check(
+    cases: usize,
+    seed: u64,
+    reduce: bool,
+    repro_dir: Option<&std::path::Path>,
+) -> Result<String, CliError> {
+    let options = optinline_check::FuzzOptions {
+        cases,
+        seed,
+        reduce,
+        repro_dir: repro_dir.map(std::path::Path::to_path_buf),
+        ..Default::default()
+    };
+    let report = optinline_check::run_fuzz(&options)?;
+    let rendered = report.render();
+    if report.clean() {
+        Ok(rendered)
+    } else {
+        Err(format!("differential check failed\n{rendered}").into())
+    }
+}
+
+/// `optinline check --demo-reduce` — seed a known fast-path size bug, let
+/// the size oracle catch it, and shrink the trigger with the reducer. An
+/// end-to-end proof that the harness detects and minimizes real failures.
+pub fn cmd_demo_reduce(seed: u64, repro_dir: Option<&std::path::Path>) -> Result<String, CliError> {
+    let demo = optinline_check::run_reducer_demo(seed, repro_dir)?;
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "seeded bug:      size_of inflated when `f3` present and ≥1 site inlined");
+    let _ = writeln!(
+        out,
+        "reduced module:  {} -> {} function(s)",
+        demo.functions_before, demo.functions_after
+    );
+    let _ = writeln!(out, "reduced config:  {} decision(s)", demo.config_decisions);
+    let _ = writeln!(out, "predicate runs:  {}", demo.predicate_runs);
+    if let Some(p) = &demo.repro_path {
+        let _ = writeln!(out, "reproducer:      {}", p.display());
+    }
+    Ok(out)
+}
+
 /// `optinline gen` — emit a generated module as textual IR.
 pub fn cmd_gen(seed: u64, n_internal: usize, clusters: usize) -> Result<String, CliError> {
     let module = optinline_workloads::generate_file(&optinline_workloads::GenParams {

@@ -1,8 +1,9 @@
 //! Thin argv shim over `optinline_cli` (the testable library half).
 
 use optinline_cli::{
-    cmd_autotune, cmd_cfg, cmd_corpus, cmd_gen, cmd_link, cmd_optimize, cmd_print, cmd_run,
-    cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, StrategyChoice, TargetChoice,
+    cmd_autotune, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link, cmd_optimize,
+    cmd_print, cmd_run, cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, StrategyChoice,
+    TargetChoice,
 };
 
 const USAGE: &str = "\
@@ -22,6 +23,8 @@ usage:
   optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
   optinline corpus   --dir DIR [--scale small|full]
   optinline cfg      <file.ir> --func NAME        (DOT to stdout)
+  optinline check    [--fuzz N] [--seed N] [--reduce] [--repro-dir DIR]
+  optinline check    --demo-reduce [--seed N] [--repro-dir DIR]
 ";
 
 struct Args {
@@ -35,7 +38,7 @@ impl Args {
         let mut flags = Vec::new();
         let mut argv = argv.peekable();
         // Flags that take no value; present means "on".
-        const BOOLEAN: &[&str] = &["stats", "full-eval"];
+        const BOOLEAN: &[&str] = &["stats", "full-eval", "reduce", "demo-reduce"];
         while let Some(a) = argv.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if BOOLEAN.contains(&name) {
@@ -146,6 +149,19 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
             let dir = args.flag("dir").ok_or("corpus needs --dir")?;
             let small = args.flag("scale").map(|s| s == "small").unwrap_or(false);
             print!("{}", cmd_corpus(std::path::Path::new(dir), small)?);
+            Ok(())
+        }
+        "check" => {
+            let seed: u64 = args.flag("seed").unwrap_or("12648430").parse()?;
+            let repro_dir =
+                std::path::PathBuf::from(args.flag("repro-dir").unwrap_or("results/repros"));
+            if args.flag("demo-reduce").is_some() {
+                print!("{}", cmd_demo_reduce(seed, Some(&repro_dir))?);
+            } else {
+                let cases: usize = args.flag("fuzz").unwrap_or("100").parse()?;
+                let reduce = args.flag("reduce").is_some();
+                print!("{}", cmd_check(cases, seed, reduce, Some(&repro_dir))?);
+            }
             Ok(())
         }
         "gen" => {

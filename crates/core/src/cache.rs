@@ -7,37 +7,59 @@
 //! few hundred nanoseconds each, and they all collide. [`ShardedCache`]
 //! splits the key space over a fixed power-of-two number of independently
 //! locked shards, so concurrent queries only contend when they hash to the
-//! same shard (1/16 of the time), and counts hits and misses per shard for
-//! the observability surface ([`CacheStats`]).
+//! same shard (1/16 of the time).
+//!
+//! Accounting is exact, not approximate: each shard's hit/miss/eviction
+//! counters live *inside* the shard mutex and are updated in the same
+//! critical section as the map probe, so a [`CacheStats`] snapshot always
+//! satisfies `hits + misses == lookups issued` and every counted hit really
+//! did observe a resident entry. (An earlier design bumped free-standing
+//! atomics after releasing the map lock, which let a concurrently snapshot
+//! stats view under- or over-count outcomes relative to map state.)
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of shards (a power of two, so shard selection is a mask).
 const SHARDS: usize = 16;
 
-/// A concurrent map split over [`SHARDS`] independently locked shards.
+/// A concurrent map split over [`SHARDS`] independently locked shards,
+/// optionally bounded with FIFO (insertion-order) eviction.
 pub struct ShardedCache<K, V> {
-    shards: Vec<Shard<K, V>>,
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Per-shard entry bound; `None` means unbounded.
+    shard_capacity: Option<usize>,
 }
 
+/// One shard: the map plus its outcome counters, all behind one lock so a
+/// probe and its accounting are a single atomic step.
 struct Shard<K, V> {
-    map: Mutex<HashMap<K, V>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    map: HashMap<K, V>,
+    /// Insertion order of resident keys, used only when bounded.
+    order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
-/// Aggregate hit/miss counts and the per-shard entry distribution.
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard { map: HashMap::new(), order: VecDeque::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+}
+
+/// Aggregate hit/miss/eviction counts and the per-shard entry distribution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found an entry.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
+    /// Entries displaced by the capacity bound (0 for unbounded caches).
+    pub evictions: u64,
     /// Entries currently resident in each shard.
     pub shard_loads: Vec<usize>,
 }
@@ -49,45 +71,69 @@ impl CacheStats {
     }
 }
 
-impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
-    /// Creates an empty cache.
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_shard_capacity(None)
+    }
+
+    /// Creates an empty cache holding at most `capacity` entries in total.
+    ///
+    /// The bound is split evenly across shards (rounded up, so a skewed key
+    /// distribution can exceed `capacity` by at most `SHARDS - 1` entries).
+    /// When a shard is full, the oldest inserted entry in that shard is
+    /// evicted and counted in [`CacheStats::evictions`].
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_shard_capacity(Some(capacity.div_ceil(SHARDS).max(1)))
+    }
+
+    fn with_shard_capacity(shard_capacity: Option<usize>) -> Self {
         ShardedCache {
-            shards: (0..SHARDS)
-                .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
-                    hits: AtomicU64::new(0),
-                    misses: AtomicU64::new(0),
-                })
-                .collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity,
         }
     }
 
-    fn shard(&self, key: &K) -> &Shard<K, V> {
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARDS - 1)]
     }
 
-    /// Looks up `key`, counting the outcome as a hit or miss.
+    /// Looks up `key`, counting the outcome as a hit or miss in the same
+    /// critical section as the probe.
     pub fn get(&self, key: &K) -> Option<V> {
-        let shard = self.shard(key);
-        let found = shard.map.lock().unwrap().get(key).cloned();
-        let counter = if found.is_some() { &shard.hits } else { &shard.misses };
-        counter.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().unwrap();
+        let found = shard.map.get(key).cloned();
+        if found.is_some() {
+            shard.hits += 1;
+        } else {
+            shard.misses += 1;
+        }
         found
     }
 
-    /// Inserts `key → value`. Concurrent inserters of the same key are
-    /// harmless for memoization (both computed the same value); the last
-    /// write wins.
+    /// Inserts `key → value`, evicting the shard's oldest entry first if a
+    /// capacity bound is set and the shard is full. Concurrent inserters of
+    /// the same key are harmless for memoization (both computed the same
+    /// value); the last write wins.
     pub fn insert(&self, key: K, value: V) {
-        self.shard(&key).map.lock().unwrap().insert(key, value);
+        let mut shard = self.shard(&key).lock().unwrap();
+        if shard.map.insert(key.clone(), value).is_none() {
+            if let Some(cap) = self.shard_capacity {
+                shard.order.push_back(key);
+                while shard.map.len() > cap {
+                    let oldest = shard.order.pop_front().expect("order tracks residents");
+                    shard.map.remove(&oldest);
+                    shard.evictions += 1;
+                }
+            }
+        }
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
     }
 
     /// Returns `true` if no entries are resident.
@@ -95,17 +141,26 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters and per-shard loads.
+    /// Snapshot of the hit/miss/eviction counters and per-shard loads.
+    ///
+    /// Each shard is read atomically (counters and load come from one lock
+    /// acquisition), so per-shard figures are internally consistent; the
+    /// totals are exact once concurrent probes have quiesced.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum(),
-            misses: self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum(),
-            shard_loads: self.shards.iter().map(|s| s.map.lock().unwrap().len()).collect(),
+        let mut stats =
+            CacheStats { shard_loads: Vec::with_capacity(SHARDS), ..Default::default() };
+        for s in &self.shards {
+            let s = s.lock().unwrap();
+            stats.hits += s.hits;
+            stats.misses += s.misses;
+            stats.evictions += s.evictions;
+            stats.shard_loads.push(s.map.len());
         }
+        stats
     }
 }
 
-impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+impl<K: Hash + Eq + Clone, V: Clone> Default for ShardedCache<K, V> {
     fn default() -> Self {
         Self::new()
     }
@@ -113,7 +168,10 @@ impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
 
 impl<K, V> fmt::Debug for ShardedCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ShardedCache").field("shards", &self.shards.len()).finish()
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .finish()
     }
 }
 
@@ -128,7 +186,7 @@ mod tests {
         c.insert(1, 10);
         assert_eq!(c.get(&1), Some(10));
         let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
         assert_eq!(s.entries(), 1);
         assert_eq!(c.len(), 1);
     }
@@ -162,5 +220,65 @@ mod tests {
             }
         });
         assert_eq!(c.len(), 400);
+    }
+
+    #[test]
+    fn concurrent_accounting_totals_are_exact() {
+        // Every thread issues a known mix of hits and misses over disjoint
+        // key ranges; because outcomes are counted under the shard lock, the
+        // aggregate totals must match exactly — not approximately.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let c: ShardedCache<u64, u64> = ShardedCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let k = t * PER_THREAD + i;
+                        assert_eq!(c.get(&k), None); // miss
+                        c.insert(k, k);
+                        assert_eq!(c.get(&k), Some(k)); // hit
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits, THREADS * PER_THREAD);
+        assert_eq!(s.misses, THREADS * PER_THREAD);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.hits + s.misses, 2 * THREADS * PER_THREAD);
+        assert_eq!(s.entries(), (THREADS * PER_THREAD) as usize);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_and_counts_it() {
+        // One entry per shard at most: every insert of a fresh key that
+        // lands in an occupied shard must evict that shard's older entry.
+        let c: ShardedCache<u64, u64> = ShardedCache::bounded(SHARDS);
+        for k in 0..64 {
+            c.insert(k, k);
+        }
+        let s = c.stats();
+        assert!(s.entries() <= SHARDS);
+        assert_eq!(s.evictions as usize, 64 - s.entries());
+        // Re-inserting a resident key neither grows the shard nor evicts.
+        let before = c.stats();
+        let resident = (0..64).find(|k| c.get(k).is_some()).expect("some key survived");
+        c.insert(resident, resident * 10);
+        assert_eq!(c.get(&resident), Some(resident * 10));
+        assert_eq!(c.stats().evictions, before.evictions);
+        assert_eq!(c.stats().entries(), before.entries());
+    }
+
+    #[test]
+    fn bounded_capacity_rounds_up_per_shard() {
+        // capacity 1 still admits one entry per shard rather than zero.
+        let c: ShardedCache<u64, u64> = ShardedCache::bounded(1);
+        c.insert(7, 70);
+        assert_eq!(c.get(&7), Some(70));
+        c.insert(7, 71);
+        assert_eq!(c.get(&7), Some(71));
+        assert_eq!(c.stats().evictions, 0);
     }
 }

@@ -50,6 +50,13 @@ pub trait ModuleEvaluator: Evaluator {
 
     /// Snapshot of the evaluator's observability counters.
     fn stats(&self) -> EvaluatorStats;
+
+    /// Reference-path size: compile the *whole* module under `config`,
+    /// bypassing every cache, memo, and decomposition shortcut, and measure
+    /// it. Differential oracles cross-check [`Evaluator::size_of`] (the
+    /// fast path) against this; implementations must not share state with
+    /// the fast path beyond the pristine module itself.
+    fn full_size_of(&self, config: &InliningConfiguration) -> u64;
 }
 
 /// Observability snapshot shared by both evaluators: how many queries were
@@ -64,6 +71,8 @@ pub struct EvaluatorStats {
     pub cache_hits: u64,
     /// Memo-cache misses.
     pub cache_misses: u64,
+    /// Memo-cache entries displaced by a capacity bound (0 when unbounded).
+    pub cache_evictions: u64,
     /// Entries resident per cache shard.
     pub shard_loads: Vec<usize>,
     /// Compilations per call-graph component (empty for the full-module
@@ -169,6 +178,7 @@ impl CompilerEvaluator {
             compiles,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
             shard_loads: cache.shard_loads,
             per_component_compiles: Vec::new(),
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
@@ -223,6 +233,10 @@ impl ModuleEvaluator for CompilerEvaluator {
 
     fn stats(&self) -> EvaluatorStats {
         CompilerEvaluator::stats(self)
+    }
+
+    fn full_size_of(&self, config: &InliningConfiguration) -> u64 {
+        text_size(&self.compile(config), self.target.as_ref())
     }
 }
 

@@ -176,6 +176,7 @@ impl IncrementalEvaluator {
             compiles: self.compiles.load(Ordering::Relaxed),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
             shard_loads: cache.shard_loads,
             per_component_compiles: self
                 .per_component_compiles
@@ -275,6 +276,13 @@ impl ModuleEvaluator for IncrementalEvaluator {
     fn stats(&self) -> EvaluatorStats {
         IncrementalEvaluator::stats(self)
     }
+
+    fn full_size_of(&self, config: &InliningConfiguration) -> u64 {
+        // Deliberately ignores the component decomposition, the memo cache,
+        // and the constant part: one whole-module compile, measured fresh —
+        // the reference the size oracle cross-checks `size_of` against.
+        text_size(&self.compile(config), self.target.as_ref())
+    }
 }
 
 /// Either evaluator behind one concrete type, so call sites (CLI flags,
@@ -373,6 +381,13 @@ impl ModuleEvaluator for SizeEvaluator {
     fn stats(&self) -> EvaluatorStats {
         SizeEvaluator::stats(self)
     }
+
+    fn full_size_of(&self, config: &InliningConfiguration) -> u64 {
+        match self {
+            SizeEvaluator::Full(ev) => ev.full_size_of(config),
+            SizeEvaluator::Incremental(ev) => ev.full_size_of(config),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +463,83 @@ mod tests {
         // Both queries did full-coverage lookups; only 4 of 5 missed... the
         // headline: compile work stayed well under 2 full-module compiles.
         assert!(s.full_module_equivalents < 2.0, "{}", s.full_module_equivalents);
+    }
+
+    /// Two components whose wrappers become dead (and DFE-removed) once
+    /// their call site is inlined, so dead-function elimination fires in
+    /// one component while the other's memoized size must stay valid.
+    fn dfe_prone_two_component_module() -> (Module, Vec<CallSiteId>) {
+        let mut m = Module::new("dfe");
+        let mut sites = Vec::new();
+        for i in 0..2 {
+            let leaf = m.declare_function(format!("leaf{i}"), 1, Linkage::Internal);
+            let wrapper = m.declare_function(format!("wrap{i}"), 1, Linkage::Internal);
+            let root = m.declare_function(format!("root{i}"), 0, Linkage::Public);
+            {
+                let mut b = FuncBuilder::new(&mut m, leaf);
+                let p = b.param(0);
+                let c = b.iconst(3 + i as i64);
+                let r = b.bin(BinOp::Mul, p, c);
+                b.ret(Some(r));
+            }
+            {
+                let mut b = FuncBuilder::new(&mut m, wrapper);
+                let p = b.param(0);
+                let v = b.call(leaf, &[p]).unwrap();
+                b.ret(Some(v));
+            }
+            let mut b = FuncBuilder::new(&mut m, root);
+            let x = b.iconst(10 + i as i64);
+            let (v, site) = b.call_with_site(wrapper, &[x]);
+            b.ret(Some(v));
+            sites.push(site);
+        }
+        (m, sites)
+    }
+
+    #[test]
+    fn dead_function_elimination_in_one_component_does_not_stale_the_other() {
+        let (m, sites) = dfe_prone_two_component_module();
+        let incr = IncrementalEvaluator::new(m.clone(), Box::new(X86Like));
+        assert_eq!(incr.component_count(), 2);
+        // Inlining wrap0's site makes wrap0 dead: the whole-module pipeline
+        // runs DeadFunctionElim while component 1 is untouched. Query in an
+        // order that forces component 1's memoized entry to be *reused*
+        // across component 0's DFE-triggering recompiles, and cross-check
+        // every answer against the uncached whole-module reference path.
+        let base = InliningConfiguration::clean_slate();
+        let order = [
+            base.clone(),
+            base.clone().with(sites[0], Decision::Inline),
+            base.clone(), // reuse both components' memoized sizes
+            base.clone().with(sites[0], Decision::Inline).with(sites[1], Decision::Inline),
+            base.clone().with(sites[1], Decision::Inline),
+        ];
+        for (step, cfg) in order.iter().enumerate() {
+            assert_eq!(
+                incr.size_of(cfg),
+                incr.full_size_of(cfg),
+                "step {step}: incremental diverged from the whole-module reference"
+            );
+        }
+        // The wrapper really was deleted in the inlined compile — the
+        // scenario exercises DFE, not just inlining.
+        let inlined = incr.compile(&base.clone().with(sites[0], Decision::Inline));
+        let wrap0 = inlined.func_by_name("wrap0").unwrap();
+        assert!(inlined.is_stub(wrap0), "wrap0 should be DFE'd once its only call is inlined");
+    }
+
+    #[test]
+    fn full_size_of_matches_cached_fast_path() {
+        let (m, sites) = two_component_module();
+        let full = CompilerEvaluator::new(m.clone(), Box::new(X86Like));
+        let incr = IncrementalEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(sites[0], Decision::Inline);
+        for _ in 0..2 {
+            // Second round hits the memo caches; reference stays uncached.
+            assert_eq!(full.size_of(&cfg), full.full_size_of(&cfg));
+            assert_eq!(incr.size_of(&cfg), incr.full_size_of(&cfg));
+        }
     }
 
     #[test]

@@ -32,10 +32,19 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, shrugging off poisoning: the pool's shared state (a job
+/// queue) is never left mid-mutation across a panic point, so a poisoned
+/// lock only means *some* thread died — the data is still consistent and
+/// the pool must keep serving rather than cascade `unwrap` panics into
+/// every other thread.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A fixed-size pool of persistent worker threads. See the module docs.
 pub struct WorkerPool {
@@ -54,6 +63,42 @@ struct PoolInner {
     available: Condvar,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Live worker threads; kept at the configured count by the respawn
+    /// guard even when a job panic kills a worker.
+    alive: AtomicUsize,
+}
+
+/// Restores pool capacity when a worker dies of a panic: spawns a
+/// replacement thread unless the pool is shutting down. Armed for the whole
+/// life of a worker thread; a clean (shutdown) exit only decrements the
+/// live count.
+struct RespawnGuard {
+    inner: Arc<PoolInner>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        self.inner.alive.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() && !self.inner.shutdown.load(Ordering::Acquire) {
+            spawn_worker(Arc::clone(&self.inner), self.index);
+        }
+    }
+}
+
+/// Starts one worker thread (initial startup and panic respawn).
+fn spawn_worker(inner: Arc<PoolInner>, index: usize) {
+    let for_thread = Arc::clone(&inner);
+    inner.alive.fetch_add(1, Ordering::SeqCst);
+    let spawned =
+        std::thread::Builder::new().name(format!("optinline-worker-{index}")).spawn(move || {
+            let guard = RespawnGuard { inner: for_thread, index };
+            worker_loop(&guard.inner);
+        });
+    if spawned.is_err() {
+        // Could not start the thread at all; don't count a ghost worker.
+        inner.alive.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Raw pointer that may cross threads; the pool's blocking protocol keeps
@@ -90,13 +135,10 @@ impl WorkerPool {
             available: Condvar::new(),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            alive: AtomicUsize::new(0),
         });
         for i in 0..threads {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name(format!("optinline-worker-{i}"))
-                .spawn(move || worker_loop(&inner))
-                .expect("spawn worker");
+            spawn_worker(Arc::clone(&inner), i);
         }
         WorkerPool { inner, threads }
     }
@@ -104,6 +146,25 @@ impl WorkerPool {
     /// Number of worker threads (not counting callers).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of currently live worker threads. Transiently below
+    /// [`threads`](WorkerPool::threads) while a panicked worker is being
+    /// respawned; converges back to it.
+    pub fn alive_workers(&self) -> usize {
+        self.inner.alive.load(Ordering::SeqCst)
+    }
+
+    /// Submits a fire-and-forget job.
+    ///
+    /// Unlike [`join`](WorkerPool::join)/[`map`](WorkerPool::map) jobs,
+    /// which capture their own panics and resurface them at the submitting
+    /// call site, a `spawn`ed job has no caller waiting: if it panics, the
+    /// worker running it dies and is respawned, and the panic is otherwise
+    /// dropped (or contained, when a helping caller stole the job). The
+    /// pool itself stays fully serviceable either way.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.push(Box::new(job));
     }
 
     /// Runs `a` and `b`, potentially in parallel, and returns both results.
@@ -253,7 +314,7 @@ impl WorkerPool {
 
     fn push(&self, job: Job) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inner.queue.lock().unwrap().push_back((id, job));
+        lock_ignore_poison(&self.inner.queue).push_back((id, job));
         self.inner.available.notify_one();
         id
     }
@@ -261,18 +322,24 @@ impl WorkerPool {
     /// Removes a still-queued job by id; `None` means a worker already took
     /// it (or is running it now).
     fn reclaim(&self, id: u64) -> Option<Job> {
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = lock_ignore_poison(&self.inner.queue);
         let pos = q.iter().position(|(i, _)| *i == id)?;
         Some(q.remove(pos).expect("position in bounds").1)
     }
 
     /// Runs queued jobs (any jobs — that's the stealing) until `ready`
     /// holds, parking briefly when the queue is empty.
+    ///
+    /// Stolen jobs run under `catch_unwind`: `join` and `map` must not
+    /// unwind past their completion flags (the borrow-erasure safety
+    /// contract), so a panicking fire-and-forget job stolen here is
+    /// contained — `join`/`map` jobs carry their own capture-and-report
+    /// panic handling and are unaffected by the extra guard.
     fn help_until(&self, ready: impl Fn() -> bool) {
         while !ready() {
-            let job = self.inner.queue.lock().unwrap().pop_front();
+            let job = lock_ignore_poison(&self.inner.queue).pop_front();
             match job {
-                Some((_, job)) => job(),
+                Some((_, job)) => drop(catch_unwind(AssertUnwindSafe(job))),
                 None => std::thread::park_timeout(Duration::from_micros(50)),
             }
         }
@@ -289,7 +356,7 @@ impl Drop for WorkerPool {
 fn worker_loop(inner: &PoolInner) {
     loop {
         let job = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&inner.queue);
             loop {
                 if let Some((_, job)) = q.pop_front() {
                     break Some(job);
@@ -297,13 +364,16 @@ fn worker_loop(inner: &PoolInner) {
                 if inner.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                q = inner.available.wait(q).unwrap();
+                q = inner.available.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         match job {
-            // Job closures contain their own panic handling; this is a
-            // belt-and-braces guard that keeps the worker alive regardless.
-            Some(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            // `join`/`map` jobs contain their own panic capture; a raw
+            // `spawn` job may panic through here, killing this worker — the
+            // thread's `RespawnGuard` then starts a replacement, so pool
+            // capacity survives. The job runs outside the queue lock, so a
+            // panic cannot poison shared state mid-mutation.
+            Some(job) => job(),
             None => return,
         }
     }
@@ -424,6 +494,84 @@ mod tests {
         let r = catch_unwind(AssertUnwindSafe(|| pool.join(|| panic!("a panics"), || 2)));
         assert!(r.is_err());
         assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    /// Spin-waits (bounded) until `cond` holds; panics on timeout.
+    fn wait_for(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn panicking_spawn_jobs_do_not_poison_or_shrink_the_pool() {
+        let pool = WorkerPool::new(2);
+        wait_for("workers up", || pool.alive_workers() == 2);
+        // More panicking jobs than workers: every worker dies at least once
+        // if it picks one up; each death must respawn a replacement.
+        for _ in 0..8 {
+            pool.spawn(|| panic!("worker-killing job"));
+        }
+        // The pool keeps serving work correctly throughout...
+        let items: Vec<u64> = (0..64).collect();
+        for _ in 0..4 {
+            let out = pool.map(&items, |&x| x + 1);
+            assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        // ...and worker capacity converges back to the configured count.
+        wait_for("respawn", || pool.alive_workers() == 2);
+    }
+
+    #[test]
+    fn panicking_spawn_then_shutdown_does_not_deadlock() {
+        let pool = WorkerPool::new(1);
+        wait_for("worker up", || pool.alive_workers() == 1);
+        pool.spawn(|| panic!("boom"));
+        wait_for("respawn", || pool.alive_workers() == 1);
+        drop(pool); // must not hang on a dead or poisoned worker
+    }
+
+    #[test]
+    fn spawn_runs_fire_and_forget_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        wait_for("jobs drained", || counter.load(Ordering::SeqCst) == 16);
+    }
+
+    #[test]
+    fn helping_caller_contains_a_stolen_panicking_job() {
+        let pool = WorkerPool::new(1);
+        wait_for("worker up", || pool.alive_workers() == 1);
+        // The offered half sleeps on the sole worker while the inline half
+        // enqueues a panicking fire-and-forget job, so the caller usually
+        // ends up in the help loop and steals it. Whether the caller or a
+        // worker runs the panicking job, `join` must return normally.
+        let (a, b) = pool.join(
+            || {
+                pool.spawn(|| panic!("stolen panicking job"));
+                1
+            },
+            || {
+                std::thread::sleep(Duration::from_millis(50));
+                2
+            },
+        );
+        assert_eq!((a, b), (1, 2));
+        let items: Vec<u32> = (0..32).collect();
+        assert_eq!(pool.map(&items, |&x| x * 2)[31], 62);
+        wait_for("capacity restored", || pool.alive_workers() == 1);
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
         agg.compiles += s.compiles;
         agg.cache_hits += s.cache_hits;
         agg.cache_misses += s.cache_misses;
+        agg.cache_evictions += s.cache_evictions;
         agg.compile_time += s.compile_time;
         agg.full_module_equivalents += s.full_module_equivalents;
     }

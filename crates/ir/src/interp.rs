@@ -11,7 +11,7 @@
 //!    §6 of the paper discusses).
 
 use crate::function::Linkage;
-use crate::ids::{FuncId, ValueId};
+use crate::ids::{FuncId, GlobalId, ValueId};
 use crate::inst::{Inst, JumpTarget, Terminator};
 use crate::module::Module;
 use std::collections::VecDeque;
@@ -69,6 +69,20 @@ impl CostModel {
     }
 }
 
+/// One observable side effect: a store to a global cell.
+///
+/// Loads are deliberately *not* events — redundancy elimination legitimately
+/// removes them — but every store survives the `-Os` pipeline, so the
+/// ordered store sequence is part of a program's observable behaviour and
+/// the differential oracle in `optinline-check` compares it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EffectEvent {
+    /// The global cell written.
+    pub global: GlobalId,
+    /// The value stored.
+    pub value: i64,
+}
+
 /// Result of a successful interpretation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outcome {
@@ -80,6 +94,9 @@ pub struct Outcome {
     pub cycles: u64,
     /// Number of executed instructions (terminators included).
     pub steps: u64,
+    /// Ordered store events, recorded only when effect tracing is enabled
+    /// ([`Interp::with_effect_trace`]); empty otherwise.
+    pub effects: Vec<EffectEvent>,
 }
 
 impl Outcome {
@@ -131,6 +148,7 @@ pub struct Interp<'m> {
     icache: VecDeque<(FuncId, u64)>,
     icache_used: u64,
     func_units: Vec<u64>,
+    trace: Option<Vec<EffectEvent>>,
 }
 
 impl<'m> Interp<'m> {
@@ -154,12 +172,26 @@ impl<'m> Interp<'m> {
             icache: VecDeque::new(),
             icache_used: 0,
             func_units,
+            trace: None,
         }
     }
 
     /// Overrides the fuel budget (number of executed steps allowed).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the call-depth limit.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Enables effect tracing: the outcome's `effects` records every store
+    /// to a global, in execution order.
+    pub fn with_effect_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
         self
     }
 
@@ -171,7 +203,13 @@ impl<'m> Interp<'m> {
     pub fn run(mut self, func: FuncId, args: &[i64]) -> Result<Outcome, InterpError> {
         self.touch_icache(func);
         let ret = self.call(func, args, 0)?;
-        Ok(Outcome { ret, globals: self.globals, cycles: self.cycles, steps: self.steps })
+        Ok(Outcome {
+            ret,
+            globals: self.globals,
+            cycles: self.cycles,
+            steps: self.steps,
+            effects: self.trace.unwrap_or_default(),
+        })
     }
 
     fn touch_icache(&mut self, func: FuncId) {
@@ -253,7 +291,11 @@ impl<'m> Interp<'m> {
                     }
                     Inst::Store { global, src } => {
                         self.cycles += self.cost.mem;
-                        self.globals[global.index()] = regs[src.index()];
+                        let value = regs[src.index()];
+                        self.globals[global.index()] = value;
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(EffectEvent { global: *global, value });
+                        }
                     }
                 }
             }
@@ -426,6 +468,113 @@ mod tests {
         let with = Interp::new(&m).run(main, &[]).unwrap();
         assert!(with.cycles > without.cycles);
         assert_eq!(with.observable(), without.observable());
+    }
+
+    /// Builds `chain0 → chain1 → … → chain{n-1}` where only the last link
+    /// does any arithmetic; used to pin down depth-limit boundaries.
+    fn call_chain(n: usize) -> (Module, FuncId) {
+        assert!(n >= 1);
+        let mut m = Module::new("chain");
+        let ids: Vec<FuncId> = (0..n)
+            .map(|i| {
+                let linkage = if i == 0 { Linkage::Public } else { Linkage::Internal };
+                m.declare_function(format!("chain{i}"), 0, linkage)
+            })
+            .collect();
+        for (i, &fid) in ids.iter().enumerate() {
+            let mut b = FuncBuilder::new(&mut m, fid);
+            if i + 1 < n {
+                let v = b.call(ids[i + 1], &[]).unwrap();
+                b.ret(Some(v));
+            } else {
+                let c = b.iconst(7);
+                b.ret(Some(c));
+            }
+        }
+        (m, ids[0])
+    }
+
+    #[test]
+    fn fuel_exhaustion_mid_call_unwinds_as_a_trap() {
+        // Each frame costs 2 steps (call inst + return terminator); budget
+        // the fuel so it runs out inside a nested call, not at the top.
+        let (m, entry) = call_chain(8);
+        let err = Interp::new(&m).with_fuel(5).run(entry, &[]).unwrap_err();
+        assert_eq!(err, InterpError::FuelExhausted);
+        // One more unit of fuel still traps: still mid-call.
+        let err = Interp::new(&m).with_fuel(6).run(entry, &[]).unwrap_err();
+        assert_eq!(err, InterpError::FuelExhausted);
+        // With enough fuel the same program completes normally.
+        assert_eq!(Interp::new(&m).run(entry, &[]).unwrap().ret, Some(7));
+    }
+
+    #[test]
+    fn stack_overflow_triggers_exactly_past_the_depth_limit() {
+        // depth counts nested calls: the entry runs at depth 0, so a chain
+        // of k functions reaches depth k-1. max_depth = d admits depth d
+        // and rejects depth d+1 — pin the boundary on both sides.
+        let d = 5;
+        let (ok_m, ok_entry) = call_chain(d + 1); // deepest frame at depth d
+        let out = Interp::new(&ok_m).with_max_depth(d).run(ok_entry, &[]).unwrap();
+        assert_eq!(out.ret, Some(7));
+        let (over_m, over_entry) = call_chain(d + 2); // depth d+1: one too deep
+        let err = Interp::new(&over_m).with_max_depth(d).run(over_entry, &[]).unwrap_err();
+        assert_eq!(err, InterpError::StackOverflow);
+    }
+
+    #[test]
+    fn calling_a_stubbed_function_is_a_distinct_trap_kind() {
+        // Simulate dead-function elimination leaving a stub behind while a
+        // (buggy or hand-edited) caller still targets it: the interpreter
+        // must surface `CalledStub`, not a generic `UnreachableExecuted`.
+        let mut m = Module::new("m");
+        let stubbed = m.declare_function("gone", 0, Linkage::Internal);
+        let main = m.declare_function("main", 0, Linkage::Public);
+        {
+            let mut b = FuncBuilder::new(&mut m, stubbed);
+            let c = b.iconst(3);
+            b.ret(Some(c));
+        }
+        {
+            let mut b = FuncBuilder::new(&mut m, main);
+            let v = b.call(stubbed, &[]).unwrap();
+            b.ret(Some(v));
+        }
+        m.stub_out(&[stubbed].into_iter().collect());
+        let err = run_main(&m).unwrap_err();
+        let interp_err = err.downcast_ref::<InterpError>().expect("InterpError");
+        assert_eq!(*interp_err, InterpError::CalledStub(stubbed));
+        assert_ne!(*interp_err, InterpError::UnreachableExecuted(stubbed));
+        assert!(interp_err.to_string().contains("stub"));
+    }
+
+    #[test]
+    fn effect_trace_records_stores_in_order() {
+        let mut m = Module::new("m");
+        let g0 = m.add_global("g0", 0);
+        let g1 = m.add_global("g1", 0);
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let mut b = FuncBuilder::new(&mut m, f);
+        let a = b.iconst(4);
+        b.store(g1, a);
+        let c = b.iconst(9);
+        b.store(g0, c);
+        b.store(g1, c);
+        b.ret(None);
+        let main = m.func_by_name("main").unwrap();
+        let traced = Interp::new(&m).with_effect_trace().run(main, &[]).unwrap();
+        assert_eq!(
+            traced.effects,
+            vec![
+                EffectEvent { global: g1, value: 4 },
+                EffectEvent { global: g0, value: 9 },
+                EffectEvent { global: g1, value: 9 },
+            ]
+        );
+        // Tracing is opt-in: the default interpreter records nothing.
+        let untraced = Interp::new(&m).run(main, &[]).unwrap();
+        assert!(untraced.effects.is_empty());
+        assert_eq!(traced.observable(), untraced.observable());
     }
 
     #[test]

@@ -83,8 +83,8 @@ pub use inline::{
 pub use mergefunc::{functions_structurally_equal, MergeFunctions};
 pub use pass::{Pass, PassManager};
 pub use pipeline::{
-    cleanup_pipeline, cleanup_pipeline_with, optimize_os, optimize_os_no_inline,
-    optimize_os_with_summary, PipelineOptions,
+    cleanup_pipeline, cleanup_pipeline_with, optimize_os, optimize_os_instrumented,
+    optimize_os_no_inline, optimize_os_with_summary, PipelineOptions,
 };
 pub use sccp::Sccp;
 pub use simplify::Simplify;

@@ -62,6 +62,20 @@ impl PassManager {
     ///
     /// Panics if `verify_each` is enabled and a pass breaks the IR.
     pub fn run_to_fixpoint(&self, module: &mut Module) -> usize {
+        self.run_to_fixpoint_observed(module, &mut |_, _| {})
+    }
+
+    /// Like [`run_to_fixpoint`](PassManager::run_to_fixpoint), but invokes
+    /// `observer(pass_name, module)` after each pass application that
+    /// changed the module — the hook differential oracles use to attribute
+    /// a semantic divergence to the specific pass that introduced it.
+    /// Unchanged applications are skipped so observers only pay for (and
+    /// only report) real transformations.
+    pub fn run_to_fixpoint_observed(
+        &self,
+        module: &mut Module,
+        observer: &mut dyn FnMut(&'static str, &Module),
+    ) -> usize {
         let mut iterations = 0;
         for _ in 0..self.max_iterations {
             let mut changed = false;
@@ -71,6 +85,9 @@ impl PassManager {
                     if let Err(e) = verify_module(module) {
                         panic!("pass `{}` broke the IR: {e}\n{module}", pass.name());
                     }
+                }
+                if c {
+                    observer(pass.name(), module);
                 }
                 changed |= c;
             }
@@ -129,6 +146,21 @@ mod tests {
         pm.add(CountingPass { fires: Default::default(), budget: usize::MAX });
         let mut m = Module::new("m");
         assert_eq!(pm.run_to_fixpoint(&mut m), 2);
+    }
+
+    #[test]
+    fn observer_sees_each_changing_pass_application() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: 3 });
+        let mut m = Module::new("m");
+        m.declare_function("main", 0, Linkage::Public);
+        let mut seen = Vec::new();
+        pm.run_to_fixpoint_observed(&mut m, &mut |name, module| {
+            seen.push((name, module.name.clone()));
+        });
+        // The pass reports "changed" on its first two fires only; the third
+        // (no-change) application must not be observed.
+        assert_eq!(seen, vec![("counting", "m".to_string()), ("counting", "m".to_string())]);
     }
 
     #[test]

@@ -95,16 +95,48 @@ pub fn optimize_os_with_summary(
     options: PipelineOptions,
     summary: optinline_ir::analysis::EffectSummary,
 ) -> usize {
+    optimize_os_observed(module, oracle, options, summary, &mut |_, _| {})
+}
+
+/// The fully instrumented pipeline: like [`optimize_os`], but invokes
+/// `observer(pass_name, module)` after every stage that changed the module
+/// — the inliner (as `"inline"`), each changing cleanup-pass application,
+/// and dead-function elimination (as `"dead-function-elim"`).
+///
+/// This is the hook the `optinline-check` semantic oracle uses to attribute
+/// an observable-behaviour divergence to the specific pass that introduced
+/// it, instead of only knowing the end-to-end pipeline misbehaved.
+pub fn optimize_os_instrumented(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+    observer: &mut dyn FnMut(&'static str, &Module),
+) -> usize {
+    let summary = optinline_ir::analysis::EffectSummary::compute(module);
+    optimize_os_observed(module, oracle, options, summary, observer)
+}
+
+fn optimize_os_observed(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+    summary: optinline_ir::analysis::EffectSummary,
+    observer: &mut dyn FnMut(&'static str, &Module),
+) -> usize {
     let inlined = run_inliner(module, oracle);
+    if inlined > 0 {
+        observer("inline", module);
+    }
     if options.verify_each {
         optinline_ir::assert_verified(module);
     }
     let pm = cleanup_pipeline_with(options, Some(summary));
-    pm.run_to_fixpoint(module);
+    pm.run_to_fixpoint_observed(module, observer);
     if DeadFunctionElim.run(module) {
+        observer("dead-function-elim", module);
         // Dropping functions can orphan nothing else (stubs keep ids), but a
         // final sweep catches calls-to-pure-stub cleanups.
-        pm.run_to_fixpoint(module);
+        pm.run_to_fixpoint_observed(module, observer);
     }
     inlined
 }
@@ -183,6 +215,29 @@ mod tests {
         assert_verified(&opt);
         let after = optinline_ir::interp::Interp::new(&opt).run(f, &[7]).unwrap();
         assert_eq!(before.observable(), after.observable());
+    }
+
+    #[test]
+    fn instrumented_pipeline_reports_inline_and_matches_uninstrumented() {
+        let (m, _) = listing1();
+        let mut observed = m.clone();
+        let mut stages = Vec::new();
+        optimize_os_instrumented(&mut observed, &AlwaysInline, PipelineOptions::default(), &mut {
+            |name: &'static str, module: &Module| {
+                assert_verified(module);
+                stages.push(name);
+            }
+        });
+        assert_eq!(stages.first(), Some(&"inline"));
+        assert!(stages.len() > 1, "cleanup after inlining must change something");
+        // Observation must not perturb the result.
+        let mut plain = m.clone();
+        optimize_os(&mut plain, &AlwaysInline, PipelineOptions::default());
+        assert_eq!(
+            text_size(&observed, &X86Like),
+            text_size(&plain, &X86Like),
+            "instrumented and plain pipelines diverged"
+        );
     }
 
     #[test]

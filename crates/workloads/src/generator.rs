@@ -93,6 +93,41 @@ impl GenParams {
     pub fn named(name: impl Into<String>, seed: u64) -> Self {
         GenParams { name: name.into(), seed, ..Default::default() }
     }
+
+    /// Samples a randomized parameter point for differential fuzzing — a
+    /// pure function of `seed`, so a failing case is reproducible from its
+    /// seed alone.
+    ///
+    /// The distribution deliberately spans the structural regimes the
+    /// module docs call out (wrappers, fat callees, branchy folding bait,
+    /// loops, recursion, noinline marks, multi-cluster graphs, chain vs.
+    /// dense windows), because each regime stresses a different pass
+    /// interaction in the pipeline under test. Sizes stay small: oracles
+    /// interpret every public entry point several times per configuration,
+    /// and minimal reproducers are easier to read when modules start small.
+    pub fn fuzz_sample(seed: u64) -> Self {
+        // The xor salt decorrelates parameter sampling from body
+        // generation, which reuses the raw seed space elsewhere.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        GenParams {
+            name: format!("fuzz{seed}"),
+            seed: rng.next_u64(),
+            n_internal: rng.gen_range(2..14),
+            n_public: rng.gen_range(1..4),
+            avg_body_ops: rng.gen_range(2..10),
+            call_density: rng.gen_range(0.5..2.5),
+            const_arg_prob: rng.gen_range(0.0..1.0),
+            branchy_prob: rng.gen_range(0.0..0.7),
+            loop_prob: rng.gen_range(0.0..0.4),
+            wrapper_prob: rng.gen_range(0.0..0.5),
+            fat_prob: rng.gen_range(0.0..0.4),
+            recursion: rng.gen_bool(0.3),
+            n_globals: rng.gen_range(1..4),
+            noinline_prob: if rng.gen_bool(0.4) { rng.gen_range(0.05..0.4) } else { 0.0 },
+            clusters: rng.gen_range(1..4),
+            call_window: rng.gen_range(1..7),
+        }
+    }
 }
 
 const OPS: [BinOp; 6] = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And, BinOp::Or, BinOp::Mul];
@@ -469,6 +504,26 @@ mod tests {
             optinline_ir::verify_module(&m).unwrap();
             let out = run_main(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(out.steps > 0);
+        }
+    }
+
+    #[test]
+    fn fuzz_sample_is_deterministic_and_varied() {
+        for seed in 0..50 {
+            assert_eq!(GenParams::fuzz_sample(seed), GenParams::fuzz_sample(seed));
+        }
+        let distinct: std::collections::HashSet<usize> =
+            (0..50).map(|s| GenParams::fuzz_sample(s).n_internal).collect();
+        assert!(distinct.len() > 3, "sampled params barely vary: {distinct:?}");
+    }
+
+    #[test]
+    fn fuzz_sampled_modules_verify() {
+        for seed in 0..30 {
+            let m = generate_file(&GenParams::fuzz_sample(seed));
+            optinline_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("fuzz seed {seed} generated broken IR: {e}"));
+            assert!(m.func_by_name("main").is_some());
         }
     }
 

@@ -88,6 +88,15 @@ macro_rules! impl_sample_range {
 
 impl_sample_range!(usize, u64, i64, i32);
 
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        // 53 bits of the draw give a uniform float in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +138,20 @@ mod tests {
             seen[r.gen_range(0..4usize)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_f64_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            let x = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            if x < 0.5 {
+                lo_half += 1;
+            }
+        }
+        assert!((300..700).contains(&lo_half), "suspicious bias: {lo_half}/1000");
     }
 
     #[test]
