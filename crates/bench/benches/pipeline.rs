@@ -6,7 +6,9 @@ use optinline_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optinline_codegen::{text_size, X86Like};
 use optinline_core::{CompilerEvaluator, Evaluator, InliningConfiguration};
 use optinline_heuristics::CostModelInliner;
-use optinline_opt::{optimize_os, optimize_os_no_inline, AlwaysInline, PipelineOptions};
+use optinline_opt::{
+    optimize_os, optimize_os_no_inline, AlwaysInline, ForcedDecisions, PipelineOptions,
+};
 use optinline_workloads::{generate_file, GenParams};
 
 fn module_sized(n_internal: usize) -> optinline_ir::Module {
@@ -50,6 +52,49 @@ fn bench_heuristic_decide(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-sweep vs change-driven scheduling on the workload that dominates
+/// the paper's search cost: single-flip neighbour probes. The autotuner's
+/// inner loop takes a base configuration and re-compiles once per site with
+/// exactly one decision flipped; the change-driven worklist only revisits
+/// the inliner-touched neighbourhood after round one, while the legacy
+/// sweep reprocesses every function every round.
+fn bench_scheduler_single_flip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_single_flip");
+    group.sample_size(10);
+    for n in [12usize, 32] {
+        let module = module_sized(n);
+        let base = InliningConfiguration::from_decisions(
+            CostModelInliner::default().decide(&module, &X86Like),
+        );
+        // One probe per site (capped): the base configuration with that
+        // site's decision flipped.
+        let probes: Vec<InliningConfiguration> = module
+            .inlinable_sites()
+            .iter()
+            .take(8)
+            .map(|&site| base.clone().with(site, base.decision(site).flipped()))
+            .collect();
+        for (label, full_sweep) in [("full_sweep", true), ("change_driven", false)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &probes, |b, probes| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for cfg in probes {
+                        let mut m = module.clone();
+                        optimize_os(
+                            &mut m,
+                            &ForcedDecisions::new(cfg.decisions().clone()),
+                            PipelineOptions { full_sweep, ..PipelineOptions::default() },
+                        );
+                        total += text_size(&m, &X86Like);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_evaluator_cache(c: &mut Criterion) {
     let module = module_sized(12);
     let ev = CompilerEvaluator::new(module, Box::new(X86Like));
@@ -58,5 +103,11 @@ fn bench_evaluator_cache(c: &mut Criterion) {
     c.bench_function("evaluator_cache_hit", |b| b.iter(|| ev.size_of(&cfg)));
 }
 
-criterion_group!(benches, bench_compile_pipeline, bench_heuristic_decide, bench_evaluator_cache);
+criterion_group!(
+    benches,
+    bench_compile_pipeline,
+    bench_heuristic_decide,
+    bench_scheduler_single_flip,
+    bench_evaluator_cache
+);
 criterion_main!(benches);

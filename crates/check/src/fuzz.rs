@@ -9,6 +9,7 @@
 use crate::inject::BuggyEvaluator;
 use crate::oracle::{check_semantics, Limits};
 use crate::reduce::{reduce, Reduction};
+use crate::schedcheck::check_scheduling;
 use crate::sizecheck::check_sizes;
 use optinline_callgraph::Decision;
 use optinline_codegen::X86Like;
@@ -75,6 +76,8 @@ pub struct FuzzReport {
     pub semantic_comparisons: usize,
     /// Path × configuration size comparisons performed.
     pub size_comparisons: usize,
+    /// Scheduler × configuration byte-identity comparisons performed.
+    pub scheduling_comparisons: usize,
     /// Comparisons skipped as inconclusive (fuel/stack).
     pub inconclusive: usize,
     /// Configurations skipped because their estimated inlining expansion
@@ -84,12 +87,16 @@ pub struct FuzzReport {
     pub semantic_failures: Vec<FailureRecord>,
     /// Size-oracle failures.
     pub size_failures: Vec<FailureRecord>,
+    /// Scheduling-oracle failures (worklist vs full-sweep divergence).
+    pub scheduling_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
     /// `true` iff no oracle reported anything.
     pub fn clean(&self) -> bool {
-        self.semantic_failures.is_empty() && self.size_failures.is_empty()
+        self.semantic_failures.is_empty()
+            && self.size_failures.is_empty()
+            && self.scheduling_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -97,14 +104,20 @@ impl FuzzReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons",
-            self.cases, self.semantic_comparisons, self.inconclusive, self.size_comparisons
+            "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
+             {} scheduling comparisons",
+            self.cases,
+            self.semantic_comparisons,
+            self.inconclusive,
+            self.size_comparisons,
+            self.scheduling_comparisons
         );
         let _ = writeln!(
             out,
-            "semantic divergences: {}   size mismatches: {}",
+            "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}",
             self.semantic_failures.len(),
-            self.size_failures.len()
+            self.size_failures.len(),
+            self.scheduling_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -113,7 +126,12 @@ impl FuzzReport {
                 self.skipped_oversized
             );
         }
-        for f in self.semantic_failures.iter().chain(&self.size_failures) {
+        for f in self
+            .semantic_failures
+            .iter()
+            .chain(&self.size_failures)
+            .chain(&self.scheduling_failures)
+        {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
                 let _ = writeln!(out, "    reduced to {n} function(s)");
@@ -276,6 +294,24 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
                     &mut |m, c| !check_semantics(m, c, &limits, case_seed).divergences.is_empty(),
                 )?);
             }
+        }
+
+        let sched = check_scheduling(&module, &configs);
+        report.scheduling_comparisons += sched.comparisons;
+        if let Some(first) = sched.mismatches.first() {
+            let bad_config = first.config.clone();
+            let detail = first.to_string();
+            report.scheduling_failures.push(record_failure(
+                options,
+                "scheduling",
+                case_seed,
+                detail,
+                &module,
+                &bad_config,
+                &mut |m, c| {
+                    !check_scheduling(m, std::slice::from_ref(&c.clone())).mismatches.is_empty()
+                },
+            )?);
         }
 
         let sizes = check_sizes(&module, &configs, Some(pool));

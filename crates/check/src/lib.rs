@@ -18,6 +18,10 @@
 //!   [`CompilerEvaluator`](optinline_core::CompilerEvaluator) and the
 //!   uncached whole-module reference, sequentially (cached and uncached)
 //!   and concurrently through the worker pool.
+//! - [`schedcheck`] — the **scheduling oracle**: the change-driven pass
+//!   scheduler must produce byte-identical modules (and sizes) to the
+//!   legacy whole-module sweep kept behind
+//!   `PipelineOptions::full_sweep`, on every module × configuration.
 //! - [`reduce`] — the **delta-debugging reducer**: shrink a failing
 //!   `(module, configuration)` pair to a minimal call-closed reproducer by
 //!   dropping configuration decisions and slicing functions out.
@@ -36,10 +40,12 @@ pub mod fuzz;
 pub mod inject;
 pub mod oracle;
 pub mod reduce;
+pub mod schedcheck;
 pub mod sizecheck;
 
 pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
 pub use inject::BuggyEvaluator;
 pub use oracle::{check_semantics, observe, Behaviour, Limits, OracleReport, SemanticDivergence};
 pub use reduce::{reduce, Reduction};
+pub use schedcheck::{check_scheduling, SchedMismatch, SchedReport};
 pub use sizecheck::{check_sizes, SizeMismatch, SizeReport};

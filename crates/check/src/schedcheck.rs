@@ -1,0 +1,124 @@
+//! The **scheduling oracle**: the change-driven dirty-function worklist
+//! must be a pure scheduling optimization — for every module and every
+//! configuration, the final module it produces must be *byte-identical*
+//! (textual IR and measured size) to the legacy whole-module sweep kept
+//! behind [`PipelineOptions::full_sweep`].
+//!
+//! This is the strongest check the pass-manager refactor admits: not
+//! "semantically equivalent", not "same size", but the same bytes — any
+//! divergence in visit order, analysis staleness, or dirty-set propagation
+//! shows up here before it can bias the paper's size measurements.
+
+use optinline_codegen::{text_size, X86Like};
+use optinline_core::InliningConfiguration;
+use optinline_ir::Module;
+use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
+use std::fmt;
+
+/// One configuration on which the two schedulers disagreed.
+#[derive(Clone, Debug)]
+pub struct SchedMismatch {
+    /// The offending configuration.
+    pub config: InliningConfiguration,
+    /// What diverged (first differing IR line, or the size pair).
+    pub detail: String,
+}
+
+impl fmt::Display for SchedMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduling oracle: {} under config {}", self.detail, self.config)
+    }
+}
+
+/// Outcome of [`check_scheduling`] on one module.
+#[derive(Clone, Debug, Default)]
+pub struct SchedReport {
+    /// Configurations compared.
+    pub comparisons: usize,
+    /// Disagreements found (empty = the schedulers are byte-identical).
+    pub mismatches: Vec<SchedMismatch>,
+}
+
+/// Compiles `module` under every configuration with both schedulers and
+/// compares the results byte-for-byte (textual IR) and size-for-size.
+pub fn check_scheduling(module: &Module, configs: &[InliningConfiguration]) -> SchedReport {
+    let mut report = SchedReport::default();
+    for config in configs {
+        report.comparisons += 1;
+        let oracle = ForcedDecisions::new(config.decisions().clone());
+
+        let mut worklist = module.clone();
+        optimize_os(&mut worklist, &oracle, PipelineOptions::default());
+        let mut sweep = module.clone();
+        optimize_os(
+            &mut sweep,
+            &oracle,
+            PipelineOptions { full_sweep: true, ..PipelineOptions::default() },
+        );
+
+        let wl_text = worklist.to_string();
+        let sw_text = sweep.to_string();
+        if wl_text != sw_text {
+            report.mismatches.push(SchedMismatch {
+                config: config.clone(),
+                detail: first_diff(&sw_text, &wl_text),
+            });
+            continue;
+        }
+        let wl_size = text_size(&worklist, &X86Like);
+        let sw_size = text_size(&sweep, &X86Like);
+        if wl_size != sw_size {
+            report.mismatches.push(SchedMismatch {
+                config: config.clone(),
+                detail: format!(
+                    "identical IR but different sizes: sweep {sw_size} vs worklist {wl_size}"
+                ),
+            });
+        }
+    }
+    report
+}
+
+/// Locates the first line where the two schedulers' outputs diverge.
+fn first_diff(sweep: &str, worklist: &str) -> String {
+    for (n, (a, b)) in sweep.lines().zip(worklist.lines()).enumerate() {
+        if a != b {
+            return format!("modules diverge at line {}: sweep `{}` vs worklist `{}`", n + 1, a, b);
+        }
+    }
+    format!(
+        "modules diverge in length: sweep {} lines vs worklist {}",
+        sweep.lines().count(),
+        worklist.lines().count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_callgraph::Decision;
+    use optinline_workloads::{generate_file, GenParams};
+
+    #[test]
+    fn schedulers_agree_on_generated_modules() {
+        for seed in 0..6u64 {
+            let m = generate_file(&GenParams::named("sched", seed));
+            let sites = m.inlinable_sites();
+            let all_in = InliningConfiguration::from_decisions(
+                sites.iter().map(|&s| (s, Decision::Inline)).collect(),
+            );
+            let configs = vec![InliningConfiguration::clean_slate(), all_in];
+            let report = check_scheduling(&m, &configs);
+            assert_eq!(report.comparisons, 2);
+            assert!(report.mismatches.is_empty(), "seed {seed}: {}", report.mismatches[0]);
+        }
+    }
+
+    #[test]
+    fn a_divergent_pair_is_reported_with_the_first_differing_line() {
+        let d = first_diff("a\nb\nc", "a\nX\nc");
+        assert!(d.contains("line 2"), "{d}");
+        let d = first_diff("a\nb", "a\nb\nc");
+        assert!(d.contains("length"), "{d}");
+    }
+}

@@ -29,7 +29,7 @@ use optinline_core::tree::{space_size, try_build_inlining_tree};
 use optinline_core::{Evaluator, InliningConfiguration, SizeEvaluator};
 use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
 use optinline_ir::{parse_module, Module};
-use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
+use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions};
 use std::error::Error;
 use std::fmt::Write as _;
 
@@ -120,12 +120,28 @@ pub struct EvalOptions {
     pub incremental: bool,
     /// Append the evaluator's counter line to the report (`--stats`).
     pub show_stats: bool,
+    /// Append the aggregated per-pass / analysis-cache table
+    /// (`--pass-stats`).
+    pub show_pass_stats: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { incremental: true, show_stats: false }
+        EvalOptions { incremental: true, show_stats: false, show_pass_stats: false }
     }
+}
+
+/// Pipeline scheduling and reporting options for `optimize`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OptimizeOptions {
+    /// Run the legacy whole-module sweep scheduler instead of the
+    /// change-driven worklist (`--full-sweep`). The two produce
+    /// byte-identical modules; this exists for benchmarking and as the
+    /// reference the scheduling oracle compares against.
+    pub full_sweep: bool,
+    /// Append the per-pass invocation/changed table plus analysis-cache
+    /// and scheduling counters to the report (`--pass-stats`).
+    pub pass_stats: bool,
 }
 
 /// Parses a module from textual IR, verifying it.
@@ -175,14 +191,15 @@ pub fn cmd_optimize(
     source: &str,
     strategy: StrategyChoice,
     target: TargetChoice,
+    opts: OptimizeOptions,
 ) -> Result<(String, String), CliError> {
     let module = load_module(source)?;
     let config = strategy.configuration(&module, target.as_dyn());
     let mut optimized = module.clone();
-    let inlined = optimize_os(
+    let report = optimize_os_report(
         &mut optimized,
         &ForcedDecisions::new(config.decisions().clone()),
-        PipelineOptions::default(),
+        PipelineOptions { full_sweep: opts.full_sweep, ..PipelineOptions::default() },
     );
     let t = target.boxed();
     let before = text_size(&module, t.as_ref());
@@ -192,16 +209,24 @@ pub fn cmd_optimize(
     let _ = writeln!(out, "target:          {}", t.name());
     let _ = writeln!(
         out,
+        "scheduler:       {}",
+        if opts.full_sweep { "full sweep (legacy)" } else { "change-driven worklist" }
+    );
+    let _ = writeln!(
+        out,
         "sites inlined:   {} of {}",
         config.inlined_count(),
         config.decisions().len()
     );
-    let _ = writeln!(out, "call expansions: {inlined}");
+    let _ = writeln!(out, "call expansions: {}", report.inlined);
     let _ = writeln!(
         out,
         "size:            {before} B -> {after} B ({:.1}%)",
         100.0 * after as f64 / before as f64
     );
+    if opts.pass_stats {
+        out.push_str(&report.stats.render());
+    }
     Ok((out, optimized.to_string()))
 }
 
@@ -250,6 +275,9 @@ pub fn cmd_search(
     );
     if eval.show_stats {
         let _ = writeln!(out, "evaluator:          {}", ev.stats().render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
     }
     Ok(out)
 }
@@ -326,6 +354,9 @@ pub fn cmd_autotune(
     let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
     if eval.show_stats {
         let _ = writeln!(out, "evaluator:       {}", ev.stats().render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
     }
     Ok(out)
 }
@@ -484,7 +515,8 @@ mod tests {
             StrategyChoice::Heuristic,
             StrategyChoice::Trial,
         ] {
-            let (report, text) = cmd_optimize(&src, strat, TargetChoice::X86).unwrap();
+            let (report, text) =
+                cmd_optimize(&src, strat, TargetChoice::X86, OptimizeOptions::default()).unwrap();
             assert!(report.contains("size:"), "{strat:?}: {report}");
             // The optimized module still parses.
             load_module(&text).unwrap();
@@ -515,14 +547,14 @@ mod tests {
             &src,
             18,
             TargetChoice::X86,
-            EvalOptions { incremental: true, show_stats: true },
+            EvalOptions { incremental: true, show_stats: true, ..Default::default() },
         )
         .unwrap();
         let full = cmd_search(
             &src,
             18,
             TargetChoice::X86,
-            EvalOptions { incremental: false, show_stats: true },
+            EvalOptions { incremental: false, show_stats: true, ..Default::default() },
         )
         .unwrap();
         assert!(inc.contains("evaluator:"), "{inc}");
@@ -585,7 +617,61 @@ mod tests {
     fn wasm_target_is_selectable() {
         let src = demo_source();
         let (report, _) =
-            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::Wasm).unwrap();
+            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::Wasm, Default::default())
+                .unwrap();
         assert!(report.contains("wasm-like"));
+    }
+
+    #[test]
+    fn pass_stats_table_appears_on_request() {
+        let src = demo_source();
+        let (plain, _) =
+            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::X86, Default::default())
+                .unwrap();
+        assert!(!plain.contains("pass stats:"), "{plain}");
+        let (with_stats, _) = cmd_optimize(
+            &src,
+            StrategyChoice::Heuristic,
+            TargetChoice::X86,
+            OptimizeOptions { pass_stats: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(with_stats.contains("pass stats:"), "{with_stats}");
+        assert!(with_stats.contains("analysis cache:"), "{with_stats}");
+        assert!(with_stats.contains("scheduling:"), "{with_stats}");
+    }
+
+    #[test]
+    fn full_sweep_and_worklist_report_identical_sizes() {
+        let src = demo_source();
+        let (wl_report, wl_text) =
+            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::X86, Default::default())
+                .unwrap();
+        let (fs_report, fs_text) = cmd_optimize(
+            &src,
+            StrategyChoice::Heuristic,
+            TargetChoice::X86,
+            OptimizeOptions { full_sweep: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(wl_text, fs_text, "schedulers disagree on the optimized module");
+        let size_line = |r: &str| r.lines().find(|l| l.starts_with("size:")).map(str::to_owned);
+        assert_eq!(size_line(&wl_report), size_line(&fs_report));
+        assert!(wl_report.contains("change-driven worklist"));
+        assert!(fs_report.contains("full sweep (legacy)"));
+    }
+
+    #[test]
+    fn search_renders_pipeline_table_under_pass_stats() {
+        let src = demo_source();
+        let report = cmd_search(
+            &src,
+            18,
+            TargetChoice::X86,
+            EvalOptions { show_pass_stats: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.contains("pass stats:"), "{report}");
+        assert!(report.contains("analysis cache:"), "{report}");
     }
 }

@@ -2,8 +2,8 @@
 
 use optinline_cli::{
     cmd_autotune, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link, cmd_optimize,
-    cmd_print, cmd_run, cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, StrategyChoice,
-    TargetChoice,
+    cmd_print, cmd_run, cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, OptimizeOptions,
+    StrategyChoice, TargetChoice,
 };
 
 const USAGE: &str = "\
@@ -13,11 +13,13 @@ usage:
   optinline print    <file.ir>
   optinline stats    <file.ir>
   optinline optimize <file.ir> [--strategy never|always|heuristic|trial]
-                               [--target x86|wasm] [-o out.ir]
+                               [--target x86|wasm] [--pass-stats]
+                               [--full-sweep] [-o out.ir]
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
-                               [--full-eval] [--stats]
+                               [--full-eval] [--stats] [--pass-stats]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
                                [--target x86|wasm] [--full-eval] [--stats]
+                               [--pass-stats]
   optinline run      <file.ir>
   optinline gen      [--seed N] [--internal N] [--clusters N] [-o out.ir]
   optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
@@ -38,7 +40,8 @@ impl Args {
         let mut flags = Vec::new();
         let mut argv = argv.peekable();
         // Flags that take no value; present means "on".
-        const BOOLEAN: &[&str] = &["stats", "full-eval", "reduce", "demo-reduce"];
+        const BOOLEAN: &[&str] =
+            &["stats", "full-eval", "reduce", "demo-reduce", "pass-stats", "full-sweep"];
         while let Some(a) = argv.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if BOOLEAN.contains(&name) {
@@ -65,6 +68,14 @@ impl Args {
         EvalOptions {
             incremental: self.flag("full-eval").is_none(),
             show_stats: self.flag("stats").is_some(),
+            show_pass_stats: self.flag("pass-stats").is_some(),
+        }
+    }
+
+    fn optimize_options(&self) -> OptimizeOptions {
+        OptimizeOptions {
+            full_sweep: self.flag("full-sweep").is_some(),
+            pass_stats: self.flag("pass-stats").is_some(),
         }
     }
 
@@ -110,7 +121,8 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "optimize" => {
             let strategy = StrategyChoice::parse(args.flag("strategy").unwrap_or("heuristic"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            let (report, module_text) = cmd_optimize(&args.input()?, strategy, target)?;
+            let (report, module_text) =
+                cmd_optimize(&args.input()?, strategy, target, args.optimize_options())?;
             print!("{report}");
             if args.flag("out").is_some() {
                 args.write_or_print(&module_text)?;

@@ -18,9 +18,10 @@ use crate::cache::ShardedCache;
 use crate::config::InliningConfiguration;
 use optinline_codegen::{text_size, Target};
 use optinline_ir::{CallSiteId, Module};
-use optinline_opt::{optimize_os, ForcedDecisions, PipelineOptions};
+use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions, PipelineStats};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Anything that can score an inlining configuration.
@@ -85,6 +86,14 @@ pub struct EvaluatorStats {
     /// full evaluator this equals `compiles`; for the incremental one it is
     /// the headline savings metric.
     pub full_module_equivalents: f64,
+    /// Cleanup fixpoint loops that exhausted their iteration cap with
+    /// changes still happening, summed over every compile (mirror of
+    /// `pipeline.cap_hits`). Non-zero values mean some module needed more
+    /// than `PipelineOptions::max_iterations` rounds to converge.
+    pub fixpoint_cap_hits: u64,
+    /// Per-pass, analysis-cache, and scheduling counters aggregated over
+    /// every compile this evaluator performed (rendered by `--pass-stats`).
+    pub pipeline: PipelineStats,
 }
 
 impl EvaluatorStats {
@@ -92,13 +101,14 @@ impl EvaluatorStats {
     pub fn render(&self) -> String {
         format!(
             "{} queries, {} compiles ({:.2} full-module equivalents), \
-             {} cache hits / {} misses, {:.1?} compiling",
+             {} cache hits / {} misses, {:.1?} compiling, {} fixpoint cap hits",
             self.queries,
             self.compiles,
             self.full_module_equivalents,
             self.cache_hits,
             self.cache_misses,
             self.compile_time,
+            self.fixpoint_cap_hits,
         )
     }
 }
@@ -114,6 +124,7 @@ pub struct CompilerEvaluator {
     compiles: AtomicU64,
     queries: AtomicU64,
     compile_nanos: AtomicU64,
+    pipeline_stats: Mutex<PipelineStats>,
 }
 
 impl std::fmt::Debug for CompilerEvaluator {
@@ -140,6 +151,7 @@ impl CompilerEvaluator {
             compiles: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
+            pipeline_stats: Mutex::new(PipelineStats::default()),
         }
     }
 
@@ -173,6 +185,7 @@ impl CompilerEvaluator {
     pub fn stats(&self) -> EvaluatorStats {
         let cache = self.cache.stats();
         let compiles = self.compiles.load(Ordering::Relaxed);
+        let pipeline = self.pipeline_stats.lock().unwrap().clone();
         EvaluatorStats {
             queries: self.queries.load(Ordering::Relaxed),
             compiles,
@@ -183,6 +196,8 @@ impl CompilerEvaluator {
             per_component_compiles: Vec::new(),
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
             full_module_equivalents: compiles as f64,
+            fixpoint_cap_hits: pipeline.cap_hits,
+            pipeline,
         }
     }
 
@@ -191,7 +206,8 @@ impl CompilerEvaluator {
     pub fn compile(&self, config: &InliningConfiguration) -> Module {
         let mut m = self.module.clone();
         let oracle = ForcedDecisions::new(config.decisions().clone());
-        optimize_os(&mut m, &oracle, self.options);
+        let report = optimize_os_report(&mut m, &oracle, self.options);
+        self.pipeline_stats.lock().unwrap().absorb(&report.stats);
         m
     }
 }

@@ -39,10 +39,13 @@ use optinline_callgraph::{coarse_components, Decision};
 use optinline_codegen::{text_size, Target};
 use optinline_ir::analysis::EffectSummary;
 use optinline_ir::{extract_slice, CallSiteId, Module};
-use optinline_opt::{optimize_os, optimize_os_with_summary, ForcedDecisions, PipelineOptions};
+use optinline_opt::{
+    optimize_os_report, optimize_os_report_with_summary, ForcedDecisions, PipelineOptions,
+    PipelineStats,
+};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One coarse call-graph component, ready to compile in isolation.
@@ -82,6 +85,7 @@ pub struct IncrementalEvaluator {
     compiled_insts: AtomicU64,
     compile_nanos: AtomicU64,
     module_insts: u64,
+    pipeline_stats: Mutex<PipelineStats>,
 }
 
 impl std::fmt::Debug for IncrementalEvaluator {
@@ -136,6 +140,7 @@ impl IncrementalEvaluator {
             compiled_insts: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             module_insts,
+            pipeline_stats: Mutex::new(PipelineStats::default()),
         }
     }
 
@@ -164,13 +169,15 @@ impl IncrementalEvaluator {
     pub fn compile(&self, config: &InliningConfiguration) -> Module {
         let mut m = self.module.clone();
         let oracle = ForcedDecisions::new(config.decisions().clone());
-        optimize_os(&mut m, &oracle, self.options);
+        let report = optimize_os_report(&mut m, &oracle, self.options);
+        self.pipeline_stats.lock().unwrap().absorb(&report.stats);
         m
     }
 
     /// Snapshot of the observability counters.
     pub fn stats(&self) -> EvaluatorStats {
         let cache = self.cache.stats();
+        let pipeline = self.pipeline_stats.lock().unwrap().clone();
         EvaluatorStats {
             queries: self.queries.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
@@ -186,6 +193,8 @@ impl IncrementalEvaluator {
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
             full_module_equivalents: self.compiled_insts.load(Ordering::Relaxed) as f64
                 / self.module_insts as f64,
+            fixpoint_cap_hits: pipeline.cap_hits,
+            pipeline,
         }
     }
 
@@ -199,7 +208,9 @@ impl IncrementalEvaluator {
     ) -> u64 {
         let mut m = slice.clone();
         let oracle = ForcedDecisions::new(inlined.iter().map(|&s| (s, Decision::Inline)).collect());
-        optimize_os_with_summary(&mut m, &oracle, self.options, summary.clone());
+        let report =
+            optimize_os_report_with_summary(&mut m, &oracle, self.options, summary.clone());
+        self.pipeline_stats.lock().unwrap().absorb(&report.stats);
         text_size(&m, self.target.as_ref())
     }
 

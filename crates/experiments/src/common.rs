@@ -114,6 +114,8 @@ pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
         agg.cache_evictions += s.cache_evictions;
         agg.compile_time += s.compile_time;
         agg.full_module_equivalents += s.full_module_equivalents;
+        agg.fixpoint_cap_hits += s.fixpoint_cap_hits;
+        agg.pipeline.absorb(&s.pipeline);
     }
     agg
 }

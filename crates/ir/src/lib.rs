@@ -19,6 +19,8 @@
 //!   [`parse_module`] — a round-tripping textual format.
 //! - [`verify_module`] — SSA well-formedness checking.
 //! - [`analysis`] — CFG reachability, dominators, effect summaries.
+//! - [`analysis_manager`] — lazily cached analyses with explicit
+//!   invalidation, the data side of the change-driven pass manager.
 //! - [`interp`] — a reference interpreter with a cycle cost model (the
 //!   performance substrate for the paper's Figure 19).
 //!
@@ -58,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod analysis_manager;
 mod builder;
 mod display;
 pub mod dot;
@@ -71,6 +74,7 @@ pub mod parse;
 pub mod slice;
 pub mod verify;
 
+pub use analysis_manager::{AnalysisCacheStats, AnalysisManager, CfgFacts, PreservedAnalyses};
 pub use builder::FuncBuilder;
 pub use display::{FuncDisplay, InstDisplay};
 pub use function::{Block, Function, Linkage};

@@ -5,16 +5,17 @@
 //! forwards the stored value. Calls that may write memory invalidate the
 //! memory state.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use crate::subst::Subst;
 use optinline_ir::analysis::EffectSummary;
-use optinline_ir::{BinOp, FuncId, GlobalId, Inst, Module, ValueId};
+use optinline_ir::{AnalysisManager, BinOp, FuncId, GlobalId, Inst, Module, ValueId};
 use std::collections::HashMap;
 
 /// The local-CSE pass.
 ///
 /// Like [`crate::Dce`], it can run against a frozen effect summary so its
-/// memory invalidation is independent of inlining decisions elsewhere.
+/// memory invalidation is independent of inlining decisions elsewhere;
+/// without one it reads the summary through the [`AnalysisManager`].
 #[derive(Clone, Debug, Default)]
 pub struct Cse {
     summary: Option<EffectSummary>,
@@ -32,13 +33,23 @@ impl Pass for Cse {
         "cse"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let effects = self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= cse_function(module, fid, &effects);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        am: &mut AnalysisManager,
+    ) -> PassResult {
+        let effects = match &self.summary {
+            Some(s) => s,
+            None => am.effects(module),
+        };
+        if cse_function(module, fid, effects) {
+            // Deduplicating a load changes the (recomputed) read set, so
+            // the effect summary is not preserved; blocks and calls are.
+            PassResult::changed(fid, PreservedAnalyses::none().plus_cfg().plus_call_graph())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 

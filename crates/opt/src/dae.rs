@@ -8,11 +8,19 @@
 //! reading its input), and eliminating them makes remaining calls cheaper,
 //! shifting later inlining trade-offs.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use optinline_ir::analysis::use_counts;
-use optinline_ir::{FuncId, Inst, Linkage, Module};
+use optinline_ir::{AnalysisManager, FuncId, Inst, Linkage, Module};
 
 /// The dead-argument elimination pass.
+///
+/// The one cleanup pass with *cross-function* writes: pruning a parameter
+/// of `fid` rewrites the argument lists of every caller. Those callers are
+/// read from the [`AnalysisManager`]'s cached caller map — safe because no
+/// cleanup pass ever adds a call edge, so a cached map can only
+/// over-approximate (and rewriting a non-caller is a no-op). The rewritten
+/// callers are reported in [`PassResult::changed_functions`] so a
+/// change-driven scheduler re-queues them.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DeadArgElim;
 
@@ -21,16 +29,25 @@ impl Pass for DeadArgElim {
         "dead-arg-elim"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= prune_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        am: &mut AnalysisManager,
+    ) -> PassResult {
+        let callers = am.callers(module)[fid.index()].clone();
+        match prune_function(module, fid, &callers) {
+            // Dropping a parameter and its arguments touches no block
+            // structure, no memory operation, and no call edge.
+            Some(changed) => PassResult::changed_many(changed, PreservedAnalyses::all()),
+            None => PassResult::unchanged(),
         }
-        changed
     }
 }
 
-fn prune_function(module: &mut Module, fid: FuncId) -> bool {
+/// Prunes dead parameters of `fid`, rewriting call sites in `callers`.
+/// Returns the functions actually modified (`fid` first), or `None`.
+fn prune_function(module: &mut Module, fid: FuncId, callers: &[FuncId]) -> Option<Vec<FuncId>> {
     {
         let func = module.func(fid);
         // Public functions keep their ABI; stubs have nothing to prune.
@@ -40,7 +57,7 @@ fn prune_function(module: &mut Module, fid: FuncId) -> bool {
         // independence boundary §3.2's search relies on. For inlinable
         // callees every caller shares the component, so pruning is safe.
         if func.linkage != Linkage::Internal || module.is_stub(fid) || !func.inlinable {
-            return false;
+            return None;
         }
     }
     let counts = use_counts(module.func(fid));
@@ -53,10 +70,11 @@ fn prune_function(module: &mut Module, fid: FuncId) -> bool {
         .map(|(i, _)| i)
         .collect();
     if dead.is_empty() {
-        return false;
+        return None;
     }
     let keep = |i: usize| !dead.contains(&i);
 
+    let mut changed = vec![fid];
     // Drop the parameters.
     {
         let func = module.func_mut(fid);
@@ -67,10 +85,11 @@ fn prune_function(module: &mut Module, fid: FuncId) -> bool {
             k
         });
     }
-    // Drop the matching argument at every call site in the module
+    // Drop the matching argument at every call site in the callers
     // (including recursive calls inside `fid` itself).
-    for caller in module.func_ids() {
+    for &caller in callers {
         let func = module.func_mut(caller);
+        let mut rewrote = false;
         for block in &mut func.blocks {
             for inst in &mut block.insts {
                 if let Inst::Call { callee, args, .. } = inst {
@@ -81,12 +100,16 @@ fn prune_function(module: &mut Module, fid: FuncId) -> bool {
                             idx += 1;
                             k
                         });
+                        rewrote = true;
                     }
                 }
             }
         }
+        if rewrote && caller != fid {
+            changed.push(caller);
+        }
     }
-    true
+    Some(changed)
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 //!   has been inlined, and exactly the mechanism behind the paper's
 //!   Figure 11 case study.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use optinline_ir::analysis::{reachable_functions, use_counts, EffectSummary};
-use optinline_ir::{FuncId, Inst, Module};
+use optinline_ir::{AnalysisManager, FuncId, Inst, Module};
 use std::collections::BTreeSet;
 
 /// The dead-instruction elimination pass.
@@ -39,13 +39,23 @@ impl Pass for Dce {
         "dce"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let effects = self.summary.clone().unwrap_or_else(|| EffectSummary::compute(module));
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= dce_function(module, fid, &effects);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        am: &mut AnalysisManager,
+    ) -> PassResult {
+        let effects = match &self.summary {
+            Some(s) => s,
+            None => am.effects(module),
+        };
+        if dce_function(module, fid, effects) {
+            // Unused loads and pure calls are deleted — the recomputed
+            // effect summary and the call graph both change; blocks don't.
+            PassResult::changed(fid, PreservedAnalyses::none().plus_cfg())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 
@@ -96,12 +106,32 @@ fn dce_function(module: &mut Module, fid: FuncId, effects: &EffectSummary) -> bo
 }
 
 /// The dead-function elimination pass (module level).
+///
+/// Inherently a whole-module analysis — liveness roots at every public
+/// function — so the standard pipeline runs its [`run`](Pass::run) once
+/// between worklist drains rather than putting it in the per-function
+/// sequence. The per-function entry point stubs just the one function if
+/// it has become unreachable.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DeadFunctionElim;
 
 impl Pass for DeadFunctionElim {
     fn name(&self) -> &'static str {
         "dead-function-elim"
+    }
+
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if module.is_stub(fid) || reachable_functions(module).contains(&fid) {
+            return PassResult::unchanged();
+        }
+        module.stub_out(&BTreeSet::from([fid]));
+        // Stubbing rips out the body: every analysis about it is stale.
+        PassResult::changed(fid, PreservedAnalyses::none())
     }
 
     fn run(&self, module: &mut Module) -> bool {

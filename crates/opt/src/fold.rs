@@ -5,8 +5,8 @@
 //! flows into an inlined body, comparisons fold, branches collapse, and DCE
 //! can delete entire regions — the cascade the paper's Listing 1 shows.
 
-use crate::pass::Pass;
-use optinline_ir::{Inst, Module, Terminator, ValueId};
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
+use optinline_ir::{AnalysisManager, Inst, Module, Terminator, ValueId};
 use std::collections::HashMap;
 
 /// The constant-folding pass.
@@ -18,12 +18,19 @@ impl Pass for ConstFold {
         "const-fold"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= fold_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: optinline_ir::FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if fold_function(module, fid) {
+            // Branch-to-jump rewrites change the CFG; loads, stores, and
+            // calls are untouched.
+            PassResult::changed(fid, PreservedAnalyses::none().plus_effects().plus_call_graph())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 

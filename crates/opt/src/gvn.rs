@@ -7,13 +7,17 @@
 //! dominates — the cross-block half of the paper's "inlining enables
 //! further optimization" story.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use crate::subst::Subst;
-use optinline_ir::analysis::{immediate_dominators, reachable_blocks};
-use optinline_ir::{BinOp, BlockId, FuncId, Inst, Module, ValueId};
+use optinline_ir::{AnalysisManager, BinOp, BlockId, FuncId, Inst, Module, ValueId};
 use std::collections::HashMap;
 
 /// The global value-numbering pass.
+///
+/// The dominator tree it walks comes from the [`AnalysisManager`]'s cached
+/// CFG facts — the pass itself never changes the CFG, so in a pipeline the
+/// facts stay valid until a structural pass (fold/SCCP/simplify-cfg/…)
+/// touches the function again.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Gvn;
 
@@ -22,12 +26,19 @@ impl Pass for Gvn {
         "gvn"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= gvn_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        am: &mut AnalysisManager,
+    ) -> PassResult {
+        if gvn_function(module, fid, am) {
+            // Pure redundancy elimination: no blocks, memory ops, or calls
+            // are added or removed.
+            PassResult::changed(fid, PreservedAnalyses::all())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 
@@ -50,11 +61,11 @@ fn canonical_key(op: BinOp, lhs: ValueId, rhs: ValueId) -> Key {
     }
 }
 
-fn gvn_function(module: &mut Module, fid: FuncId) -> bool {
-    let func = module.func(fid);
-    let reach = reachable_blocks(func);
-    let idom = immediate_dominators(func);
-    let n = func.blocks.len();
+fn gvn_function(module: &mut Module, fid: FuncId, am: &mut AnalysisManager) -> bool {
+    let facts = am.cfg_facts(module, fid);
+    let reach = &facts.reachable;
+    let idom = &facts.idom;
+    let n = module.func(fid).blocks.len();
 
     // Dominator-tree children.
     let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];

@@ -11,8 +11,9 @@
 //! one decision covers every copy (§2). Recursive inlining is bounded to
 //! depth one via the `inline_path` recorded on cloned calls (§3.2).
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use optinline_callgraph::Decision;
+use optinline_ir::AnalysisManager;
 use optinline_ir::{
     Block, BlockId, CallSiteId, FuncId, Inst, JumpTarget, Module, Terminator, ValueId,
 };
@@ -78,6 +79,27 @@ impl InlineOracle for NeverInline {
     }
 }
 
+/// What [`run_inliner_tracked`] did: how many sites were expanded, and
+/// which caller functions were rewritten in the process.
+///
+/// `changed_callers` is the natural seed for a change-driven cleanup
+/// schedule: only functions that absorbed a callee body (plus anything
+/// they transitively dirty) can have new cleanup opportunities.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InlineOutcome {
+    /// Number of call sites expanded.
+    pub expanded: usize,
+    /// Functions whose bodies were rewritten, in id order, deduplicated.
+    pub changed_callers: Vec<FuncId>,
+}
+
+impl InlineOutcome {
+    /// True if at least one call site was expanded.
+    pub fn any_changed(&self) -> bool {
+        self.expanded > 0
+    }
+}
+
 /// Applies `oracle`'s decisions exhaustively; returns the number of call
 /// sites expanded.
 ///
@@ -86,15 +108,30 @@ impl InlineOracle for NeverInline {
 /// Panics if expansion exceeds an internal safety cap (10⁶ inlines), which
 /// would indicate a recursion-bound bug rather than a legal configuration.
 pub fn run_inliner(module: &mut Module, oracle: &dyn InlineOracle) -> usize {
-    let mut count = 0usize;
+    run_inliner_tracked(module, oracle).expanded
+}
+
+/// Like [`run_inliner`], but also reports which callers were rewritten —
+/// the seed set for [`crate::PassManager::run_worklist`].
+///
+/// # Panics
+///
+/// Panics on the same runaway-expansion cap as [`run_inliner`].
+pub fn run_inliner_tracked(module: &mut Module, oracle: &dyn InlineOracle) -> InlineOutcome {
+    let mut outcome = InlineOutcome::default();
     for f in module.func_ids() {
+        let mut touched = false;
         while let Some((bid, idx)) = find_candidate(module, f, oracle) {
             inline_call(module, f, bid, idx);
-            count += 1;
-            assert!(count < 1_000_000, "inliner expansion runaway");
+            outcome.expanded += 1;
+            touched = true;
+            assert!(outcome.expanded < 1_000_000, "inliner expansion runaway");
+        }
+        if touched {
+            outcome.changed_callers.push(f);
         }
     }
-    count
+    outcome
 }
 
 /// The inliner as a [`Pass`] (applies the held decisions once, to fixpoint).
@@ -113,6 +150,26 @@ impl<O: InlineOracle> InlinePass<O> {
 impl<O: InlineOracle> Pass for InlinePass<O> {
     fn name(&self) -> &'static str {
         "inline"
+    }
+
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        let mut expanded = 0usize;
+        while let Some((bid, idx)) = find_candidate(module, fid, &self.oracle) {
+            inline_call(module, fid, bid, idx);
+            expanded += 1;
+            assert!(expanded < 1_000_000, "inliner expansion runaway");
+        }
+        if expanded > 0 {
+            // New blocks, new (cloned) calls, possibly new memory ops.
+            PassResult::changed(fid, PreservedAnalyses::none())
+        } else {
+            PassResult::unchanged()
+        }
     }
 
     fn run(&self, module: &mut Module) -> bool {

@@ -78,13 +78,17 @@ pub use dce::{Dce, DeadFunctionElim};
 pub use fold::ConstFold;
 pub use gvn::Gvn;
 pub use inline::{
-    run_inliner, AlwaysInline, ForcedDecisions, InlineOracle, InlinePass, NeverInline,
+    run_inliner, run_inliner_tracked, AlwaysInline, ForcedDecisions, InlineOracle, InlineOutcome,
+    InlinePass, NeverInline,
 };
 pub use mergefunc::{functions_structurally_equal, MergeFunctions};
-pub use pass::{Pass, PassManager};
+pub use pass::{
+    Fixpoint, Pass, PassManager, PassResult, PassStat, PipelineStats, PreservedAnalyses,
+};
 pub use pipeline::{
     cleanup_pipeline, cleanup_pipeline_with, optimize_os, optimize_os_instrumented,
-    optimize_os_no_inline, optimize_os_with_summary, PipelineOptions,
+    optimize_os_no_inline, optimize_os_report, optimize_os_report_with_summary,
+    optimize_os_with_summary, OsReport, PipelineOptions,
 };
 pub use sccp::Sccp;
 pub use simplify::Simplify;

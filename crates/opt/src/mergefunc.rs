@@ -12,60 +12,98 @@
 //! the violation; `PipelineOptions` keeps the pass opt-in so the search
 //! stays exact by default.
 
-use crate::pass::Pass;
-use optinline_ir::{FuncId, Inst, JumpTarget, Linkage, Module, Terminator};
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
+use optinline_ir::{AnalysisManager, FuncId, Inst, JumpTarget, Linkage, Module, Terminator};
 use std::collections::HashMap;
 
 /// The function-merging pass (opt-in; see module docs).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MergeFunctions;
 
+/// Maps each mergeable function to its surviving twin (the lowest-id
+/// structurally equal function).
+fn compute_redirects(module: &Module) -> HashMap<FuncId, FuncId> {
+    // Group internal, non-stub functions by a structural fingerprint,
+    // then verify exact structural equality within groups.
+    let mut groups: HashMap<u64, Vec<FuncId>> = HashMap::new();
+    for (id, f) in module.iter_funcs() {
+        if f.linkage != Linkage::Internal || module.is_stub(id) {
+            continue;
+        }
+        groups.entry(fingerprint(module, id)).or_default().push(id);
+    }
+    let mut redirects: HashMap<FuncId, FuncId> = HashMap::new();
+    for ids in groups.values() {
+        for (i, &a) in ids.iter().enumerate() {
+            if redirects.contains_key(&a) {
+                continue;
+            }
+            for &b in ids.iter().skip(i + 1) {
+                if !redirects.contains_key(&b) && structurally_equal(module, a, b) {
+                    redirects.insert(b, a);
+                }
+            }
+        }
+    }
+    redirects
+}
+
+/// Rewrites every call in `caller` per `redirects`; true if any changed.
+fn redirect_calls_in(
+    module: &mut Module,
+    caller: FuncId,
+    redirects: &HashMap<FuncId, FuncId>,
+) -> bool {
+    let mut changed = false;
+    let func = module.func_mut(caller);
+    for block in &mut func.blocks {
+        for inst in &mut block.insts {
+            if let Inst::Call { callee, .. } = inst {
+                if let Some(&to) = redirects.get(callee) {
+                    *callee = to;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
 impl Pass for MergeFunctions {
     fn name(&self) -> &'static str {
         "merge-functions"
     }
 
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        // The twin computation is whole-module, but the rewrite is scoped
+        // to `fid`'s own call instructions, keeping the per-function
+        // contract. Redirected calls change the call graph (and possibly
+        // the transitive effect summary's keying); block structure stays.
+        let redirects = compute_redirects(module);
+        if !redirects.is_empty() && redirect_calls_in(module, fid, &redirects) {
+            PassResult::changed(fid, PreservedAnalyses::none().plus_cfg())
+        } else {
+            PassResult::unchanged()
+        }
+    }
+
     fn run(&self, module: &mut Module) -> bool {
-        // Group internal, non-stub functions by a structural fingerprint,
-        // then verify exact structural equality within groups.
-        let mut groups: HashMap<u64, Vec<FuncId>> = HashMap::new();
-        for (id, f) in module.iter_funcs() {
-            if f.linkage != Linkage::Internal || module.is_stub(id) {
-                continue;
-            }
-            groups.entry(fingerprint(module, id)).or_default().push(id);
-        }
-        let mut redirects: HashMap<FuncId, FuncId> = HashMap::new();
-        for ids in groups.values() {
-            for (i, &a) in ids.iter().enumerate() {
-                if redirects.contains_key(&a) {
-                    continue;
-                }
-                for &b in ids.iter().skip(i + 1) {
-                    if !redirects.contains_key(&b) && structurally_equal(module, a, b) {
-                        redirects.insert(b, a);
-                    }
-                }
-            }
-        }
+        let redirects = compute_redirects(module);
         if redirects.is_empty() {
             return false;
         }
         // Redirect every call; dead-function elimination reclaims the
         // bodies afterwards.
+        let mut changed = false;
         for caller in module.func_ids() {
-            let func = module.func_mut(caller);
-            for block in &mut func.blocks {
-                for inst in &mut block.insts {
-                    if let Inst::Call { callee, .. } = inst {
-                        if let Some(&to) = redirects.get(callee) {
-                            *callee = to;
-                        }
-                    }
-                }
-            }
+            changed |= redirect_calls_in(module, caller, &redirects);
         }
-        true
+        changed
     }
 }
 

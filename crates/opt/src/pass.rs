@@ -1,23 +1,240 @@
-//! The pass framework: a [`Pass`] trait and a [`PassManager`] that iterates
-//! a pipeline to a fixpoint, optionally verifying the IR after every pass.
+//! The pass framework: the per-function [`Pass`] contract, a
+//! [`PassManager`] that can run a pipeline either as legacy whole-module
+//! sweeps or as a change-driven dirty-function worklist, and the counters
+//! ([`PipelineStats`]) both schedulers report.
+//!
+//! ## The contract
+//!
+//! A pass's primary entry point is
+//! [`run_on_function`](Pass::run_on_function): transform *one* function and
+//! return a [`PassResult`] naming every function that changed (almost
+//! always just the one it was pointed at; dead-argument elimination also
+//! rewrites callers) and which analyses remain valid for them. The
+//! whole-module [`run`](Pass::run) is a derived convenience — a sweep over
+//! `run_on_function` — that module-scope passes (dead-function elimination,
+//! function merging, the inliner-as-a-pass) override.
+//!
+//! ## The two schedulers
+//!
+//! [`PassManager::run_to_fixpoint`] is the legacy reference: sweep every
+//! pass over every function, repeat until a full sweep changes nothing.
+//! [`PassManager::run_worklist`] is the change-driven scheduler: the same
+//! pass-major order, but each round only visits *dirty* functions — the
+//! seed set on round one, then exactly the functions something changed in
+//! the previous round. A clean function is by construction at a local
+//! fixpoint of every pass in the pipeline, so skipping it is byte-identical
+//! to the legacy sweep's no-op visit; the worklist therefore produces the
+//! same final module while doing `Σ(per-function rounds-to-converge)` work
+//! instead of `functions × max(rounds-to-converge)`.
+//!
+//! The equivalence argument needs one structural property the standard
+//! pipeline has: every cross-function writer (dead-argument elimination)
+//! is the *last* pass in the sequence, so a round never changes a function
+//! after a later pass in the same round already visited it. Custom
+//! pipelines that put cross-function passes mid-sequence still converge to
+//! the same fixpoint but may take a different route through it.
 
-use optinline_ir::{verify_module, Module};
+use optinline_ir::{verify_module, AnalysisCacheStats, AnalysisManager, FuncId, Module};
+use std::collections::BTreeSet;
 use std::fmt;
 
-/// A module transformation.
+/// What one per-function pass application did: which functions changed
+/// (empty = nothing) and which analyses are still valid for them.
+#[derive(Clone, Debug)]
+pub struct PassResult {
+    /// Every function whose body, parameters, or call sites this
+    /// application modified. Usually empty or the single function the pass
+    /// ran on; dead-argument elimination also lists rewritten callers.
+    pub changed_functions: Vec<FuncId>,
+    /// The analyses still valid for each changed function. Irrelevant (and
+    /// conventionally [`PreservedAnalyses::all`]) when nothing changed.
+    pub preserved: PreservedAnalyses,
+}
+
+pub use optinline_ir::PreservedAnalyses;
+
+impl PassResult {
+    /// The application changed nothing.
+    pub fn unchanged() -> Self {
+        PassResult { changed_functions: Vec::new(), preserved: PreservedAnalyses::all() }
+    }
+
+    /// The application changed exactly the function it ran on.
+    pub fn changed(fid: FuncId, preserved: PreservedAnalyses) -> Self {
+        PassResult { changed_functions: vec![fid], preserved }
+    }
+
+    /// The application changed several functions.
+    pub fn changed_many(funcs: Vec<FuncId>, preserved: PreservedAnalyses) -> Self {
+        PassResult { changed_functions: funcs, preserved }
+    }
+
+    /// Did anything change?
+    pub fn any_changed(&self) -> bool {
+        !self.changed_functions.is_empty()
+    }
+}
+
+/// A module transformation, expressed per function.
 ///
 /// Passes must be deterministic and semantics-preserving (observable
-/// behaviour under the interpreter: return value and final global state).
+/// behaviour under the interpreter: return value, final global state, and
+/// the ordered store trace).
 pub trait Pass: fmt::Debug + Send + Sync {
     /// Stable pass name, used in reports and debugging.
     fn name(&self) -> &'static str;
 
-    /// Runs the pass; returns `true` if the module changed.
-    fn run(&self, module: &mut Module) -> bool;
+    /// Transforms one function, reading analyses through `am`. Must report
+    /// *every* function it modified; the scheduler uses the report to
+    /// re-queue work and invalidate cached analyses.
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        am: &mut AnalysisManager,
+    ) -> PassResult;
+
+    /// Runs the pass over the whole module; returns `true` if anything
+    /// changed. The default sweeps [`run_on_function`](Pass::run_on_function)
+    /// over every function with a sweep-local [`AnalysisManager`] whose
+    /// effect summary is frozen at first use — the historical semantics
+    /// where a sweep snapshots its summary up front and keeps using it
+    /// while mutating. Module-scope passes override this.
+    fn run(&self, module: &mut Module) -> bool {
+        let mut am = AnalysisManager::new();
+        am.freeze_effects();
+        let mut any = false;
+        for fid in module.func_ids() {
+            let res = self.run_on_function(module, fid, &mut am);
+            for &f in &res.changed_functions {
+                am.invalidate_function(f, res.preserved);
+                any = true;
+            }
+        }
+        any
+    }
 }
 
-/// Runs a sequence of passes repeatedly until none of them changes the
-/// module (or an iteration cap is reached).
+/// The outcome of a fixpoint (or worklist) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fixpoint {
+    /// Rounds that made progress.
+    pub iterations: usize,
+    /// `true` iff the run *proved* it converged (a round changed nothing,
+    /// or the dirty set drained). `false` means the iteration cap cut the
+    /// run short with changes still happening.
+    pub hit_fixpoint: bool,
+}
+
+/// Per-pass work counters, collected by the worklist scheduler.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: &'static str,
+    /// `run_on_function` applications.
+    pub invocations: u64,
+    /// Functions reported changed (counting dead-argument elimination's
+    /// rewritten callers).
+    pub changed: u64,
+}
+
+/// What a pipeline run did: per-pass work, analysis-cache traffic, and
+/// fixpoint/cap accounting. Rendered by `optinline optimize --pass-stats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// One entry per pass, in pipeline order.
+    pub per_pass: Vec<PassStat>,
+    /// Analysis-cache hit/compute/invalidation counters.
+    pub analysis: AnalysisCacheStats,
+    /// Cleanup rounds that made progress, summed over drains.
+    pub iterations: usize,
+    /// Fixpoint loops that exhausted their iteration cap with changes
+    /// still happening (each compile runs one or two loops).
+    pub cap_hits: u64,
+    /// Did every fixpoint loop in the run converge?
+    pub hit_fixpoint: bool,
+    /// Dirty-function visits (one visit = the whole pass sequence applied
+    /// to one function in one round). Zero under the legacy full sweep,
+    /// which does not track per-function work.
+    pub function_visits: u64,
+}
+
+impl PipelineStats {
+    /// Folds one fixpoint-loop outcome into the scheduling counters.
+    pub fn record(&mut self, fp: Fixpoint) {
+        self.iterations += fp.iterations;
+        if !fp.hit_fixpoint {
+            self.cap_hits += 1;
+            self.hit_fixpoint = false;
+        }
+    }
+
+    /// Merges another run's counters into this one (used by evaluators
+    /// aggregating over many compiles).
+    pub fn absorb(&mut self, other: &PipelineStats) {
+        if self.per_pass.is_empty() {
+            // Fresh (default-constructed) accumulator: adopt the first
+            // run's shape and convergence flag wholesale.
+            self.per_pass = other.per_pass.clone();
+            self.hit_fixpoint = other.hit_fixpoint;
+        } else {
+            for (mine, theirs) in self.per_pass.iter_mut().zip(&other.per_pass) {
+                mine.invocations += theirs.invocations;
+                mine.changed += theirs.changed;
+            }
+        }
+        self.analysis.hits += other.analysis.hits;
+        self.analysis.computes += other.analysis.computes;
+        self.analysis.invalidations += other.analysis.invalidations;
+        self.iterations += other.iterations;
+        self.cap_hits += other.cap_hits;
+        self.hit_fixpoint &= other.hit_fixpoint;
+        self.function_visits += other.function_visits;
+    }
+
+    /// A small human-readable table: one line per pass plus the analysis
+    /// cache and scheduling summary lines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "pass stats:");
+        let width = self.per_pass.iter().map(|p| p.name.len()).max().unwrap_or(4).max(4);
+        for p in &self.per_pass {
+            let _ = writeln!(
+                out,
+                "  {:width$}  {:>8} invocations  {:>6} changed",
+                p.name,
+                p.invocations,
+                p.changed,
+                width = width
+            );
+        }
+        let a = self.analysis;
+        let _ = writeln!(
+            out,
+            "  analysis cache: {} hits, {} computes, {} invalidations",
+            a.hits, a.computes, a.invalidations
+        );
+        let _ = writeln!(
+            out,
+            "  scheduling: {} rounds, {} function visits, fixpoint {}{}",
+            self.iterations,
+            self.function_visits,
+            if self.hit_fixpoint { "reached" } else { "NOT reached" },
+            if self.cap_hits > 0 {
+                format!(" ({} cap hits)", self.cap_hits)
+            } else {
+                String::new()
+            }
+        );
+        out
+    }
+}
+
+/// Holds a pass pipeline and runs it with either scheduler: legacy
+/// whole-module fixpoint sweeps ([`run_to_fixpoint`](Self::run_to_fixpoint))
+/// or the change-driven dirty-function worklist
+/// ([`run_worklist`](Self::run_worklist)).
 #[derive(Debug)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
@@ -55,13 +272,27 @@ impl PassManager {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
-    /// Runs the pipeline to a fixpoint. Returns the number of full
-    /// iterations that made progress.
+    /// Fresh per-pass counters matching this pipeline, for accumulating
+    /// across [`run_worklist`](Self::run_worklist) drains.
+    pub fn fresh_stats(&self) -> PipelineStats {
+        PipelineStats {
+            per_pass: self
+                .passes
+                .iter()
+                .map(|p| PassStat { name: p.name(), ..Default::default() })
+                .collect(),
+            hit_fixpoint: true,
+            ..Default::default()
+        }
+    }
+
+    /// Runs the pipeline to a fixpoint with whole-module sweeps — the
+    /// legacy reference scheduler kept behind `PipelineOptions::full_sweep`.
     ///
     /// # Panics
     ///
     /// Panics if `verify_each` is enabled and a pass breaks the IR.
-    pub fn run_to_fixpoint(&self, module: &mut Module) -> usize {
+    pub fn run_to_fixpoint(&self, module: &mut Module) -> Fixpoint {
         self.run_to_fixpoint_observed(module, &mut |_, _| {})
     }
 
@@ -75,8 +306,8 @@ impl PassManager {
         &self,
         module: &mut Module,
         observer: &mut dyn FnMut(&'static str, &Module),
-    ) -> usize {
-        let mut iterations = 0;
+    ) -> Fixpoint {
+        let mut fp = Fixpoint::default();
         for _ in 0..self.max_iterations {
             let mut changed = false;
             for pass in &self.passes {
@@ -92,11 +323,103 @@ impl PassManager {
                 changed |= c;
             }
             if !changed {
+                fp.hit_fixpoint = true;
                 break;
             }
-            iterations += 1;
+            fp.iterations += 1;
         }
-        iterations
+        fp
+    }
+
+    /// The change-driven scheduler: rounds of the pass sequence over only
+    /// the *dirty* functions. Round one visits `seed`; each later round
+    /// visits exactly the functions something changed (including callers
+    /// rewritten by dead-argument elimination) in the previous round.
+    ///
+    /// Analyses are read through `am` and invalidated per each pass's
+    /// [`PassResult::preserved`] declaration. Work and cache counters are
+    /// accumulated into `stats` (obtain one from
+    /// [`fresh_stats`](Self::fresh_stats); reuse it across drains to sum).
+    ///
+    /// Callers that want the legacy result byte-for-byte must seed every
+    /// function whose state is not already a pipeline fixpoint — the
+    /// standard pipeline seeds all of them, because a pristine (or freshly
+    /// inlined-into) module has cleanup opportunities everywhere, and lets
+    /// the dirty set collapse from there.
+    pub fn run_worklist(
+        &self,
+        module: &mut Module,
+        am: &mut AnalysisManager,
+        seed: impl IntoIterator<Item = FuncId>,
+        stats: &mut PipelineStats,
+    ) -> Fixpoint {
+        self.run_worklist_observed(module, am, seed, &mut |_, _| {}, stats)
+    }
+
+    /// [`run_worklist`](Self::run_worklist) with the same observer hook as
+    /// [`run_to_fixpoint_observed`](Self::run_to_fixpoint_observed): called
+    /// once per pass per round when that pass changed anything. Because a
+    /// skipped (clean) function is one the pass could not have changed, the
+    /// observed module states are identical to the legacy scheduler's.
+    pub fn run_worklist_observed(
+        &self,
+        module: &mut Module,
+        am: &mut AnalysisManager,
+        seed: impl IntoIterator<Item = FuncId>,
+        observer: &mut dyn FnMut(&'static str, &Module),
+        stats: &mut PipelineStats,
+    ) -> Fixpoint {
+        debug_assert_eq!(stats.per_pass.len(), self.passes.len(), "stats/pipeline mismatch");
+        let mut fp = Fixpoint::default();
+        // BTreeSet: functions are visited in id order, like the legacy
+        // sweep — required for byte-identity (SCCP materializes fresh
+        // value ids, so visit order is observable in the output).
+        let mut dirty: BTreeSet<FuncId> = seed.into_iter().collect();
+        for _ in 0..self.max_iterations {
+            if dirty.is_empty() {
+                fp.hit_fixpoint = true;
+                break;
+            }
+            stats.function_visits += dirty.len() as u64;
+            let mut next: BTreeSet<FuncId> = BTreeSet::new();
+            let mut round_changed = false;
+            for (pi, pass) in self.passes.iter().enumerate() {
+                let mut pass_changed = false;
+                for &fid in &dirty {
+                    stats.per_pass[pi].invocations += 1;
+                    let res = pass.run_on_function(module, fid, am);
+                    if res.any_changed() {
+                        pass_changed = true;
+                        stats.per_pass[pi].changed += res.changed_functions.len() as u64;
+                        for &f in &res.changed_functions {
+                            am.invalidate_function(f, res.preserved);
+                            next.insert(f);
+                        }
+                    }
+                }
+                if self.verify_each {
+                    if let Err(e) = verify_module(module) {
+                        panic!("pass `{}` broke the IR: {e}\n{module}", pass.name());
+                    }
+                }
+                if pass_changed {
+                    observer(pass.name(), module);
+                    round_changed = true;
+                }
+            }
+            if !round_changed {
+                fp.hit_fixpoint = true;
+                break;
+            }
+            fp.iterations += 1;
+            dirty = next;
+        }
+        if dirty.is_empty() {
+            fp.hit_fixpoint = true;
+        }
+        stats.record(fp);
+        stats.analysis = am.stats();
+        fp
     }
 }
 
@@ -122,9 +445,18 @@ mod tests {
             "counting"
         }
 
-        fn run(&self, _m: &mut Module) -> bool {
+        fn run_on_function(
+            &self,
+            _m: &mut Module,
+            fid: FuncId,
+            _am: &mut AnalysisManager,
+        ) -> PassResult {
             let n = self.fires.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            n + 1 < self.budget
+            if n + 1 < self.budget {
+                PassResult::changed(fid, PreservedAnalyses::all())
+            } else {
+                PassResult::unchanged()
+            }
         }
     }
 
@@ -134,18 +466,22 @@ mod tests {
         pm.add(CountingPass { fires: Default::default(), budget: 3 });
         let mut m = Module::new("m");
         m.declare_function("main", 0, Linkage::Public);
-        let iters = pm.run_to_fixpoint(&mut m);
+        let fp = pm.run_to_fixpoint(&mut m);
         // Changes on iterations 1 and 2, not on 3.
-        assert_eq!(iters, 2);
+        assert_eq!(fp.iterations, 2);
+        assert!(fp.hit_fixpoint);
     }
 
     #[test]
-    fn iteration_cap_is_respected() {
+    fn iteration_cap_is_respected_and_reported() {
         let mut pm = PassManager::new();
         pm.max_iterations(2);
         pm.add(CountingPass { fires: Default::default(), budget: usize::MAX });
         let mut m = Module::new("m");
-        assert_eq!(pm.run_to_fixpoint(&mut m), 2);
+        m.declare_function("main", 0, Linkage::Public);
+        let fp = pm.run_to_fixpoint(&mut m);
+        assert_eq!(fp.iterations, 2);
+        assert!(!fp.hit_fixpoint, "cap exhaustion must be surfaced");
     }
 
     #[test]
@@ -168,5 +504,68 @@ mod tests {
         let mut pm = PassManager::new();
         pm.add(CountingPass { fires: Default::default(), budget: 0 });
         assert_eq!(pm.pass_names(), vec!["counting"]);
+    }
+
+    #[test]
+    fn worklist_converges_and_counts_work() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: 2 });
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let mut am = AnalysisManager::new();
+        let mut stats = pm.fresh_stats();
+        let fp = pm.run_worklist(&mut m, &mut am, [f], &mut stats);
+        assert!(fp.hit_fixpoint);
+        assert_eq!(fp.iterations, 1, "one changing round, then convergence");
+        assert_eq!(stats.per_pass[0].name, "counting");
+        assert_eq!(stats.per_pass[0].invocations, 2);
+        assert_eq!(stats.per_pass[0].changed, 1);
+        assert_eq!(stats.function_visits, 2);
+        assert!(stats.hit_fixpoint);
+        assert_eq!(stats.cap_hits, 0);
+    }
+
+    #[test]
+    fn worklist_cap_exhaustion_is_counted() {
+        let mut pm = PassManager::new();
+        pm.max_iterations(3);
+        pm.add(CountingPass { fires: Default::default(), budget: usize::MAX });
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let mut am = AnalysisManager::new();
+        let mut stats = pm.fresh_stats();
+        let fp = pm.run_worklist(&mut m, &mut am, [f], &mut stats);
+        assert!(!fp.hit_fixpoint);
+        assert_eq!(fp.iterations, 3);
+        assert_eq!(stats.cap_hits, 1);
+        assert!(!stats.hit_fixpoint);
+    }
+
+    #[test]
+    fn worklist_with_empty_seed_is_a_noop_fixpoint() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: usize::MAX });
+        let mut m = Module::new("m");
+        let mut am = AnalysisManager::new();
+        let mut stats = pm.fresh_stats();
+        let fp = pm.run_worklist(&mut m, &mut am, [], &mut stats);
+        assert!(fp.hit_fixpoint);
+        assert_eq!(fp.iterations, 0);
+        assert_eq!(stats.per_pass[0].invocations, 0);
+    }
+
+    #[test]
+    fn stats_render_mentions_passes_and_cache() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass { fires: Default::default(), budget: 2 });
+        let mut m = Module::new("m");
+        let f = m.declare_function("main", 0, Linkage::Public);
+        let mut am = AnalysisManager::new();
+        let mut stats = pm.fresh_stats();
+        pm.run_worklist(&mut m, &mut am, [f], &mut stats);
+        let text = stats.render();
+        assert!(text.contains("counting"));
+        assert!(text.contains("analysis cache"));
+        assert!(text.contains("fixpoint reached"));
     }
 }

@@ -10,13 +10,13 @@ use crate::dae::DeadArgElim;
 use crate::dce::{Dce, DeadFunctionElim};
 use crate::fold::ConstFold;
 use crate::gvn::Gvn;
-use crate::inline::{run_inliner, InlineOracle, NeverInline};
-use crate::pass::{Pass, PassManager};
+use crate::inline::{run_inliner_tracked, InlineOracle, NeverInline};
+use crate::pass::{Pass, PassManager, PipelineStats};
 use crate::sccp::Sccp;
 use crate::simplify::Simplify;
 use crate::simplify_cfg::SimplifyCfg;
 use crate::tailmerge::TailMerge;
-use optinline_ir::Module;
+use optinline_ir::{AnalysisManager, FuncId, Module};
 
 /// Options for [`optimize_os`].
 #[derive(Clone, Copy, Debug)]
@@ -25,12 +25,29 @@ pub struct PipelineOptions {
     pub max_iterations: usize,
     /// Verify the IR after every pass (slow; meant for tests).
     pub verify_each: bool,
+    /// Run the legacy whole-module sweep scheduler instead of the
+    /// change-driven dirty-function worklist (default `false`). The two
+    /// produce byte-identical modules; the sweep is kept as the reference
+    /// the differential oracles cross-check against.
+    pub full_sweep: bool,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { max_iterations: 10, verify_each: false }
+        PipelineOptions { max_iterations: 10, verify_each: false, full_sweep: false }
     }
+}
+
+/// What a full `-Os` compile did: the inliner's expansion count plus the
+/// cleanup schedulers' work/cache counters.
+#[derive(Clone, Debug, Default)]
+pub struct OsReport {
+    /// Call sites the inliner expanded.
+    pub inlined: usize,
+    /// Per-pass, analysis-cache, and fixpoint accounting for the cleanup
+    /// drains. Under `full_sweep` only the round/cap counters are
+    /// populated (the legacy scheduler does not track per-function work).
+    pub stats: PipelineStats,
 }
 
 /// Builds the standard cleanup pipeline (everything except inlining and
@@ -76,8 +93,18 @@ pub fn optimize_os(
     oracle: &dyn InlineOracle,
     options: PipelineOptions,
 ) -> usize {
+    optimize_os_report(module, oracle, options).inlined
+}
+
+/// [`optimize_os`] returning the full [`OsReport`] (inline count plus
+/// scheduler/cache statistics) instead of just the inline count.
+pub fn optimize_os_report(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+) -> OsReport {
     let summary = optinline_ir::analysis::EffectSummary::compute(module);
-    optimize_os_with_summary(module, oracle, options, summary)
+    optimize_os_report_with_summary(module, oracle, options, summary)
 }
 
 /// [`optimize_os`] with a precomputed pre-inlining [`EffectSummary`].
@@ -95,6 +122,16 @@ pub fn optimize_os_with_summary(
     options: PipelineOptions,
     summary: optinline_ir::analysis::EffectSummary,
 ) -> usize {
+    optimize_os_report_with_summary(module, oracle, options, summary).inlined
+}
+
+/// [`optimize_os_with_summary`] returning the full [`OsReport`].
+pub fn optimize_os_report_with_summary(
+    module: &mut Module,
+    oracle: &dyn InlineOracle,
+    options: PipelineOptions,
+    summary: optinline_ir::analysis::EffectSummary,
+) -> OsReport {
     optimize_os_observed(module, oracle, options, summary, &mut |_, _| {})
 }
 
@@ -113,7 +150,7 @@ pub fn optimize_os_instrumented(
     observer: &mut dyn FnMut(&'static str, &Module),
 ) -> usize {
     let summary = optinline_ir::analysis::EffectSummary::compute(module);
-    optimize_os_observed(module, oracle, options, summary, observer)
+    optimize_os_observed(module, oracle, options, summary, observer).inlined
 }
 
 fn optimize_os_observed(
@@ -122,23 +159,42 @@ fn optimize_os_observed(
     options: PipelineOptions,
     summary: optinline_ir::analysis::EffectSummary,
     observer: &mut dyn FnMut(&'static str, &Module),
-) -> usize {
-    let inlined = run_inliner(module, oracle);
-    if inlined > 0 {
+) -> OsReport {
+    let outcome = run_inliner_tracked(module, oracle);
+    if outcome.expanded > 0 {
         observer("inline", module);
     }
     if options.verify_each {
         optinline_ir::assert_verified(module);
     }
-    let pm = cleanup_pipeline_with(options, Some(summary));
-    pm.run_to_fixpoint_observed(module, observer);
+    let pm = cleanup_pipeline_with(options, Some(summary.clone()));
+    let mut stats = pm.fresh_stats();
+    if options.full_sweep {
+        // Legacy reference scheduler: whole-module sweeps.
+        stats.record(pm.run_to_fixpoint_observed(module, observer));
+        if DeadFunctionElim.run(module) {
+            observer("dead-function-elim", module);
+            // Dropping functions can orphan nothing else (stubs keep ids),
+            // but a final sweep catches calls-to-pure-stub cleanups.
+            stats.record(pm.run_to_fixpoint_observed(module, observer));
+        }
+        return OsReport { inlined: outcome.expanded, stats };
+    }
+    // Change-driven scheduler. A pristine (or freshly inlined-into) module
+    // has cleanup opportunities everywhere, so the first drain seeds every
+    // function — byte-identity with the sweep demands it — and the dirty
+    // set collapses to the inliner-touched neighbourhood after round one.
+    let mut am = AnalysisManager::with_frozen_effects(summary);
+    let all: Vec<FuncId> = module.func_ids().collect();
+    pm.run_worklist_observed(module, &mut am, all.iter().copied(), observer, &mut stats);
     if DeadFunctionElim.run(module) {
         observer("dead-function-elim", module);
-        // Dropping functions can orphan nothing else (stubs keep ids), but a
-        // final sweep catches calls-to-pure-stub cleanups.
-        pm.run_to_fixpoint_observed(module, observer);
+        // Stubbed bodies invalidate whatever was cached about them; the
+        // frozen effect summary survives by design.
+        am.invalidate_all();
+        pm.run_worklist_observed(module, &mut am, all, observer, &mut stats);
     }
-    inlined
+    OsReport { inlined: outcome.expanded, stats }
 }
 
 /// The paper's "inlining disabled" baseline: full cleanup, no inlining.

@@ -12,10 +12,12 @@
 //!
 //! Lattice per value: ⊤ (unknown yet) → constant *c* → ⊥ (varying).
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use crate::subst::Subst;
 use optinline_ir::analysis::reachable_blocks;
-use optinline_ir::{BlockId, FuncId, Inst, JumpTarget, Module, Terminator, ValueId};
+use optinline_ir::{
+    AnalysisManager, BlockId, FuncId, Inst, JumpTarget, Module, Terminator, ValueId,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The SCCP pass.
@@ -27,12 +29,19 @@ impl Pass for Sccp {
         "sccp"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= sccp_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if sccp_function(module, fid) {
+            // Proven branches become jumps (CFG changes); materialized
+            // constants are pure, and loads/stores/calls are never touched.
+            PassResult::changed(fid, PreservedAnalyses::none().plus_effects().plus_call_graph())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 

@@ -3,9 +3,9 @@
 //! reduction. Simplifications that reduce an instruction to an existing
 //! value are applied through [`Subst`] and the instruction is deleted.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use crate::subst::Subst;
-use optinline_ir::{BinOp, FuncId, Inst, Module, ValueId};
+use optinline_ir::{AnalysisManager, BinOp, FuncId, Inst, Module, ValueId};
 use std::collections::HashMap;
 
 /// The instruction-simplification pass.
@@ -17,12 +17,19 @@ impl Pass for Simplify {
         "simplify"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= simplify_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if simplify_function(module, fid) {
+            // Only pure `Bin` instructions are rewritten or deleted: block
+            // structure, memory traffic, and calls all survive.
+            PassResult::changed(fid, PreservedAnalyses::all())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 

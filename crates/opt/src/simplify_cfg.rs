@@ -7,10 +7,10 @@
 //! what stitches the seams back into straight-line code so folding/DCE see
 //! through them — without it, inlining would never shrink anything.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use crate::subst::Subst;
 use optinline_ir::analysis::{predecessors, reachable_blocks, use_counts};
-use optinline_ir::{BlockId, FuncId, Module, Terminator};
+use optinline_ir::{AnalysisManager, BlockId, FuncId, Module, Terminator};
 
 /// The CFG simplification pass.
 #[derive(Clone, Copy, Debug, Default)]
@@ -21,12 +21,20 @@ impl Pass for SimplifyCfg {
         "simplify-cfg"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= simplify_cfg_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if simplify_cfg_function(module, fid) {
+            // Blocks are merged, threaded, and deleted — dropping an
+            // unreachable block can delete loads, stores, and calls with
+            // it, so nothing is preserved.
+            PassResult::changed(fid, PreservedAnalyses::none())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 

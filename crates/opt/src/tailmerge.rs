@@ -11,9 +11,9 @@
 //! value renaming*: no block parameters, every defined value is used only
 //! inside the block, and all externally defined operands match exactly.
 
-use crate::pass::Pass;
+use crate::pass::{Pass, PassResult, PreservedAnalyses};
 use optinline_ir::analysis::use_counts;
-use optinline_ir::{BlockId, FuncId, Inst, Module, Terminator, ValueId};
+use optinline_ir::{AnalysisManager, BlockId, FuncId, Inst, Module, Terminator, ValueId};
 use std::collections::HashMap;
 
 /// The tail-merging pass.
@@ -25,12 +25,19 @@ impl Pass for TailMerge {
         "tail-merge"
     }
 
-    fn run(&self, module: &mut Module) -> bool {
-        let mut changed = false;
-        for fid in module.func_ids() {
-            changed |= merge_function(module, fid);
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        fid: FuncId,
+        _am: &mut AnalysisManager,
+    ) -> PassResult {
+        if merge_function(module, fid) {
+            // Duplicate blocks (possibly containing memory ops or calls)
+            // are deleted and branches re-targeted: preserve nothing.
+            PassResult::changed(fid, PreservedAnalyses::none())
+        } else {
+            PassResult::unchanged()
         }
-        changed
     }
 }
 
