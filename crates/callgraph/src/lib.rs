@@ -31,6 +31,7 @@
 
 mod algo;
 pub mod dot;
+mod fingerprint;
 mod graph;
 mod select;
 
@@ -39,5 +40,6 @@ pub use algo::{
     component_count, component_space_log2, connected_components, eccentricity, graph_stats,
     naive_space_log2, GraphStats,
 };
+pub use fingerprint::{fnv128, Fnv128};
 pub use graph::{Decision, InlineGraph, NodeRef};
 pub use select::PartitionStrategy;

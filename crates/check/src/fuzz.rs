@@ -8,6 +8,7 @@
 
 use crate::inject::BuggyEvaluator;
 use crate::oracle::{check_semantics, Limits};
+use crate::parcheck::check_parallel_search;
 use crate::reduce::{reduce, Reduction};
 use crate::schedcheck::check_scheduling;
 use crate::sizecheck::check_sizes;
@@ -78,6 +79,9 @@ pub struct FuzzReport {
     pub size_comparisons: usize,
     /// Scheduler × configuration byte-identity comparisons performed.
     pub scheduling_comparisons: usize,
+    /// Parallel DAG executor vs sequential Algorithm 1 comparisons
+    /// performed (worker counts × cold/warm sessions).
+    pub parallel_comparisons: usize,
     /// Comparisons skipped as inconclusive (fuel/stack).
     pub inconclusive: usize,
     /// Configurations skipped because their estimated inlining expansion
@@ -89,6 +93,8 @@ pub struct FuzzReport {
     pub size_failures: Vec<FailureRecord>,
     /// Scheduling-oracle failures (worklist vs full-sweep divergence).
     pub scheduling_failures: Vec<FailureRecord>,
+    /// Parallel-search-oracle failures (DAG executor vs sequential walk).
+    pub parallel_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
@@ -97,6 +103,7 @@ impl FuzzReport {
         self.semantic_failures.is_empty()
             && self.size_failures.is_empty()
             && self.scheduling_failures.is_empty()
+            && self.parallel_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -105,19 +112,22 @@ impl FuzzReport {
         let _ = writeln!(
             out,
             "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
-             {} scheduling comparisons",
+             {} scheduling comparisons, {} parallel-search comparisons",
             self.cases,
             self.semantic_comparisons,
             self.inconclusive,
             self.size_comparisons,
-            self.scheduling_comparisons
+            self.scheduling_comparisons,
+            self.parallel_comparisons
         );
         let _ = writeln!(
             out,
-            "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}",
+            "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}   \
+             parallel divergences: {}",
             self.semantic_failures.len(),
             self.size_failures.len(),
-            self.scheduling_failures.len()
+            self.scheduling_failures.len(),
+            self.parallel_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -131,6 +141,7 @@ impl FuzzReport {
             .iter()
             .chain(&self.size_failures)
             .chain(&self.scheduling_failures)
+            .chain(&self.parallel_failures)
         {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
@@ -312,6 +323,26 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
                     !check_scheduling(m, std::slice::from_ref(&c.clone())).mismatches.is_empty()
                 },
             )?);
+        }
+
+        if let Some(par) = check_parallel_search(&module, case_seed) {
+            report.parallel_comparisons += par.comparisons;
+            if let Some(first) = par.mismatches.first() {
+                let detail = first.to_string();
+                report.parallel_failures.push(record_failure(
+                    options,
+                    "parallel",
+                    case_seed,
+                    detail,
+                    &module,
+                    &InliningConfiguration::clean_slate(),
+                    &mut |m, _| {
+                        check_parallel_search(m, case_seed)
+                            .map(|r| !r.mismatches.is_empty())
+                            .unwrap_or(false)
+                    },
+                )?);
+            }
         }
 
         let sizes = check_sizes(&module, &configs, Some(pool));

@@ -22,6 +22,10 @@
 //!   scheduler must produce byte-identical modules (and sizes) to the
 //!   legacy whole-module sweep kept behind
 //!   `PipelineOptions::full_sweep`, on every module × configuration.
+//! - [`parcheck`] — the **parallel-search oracle**: the task-DAG search
+//!   executor must return the exact configuration and size the sequential
+//!   Algorithm 1 walk returns — at every worker count, cold or with a warm
+//!   hash-consing session.
 //! - [`reduce`] — the **delta-debugging reducer**: shrink a failing
 //!   `(module, configuration)` pair to a minimal call-closed reproducer by
 //!   dropping configuration decisions and slicing functions out.
@@ -39,6 +43,7 @@
 pub mod fuzz;
 pub mod inject;
 pub mod oracle;
+pub mod parcheck;
 pub mod reduce;
 pub mod schedcheck;
 pub mod sizecheck;
@@ -46,6 +51,7 @@ pub mod sizecheck;
 pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
 pub use inject::BuggyEvaluator;
 pub use oracle::{check_semantics, observe, Behaviour, Limits, OracleReport, SemanticDivergence};
+pub use parcheck::{check_parallel_search, ParMismatch, ParReport};
 pub use reduce::{reduce, Reduction};
 pub use schedcheck::{check_scheduling, SchedMismatch, SchedReport};
 pub use sizecheck::{check_sizes, SizeMismatch, SizeReport};

@@ -25,13 +25,18 @@
 use optinline_callgraph::{component_count, InlineGraph, PartitionStrategy};
 use optinline_codegen::{text_size, Target, WasmLike, X86Like};
 use optinline_core::autotune::Autotuner;
-use optinline_core::tree::{space_size, try_build_inlining_tree};
-use optinline_core::{Evaluator, InliningConfiguration, SizeEvaluator};
+use optinline_core::tree::{evaluate_inlining_tree, space_size, try_build_inlining_tree};
+use optinline_core::{
+    evaluate_inlining_tree_dag, module_fingerprint, Evaluator, EvaluatorStats,
+    InliningConfiguration, PersistentCache, PersistentEvaluator, SearchSession, SizeEvaluator,
+    WorkerPool,
+};
 use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
 use optinline_ir::{parse_module, Module};
 use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions};
 use std::error::Error;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// A boxed error with message context, the CLI's uniform failure type.
 pub type CliError = Box<dyn Error>;
@@ -113,7 +118,7 @@ impl StrategyChoice {
 }
 
 /// Evaluator selection and reporting options for `search` / `autotune`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Use the component-scoped incremental evaluator (default); `false`
     /// forces whole-module compiles (`--full-eval`).
@@ -123,11 +128,46 @@ pub struct EvalOptions {
     /// Append the aggregated per-pass / analysis-cache table
     /// (`--pass-stats`).
     pub show_pass_stats: bool,
+    /// Worker count for the task-DAG search executor (`--jobs`). `None`
+    /// uses the process-wide pool; `Some(1)` takes the sequential
+    /// `evaluate_inlining_tree` path exactly; `Some(n)` drives the DAG
+    /// with `n` lanes (the caller plus `n - 1` pool workers).
+    pub jobs: Option<usize>,
+    /// Directory for the persistent cross-run evaluation cache
+    /// (`--cache-dir`). `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the persistent cache even when `cache_dir` is set
+    /// (`--no-persist`).
+    pub no_persist: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { incremental: true, show_stats: false, show_pass_stats: false }
+        EvalOptions {
+            incremental: true,
+            show_stats: false,
+            show_pass_stats: false,
+            jobs: None,
+            cache_dir: None,
+            no_persist: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Opens the persistent evaluation cache these options ask for, if any.
+    fn open_cache(
+        &self,
+        module: &Module,
+        target: &dyn Target,
+    ) -> Result<Option<PersistentCache>, CliError> {
+        match (&self.cache_dir, self.no_persist) {
+            (Some(dir), false) => {
+                let fp = module_fingerprint(module, target.name());
+                Ok(Some(PersistentCache::open(dir, fp)?))
+            }
+            _ => Ok(None),
+        }
     }
 }
 
@@ -251,15 +291,17 @@ pub fn cmd_search(
     };
     let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let evals = space_size(&tree);
-    let (config, size) = optinline_core::tree::evaluate_inlining_tree_parallel(
-        &tree,
-        &ev,
-        InliningConfiguration::clean_slate(),
-        3,
-    );
+    let cache = eval.open_cache(ev.module(), ev.target())?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let search_ev: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
+    let session = SearchSession::new();
+    let (config, size) = run_search(&tree, search_ev, eval.jobs, &session);
     let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
-    let h_size = ev.size_of(&heuristic);
-    let none = ev.size_of(&InliningConfiguration::clean_slate());
+    let h_size = search_ev.size_of(&heuristic);
+    let none = search_ev.size_of(&InliningConfiguration::clean_slate());
     let mut out = String::new();
     let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
     let _ = writeln!(out, "evaluations needed: {evals}");
@@ -274,12 +316,51 @@ pub fn cmd_search(
         100.0 * h_size as f64 / size as f64
     );
     if eval.show_stats {
-        let _ = writeln!(out, "evaluator:          {}", ev.stats().render());
+        let _ =
+            writeln!(out, "evaluator:          {}", merged_stats(&ev, &session, &cache).render());
     }
     if eval.show_pass_stats {
         out.push_str(&ev.stats().pipeline.render());
     }
     Ok(out)
+}
+
+/// Dispatches a tree evaluation according to `--jobs`: `Some(1)` is the
+/// sequential Algorithm 1 walk, anything else the task-DAG executor — on a
+/// private pool of `n - 1` workers for `Some(n)`, on the process-wide pool
+/// for `None`. Either way the result is byte-identical.
+fn run_search(
+    tree: &optinline_core::InliningTree,
+    evaluator: &dyn Evaluator,
+    jobs: Option<usize>,
+    session: &SearchSession,
+) -> (InliningConfiguration, u64) {
+    let base = InliningConfiguration::clean_slate();
+    match jobs {
+        Some(1) => evaluate_inlining_tree(tree, evaluator, base),
+        Some(n) => {
+            let pool = WorkerPool::new(n.saturating_sub(1));
+            evaluate_inlining_tree_dag(tree, evaluator, base, &pool, Some(session))
+        }
+        None => {
+            evaluate_inlining_tree_dag(tree, evaluator, base, WorkerPool::global(), Some(session))
+        }
+    }
+}
+
+/// The evaluator's counters with the executor's and the persistent
+/// cache's folded in — the `--stats` line.
+fn merged_stats(
+    ev: &SizeEvaluator,
+    session: &SearchSession,
+    cache: &Option<PersistentCache>,
+) -> EvaluatorStats {
+    let mut stats = ev.stats();
+    stats.absorb_executor(session.stats());
+    if let Some(c) = cache {
+        stats.absorb_persist(c.stats());
+    }
+    stats
 }
 
 /// Initialization mode for `autotune`.
@@ -321,9 +402,15 @@ pub fn cmd_autotune(
     if sites.is_empty() {
         return Ok("module has no inlinable call sites; nothing to tune\n".into());
     }
+    let cache = eval.open_cache(ev.module(), ev.target())?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let search_ev: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
     let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
-    let h_size = ev.size_of(&heuristic);
-    let tuner = Autotuner::new(&ev, sites.clone());
+    let h_size = search_ev.size_of(&heuristic);
+    let tuner = Autotuner::new(search_ev, sites.clone());
     let mut out = String::new();
     let mut outcomes = Vec::new();
     if init != InitChoice::Heuristic {
@@ -353,7 +440,11 @@ pub fn cmd_autotune(
     let _ = writeln!(out, "configuration:   {}", best.config);
     let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
     if eval.show_stats {
-        let _ = writeln!(out, "evaluator:       {}", ev.stats().render());
+        let mut stats = ev.stats();
+        if let Some(c) = &cache {
+            stats.absorb_persist(c.stats());
+        }
+        let _ = writeln!(out, "evaluator:       {}", stats.render());
     }
     if eval.show_pass_stats {
         out.push_str(&ev.stats().pipeline.render());
@@ -659,6 +750,96 @@ mod tests {
         assert_eq!(size_line(&wl_report), size_line(&fs_report));
         assert!(wl_report.contains("change-driven worklist"));
         assert!(fs_report.contains("full sweep (legacy)"));
+    }
+
+    #[test]
+    fn search_output_is_identical_across_job_counts() {
+        // --jobs 1 takes the sequential Algorithm 1 path; every other
+        // setting flattens into the task-DAG executor. The report must be
+        // byte-identical regardless.
+        let src = demo_source();
+        let opts = |jobs| EvalOptions { jobs, ..Default::default() };
+        // "compilations done" may differ: concurrent lanes can race to
+        // compile the same memo key (duplicated work, never a different
+        // answer). Everything else — above all the optimum — must match.
+        let masked = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("compilations done:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let sequential = masked(cmd_search(&src, 18, TargetChoice::X86, opts(Some(1))).unwrap());
+        for jobs in [None, Some(2), Some(4), Some(8)] {
+            let parallel = masked(cmd_search(&src, 18, TargetChoice::X86, opts(jobs)).unwrap());
+            assert_eq!(sequential, parallel, "jobs={jobs:?} diverged");
+        }
+    }
+
+    #[test]
+    fn persistent_cache_warm_starts_search() {
+        let src = demo_source();
+        let dir = std::env::temp_dir().join(format!("optinline-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts =
+            EvalOptions { show_stats: true, cache_dir: Some(dir.clone()), ..Default::default() };
+        let cold = cmd_search(&src, 18, TargetChoice::X86, opts.clone()).unwrap();
+        let warm = cmd_search(&src, 18, TargetChoice::X86, opts).unwrap();
+        let optimal =
+            |r: &str| r.lines().find(|l| l.starts_with("optimal size:")).map(str::to_owned);
+        assert_eq!(optimal(&cold), optimal(&warm));
+        assert!(cold.contains("persist:"), "{cold}");
+        // The warm run answers every query from disk: zero compilations.
+        let compiles = warm
+            .lines()
+            .find(|l| l.starts_with("compilations done:"))
+            .and_then(|l| l.split_whitespace().nth(2).map(str::to_owned))
+            .unwrap();
+        assert_eq!(compiles, "0", "warm run must not compile: {warm}");
+        // And the stats line reports the hits.
+        let stats_line = warm.lines().find(|l| l.starts_with("evaluator:")).unwrap();
+        assert!(stats_line.contains("persist:"), "{stats_line}");
+        assert!(stats_line.contains("0 misses"), "{stats_line}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_persist_disables_the_cache() {
+        let src = demo_source();
+        let dir =
+            std::env::temp_dir().join(format!("optinline-cli-nopersist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = EvalOptions {
+            show_stats: true,
+            cache_dir: Some(dir.clone()),
+            no_persist: true,
+            ..Default::default()
+        };
+        let report = cmd_search(&src, 18, TargetChoice::X86, opts).unwrap();
+        assert!(!report.contains("persist:"), "{report}");
+        assert!(!dir.exists(), "--no-persist must not create the cache dir");
+    }
+
+    #[test]
+    fn autotune_reuses_the_search_cache() {
+        let src = demo_source();
+        let dir =
+            std::env::temp_dir().join(format!("optinline-cli-tunecache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts =
+            EvalOptions { show_stats: true, cache_dir: Some(dir.clone()), ..Default::default() };
+        let first =
+            cmd_autotune(&src, 2, InitChoice::Clean, TargetChoice::X86, opts.clone()).unwrap();
+        let second = cmd_autotune(&src, 2, InitChoice::Clean, TargetChoice::X86, opts).unwrap();
+        let tuned = |r: &str| r.lines().find(|l| l.contains("tuned best")).map(str::to_owned);
+        assert_eq!(tuned(&first), tuned(&second));
+        let compiles = second
+            .lines()
+            .find(|l| l.starts_with("compilations:"))
+            .and_then(|l| l.split_whitespace().nth(1).map(str::to_owned))
+            .unwrap();
+        assert_eq!(compiles, "0", "warm autotune must not compile: {second}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -17,9 +17,10 @@ usage:
                                [--full-sweep] [-o out.ir]
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
                                [--full-eval] [--stats] [--pass-stats]
+                               [--jobs N] [--cache-dir DIR] [--no-persist]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
                                [--target x86|wasm] [--full-eval] [--stats]
-                               [--pass-stats]
+                               [--pass-stats] [--cache-dir DIR] [--no-persist]
   optinline run      <file.ir>
   optinline gen      [--seed N] [--internal N] [--clusters N] [-o out.ir]
   optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
@@ -40,8 +41,15 @@ impl Args {
         let mut flags = Vec::new();
         let mut argv = argv.peekable();
         // Flags that take no value; present means "on".
-        const BOOLEAN: &[&str] =
-            &["stats", "full-eval", "reduce", "demo-reduce", "pass-stats", "full-sweep"];
+        const BOOLEAN: &[&str] = &[
+            "stats",
+            "full-eval",
+            "reduce",
+            "demo-reduce",
+            "pass-stats",
+            "full-sweep",
+            "no-persist",
+        ];
         while let Some(a) = argv.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if BOOLEAN.contains(&name) {
@@ -64,12 +72,25 @@ impl Args {
         self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
-    fn eval_options(&self) -> EvalOptions {
-        EvalOptions {
+    fn eval_options(&self) -> Result<EvalOptions, CliError> {
+        let jobs = match self.flag("jobs") {
+            Some(j) => {
+                let n: usize = j.parse()?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                Some(n)
+            }
+            None => None,
+        };
+        Ok(EvalOptions {
             incremental: self.flag("full-eval").is_none(),
             show_stats: self.flag("stats").is_some(),
             show_pass_stats: self.flag("pass-stats").is_some(),
-        }
+            jobs,
+            cache_dir: self.flag("cache-dir").map(std::path::PathBuf::from),
+            no_persist: self.flag("no-persist").is_some(),
+        })
     }
 
     fn optimize_options(&self) -> OptimizeOptions {
@@ -132,14 +153,14 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "search" => {
             let bits: u32 = args.flag("bits").unwrap_or("16").parse()?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_search(&args.input()?, bits, target, args.eval_options())?);
+            print!("{}", cmd_search(&args.input()?, bits, target, args.eval_options()?)?);
             Ok(())
         }
         "autotune" => {
             let rounds: usize = args.flag("rounds").unwrap_or("4").parse()?;
             let init = InitChoice::parse(args.flag("init").unwrap_or("both"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_autotune(&args.input()?, rounds, init, target, args.eval_options())?);
+            print!("{}", cmd_autotune(&args.input()?, rounds, init, target, args.eval_options()?)?);
             Ok(())
         }
         "run" => {

@@ -94,12 +94,26 @@ pub struct EvaluatorStats {
     /// Per-pass, analysis-cache, and scheduling counters aggregated over
     /// every compile this evaluator performed (rendered by `--pass-stats`).
     pub pipeline: PipelineStats,
+    /// Tasks materialized by the task-DAG search executor (0 when the
+    /// sequential walk ran).
+    pub executor_tasks: u64,
+    /// DAG tasks executed from another worker's deque (work stealing).
+    pub executor_steals: u64,
+    /// Subproblems the search session resolved from its hash-cons table
+    /// instead of evaluating.
+    pub dedup_hits: u64,
+    /// Size queries answered by the persistent on-disk cache.
+    pub persist_hits: u64,
+    /// Size queries the persistent cache had to forward to the evaluator.
+    pub persist_misses: u64,
+    /// Entries recovered from disk when the persistent cache was opened.
+    pub persist_loaded: u64,
 }
 
 impl EvaluatorStats {
     /// One-line human-readable rendering for CLI/experiment footers.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} queries, {} compiles ({:.2} full-module equivalents), \
              {} cache hits / {} misses, {:.1?} compiling, {} fixpoint cap hits",
             self.queries,
@@ -109,7 +123,34 @@ impl EvaluatorStats {
             self.cache_misses,
             self.compile_time,
             self.fixpoint_cap_hits,
-        )
+        );
+        if self.executor_tasks > 0 {
+            line.push_str(&format!(
+                ", executor: {} tasks / {} steals / {} dedup hits",
+                self.executor_tasks, self.executor_steals, self.dedup_hits,
+            ));
+        }
+        if self.persist_hits + self.persist_misses + self.persist_loaded > 0 {
+            line.push_str(&format!(
+                ", persist: {} hits / {} misses / {} loaded",
+                self.persist_hits, self.persist_misses, self.persist_loaded,
+            ));
+        }
+        line
+    }
+
+    /// Folds the task-DAG executor's counters into this snapshot.
+    pub fn absorb_executor(&mut self, exec: crate::dag::ExecutorStats) {
+        self.executor_tasks += exec.tasks;
+        self.executor_steals += exec.steals;
+        self.dedup_hits += exec.dedup_hits;
+    }
+
+    /// Folds a persistent cache's counters into this snapshot.
+    pub fn absorb_persist(&mut self, persist: crate::persist::PersistStats) {
+        self.persist_hits += persist.hits;
+        self.persist_misses += persist.misses;
+        self.persist_loaded += persist.loaded;
     }
 }
 
@@ -198,6 +239,7 @@ impl CompilerEvaluator {
             full_module_equivalents: compiles as f64,
             fixpoint_cap_hits: pipeline.cap_hits,
             pipeline,
+            ..EvaluatorStats::default()
         }
     }
 

@@ -195,6 +195,7 @@ impl IncrementalEvaluator {
                 / self.module_insts as f64,
             fixpoint_cap_hits: pipeline.cap_hits,
             pipeline,
+            ..EvaluatorStats::default()
         }
     }
 

@@ -64,18 +64,22 @@ pub mod analysis;
 pub mod autotune;
 mod cache;
 mod config;
+mod dag;
 mod evaluator;
 pub mod farm;
 mod incremental;
 pub mod naive;
+mod persist;
 mod pool;
 pub mod tree;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use config::InliningConfiguration;
+pub use dag::{evaluate_inlining_tree_dag, ExecutorStats, SearchSession};
 pub use evaluator::{CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator};
 pub use incremental::{IncrementalEvaluator, SizeEvaluator};
 pub use naive::{exhaustive_search, SearchOutcome};
+pub use persist::{module_fingerprint, PersistStats, PersistentCache, PersistentEvaluator};
 pub use pool::WorkerPool;
 pub use tree::{
     build_inlining_tree, evaluate_inlining_tree, evaluate_inlining_tree_parallel, space_size,

@@ -1,0 +1,445 @@
+//! Persistent cross-run evaluation cache.
+//!
+//! Optimal-inlining searches are embarrassingly re-runnable: the same
+//! module is searched again after an autotuner restart, a flag tweak, or a
+//! fresh process. Every one of those runs re-pays the full compile bill
+//! unless results survive the process. This module keeps them on disk as an
+//! **append-only log**, one file per (module, target) fingerprint:
+//!
+//! ```text
+//! optinline-cache v1            <- version header; mismatch = start over
+//! <size> -                      <- clean slate (no inlined sites)
+//! <size> s3,s7,s12              <- canonical inlined-site set
+//! ```
+//!
+//! Design points:
+//!
+//! - **Keyed canonically.** Entries are keyed by the configuration's
+//!   canonical identity — its inlined-site set restricted to the module's
+//!   sites — matching the in-memory memo key of `CompilerEvaluator`, so a
+//!   hit is exactly a compile avoided.
+//! - **Append-only, corruption-tolerant.** Writers only ever append one
+//!   line per new result and flush; a crash can at worst truncate the final
+//!   line. Readers skip anything malformed (truncated line, bad integer,
+//!   stray bytes) and keep the rest, so a damaged cache degrades to a
+//!   smaller cache, never an error.
+//! - **Versioned.** The header names the format. An unknown header means
+//!   the file is treated as empty and rewritten, so format changes never
+//!   poison new binaries with stale bytes.
+//!
+//! [`PersistentEvaluator`] wraps any [`Evaluator`] with such a cache and is
+//! what the CLI layers under `search`/`autotune` when `--cache-dir` is
+//! given.
+
+use crate::config::InliningConfiguration;
+use crate::evaluator::Evaluator;
+use optinline_callgraph::Fnv128;
+use optinline_ir::{CallSiteId, Module};
+use std::collections::{BTreeSet, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Format tag written as the first line of every cache file.
+const HEADER: &str = "optinline-cache v1";
+
+/// Counters for a [`PersistentCache`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Entries recovered from disk when the cache was opened.
+    pub loaded: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the wrapped evaluator.
+    pub misses: u64,
+}
+
+/// A stable fingerprint identifying (module, target) for cache filenames:
+/// any change to the module's printed form or the target name moves the
+/// cache to a fresh file.
+pub fn module_fingerprint(module: &Module, target_name: &str) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(module.to_string().as_bytes());
+    h.write_u8(0);
+    h.write(target_name.as_bytes());
+    h.finish()
+}
+
+/// Whether the file's final byte is a newline (empty files count as
+/// terminated). Used to detect partial trailing lines after a crash.
+fn ends_with_newline(path: &Path) -> bool {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = File::open(path) else { return true };
+    let Ok(len) = f.metadata().map(|m| m.len()) else { return true };
+    if len == 0 {
+        return true;
+    }
+    if f.seek(SeekFrom::End(-1)).is_err() {
+        return true;
+    }
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).map(|_| b[0] == b'\n').unwrap_or(true)
+}
+
+/// The on-disk size cache: an in-memory map backed by an append-only log.
+#[derive(Debug)]
+pub struct PersistentCache {
+    entries: Mutex<HashMap<Vec<CallSiteId>, u64>>,
+    file: Mutex<File>,
+    path: PathBuf,
+    loaded: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PersistentCache {
+    /// Opens (or creates) the cache for `fingerprint` inside `dir`,
+    /// loading every well-formed entry already on disk. A missing
+    /// directory is created; a file with an unknown header is truncated
+    /// and restarted at the current version.
+    pub fn open(dir: &Path, fingerprint: u128) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{fingerprint:032x}.sizes"));
+        let (entries, rewrite) = match File::open(&path) {
+            Ok(f) => Self::load(f),
+            Err(_) => (HashMap::new(), false),
+        };
+        let mut opts = OpenOptions::new();
+        opts.create(true).append(true);
+        if rewrite {
+            // Unknown header: the bytes are from a different format.
+            opts = OpenOptions::new();
+            opts.create(true).write(true).truncate(true);
+        }
+        let mut file = opts.open(&path)?;
+        if rewrite || file.metadata().map(|m| m.len() == 0).unwrap_or(true) {
+            writeln!(file, "{HEADER}")?;
+            file.flush()?;
+        } else if !ends_with_newline(&path) {
+            // A crash mid-append left a partial line; terminate it so the
+            // next append can't splice onto the damaged bytes.
+            writeln!(file)?;
+            file.flush()?;
+        }
+        let loaded = entries.len() as u64;
+        Ok(PersistentCache {
+            entries: Mutex::new(entries),
+            file: Mutex::new(file),
+            path,
+            loaded,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Parses a cache file, skipping malformed lines. Returns the entries
+    /// and whether the file must be rewritten (unknown header).
+    fn load(f: File) -> (HashMap<Vec<CallSiteId>, u64>, bool) {
+        let mut lines = BufReader::new(f).lines();
+        match lines.next() {
+            Some(Ok(h)) if h == HEADER => {}
+            None => return (HashMap::new(), false),
+            _ => return (HashMap::new(), true),
+        }
+        let mut entries = HashMap::new();
+        for line in lines.map_while(Result::ok) {
+            if let Some((key, size)) = Self::parse_entry(&line) {
+                entries.insert(key, size);
+            }
+        }
+        (entries, false)
+    }
+
+    fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, u64)> {
+        let (size_str, sites_str) = line.trim_end().split_once(' ')?;
+        let size: u64 = size_str.parse().ok()?;
+        let mut sites = Vec::new();
+        if sites_str != "-" {
+            for part in sites_str.split(',') {
+                let id: u32 = part.strip_prefix('s')?.parse().ok()?;
+                sites.push(CallSiteId::new(id));
+            }
+            // Canonical entries are strictly sorted; anything else is a
+            // damaged line.
+            if !sites.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+        }
+        Some((sites, size))
+    }
+
+    fn format_entry(key: &[CallSiteId], size: u64) -> String {
+        if key.is_empty() {
+            return format!("{size} -");
+        }
+        let sites: Vec<String> = key.iter().map(|s| s.to_string()).collect();
+        format!("{} {}", size, sites.join(","))
+    }
+
+    /// Looks up the size recorded for a canonical inlined-site set.
+    pub fn get(&self, key: &[CallSiteId]) -> Option<u64> {
+        let found = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a result, appending it to the log. I/O errors are swallowed
+    /// (the cache is an accelerator, never a correctness dependency); the
+    /// in-memory entry is kept either way.
+    pub fn put(&self, key: Vec<CallSiteId>, size: u64) {
+        let line = Self::format_entry(&key, size);
+        let fresh = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, size)
+            .is_none();
+        if fresh {
+            let mut f = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+
+    /// Number of entries currently held (loaded + recorded).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            loaded: self.loaded,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An [`Evaluator`] adapter that answers queries from a
+/// [`PersistentCache`] before delegating, and records every fresh result.
+///
+/// Keys are canonicalized to the module's own call sites, mirroring the
+/// in-memory memoization of `CompilerEvaluator`: configurations that agree
+/// on this module's sites share one entry.
+#[derive(Debug)]
+pub struct PersistentEvaluator<'e, E: Evaluator + std::fmt::Debug> {
+    inner: &'e E,
+    cache: &'e PersistentCache,
+    sites: BTreeSet<CallSiteId>,
+}
+
+impl<'e, E: Evaluator + std::fmt::Debug> PersistentEvaluator<'e, E> {
+    /// Wraps `inner`, canonicalizing keys to `sites`.
+    pub fn new(inner: &'e E, cache: &'e PersistentCache, sites: BTreeSet<CallSiteId>) -> Self {
+        PersistentEvaluator { inner, cache, sites }
+    }
+
+    fn key_of(&self, config: &InliningConfiguration) -> Vec<CallSiteId> {
+        config.inlined_sites().intersection(&self.sites).copied().collect()
+    }
+}
+
+impl<E: Evaluator + std::fmt::Debug> Evaluator for PersistentEvaluator<'_, E> {
+    fn size_of(&self, config: &InliningConfiguration) -> u64 {
+        let key = self.key_of(config);
+        if let Some(size) = self.cache.get(&key) {
+            return size;
+        }
+        let size = self.inner.size_of(config);
+        self.cache.put(key, size);
+        size
+    }
+
+    fn compilations(&self) -> u64 {
+        self.inner.compilations()
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Seek, SeekFrom};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("optinline-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn k(ids: &[u32]) -> Vec<CallSiteId> {
+        ids.iter().map(|&i| CallSiteId::new(i)).collect()
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        {
+            let c = PersistentCache::open(&dir, 0xfeed).unwrap();
+            c.put(k(&[]), 400);
+            c.put(k(&[1, 5, 9]), 321);
+            c.put(k(&[2]), 77);
+            assert_eq!(c.stats().loaded, 0);
+        }
+        let c = PersistentCache::open(&dir, 0xfeed).unwrap();
+        assert_eq!(c.stats().loaded, 3);
+        assert_eq!(c.get(&k(&[])), Some(400));
+        assert_eq!(c.get(&k(&[1, 5, 9])), Some(321));
+        assert_eq!(c.get(&k(&[2])), Some(77));
+        assert_eq!(c.get(&k(&[3])), None);
+        assert_eq!(c.stats(), PersistStats { loaded: 3, hits: 3, misses: 1 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_fingerprints_use_distinct_files() {
+        let dir = tmpdir("fingerprints");
+        let a = PersistentCache::open(&dir, 1).unwrap();
+        let b = PersistentCache::open(&dir, 2).unwrap();
+        a.put(k(&[4]), 10);
+        assert_ne!(a.path(), b.path());
+        assert_eq!(b.get(&k(&[4])), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped() {
+        let dir = tmpdir("truncated");
+        let path;
+        {
+            let c = PersistentCache::open(&dir, 7).unwrap();
+            c.put(k(&[1]), 11);
+            c.put(k(&[2]), 22);
+            path = c.path().to_path_buf();
+        }
+        // Chop the file mid-way through the last entry, as a crash would.
+        let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        let mut contents = String::new();
+        f.read_to_string(&mut contents).unwrap();
+        let cut = contents.len() - 4;
+        f.set_len(cut as u64).unwrap();
+        f.seek(SeekFrom::End(0)).unwrap();
+        drop(f);
+        let c = PersistentCache::open(&dir, 7).unwrap();
+        assert_eq!(c.get(&k(&[1])), Some(11));
+        assert_eq!(c.get(&k(&[2])), None, "the damaged line must be dropped");
+        // And the cache still accepts fresh writes for the lost key.
+        c.put(k(&[2]), 22);
+        drop(c);
+        let c = PersistentCache::open(&dir, 7).unwrap();
+        assert_eq!(c.get(&k(&[2])), Some(22));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_individually() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{:032x}.sizes", 9u128));
+        std::fs::write(
+            &path,
+            format!("{HEADER}\n77 s1,s2\nnot a number s3\n88 s9,s4\n\u{1F4A3}\n99 -\n55 sX\n"),
+        )
+        .unwrap();
+        let c = PersistentCache::open(&dir, 9).unwrap();
+        // Well-formed lines survive; bad integer, unsorted sites, garbage
+        // bytes, and malformed ids are each dropped independently.
+        assert_eq!(c.stats().loaded, 2);
+        assert_eq!(c.get(&k(&[1, 2])), Some(77));
+        assert_eq!(c.get(&k(&[])), Some(99));
+        assert_eq!(c.get(&k(&[9, 4])), None);
+        assert_eq!(c.get(&k(&[4, 9])), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_header_restarts_the_file() {
+        let dir = tmpdir("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{:032x}.sizes", 3u128));
+        std::fs::write(&path, "optinline-cache v0\n12 s1\n").unwrap();
+        let c = PersistentCache::open(&dir, 3).unwrap();
+        assert_eq!(c.stats().loaded, 0, "old-format entries must not leak in");
+        c.put(k(&[8]), 123);
+        drop(c);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with(HEADER), "file restarted at current version");
+        let c = PersistentCache::open(&dir, 3).unwrap();
+        assert_eq!(c.stats().loaded, 1);
+        assert_eq!(c.get(&k(&[8])), Some(123));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_evaluator_avoids_repeat_queries() {
+        use optinline_callgraph::Decision;
+        #[derive(Debug)]
+        struct Count(AtomicU64);
+        impl Evaluator for Count {
+            fn size_of(&self, c: &InliningConfiguration) -> u64 {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                1000 - 3 * c.inlined_count() as u64
+            }
+            fn compilations(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+            fn queries(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+        let dir = tmpdir("wrapper");
+        let sites: BTreeSet<CallSiteId> = k(&[1, 2]).into_iter().collect();
+        let inner = Count(AtomicU64::new(0));
+        {
+            let cache = PersistentCache::open(&dir, 0xabc).unwrap();
+            let ev = PersistentEvaluator::new(&inner, &cache, sites.clone());
+            let c1 =
+                InliningConfiguration::clean_slate().with(CallSiteId::new(1), Decision::Inline);
+            assert_eq!(ev.size_of(&c1), 997);
+            assert_eq!(ev.size_of(&c1), 997);
+            // A foreign site doesn't change the canonical key.
+            let c2 = c1.clone().with(CallSiteId::new(99), Decision::Inline);
+            assert_eq!(ev.size_of(&c2), 997);
+            assert_eq!(inner.queries(), 1, "one real evaluation for three queries");
+        }
+        // Fresh process, fresh inner evaluator: disk answers everything.
+        let inner2 = Count(AtomicU64::new(0));
+        let cache = PersistentCache::open(&dir, 0xabc).unwrap();
+        let ev = PersistentEvaluator::new(&inner2, &cache, sites);
+        let c1 = InliningConfiguration::clean_slate().with(CallSiteId::new(1), Decision::Inline);
+        assert_eq!(ev.size_of(&c1), 997);
+        assert_eq!(inner2.queries(), 0, "warm start must not touch the evaluator");
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

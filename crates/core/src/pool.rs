@@ -580,4 +580,27 @@ mod tests {
         let b = WorkerPool::global() as *const WorkerPool;
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn respawn_after_panic_drains_already_queued_jobs() {
+        // Regression test for the DAG executor's lane drivers: a panicking
+        // job in front of a full queue must not strand the jobs behind it.
+        // The replacement worker (RespawnGuard) has to pick up the same
+        // shared queue and drain everything that was enqueued *before* the
+        // panic happened.
+        let pool = WorkerPool::new(1);
+        let done = Arc::new(AtomicU32::new(0));
+        pool.spawn(|| {
+            std::thread::sleep(Duration::from_millis(20));
+            panic!("queue-head job dies");
+        });
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        wait_for("queued jobs survive the respawn", || done.load(Ordering::Relaxed) == 64);
+        wait_for("capacity restored", || pool.alive_workers() == 1);
+    }
 }

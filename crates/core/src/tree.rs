@@ -128,13 +128,21 @@ fn try_build_inner(
 
 /// The number of size evaluations exploring this tree costs: one per leaf
 /// plus one combination evaluation per components node (§3.2).
+///
+/// Counts saturate at `u128::MAX` rather than wrapping: leaf counts grow
+/// as 2^depth, so a tree deeper than 127 undecided bridges in one chain
+/// would silently overflow otherwise — and callers compare this value
+/// against budgets, where a wrapped small number would unleash an
+/// intractable search instead of rejecting it.
 pub fn space_size(tree: &InliningTree) -> u128 {
     match tree {
         InliningTree::Leaf => 1,
         InliningTree::Binary { not_inlined, inlined, .. } => {
-            space_size(not_inlined) + space_size(inlined)
+            space_size(not_inlined).saturating_add(space_size(inlined))
         }
-        InliningTree::Components(children) => children.iter().map(space_size).sum::<u128>() + 1,
+        InliningTree::Components(children) => {
+            children.iter().map(space_size).fold(0u128, u128::saturating_add).saturating_add(1)
+        }
     }
 }
 
@@ -151,7 +159,8 @@ pub struct TreeStats {
     pub depth: usize,
 }
 
-/// Computes [`TreeStats`].
+/// Computes [`TreeStats`]. Counters saturate like [`space_size`] so deep
+/// trees report `u128::MAX` instead of wrapping.
 pub fn tree_stats(tree: &InliningTree) -> TreeStats {
     match tree {
         InliningTree::Leaf => {
@@ -161,9 +170,9 @@ pub fn tree_stats(tree: &InliningTree) -> TreeStats {
             let a = tree_stats(not_inlined);
             let b = tree_stats(inlined);
             TreeStats {
-                leaves: a.leaves + b.leaves,
-                binary_nodes: a.binary_nodes + b.binary_nodes + 1,
-                components_nodes: a.components_nodes + b.components_nodes,
+                leaves: a.leaves.saturating_add(b.leaves),
+                binary_nodes: a.binary_nodes.saturating_add(b.binary_nodes).saturating_add(1),
+                components_nodes: a.components_nodes.saturating_add(b.components_nodes),
                 depth: a.depth.max(b.depth) + 1,
             }
         }
@@ -171,9 +180,9 @@ pub fn tree_stats(tree: &InliningTree) -> TreeStats {
             let mut s = TreeStats { leaves: 0, binary_nodes: 0, components_nodes: 1, depth: 0 };
             for c in children {
                 let cs = tree_stats(c);
-                s.leaves += cs.leaves;
-                s.binary_nodes += cs.binary_nodes;
-                s.components_nodes += cs.components_nodes;
+                s.leaves = s.leaves.saturating_add(cs.leaves);
+                s.binary_nodes = s.binary_nodes.saturating_add(cs.binary_nodes);
+                s.components_nodes = s.components_nodes.saturating_add(cs.components_nodes);
                 s.depth = s.depth.max(cs.depth + 1);
             }
             s
@@ -283,6 +292,28 @@ mod tests {
     /// Figure 4: two components {F→G, G→K} and {H→L}.
     fn fig4() -> InlineGraph {
         InlineGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)])
+    }
+
+    #[test]
+    fn space_size_stays_exact_on_deep_chains_and_saturates_instead_of_wrapping() {
+        // A 300-deep degenerate binary chain: far past where u8/u16 depth
+        // counters or a doubling u64 would misbehave, yet exactly countable
+        // (each level adds one leaf).
+        let mut tree = InliningTree::Leaf;
+        for i in 0..300u32 {
+            tree = InliningTree::Binary {
+                site: CallSiteId::new(i),
+                not_inlined: Box::new(InliningTree::Leaf),
+                inlined: Box::new(tree),
+            };
+        }
+        assert_eq!(space_size(&tree), 301);
+        let stats = tree_stats(&tree);
+        assert_eq!(stats.leaves, 301);
+        assert_eq!(stats.binary_nodes, 300);
+        assert_eq!(stats.depth, 300);
+        // Empty components node still costs its one combining evaluation.
+        assert_eq!(space_size(&InliningTree::Components(Vec::new())), 1);
     }
 
     #[test]

@@ -2,11 +2,23 @@
 //! relative-size accounting, and report output (stdout + `results/`).
 
 use optinline_codegen::X86Like;
-use optinline_core::{Evaluator, EvaluatorStats, InliningConfiguration, SizeEvaluator};
+use optinline_core::{
+    Evaluator, EvaluatorStats, InliningConfiguration, SearchSession, SizeEvaluator,
+};
 use optinline_heuristics::CostModelInliner;
 use optinline_workloads::{spec_suite, Benchmark, Scale};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The harness-wide hash-consing session for the task-DAG search
+/// executor: every exhaustive search in a run shares it, so structurally
+/// identical subproblems across files and experiments evaluate once, and
+/// the stats footer can report cumulative executor counters.
+pub fn search_session() -> &'static SearchSession {
+    static SESSION: OnceLock<SearchSession> = OnceLock::new();
+    SESSION.get_or_init(SearchSession::new)
+}
 
 /// Harness context: scale, exhaustive-search budget, output directory.
 #[derive(Debug)]
@@ -116,6 +128,12 @@ pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
         agg.full_module_equivalents += s.full_module_equivalents;
         agg.fixpoint_cap_hits += s.fixpoint_cap_hits;
         agg.pipeline.absorb(&s.pipeline);
+        agg.executor_tasks += s.executor_tasks;
+        agg.executor_steals += s.executor_steals;
+        agg.dedup_hits += s.dedup_hits;
+        agg.persist_hits += s.persist_hits;
+        agg.persist_misses += s.persist_misses;
+        agg.persist_loaded += s.persist_loaded;
     }
     agg
 }
@@ -123,7 +141,9 @@ pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
 /// One-line evaluator footer for experiment reports: cumulative compile
 /// work across the suite so far.
 pub fn stats_footer(cases: &[FileCase]) -> String {
-    format!("evaluator: {}", aggregate_stats(cases).render())
+    let mut stats = aggregate_stats(cases);
+    stats.absorb_executor(search_session().stats());
+    format!("evaluator: {}", stats.render())
 }
 
 /// Benchmark names in suite order.

@@ -7,8 +7,8 @@ use optinline_callgraph::{InlineGraph, PartitionStrategy};
 use optinline_core::analysis::{
     chain_length_histogram, inlined_chain_lengths, Agreement, RooflineStats,
 };
-use optinline_core::tree::{evaluate_inlining_tree_parallel, space_size, try_build_inlining_tree};
-use optinline_core::InliningConfiguration;
+use optinline_core::tree::{space_size, try_build_inlining_tree};
+use optinline_core::{evaluate_inlining_tree_dag, InliningConfiguration, WorkerPool};
 use std::fmt::Write as _;
 
 /// An exhaustively analyzed file: the optimum and the baseline next to it.
@@ -38,11 +38,12 @@ pub fn compute_optima<'a>(ctx: &Ctx, cases: &'a [FileCase]) -> Vec<OptimalCase<'
             continue;
         };
         let space = space_size(&tree);
-        let (optimal, optimal_size) = evaluate_inlining_tree_parallel(
+        let (optimal, optimal_size) = evaluate_inlining_tree_dag(
             &tree,
             &case.evaluator,
             InliningConfiguration::clean_slate(),
-            3,
+            WorkerPool::global(),
+            Some(crate::common::search_session()),
         );
         out.push(OptimalCase { case, optimal, optimal_size, evaluations: space });
     }
@@ -80,6 +81,12 @@ pub fn fig7(ctx: &Ctx, optima: &[OptimalCase<'_>]) {
     let _ = writeln!(
         out,
         "compile work so far:           {compiles} compiles = {work:.1} full-module equivalents"
+    );
+    let exec = crate::common::search_session().stats();
+    let _ = writeln!(
+        out,
+        "search executor:               {} tasks, {} steals, {} dedup hits",
+        exec.tasks, exec.steals, exec.dedup_hits
     );
     let _ = writeln!(out, "\nshape target (paper): optimal on 46% of files; median non-optimal");
     let _ = writeln!(out, "overhead 2.37%; 16% of files >=5%, 8.5% >=10%; max 281%.");
