@@ -113,13 +113,14 @@ fn bench_persistent_cache(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("optinline-bench-persist-{}", std::process::id()));
     let module = search_module(8, 3);
     let fp = module_fingerprint(&module, "x86-like");
+    let meta = format!("{} target=x86-like sites={}", module.name, module.inlinable_sites().len());
     let graph = InlineGraph::from_module(&module);
     let tree = build_inlining_tree(&graph, PartitionStrategy::Paper);
     let pool = WorkerPool::new(2);
     group.bench_function("cold", |b| {
         b.iter(|| {
             let _ = std::fs::remove_dir_all(&dir);
-            let cache = PersistentCache::open(&dir, fp).expect("cache opens");
+            let cache = PersistentCache::open(&dir, fp, &meta).expect("cache opens");
             let ev = CompilerEvaluator::new(module.clone(), Box::new(optinline_codegen::X86Like));
             let pev = PersistentEvaluator::new(&ev, &cache, ev.sites().clone());
             evaluate_inlining_tree_dag(
@@ -134,14 +135,14 @@ fn bench_persistent_cache(c: &mut Criterion) {
     // Populate once, then measure warm-start reruns.
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let cache = PersistentCache::open(&dir, fp).expect("cache opens");
+        let cache = PersistentCache::open(&dir, fp, &meta).expect("cache opens");
         let ev = CompilerEvaluator::new(module.clone(), Box::new(optinline_codegen::X86Like));
         let pev = PersistentEvaluator::new(&ev, &cache, ev.sites().clone());
         evaluate_inlining_tree_dag(&tree, &pev, InliningConfiguration::clean_slate(), &pool, None);
     }
     group.bench_function("warm", |b| {
         b.iter(|| {
-            let cache = PersistentCache::open(&dir, fp).expect("cache opens");
+            let cache = PersistentCache::open(&dir, fp, &meta).expect("cache opens");
             let ev = CompilerEvaluator::new(module.clone(), Box::new(optinline_codegen::X86Like));
             let pev = PersistentEvaluator::new(&ev, &cache, ev.sites().clone());
             evaluate_inlining_tree_dag(

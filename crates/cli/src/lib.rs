@@ -164,7 +164,16 @@ impl EvalOptions {
         match (&self.cache_dir, self.no_persist) {
             (Some(dir), false) => {
                 let fp = module_fingerprint(module, target.name());
-                Ok(Some(PersistentCache::open(dir, fp)?))
+                // Recorded in the file and verified on reopen, so a
+                // fingerprint collision or stale file restarts the cache
+                // instead of serving another module's sizes.
+                let meta = format!(
+                    "{} target={} sites={}",
+                    module.name,
+                    target.name(),
+                    module.inlinable_sites().len()
+                );
+                Ok(Some(PersistentCache::open(dir, fp, &meta)?))
             }
             _ => Ok(None),
         }

@@ -16,12 +16,13 @@
 
 use crate::cache::ShardedCache;
 use crate::config::InliningConfiguration;
+use optinline_callgraph::Fnv128;
 use optinline_codegen::{text_size, Target};
 use optinline_ir::{CallSiteId, Module};
 use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions, PipelineStats};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Anything that can score an inlining configuration.
@@ -37,6 +38,42 @@ pub trait Evaluator: Sync {
 
     /// Number of size queries served (including cache hits).
     fn queries(&self) -> u64;
+
+    /// A stable identity for the evaluation domain this evaluator scores —
+    /// the (module, target, pipeline options) triple behind `size_of`.
+    /// [`SearchSession`](crate::SearchSession) memoization keys include it,
+    /// so one session can be shared across evaluators over *different*
+    /// modules (the experiment harness does exactly this) without results
+    /// leaking between domains: call sites are minted densely per module,
+    /// so without the scope two modules' residual trees can collide on
+    /// shape and site numbering alone.
+    ///
+    /// `None` — the default — opts the evaluator out of session
+    /// memoization entirely: an evaluator that cannot name its domain must
+    /// not populate a shared memo table. The module-backed evaluators all
+    /// return a domain fingerprint.
+    fn memo_scope(&self) -> Option<u128> {
+        None
+    }
+}
+
+/// 128-bit fingerprint of an evaluation domain: the module's printed form,
+/// the target name, and the pipeline options. Any input that can move a
+/// `size_of` answer moves the fingerprint, which is exactly what
+/// [`Evaluator::memo_scope`] needs to keep shared [`SearchSession`]s
+/// (crate::SearchSession) sound.
+pub(crate) fn domain_fingerprint(
+    module: &Module,
+    target: &dyn Target,
+    options: PipelineOptions,
+) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(module.to_string().as_bytes());
+    h.write_u8(0);
+    h.write(target.name().as_bytes());
+    h.write_u8(0);
+    h.write(format!("{options:?}").as_bytes());
+    h.finish()
 }
 
 /// An [`Evaluator`] backed by an actual module — enough surface for the
@@ -166,6 +203,7 @@ pub struct CompilerEvaluator {
     queries: AtomicU64,
     compile_nanos: AtomicU64,
     pipeline_stats: Mutex<PipelineStats>,
+    scope: OnceLock<u128>,
 }
 
 impl std::fmt::Debug for CompilerEvaluator {
@@ -193,6 +231,7 @@ impl CompilerEvaluator {
             queries: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             pipeline_stats: Mutex::new(PipelineStats::default()),
+            scope: OnceLock::new(),
         }
     }
 
@@ -277,6 +316,14 @@ impl Evaluator for CompilerEvaluator {
 
     fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    fn memo_scope(&self) -> Option<u128> {
+        Some(
+            *self.scope.get_or_init(|| {
+                domain_fingerprint(&self.module, self.target.as_ref(), self.options)
+            }),
+        )
     }
 }
 

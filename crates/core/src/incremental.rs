@@ -86,6 +86,7 @@ pub struct IncrementalEvaluator {
     compile_nanos: AtomicU64,
     module_insts: u64,
     pipeline_stats: Mutex<PipelineStats>,
+    scope: OnceLock<u128>,
 }
 
 impl std::fmt::Debug for IncrementalEvaluator {
@@ -141,6 +142,7 @@ impl IncrementalEvaluator {
             compile_nanos: AtomicU64::new(0),
             module_insts,
             pipeline_stats: Mutex::new(PipelineStats::default()),
+            scope: OnceLock::new(),
         }
     }
 
@@ -274,6 +276,15 @@ impl Evaluator for IncrementalEvaluator {
     fn queries(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
     }
+
+    fn memo_scope(&self) -> Option<u128> {
+        // Same fingerprint as the full evaluator over the same inputs: the
+        // decomposition is proven size-identical to whole-module compiles,
+        // so the two evaluation modes share one domain.
+        Some(*self.scope.get_or_init(|| {
+            crate::evaluator::domain_fingerprint(&self.module, self.target.as_ref(), self.options)
+        }))
+    }
 }
 
 impl ModuleEvaluator for IncrementalEvaluator {
@@ -377,6 +388,13 @@ impl Evaluator for SizeEvaluator {
         match self {
             SizeEvaluator::Full(ev) => ev.queries(),
             SizeEvaluator::Incremental(ev) => ev.queries(),
+        }
+    }
+
+    fn memo_scope(&self) -> Option<u128> {
+        match self {
+            SizeEvaluator::Full(ev) => ev.memo_scope(),
+            SizeEvaluator::Incremental(ev) => ev.memo_scope(),
         }
     }
 }

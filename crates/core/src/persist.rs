@@ -7,7 +7,8 @@
 //! **append-only log**, one file per (module, target) fingerprint:
 //!
 //! ```text
-//! optinline-cache v1            <- version header; mismatch = start over
+//! optinline-cache v2            <- version header; mismatch = start over
+//! meta <tag>                    <- caller-supplied identity; mismatch = start over
 //! <size> -                      <- clean slate (no inlined sites)
 //! <size> s3,s7,s12              <- canonical inlined-site set
 //! ```
@@ -23,9 +24,21 @@
 //!   line. Readers skip anything malformed (truncated line, bad integer,
 //!   stray bytes) and keep the rest, so a damaged cache degrades to a
 //!   smaller cache, never an error.
-//! - **Versioned.** The header names the format. An unknown header means
-//!   the file is treated as empty and rewritten, so format changes never
-//!   poison new binaries with stale bytes.
+//! - **Versioned and self-identifying.** The header names the format, and
+//!   the `meta` line records what the caller believes the file is for
+//!   (module name, target, site count). The filename's FNV-128 fingerprint
+//!   is not cryptographic, so a (vanishingly unlikely) collision between
+//!   two modules would otherwise serve wrong sizes silently; a meta
+//!   mismatch instead restarts the file. Unknown headers restart too, so
+//!   format changes never poison new binaries with stale bytes.
+//! - **Restart by rename.** When a file must be restarted (unknown header
+//!   or meta mismatch), the fresh header is written to a temp file and
+//!   atomically renamed over the old one — a concurrent process holding an
+//!   append handle keeps writing the unlinked inode, so its entries are
+//!   lost but never interleaved mid-file. The cache is an accelerator for
+//!   a single writer per file; concurrent writers are tolerated with
+//!   at-worst-lost entries, never corruption that survives the reader's
+//!   line-level tolerance.
 //!
 //! [`PersistentEvaluator`] wraps any [`Evaluator`] with such a cache and is
 //! what the CLI layers under `search`/`autotune` when `--cache-dir` is
@@ -43,7 +56,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Format tag written as the first line of every cache file.
-const HEADER: &str = "optinline-cache v1";
+const HEADER: &str = "optinline-cache v2";
+
+/// Prefix of the identity line written right after the header.
+const META_PREFIX: &str = "meta ";
 
 /// Counters for a [`PersistentCache`]'s lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,26 +112,41 @@ pub struct PersistentCache {
 
 impl PersistentCache {
     /// Opens (or creates) the cache for `fingerprint` inside `dir`,
-    /// loading every well-formed entry already on disk. A missing
-    /// directory is created; a file with an unknown header is truncated
-    /// and restarted at the current version.
-    pub fn open(dir: &Path, fingerprint: u128) -> std::io::Result<Self> {
+    /// loading every well-formed entry already on disk. `meta` names what
+    /// the file is for (module, target, site count) and is verified
+    /// against the file's recorded identity: a mismatch — an FNV filename
+    /// collision, or a stale file — restarts the cache instead of serving
+    /// another module's sizes. A missing directory is created; a file
+    /// with an unknown header is likewise restarted at the current
+    /// version (via write-to-temp + atomic rename, so a concurrent
+    /// appender can never interleave bytes mid-file).
+    pub fn open(dir: &Path, fingerprint: u128, meta: &str) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{fingerprint:032x}.sizes"));
+        // The identity must fit one line; newlines would desync the format.
+        let meta: String =
+            meta.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
         let (entries, rewrite) = match File::open(&path) {
-            Ok(f) => Self::load(f),
+            Ok(f) => Self::load(f, &meta),
             Err(_) => (HashMap::new(), false),
         };
-        let mut opts = OpenOptions::new();
-        opts.create(true).append(true);
         if rewrite {
-            // Unknown header: the bytes are from a different format.
-            opts = OpenOptions::new();
-            opts.create(true).write(true).truncate(true);
+            // Unknown header or foreign meta: the bytes belong to a
+            // different format or module. Restart via temp + rename so a
+            // process still appending to the old file writes the unlinked
+            // inode rather than splicing into the fresh one.
+            let tmp = dir.join(format!("{fingerprint:032x}.sizes.tmp.{}", std::process::id()));
+            let mut t = File::create(&tmp)?;
+            writeln!(t, "{HEADER}")?;
+            writeln!(t, "{META_PREFIX}{meta}")?;
+            t.flush()?;
+            drop(t);
+            std::fs::rename(&tmp, &path)?;
         }
-        let mut file = opts.open(&path)?;
-        if rewrite || file.metadata().map(|m| m.len() == 0).unwrap_or(true) {
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if file.metadata().map(|m| m.len() == 0).unwrap_or(true) {
             writeln!(file, "{HEADER}")?;
+            writeln!(file, "{META_PREFIX}{meta}")?;
             file.flush()?;
         } else if !ends_with_newline(&path) {
             // A crash mid-append left a partial line; terminate it so the
@@ -135,12 +166,19 @@ impl PersistentCache {
     }
 
     /// Parses a cache file, skipping malformed lines. Returns the entries
-    /// and whether the file must be rewritten (unknown header).
-    fn load(f: File) -> (HashMap<Vec<CallSiteId>, u64>, bool) {
+    /// and whether the file must be restarted (unknown header, or a meta
+    /// line naming a different module).
+    fn load(f: File, meta: &str) -> (HashMap<Vec<CallSiteId>, u64>, bool) {
         let mut lines = BufReader::new(f).lines();
         match lines.next() {
             Some(Ok(h)) if h == HEADER => {}
             None => return (HashMap::new(), false),
+            _ => return (HashMap::new(), true),
+        }
+        match lines.next() {
+            Some(Ok(m)) if m.strip_prefix(META_PREFIX) == Some(meta) => {}
+            // Header-only file (crash between the two writes): empty, but
+            // the identity is unrecorded — restart to stamp it.
             _ => return (HashMap::new(), true),
         }
         let mut entries = HashMap::new();
@@ -283,6 +321,12 @@ impl<E: Evaluator + std::fmt::Debug> Evaluator for PersistentEvaluator<'_, E> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+
+    fn memo_scope(&self) -> Option<u128> {
+        // The cache changes where answers come from, not what they are:
+        // same evaluation domain as the wrapped evaluator.
+        self.inner.memo_scope()
+    }
 }
 
 #[cfg(test)]
@@ -305,13 +349,13 @@ mod tests {
     fn round_trips_across_reopen() {
         let dir = tmpdir("roundtrip");
         {
-            let c = PersistentCache::open(&dir, 0xfeed).unwrap();
+            let c = PersistentCache::open(&dir, 0xfeed, "mod-rt").unwrap();
             c.put(k(&[]), 400);
             c.put(k(&[1, 5, 9]), 321);
             c.put(k(&[2]), 77);
             assert_eq!(c.stats().loaded, 0);
         }
-        let c = PersistentCache::open(&dir, 0xfeed).unwrap();
+        let c = PersistentCache::open(&dir, 0xfeed, "mod-rt").unwrap();
         assert_eq!(c.stats().loaded, 3);
         assert_eq!(c.get(&k(&[])), Some(400));
         assert_eq!(c.get(&k(&[1, 5, 9])), Some(321));
@@ -324,8 +368,8 @@ mod tests {
     #[test]
     fn distinct_fingerprints_use_distinct_files() {
         let dir = tmpdir("fingerprints");
-        let a = PersistentCache::open(&dir, 1).unwrap();
-        let b = PersistentCache::open(&dir, 2).unwrap();
+        let a = PersistentCache::open(&dir, 1, "mod-a").unwrap();
+        let b = PersistentCache::open(&dir, 2, "mod-b").unwrap();
         a.put(k(&[4]), 10);
         assert_ne!(a.path(), b.path());
         assert_eq!(b.get(&k(&[4])), None);
@@ -337,7 +381,7 @@ mod tests {
         let dir = tmpdir("truncated");
         let path;
         {
-            let c = PersistentCache::open(&dir, 7).unwrap();
+            let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
             c.put(k(&[1]), 11);
             c.put(k(&[2]), 22);
             path = c.path().to_path_buf();
@@ -350,13 +394,13 @@ mod tests {
         f.set_len(cut as u64).unwrap();
         f.seek(SeekFrom::End(0)).unwrap();
         drop(f);
-        let c = PersistentCache::open(&dir, 7).unwrap();
+        let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
         assert_eq!(c.get(&k(&[1])), Some(11));
         assert_eq!(c.get(&k(&[2])), None, "the damaged line must be dropped");
         // And the cache still accepts fresh writes for the lost key.
         c.put(k(&[2]), 22);
         drop(c);
-        let c = PersistentCache::open(&dir, 7).unwrap();
+        let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
         assert_eq!(c.get(&k(&[2])), Some(22));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -368,10 +412,10 @@ mod tests {
         let path = dir.join(format!("{:032x}.sizes", 9u128));
         std::fs::write(
             &path,
-            format!("{HEADER}\n77 s1,s2\nnot a number s3\n88 s9,s4\n\u{1F4A3}\n99 -\n55 sX\n"),
+            format!("{HEADER}\nmeta mod-c\n77 s1,s2\nnot a number s3\n88 s9,s4\n\u{1F4A3}\n99 -\n55 sX\n"),
         )
         .unwrap();
-        let c = PersistentCache::open(&dir, 9).unwrap();
+        let c = PersistentCache::open(&dir, 9, "mod-c").unwrap();
         // Well-formed lines survive; bad integer, unsorted sites, garbage
         // bytes, and malformed ids are each dropped independently.
         assert_eq!(c.stats().loaded, 2);
@@ -388,15 +432,49 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("{:032x}.sizes", 3u128));
         std::fs::write(&path, "optinline-cache v0\n12 s1\n").unwrap();
-        let c = PersistentCache::open(&dir, 3).unwrap();
+        let c = PersistentCache::open(&dir, 3, "mod-v").unwrap();
         assert_eq!(c.stats().loaded, 0, "old-format entries must not leak in");
         c.put(k(&[8]), 123);
         drop(c);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(contents.starts_with(HEADER), "file restarted at current version");
-        let c = PersistentCache::open(&dir, 3).unwrap();
+        let c = PersistentCache::open(&dir, 3, "mod-v").unwrap();
         assert_eq!(c.stats().loaded, 1);
         assert_eq!(c.get(&k(&[8])), Some(123));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_mismatch_restarts_the_file() {
+        // Same fingerprint (an FNV filename collision, or a stale file),
+        // different module identity: the recorded sizes must not be served.
+        let dir = tmpdir("meta");
+        {
+            let c = PersistentCache::open(&dir, 5, "modA target=x86 sites=3").unwrap();
+            c.put(k(&[1]), 111);
+        }
+        let c = PersistentCache::open(&dir, 5, "modB target=x86 sites=3").unwrap();
+        assert_eq!(c.stats().loaded, 0, "a colliding module's entries must not leak in");
+        assert_eq!(c.get(&k(&[1])), None);
+        c.put(k(&[1]), 222);
+        drop(c);
+        // The restart stamped the new identity; modB's entries round-trip.
+        let c = PersistentCache::open(&dir, 5, "modB target=x86 sites=3").unwrap();
+        assert_eq!(c.stats().loaded, 1);
+        assert_eq!(c.get(&k(&[1])), Some(222));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiline_meta_is_flattened_to_one_line() {
+        let dir = tmpdir("metanl");
+        {
+            let c = PersistentCache::open(&dir, 6, "mod\nwith newline").unwrap();
+            c.put(k(&[2]), 20);
+        }
+        let c = PersistentCache::open(&dir, 6, "mod\nwith newline").unwrap();
+        assert_eq!(c.stats().loaded, 1, "sanitized meta must round-trip");
+        assert_eq!(c.get(&k(&[2])), Some(20));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -421,7 +499,7 @@ mod tests {
         let sites: BTreeSet<CallSiteId> = k(&[1, 2]).into_iter().collect();
         let inner = Count(AtomicU64::new(0));
         {
-            let cache = PersistentCache::open(&dir, 0xabc).unwrap();
+            let cache = PersistentCache::open(&dir, 0xabc, "mod-w").unwrap();
             let ev = PersistentEvaluator::new(&inner, &cache, sites.clone());
             let c1 =
                 InliningConfiguration::clean_slate().with(CallSiteId::new(1), Decision::Inline);
@@ -434,7 +512,7 @@ mod tests {
         }
         // Fresh process, fresh inner evaluator: disk answers everything.
         let inner2 = Count(AtomicU64::new(0));
-        let cache = PersistentCache::open(&dir, 0xabc).unwrap();
+        let cache = PersistentCache::open(&dir, 0xabc, "mod-w").unwrap();
         let ev = PersistentEvaluator::new(&inner2, &cache, sites);
         let c1 = InliningConfiguration::clean_slate().with(CallSiteId::new(1), Decision::Inline);
         assert_eq!(ev.size_of(&c1), 997);
