@@ -12,6 +12,7 @@ use crate::parcheck::check_parallel_search;
 use crate::reduce::{reduce, Reduction};
 use crate::schedcheck::check_scheduling;
 use crate::sizecheck::check_sizes;
+use crate::storecheck::check_store_equivalence;
 use optinline_callgraph::Decision;
 use optinline_codegen::X86Like;
 use optinline_core::{IncrementalEvaluator, InliningConfiguration, ModuleEvaluator, WorkerPool};
@@ -82,6 +83,9 @@ pub struct FuzzReport {
     /// Parallel DAG executor vs sequential Algorithm 1 comparisons
     /// performed (worker counts × cold/warm sessions).
     pub parallel_comparisons: usize,
+    /// Store-backed search vs no-persist reference comparisons performed
+    /// (cold directory + warm reopen).
+    pub store_comparisons: usize,
     /// Comparisons skipped as inconclusive (fuel/stack).
     pub inconclusive: usize,
     /// Configurations skipped because their estimated inlining expansion
@@ -95,6 +99,8 @@ pub struct FuzzReport {
     pub scheduling_failures: Vec<FailureRecord>,
     /// Parallel-search-oracle failures (DAG executor vs sequential walk).
     pub parallel_failures: Vec<FailureRecord>,
+    /// Store-oracle failures (persistent store vs no-persist run).
+    pub store_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
@@ -104,6 +110,7 @@ impl FuzzReport {
             && self.size_failures.is_empty()
             && self.scheduling_failures.is_empty()
             && self.parallel_failures.is_empty()
+            && self.store_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -112,22 +119,24 @@ impl FuzzReport {
         let _ = writeln!(
             out,
             "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
-             {} scheduling comparisons, {} parallel-search comparisons",
+             {} scheduling comparisons, {} parallel-search comparisons, {} store comparisons",
             self.cases,
             self.semantic_comparisons,
             self.inconclusive,
             self.size_comparisons,
             self.scheduling_comparisons,
-            self.parallel_comparisons
+            self.parallel_comparisons,
+            self.store_comparisons
         );
         let _ = writeln!(
             out,
             "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}   \
-             parallel divergences: {}",
+             parallel divergences: {}   store divergences: {}",
             self.semantic_failures.len(),
             self.size_failures.len(),
             self.scheduling_failures.len(),
-            self.parallel_failures.len()
+            self.parallel_failures.len(),
+            self.store_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -142,6 +151,7 @@ impl FuzzReport {
             .chain(&self.size_failures)
             .chain(&self.scheduling_failures)
             .chain(&self.parallel_failures)
+            .chain(&self.store_failures)
         {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
@@ -338,6 +348,26 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
                     &InliningConfiguration::clean_slate(),
                     &mut |m, _| {
                         check_parallel_search(m, case_seed)
+                            .map(|r| !r.mismatches.is_empty())
+                            .unwrap_or(false)
+                    },
+                )?);
+            }
+        }
+
+        if let Some(st) = check_store_equivalence(&module, case_seed) {
+            report.store_comparisons += st.comparisons;
+            if let Some(first) = st.mismatches.first() {
+                let detail = first.to_string();
+                report.store_failures.push(record_failure(
+                    options,
+                    "store",
+                    case_seed,
+                    detail,
+                    &module,
+                    &InliningConfiguration::clean_slate(),
+                    &mut |m, _| {
+                        check_store_equivalence(m, case_seed)
                             .map(|r| !r.mismatches.is_empty())
                             .unwrap_or(false)
                     },

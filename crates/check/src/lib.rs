@@ -26,6 +26,11 @@
 //!   executor must return the exact configuration and size the sequential
 //!   Algorithm 1 walk returns — at every worker count, cold or with a warm
 //!   hash-consing session.
+//! - [`storecheck`] — the **store oracle**: a search answering through
+//!   the persistent evaluation store must return the exact configuration
+//!   and size a no-persist run returns, on a cold directory and on a warm
+//!   reopen — which additionally must compile nothing and leave a
+//!   structurally clean store behind.
 //! - [`reduce`] — the **delta-debugging reducer**: shrink a failing
 //!   `(module, configuration)` pair to a minimal call-closed reproducer by
 //!   dropping configuration decisions and slicing functions out.
@@ -47,6 +52,7 @@ pub mod parcheck;
 pub mod reduce;
 pub mod schedcheck;
 pub mod sizecheck;
+pub mod storecheck;
 
 pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
 pub use inject::BuggyEvaluator;
@@ -55,3 +61,4 @@ pub use parcheck::{check_parallel_search, ParMismatch, ParReport};
 pub use reduce::{reduce, Reduction};
 pub use schedcheck::{check_scheduling, SchedMismatch, SchedReport};
 pub use sizecheck::{check_sizes, SizeMismatch, SizeReport};
+pub use storecheck::{check_store_equivalence, StoreMismatch, StoreReport};

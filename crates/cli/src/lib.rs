@@ -27,13 +27,14 @@ use optinline_codegen::{text_size, Target, WasmLike, X86Like};
 use optinline_core::autotune::Autotuner;
 use optinline_core::tree::{evaluate_inlining_tree, space_size, try_build_inlining_tree};
 use optinline_core::{
-    evaluate_inlining_tree_dag, module_fingerprint, Evaluator, EvaluatorStats,
+    cache_meta, evaluate_inlining_tree_dag, module_fingerprint, Evaluator, EvaluatorStats,
     InliningConfiguration, PersistentCache, PersistentEvaluator, SearchSession, SizeEvaluator,
     WorkerPool,
 };
 use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
 use optinline_ir::{parse_module, Module};
 use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions};
+use optinline_store::LocalStore;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -139,6 +140,10 @@ pub struct EvalOptions {
     /// Disable the persistent cache even when `cache_dir` is set
     /// (`--no-persist`).
     pub no_persist: bool,
+    /// Byte budget for the evaluation store (`--cache-budget-bytes`):
+    /// after the run, least-recently-used scope logs are evicted until the
+    /// cache directory fits. `None` leaves the store unbounded.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 impl Default for EvalOptions {
@@ -150,33 +155,38 @@ impl Default for EvalOptions {
             jobs: None,
             cache_dir: None,
             no_persist: false,
+            cache_budget_bytes: None,
         }
     }
 }
 
 impl EvalOptions {
-    /// Opens the persistent evaluation cache these options ask for, if any.
-    fn open_cache(
-        &self,
-        module: &Module,
-        target: &dyn Target,
-    ) -> Result<Option<PersistentCache>, CliError> {
+    /// Opens the persistent evaluation cache these options ask for, if
+    /// any: one store scope addressed by the evaluator's `memo_scope`
+    /// fingerprint (module text + target + pipeline options), with the
+    /// older per-module fingerprint passed along so a pre-store flat cache
+    /// file is imported once (or cleanly ignored if its identity differs).
+    fn open_cache(&self, ev: &SizeEvaluator) -> Result<Option<PersistentCache>, CliError> {
         match (&self.cache_dir, self.no_persist) {
             (Some(dir), false) => {
-                let fp = module_fingerprint(module, target.name());
-                // Recorded in the file and verified on reopen, so a
-                // fingerprint collision or stale file restarts the cache
+                let legacy = module_fingerprint(ev.module(), ev.target().name());
+                let fp = ev.memo_scope().unwrap_or(legacy);
+                // Recorded in the log and verified on reopen, so a
+                // fingerprint collision or stale file restarts the scope
                 // instead of serving another module's sizes.
-                let meta = format!(
-                    "{} target={} sites={}",
-                    module.name,
-                    target.name(),
-                    module.inlinable_sites().len()
-                );
-                Ok(Some(PersistentCache::open(dir, fp, &meta)?))
+                let meta = cache_meta(ev.module(), ev.target().name());
+                Ok(Some(PersistentCache::open_scoped(dir, fp, Some(legacy), &meta)?))
             }
             _ => Ok(None),
         }
+    }
+
+    /// Runs the post-run size-budgeted GC these options ask for, if any.
+    fn maybe_gc(&self, cache: &Option<PersistentCache>) -> Result<(), CliError> {
+        if let (Some(c), Some(budget)) = (cache, self.cache_budget_bytes) {
+            c.store().gc(budget)?;
+        }
+        Ok(())
     }
 }
 
@@ -300,7 +310,7 @@ pub fn cmd_search(
     };
     let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let evals = space_size(&tree);
-    let cache = eval.open_cache(ev.module(), ev.target())?;
+    let cache = eval.open_cache(&ev)?;
     let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
     let search_ev: &dyn Evaluator = match &persisted {
         Some(p) => p,
@@ -311,6 +321,7 @@ pub fn cmd_search(
     let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
     let h_size = search_ev.size_of(&heuristic);
     let none = search_ev.size_of(&InliningConfiguration::clean_slate());
+    eval.maybe_gc(&cache)?;
     let mut out = String::new();
     let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
     let _ = writeln!(out, "evaluations needed: {evals}");
@@ -357,8 +368,8 @@ fn run_search(
     }
 }
 
-/// The evaluator's counters with the executor's and the persistent
-/// cache's folded in — the `--stats` line.
+/// The evaluator's counters with the executor's, the persistent cache's,
+/// and the backing store's folded in — the `--stats` line.
 fn merged_stats(
     ev: &SizeEvaluator,
     session: &SearchSession,
@@ -368,6 +379,7 @@ fn merged_stats(
     stats.absorb_executor(session.stats());
     if let Some(c) = cache {
         stats.absorb_persist(c.stats());
+        stats.absorb_store(c.store_stats());
     }
     stats
 }
@@ -411,7 +423,7 @@ pub fn cmd_autotune(
     if sites.is_empty() {
         return Ok("module has no inlinable call sites; nothing to tune\n".into());
     }
-    let cache = eval.open_cache(ev.module(), ev.target())?;
+    let cache = eval.open_cache(&ev)?;
     let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
     let search_ev: &dyn Evaluator = match &persisted {
         Some(p) => p,
@@ -448,10 +460,12 @@ pub fn cmd_autotune(
     );
     let _ = writeln!(out, "configuration:   {}", best.config);
     let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
+    eval.maybe_gc(&cache)?;
     if eval.show_stats {
         let mut stats = ev.stats();
         if let Some(c) = &cache {
             stats.absorb_persist(c.stats());
+            stats.absorb_store(c.store_stats());
         }
         let _ = writeln!(out, "evaluator:       {}", stats.render());
     }
@@ -581,6 +595,91 @@ pub fn cmd_gen(seed: u64, n_internal: usize, clusters: usize) -> Result<String, 
         ..optinline_workloads::GenParams::named(format!("gen_{seed}"), seed)
     });
     Ok(module.to_string())
+}
+
+/// What `optinline cache` should do to the evaluation store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Report entry/byte/counter totals.
+    Stats,
+    /// Evict least-recently-used scopes until the directory fits the
+    /// `--cache-budget-bytes` budget.
+    Gc,
+    /// Structurally scan every log, report damage, and rebuild the index.
+    Verify,
+    /// Rewrite every scope log, dropping superseded and duplicate lines.
+    Compact,
+}
+
+impl CacheAction {
+    /// Parses `stats` / `gc` / `verify` / `compact`.
+    pub fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "stats" => Ok(CacheAction::Stats),
+            "gc" => Ok(CacheAction::Gc),
+            "verify" => Ok(CacheAction::Verify),
+            "compact" => Ok(CacheAction::Compact),
+            other => {
+                Err(format!("unknown cache action `{other}` (expected stats|gc|verify|compact)")
+                    .into())
+            }
+        }
+    }
+}
+
+/// `optinline cache` — administer the on-disk evaluation store under
+/// `--cache-dir`. `verify` returns an `Err` carrying its report when the
+/// scan finds malformed lines or unreadable logs, so the process exits
+/// non-zero (which is what CI keys on).
+pub fn cmd_cache(
+    action: CacheAction,
+    dir: &std::path::Path,
+    budget_bytes: Option<u64>,
+) -> Result<String, CliError> {
+    let store = LocalStore::shared(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "cache dir:       {}", dir.display());
+    match action {
+        CacheAction::Stats => {
+            let stats = store.store_stats();
+            let _ = writeln!(out, "scopes:          {}", stats.scopes);
+            let _ = writeln!(out, "entries:         {}", stats.entries);
+            let _ = writeln!(out, "disk bytes:      {}", store.disk_bytes()?);
+        }
+        CacheAction::Gc => {
+            let budget =
+                budget_bytes.ok_or("cache gc needs --cache-budget-bytes <n>".to_string())?;
+            let report = store.gc(budget)?;
+            let _ = writeln!(out, "budget:          {} B", report.budget_bytes);
+            let _ = writeln!(
+                out,
+                "disk bytes:      {} B -> {} B",
+                report.before_bytes, report.after_bytes
+            );
+            let _ = writeln!(out, "evicted scopes:  {}", report.evicted_scopes);
+            let _ = writeln!(out, "evicted legacy:  {}", report.evicted_legacy);
+        }
+        CacheAction::Verify => {
+            let report = store.verify()?;
+            let _ = writeln!(out, "scopes:          {}", report.scopes);
+            let _ = writeln!(out, "entries:         {}", report.entries);
+            let _ = writeln!(out, "disk bytes:      {}", report.bytes);
+            let _ = writeln!(out, "duplicate lines: {}", report.duplicate_lines);
+            let _ = writeln!(out, "malformed lines: {}", report.malformed_lines);
+            let _ = writeln!(out, "unreadable logs: {}", report.unreadable_logs);
+            let _ = writeln!(out, "legacy files:    {}", report.legacy_files);
+            let _ = writeln!(out, "index:           rebuilt");
+            if !report.clean() {
+                return Err(format!("cache verify found damage\n{out}").into());
+            }
+        }
+        CacheAction::Compact => {
+            let reclaimed = store.compact_all()?;
+            let _ = writeln!(out, "reclaimed:       {reclaimed} B");
+            let _ = writeln!(out, "disk bytes:      {}", store.disk_bytes()?);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -848,6 +947,109 @@ mod tests {
             .and_then(|l| l.split_whitespace().nth(1).map(str::to_owned))
             .unwrap();
         assert_eq!(compiles, "0", "warm autotune must not compile: {second}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_subcommand_reports_verifies_compacts_and_gcs() {
+        let src = demo_source();
+        let dir = std::env::temp_dir().join(format!("optinline-cli-admin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = EvalOptions { cache_dir: Some(dir.clone()), ..Default::default() };
+        cmd_search(&src, 18, TargetChoice::X86, opts).unwrap();
+
+        let stats = cmd_cache(CacheAction::Stats, &dir, None).unwrap();
+        assert!(stats.contains("scopes:          1"), "{stats}");
+        assert!(stats.contains("entries:"), "{stats}");
+
+        let verify = cmd_cache(CacheAction::Verify, &dir, None).unwrap();
+        assert!(verify.contains("malformed lines: 0"), "{verify}");
+        assert!(verify.contains("unreadable logs: 0"), "{verify}");
+
+        let compact = cmd_cache(CacheAction::Compact, &dir, None).unwrap();
+        assert!(compact.contains("reclaimed:"), "{compact}");
+
+        assert!(cmd_cache(CacheAction::Gc, &dir, None).is_err(), "gc without budget must fail");
+        let gc = cmd_cache(CacheAction::Gc, &dir, Some(1)).unwrap();
+        assert!(gc.contains("evicted scopes:  1"), "{gc}");
+        // The budget is enforced: nothing but the (tiny) index remains.
+        let post = cmd_cache(CacheAction::Stats, &dir, None).unwrap();
+        assert!(post.contains("scopes:          0"), "{post}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_verify_fails_on_damaged_store() {
+        let dir = std::env::temp_dir().join(format!("optinline-cli-damage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("ab")).unwrap();
+        // A log whose header is garbage is unreadable damage.
+        std::fs::write(dir.join("ab").join(format!("{:030x}.log", 7)), "not a store log\n")
+            .unwrap();
+        let err = cmd_cache(CacheAction::Verify, &dir, None).unwrap_err();
+        assert!(err.to_string().contains("unreadable logs: 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_imports_legacy_flat_cache_files() {
+        use optinline_core::{cache_meta, module_fingerprint};
+        let src = demo_source();
+        let dir = std::env::temp_dir().join(format!("optinline-cli-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-store flat v2 file with the module's true identity: one
+        // absurd entry for the all-no-inline key, which the search will
+        // then trust instead of compiling.
+        let module = load_module(&src).unwrap();
+        let fp = module_fingerprint(&module, "x86-like");
+        let meta = cache_meta(&module, "x86-like");
+        let sanitized = meta.replace(['\n', '\r'], " ");
+        std::fs::write(
+            dir.join(format!("{fp:032x}.sizes")),
+            format!("optinline-cache v2\nmeta {sanitized}\n424242 -\n"),
+        )
+        .unwrap();
+        let opts =
+            EvalOptions { show_stats: true, cache_dir: Some(dir.clone()), ..Default::default() };
+        let report = cmd_search(&src, 18, TargetChoice::X86, opts).unwrap();
+        assert!(
+            report.contains("no inlining:        424242 B"),
+            "legacy entry must be served: {report}"
+        );
+        assert!(report.contains("imported"), "{report}");
+        // The flat file is retired into the sharded layout.
+        assert!(!dir.join(format!("{fp:032x}.sizes")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_budget_gc_keeps_the_directory_within_budget() {
+        let src = demo_source();
+        let other = cmd_gen(12, 5, 2).unwrap();
+        let dir = std::env::temp_dir().join(format!("optinline-cli-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Populate two scopes, then rerun with a small budget: the store
+        // may evict the cold scope but must keep the one the run just used
+        // (it holds a live handle during GC and is newest-recency anyway).
+        let opts = |budget| EvalOptions {
+            cache_dir: Some(dir.clone()),
+            cache_budget_bytes: budget,
+            ..Default::default()
+        };
+        cmd_search(&other, 18, TargetChoice::X86, opts(None)).unwrap();
+        cmd_search(&src, 18, TargetChoice::X86, opts(None)).unwrap();
+        cmd_search(&src, 18, TargetChoice::X86, opts(Some(1))).unwrap();
+        let stats = cmd_cache(CacheAction::Stats, &dir, None).unwrap();
+        assert!(stats.contains("scopes:          1"), "cold scope must be evicted: {stats}");
+        // The surviving scope still warm-starts.
+        let warm = cmd_search(&src, 18, TargetChoice::X86, opts(None)).unwrap();
+        let compiles = warm
+            .lines()
+            .find(|l| l.starts_with("compilations done:"))
+            .and_then(|l| l.split_whitespace().nth(2).map(str::to_owned))
+            .unwrap();
+        assert_eq!(compiles, "0", "survivor must stay warm: {warm}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

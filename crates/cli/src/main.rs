@@ -1,9 +1,9 @@
 //! Thin argv shim over `optinline_cli` (the testable library half).
 
 use optinline_cli::{
-    cmd_autotune, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link, cmd_optimize,
-    cmd_print, cmd_run, cmd_search, cmd_stats, CliError, EvalOptions, InitChoice, OptimizeOptions,
-    StrategyChoice, TargetChoice,
+    cmd_autotune, cmd_cache, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link,
+    cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction, CliError, EvalOptions,
+    InitChoice, OptimizeOptions, StrategyChoice, TargetChoice,
 };
 
 const USAGE: &str = "\
@@ -18,9 +18,13 @@ usage:
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
                                [--full-eval] [--stats] [--pass-stats]
                                [--jobs N] [--cache-dir DIR] [--no-persist]
+                               [--cache-budget-bytes N]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
                                [--target x86|wasm] [--full-eval] [--stats]
                                [--pass-stats] [--cache-dir DIR] [--no-persist]
+                               [--cache-budget-bytes N]
+  optinline cache    stats|gc|verify|compact --cache-dir DIR
+                               [--cache-budget-bytes N]   (gc only)
   optinline run      <file.ir>
   optinline gen      [--seed N] [--internal N] [--clusters N] [-o out.ir]
   optinline link     <a.ir> <b.ir> ... [--keep main,api] [-o prog.ir]
@@ -90,7 +94,15 @@ impl Args {
             jobs,
             cache_dir: self.flag("cache-dir").map(std::path::PathBuf::from),
             no_persist: self.flag("no-persist").is_some(),
+            cache_budget_bytes: self.cache_budget_bytes()?,
         })
+    }
+
+    fn cache_budget_bytes(&self) -> Result<Option<u64>, CliError> {
+        match self.flag("cache-budget-bytes") {
+            Some(b) => Ok(Some(b.parse()?)),
+            None => Ok(None),
+        }
     }
 
     fn optimize_options(&self) -> OptimizeOptions {
@@ -195,6 +207,15 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                 let reduce = args.flag("reduce").is_some();
                 print!("{}", cmd_check(cases, seed, reduce, Some(&repro_dir))?);
             }
+            Ok(())
+        }
+        "cache" => {
+            let action = CacheAction::parse(
+                args.positional.first().ok_or("cache needs an action: stats|gc|verify|compact")?,
+            )?;
+            let dir = args.flag("cache-dir").ok_or("cache needs --cache-dir DIR")?;
+            let budget = args.cache_budget_bytes()?;
+            print!("{}", cmd_cache(action, std::path::Path::new(dir), budget)?);
             Ok(())
         }
         "gen" => {

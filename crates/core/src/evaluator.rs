@@ -145,6 +145,19 @@ pub struct EvaluatorStats {
     pub persist_misses: u64,
     /// Entries recovered from disk when the persistent cache was opened.
     pub persist_loaded: u64,
+    /// Batched append writes the evaluation store performed (one syscall
+    /// each; compare against `persist_misses` to see the batching win).
+    pub store_appends: u64,
+    /// Entry lines carried by those appends.
+    pub store_flushed_lines: u64,
+    /// Entries imported from legacy per-module cache files.
+    pub store_imported: u64,
+    /// Bytes the store reclaimed by compacting its logs.
+    pub store_compacted_bytes: u64,
+    /// Scope logs evicted by size-budgeted store GC.
+    pub store_gc_evicted_scopes: u64,
+    /// Bytes reclaimed by size-budgeted store GC.
+    pub store_gc_evicted_bytes: u64,
 }
 
 impl EvaluatorStats {
@@ -173,6 +186,21 @@ impl EvaluatorStats {
                 self.persist_hits, self.persist_misses, self.persist_loaded,
             ));
         }
+        if self.store_appends + self.store_imported + self.store_compacted_bytes > 0 {
+            line.push_str(&format!(
+                ", store: {} appends ({} lines) / {} imported / {} bytes compacted",
+                self.store_appends,
+                self.store_flushed_lines,
+                self.store_imported,
+                self.store_compacted_bytes,
+            ));
+        }
+        if self.store_gc_evicted_scopes + self.store_gc_evicted_bytes > 0 {
+            line.push_str(&format!(
+                ", store gc: {} scopes / {} bytes evicted",
+                self.store_gc_evicted_scopes, self.store_gc_evicted_bytes,
+            ));
+        }
         line
     }
 
@@ -188,6 +216,20 @@ impl EvaluatorStats {
         self.persist_hits += persist.hits;
         self.persist_misses += persist.misses;
         self.persist_loaded += persist.loaded;
+    }
+
+    /// Folds the evaluation store's *store-level* counters into this
+    /// snapshot. Per-scope hit/miss/loaded counts are already covered by
+    /// [`EvaluatorStats::absorb_persist`], so only the I/O-shape counters
+    /// (appends, imports, compaction, GC) are taken here — absorbing both
+    /// never double-counts.
+    pub fn absorb_store(&mut self, store: optinline_store::StoreStats) {
+        self.store_appends += store.appends;
+        self.store_flushed_lines += store.flushed_lines;
+        self.store_imported += store.imported;
+        self.store_compacted_bytes += store.compacted_bytes;
+        self.store_gc_evicted_scopes += store.gc_evicted_scopes;
+        self.store_gc_evicted_bytes += store.gc_evicted_bytes;
     }
 }
 

@@ -308,93 +308,139 @@ impl ModuleEvaluator for IncrementalEvaluator {
     }
 }
 
-/// Either evaluator behind one concrete type, so call sites (CLI flags,
-/// experiment drivers) can switch at runtime without generics.
+/// Either compile-strategy behind one concrete type.
 #[derive(Debug)]
-pub enum SizeEvaluator {
+enum SizeEvaluatorKind {
     /// Whole-module compiles ([`CompilerEvaluator`]).
     Full(CompilerEvaluator),
     /// Component-scoped compiles ([`IncrementalEvaluator`]).
     Incremental(IncrementalEvaluator),
 }
 
+/// Either evaluator behind one concrete type, so call sites (CLI flags,
+/// experiment drivers) can switch at runtime without generics — optionally
+/// with a persistent store scope attached, so owners that can't juggle the
+/// borrowed [`PersistentEvaluator`](crate::PersistentEvaluator) wrapper
+/// (e.g. the experiments harness, which owns its evaluators) still get
+/// cross-run caching.
+#[derive(Debug)]
+pub struct SizeEvaluator {
+    kind: SizeEvaluatorKind,
+    persist: Option<std::sync::Arc<crate::PersistentCache>>,
+}
+
 impl SizeEvaluator {
     /// Creates the evaluator selected by `incremental`.
     pub fn new(module: Module, target: Box<dyn Target>, incremental: bool) -> Self {
-        if incremental {
-            SizeEvaluator::Incremental(IncrementalEvaluator::new(module, target))
+        let kind = if incremental {
+            SizeEvaluatorKind::Incremental(IncrementalEvaluator::new(module, target))
         } else {
-            SizeEvaluator::Full(CompilerEvaluator::new(module, target))
-        }
+            SizeEvaluatorKind::Full(CompilerEvaluator::new(module, target))
+        };
+        SizeEvaluator { kind, persist: None }
+    }
+
+    /// Attaches a persistent store scope: `size_of` answers from it before
+    /// compiling and records every fresh result. `full_size_of` (the
+    /// oracle reference path) deliberately bypasses it.
+    pub fn with_persist(mut self, cache: std::sync::Arc<crate::PersistentCache>) -> Self {
+        self.persist = Some(cache);
+        self
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn persist(&self) -> Option<&std::sync::Arc<crate::PersistentCache>> {
+        self.persist.as_ref()
     }
 
     /// The module's inlinable call sites — the configuration domain.
     pub fn sites(&self) -> &BTreeSet<CallSiteId> {
-        match self {
-            SizeEvaluator::Full(ev) => ev.sites(),
-            SizeEvaluator::Incremental(ev) => ev.sites(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.sites(),
+            SizeEvaluatorKind::Incremental(ev) => ev.sites(),
         }
     }
 
     /// The pristine input module.
     pub fn module(&self) -> &Module {
-        match self {
-            SizeEvaluator::Full(ev) => ev.module(),
-            SizeEvaluator::Incremental(ev) => ev.module(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.module(),
+            SizeEvaluatorKind::Incremental(ev) => ev.module(),
         }
     }
 
     /// The size-model target in use.
     pub fn target(&self) -> &dyn Target {
-        match self {
-            SizeEvaluator::Full(ev) => ev.target(),
-            SizeEvaluator::Incremental(ev) => ev.target(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.target(),
+            SizeEvaluatorKind::Incremental(ev) => ev.target(),
         }
     }
 
-    /// Snapshot of the observability counters.
+    /// Snapshot of the observability counters (folding in the attached
+    /// persistent scope's counters, when one is attached).
     pub fn stats(&self) -> EvaluatorStats {
-        match self {
-            SizeEvaluator::Full(ev) => ev.stats(),
-            SizeEvaluator::Incremental(ev) => ev.stats(),
+        let mut stats = match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.stats(),
+            SizeEvaluatorKind::Incremental(ev) => ev.stats(),
+        };
+        if let Some(cache) = &self.persist {
+            stats.absorb_persist(cache.stats());
         }
+        stats
     }
 
     /// Compiles the whole module under `config` (uncached).
     pub fn compile(&self, config: &InliningConfiguration) -> Module {
-        match self {
-            SizeEvaluator::Full(ev) => ev.compile(config),
-            SizeEvaluator::Incremental(ev) => ev.compile(config),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.compile(config),
+            SizeEvaluatorKind::Incremental(ev) => ev.compile(config),
+        }
+    }
+
+    fn inner_size_of(&self, config: &InliningConfiguration) -> u64 {
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.size_of(config),
+            SizeEvaluatorKind::Incremental(ev) => ev.size_of(config),
         }
     }
 }
 
 impl Evaluator for SizeEvaluator {
     fn size_of(&self, config: &InliningConfiguration) -> u64 {
-        match self {
-            SizeEvaluator::Full(ev) => ev.size_of(config),
-            SizeEvaluator::Incremental(ev) => ev.size_of(config),
+        let Some(cache) = &self.persist else {
+            return self.inner_size_of(config);
+        };
+        // Same canonical key as the evaluators' own memo tables: the
+        // configuration's inlined sites restricted to this module's.
+        let key: Vec<CallSiteId> =
+            config.inlined_sites().intersection(self.sites()).copied().collect();
+        if let Some(size) = cache.get(&key) {
+            return size;
         }
+        let size = self.inner_size_of(config);
+        cache.put(key, size);
+        size
     }
 
     fn compilations(&self) -> u64 {
-        match self {
-            SizeEvaluator::Full(ev) => ev.compilations(),
-            SizeEvaluator::Incremental(ev) => ev.compilations(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.compilations(),
+            SizeEvaluatorKind::Incremental(ev) => ev.compilations(),
         }
     }
 
     fn queries(&self) -> u64 {
-        match self {
-            SizeEvaluator::Full(ev) => ev.queries(),
-            SizeEvaluator::Incremental(ev) => ev.queries(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.queries(),
+            SizeEvaluatorKind::Incremental(ev) => ev.queries(),
         }
     }
 
     fn memo_scope(&self) -> Option<u128> {
-        match self {
-            SizeEvaluator::Full(ev) => ev.memo_scope(),
-            SizeEvaluator::Incremental(ev) => ev.memo_scope(),
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.memo_scope(),
+            SizeEvaluatorKind::Incremental(ev) => ev.memo_scope(),
         }
     }
 }
@@ -413,9 +459,11 @@ impl ModuleEvaluator for SizeEvaluator {
     }
 
     fn full_size_of(&self, config: &InliningConfiguration) -> u64 {
-        match self {
-            SizeEvaluator::Full(ev) => ev.full_size_of(config),
-            SizeEvaluator::Incremental(ev) => ev.full_size_of(config),
+        // The reference path must stay independent of every cache,
+        // including the persistent store.
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.full_size_of(config),
+            SizeEvaluatorKind::Incremental(ev) => ev.full_size_of(config),
         }
     }
 }
@@ -581,5 +629,35 @@ mod tests {
         assert_eq!(full.size_of(&cfg), incr.size_of(&cfg));
         assert_eq!(full.sites(), incr.sites());
         assert!(incr.stats().compiles > 0);
+    }
+
+    #[test]
+    fn size_evaluator_with_persist_warm_starts_without_compiling() {
+        use crate::persist::{cache_meta, module_fingerprint, PersistentCache};
+        let dir =
+            std::env::temp_dir().join(format!("optinline-sizeev-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (m, sites) = two_component_module();
+        let fp = module_fingerprint(&m, "x86-like");
+        let meta = cache_meta(&m, "x86-like");
+        let cfg = InliningConfiguration::clean_slate().with(sites[0], Decision::Inline);
+        let cold_size;
+        {
+            let cache = std::sync::Arc::new(PersistentCache::open(&dir, fp, &meta).unwrap());
+            let ev = SizeEvaluator::new(m.clone(), Box::new(X86Like), false).with_persist(cache);
+            cold_size = ev.size_of(&cfg);
+            assert!(ev.compilations() > 0);
+            // The reference path must not be served by the store.
+            assert_eq!(ev.full_size_of(&cfg), cold_size);
+        }
+        // Fresh evaluator, same store: the answer comes from disk.
+        let cache = std::sync::Arc::new(PersistentCache::open(&dir, fp, &meta).unwrap());
+        let ev = SizeEvaluator::new(m, Box::new(X86Like), false).with_persist(cache);
+        assert_eq!(ev.size_of(&cfg), cold_size);
+        assert_eq!(ev.compilations(), 0, "warm start must not compile");
+        let s = ev.stats();
+        assert_eq!(s.persist_hits, 1);
+        assert!(s.persist_loaded >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -79,7 +79,9 @@ pub use dag::{evaluate_inlining_tree_dag, ExecutorStats, SearchSession};
 pub use evaluator::{CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator};
 pub use incremental::{IncrementalEvaluator, SizeEvaluator};
 pub use naive::{exhaustive_search, SearchOutcome};
-pub use persist::{module_fingerprint, PersistStats, PersistentCache, PersistentEvaluator};
+pub use persist::{
+    cache_meta, module_fingerprint, PersistStats, PersistentCache, PersistentEvaluator,
+};
 pub use pool::WorkerPool;
 pub use tree::{
     build_inlining_tree, evaluate_inlining_tree, evaluate_inlining_tree_parallel, space_size,

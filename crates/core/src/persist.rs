@@ -1,70 +1,47 @@
-//! Persistent cross-run evaluation cache.
+//! Persistent cross-run evaluation cache, backed by the content-addressed
+//! evaluation store.
 //!
 //! Optimal-inlining searches are embarrassingly re-runnable: the same
 //! module is searched again after an autotuner restart, a flag tweak, or a
 //! fresh process. Every one of those runs re-pays the full compile bill
-//! unless results survive the process. This module keeps them on disk as an
-//! **append-only log**, one file per (module, target) fingerprint:
+//! unless results survive the process. [`PersistentCache`] keeps them on
+//! disk through [`optinline_store`]: one *scope* per evaluation domain
+//! (module text + target + pipeline options — the same `memo_scope`
+//! fingerprint that keys in-process session memoization), living in a
+//! sharded directory with a shared index, batched appends, compaction, and
+//! size-budgeted GC. See the store crate (and DESIGN.md §5) for the layout
+//! and crash-safety argument.
 //!
-//! ```text
-//! optinline-cache v2            <- version header; mismatch = start over
-//! meta <tag>                    <- caller-supplied identity; mismatch = start over
-//! <size> -                      <- clean slate (no inlined sites)
-//! <size> s3,s7,s12              <- canonical inlined-site set
-//! ```
+//! What this module adds on top of the raw store:
 //!
-//! Design points:
-//!
-//! - **Keyed canonically.** Entries are keyed by the configuration's
-//!   canonical identity — its inlined-site set restricted to the module's
-//!   sites — matching the in-memory memo key of `CompilerEvaluator`, so a
-//!   hit is exactly a compile avoided.
-//! - **Append-only, corruption-tolerant.** Writers only ever append one
-//!   line per new result and flush; a crash can at worst truncate the final
-//!   line. Readers skip anything malformed (truncated line, bad integer,
-//!   stray bytes) and keep the rest, so a damaged cache degrades to a
-//!   smaller cache, never an error.
-//! - **Versioned and self-identifying.** The header names the format, and
-//!   the `meta` line records what the caller believes the file is for
-//!   (module name, target, site count). The filename's FNV-128 fingerprint
-//!   is not cryptographic, so a (vanishingly unlikely) collision between
-//!   two modules would otherwise serve wrong sizes silently; a meta
-//!   mismatch instead restarts the file. Unknown headers restart too, so
-//!   format changes never poison new binaries with stale bytes.
-//! - **Restart by rename.** When a file must be restarted (unknown header
-//!   or meta mismatch), the fresh header is written to a temp file and
-//!   atomically renamed over the old one — a concurrent process holding an
-//!   append handle keeps writing the unlinked inode, so its entries are
-//!   lost but never interleaved mid-file. The cache is an accelerator for
-//!   a single writer per file; concurrent writers are tolerated with
-//!   at-worst-lost entries, never corruption that survives the reader's
-//!   line-level tolerance.
-//!
-//! [`PersistentEvaluator`] wraps any [`Evaluator`] with such a cache and is
-//! what the CLI layers under `search`/`autotune` when `--cache-dir` is
-//! given.
+//! - **Canonical keying.** Entries are keyed by the configuration's
+//!   inlined-site set restricted to the module's sites — matching the
+//!   in-memory memo key of `CompilerEvaluator`, so a hit is exactly a
+//!   compile avoided.
+//! - **Identity derivation.** [`cache_meta`] builds the human-auditable
+//!   identity tag recorded on (and verified against) every scope log, and
+//!   [`module_fingerprint`] still computes the fingerprint older releases
+//!   used for their flat per-module files — passed to the store as the
+//!   *legacy* identity so those files are imported once (when their meta
+//!   matches) or cleanly ignored (when it doesn't), never misread.
+//! - **[`PersistentEvaluator`]**, the [`Evaluator`] adapter the CLI layers
+//!   under `search`/`autotune` when `--cache-dir` is given: answer from
+//!   the store, forward misses, record every fresh result.
 
 use crate::config::InliningConfiguration;
 use crate::evaluator::Evaluator;
 use optinline_callgraph::Fnv128;
 use optinline_ir::{CallSiteId, Module};
-use std::collections::{BTreeSet, HashMap};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// Format tag written as the first line of every cache file.
-const HEADER: &str = "optinline-cache v2";
-
-/// Prefix of the identity line written right after the header.
-const META_PREFIX: &str = "meta ";
+use optinline_store::{LocalStore, Scope, ScopeSpec, StoreStats};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Counters for a [`PersistentCache`]'s lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PersistStats {
-    /// Entries recovered from disk when the cache was opened.
+    /// Entries recovered from disk when the cache was opened (including
+    /// any imported from a legacy per-module file).
     pub loaded: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
@@ -72,9 +49,9 @@ pub struct PersistStats {
     pub misses: u64,
 }
 
-/// A stable fingerprint identifying (module, target) for cache filenames:
-/// any change to the module's printed form or the target name moves the
-/// cache to a fresh file.
+/// A stable fingerprint identifying (module, target): the identity older
+/// releases named their flat per-module cache files with. Still computed
+/// so the store can find and import (or ignore) those files.
 pub fn module_fingerprint(module: &Module, target_name: &str) -> u128 {
     let mut h = Fnv128::new();
     h.write(module.to_string().as_bytes());
@@ -83,199 +60,96 @@ pub fn module_fingerprint(module: &Module, target_name: &str) -> u128 {
     h.finish()
 }
 
-/// Whether the file's final byte is a newline (empty files count as
-/// terminated). Used to detect partial trailing lines after a crash.
-fn ends_with_newline(path: &Path) -> bool {
-    use std::io::{Read, Seek, SeekFrom};
-    let Ok(mut f) = File::open(path) else { return true };
-    let Ok(len) = f.metadata().map(|m| m.len()) else { return true };
-    if len == 0 {
-        return true;
-    }
-    if f.seek(SeekFrom::End(-1)).is_err() {
-        return true;
-    }
-    let mut b = [0u8; 1];
-    f.read_exact(&mut b).map(|_| b[0] == b'\n').unwrap_or(true)
+/// The identity tag recorded on a scope log and verified at every open.
+/// Deliberately the same format the legacy per-module files carried, so
+/// their metas verify during import.
+pub fn cache_meta(module: &Module, target_name: &str) -> String {
+    format!("{} target={} sites={}", module.name, target_name, module.inlinable_sites().len())
 }
 
-/// The on-disk size cache: an in-memory map backed by an append-only log.
+/// The on-disk size cache: one scope of the shared evaluation store.
 #[derive(Debug)]
 pub struct PersistentCache {
-    entries: Mutex<HashMap<Vec<CallSiteId>, u64>>,
-    file: Mutex<File>,
-    path: PathBuf,
-    loaded: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    store: Arc<LocalStore>,
+    scope: Scope,
 }
 
 impl PersistentCache {
-    /// Opens (or creates) the cache for `fingerprint` inside `dir`,
-    /// loading every well-formed entry already on disk. `meta` names what
-    /// the file is for (module, target, site count) and is verified
-    /// against the file's recorded identity: a mismatch — an FNV filename
-    /// collision, or a stale file — restarts the cache instead of serving
-    /// another module's sizes. A missing directory is created; a file
-    /// with an unknown header is likewise restarted at the current
-    /// version (via write-to-temp + atomic rename, so a concurrent
-    /// appender can never interleave bytes mid-file).
+    /// Opens (or creates) the cache for `fingerprint` inside the store
+    /// rooted at `dir`, loading every well-formed entry already on disk.
+    /// `meta` names what the scope is for (module, target, site count) and
+    /// is verified against the recorded identity: a mismatch — an FNV
+    /// fingerprint collision, or a stale file — restarts the scope instead
+    /// of serving another module's sizes. The same fingerprint doubles as
+    /// the legacy identity, so an old flat `<fingerprint>.sizes` file in
+    /// `dir` is imported when its meta matches.
     pub fn open(dir: &Path, fingerprint: u128, meta: &str) -> std::io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{fingerprint:032x}.sizes"));
-        // The identity must fit one line; newlines would desync the format.
-        let meta: String =
-            meta.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
-        let (entries, rewrite) = match File::open(&path) {
-            Ok(f) => Self::load(f, &meta),
-            Err(_) => (HashMap::new(), false),
-        };
-        if rewrite {
-            // Unknown header or foreign meta: the bytes belong to a
-            // different format or module. Restart via temp + rename so a
-            // process still appending to the old file writes the unlinked
-            // inode rather than splicing into the fresh one.
-            let tmp = dir.join(format!("{fingerprint:032x}.sizes.tmp.{}", std::process::id()));
-            let mut t = File::create(&tmp)?;
-            writeln!(t, "{HEADER}")?;
-            writeln!(t, "{META_PREFIX}{meta}")?;
-            t.flush()?;
-            drop(t);
-            std::fs::rename(&tmp, &path)?;
-        }
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        if file.metadata().map(|m| m.len() == 0).unwrap_or(true) {
-            writeln!(file, "{HEADER}")?;
-            writeln!(file, "{META_PREFIX}{meta}")?;
-            file.flush()?;
-        } else if !ends_with_newline(&path) {
-            // A crash mid-append left a partial line; terminate it so the
-            // next append can't splice onto the damaged bytes.
-            writeln!(file)?;
-            file.flush()?;
-        }
-        let loaded = entries.len() as u64;
-        Ok(PersistentCache {
-            entries: Mutex::new(entries),
-            file: Mutex::new(file),
-            path,
-            loaded,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        })
+        Self::open_scoped(dir, fingerprint, Some(fingerprint), meta)
     }
 
-    /// Parses a cache file, skipping malformed lines. Returns the entries
-    /// and whether the file must be restarted (unknown header, or a meta
-    /// line naming a different module).
-    fn load(f: File, meta: &str) -> (HashMap<Vec<CallSiteId>, u64>, bool) {
-        let mut lines = BufReader::new(f).lines();
-        match lines.next() {
-            Some(Ok(h)) if h == HEADER => {}
-            None => return (HashMap::new(), false),
-            _ => return (HashMap::new(), true),
-        }
-        match lines.next() {
-            Some(Ok(m)) if m.strip_prefix(META_PREFIX) == Some(meta) => {}
-            // Header-only file (crash between the two writes): empty, but
-            // the identity is unrecorded — restart to stamp it.
-            _ => return (HashMap::new(), true),
-        }
-        let mut entries = HashMap::new();
-        for line in lines.map_while(Result::ok) {
-            if let Some((key, size)) = Self::parse_entry(&line) {
-                entries.insert(key, size);
-            }
-        }
-        (entries, false)
-    }
-
-    fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, u64)> {
-        let (size_str, sites_str) = line.trim_end().split_once(' ')?;
-        let size: u64 = size_str.parse().ok()?;
-        let mut sites = Vec::new();
-        if sites_str != "-" {
-            for part in sites_str.split(',') {
-                let id: u32 = part.strip_prefix('s')?.parse().ok()?;
-                sites.push(CallSiteId::new(id));
-            }
-            // Canonical entries are strictly sorted; anything else is a
-            // damaged line.
-            if !sites.windows(2).all(|w| w[0] < w[1]) {
-                return None;
-            }
-        }
-        Some((sites, size))
-    }
-
-    fn format_entry(key: &[CallSiteId], size: u64) -> String {
-        if key.is_empty() {
-            return format!("{size} -");
-        }
-        let sites: Vec<String> = key.iter().map(|s| s.to_string()).collect();
-        format!("{} {}", size, sites.join(","))
+    /// Opens the cache for an explicit (scope, legacy) identity pair:
+    /// `fingerprint` is the content address (the evaluator's
+    /// `memo_scope`), `legacy_fingerprint` the name an older release's
+    /// flat file would carry (usually [`module_fingerprint`]), or `None`
+    /// to skip import probing.
+    pub fn open_scoped(
+        dir: &Path,
+        fingerprint: u128,
+        legacy_fingerprint: Option<u128>,
+        meta: &str,
+    ) -> std::io::Result<Self> {
+        let store = LocalStore::shared(dir)?;
+        let scope = store.scope(ScopeSpec { fingerprint, meta, legacy_fingerprint })?;
+        Ok(PersistentCache { store, scope })
     }
 
     /// Looks up the size recorded for a canonical inlined-site set.
     pub fn get(&self, key: &[CallSiteId]) -> Option<u64> {
-        let found = self
-            .entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(key)
-            .copied();
-        match found {
-            Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        self.scope.get(key)
     }
 
-    /// Records a result, appending it to the log. I/O errors are swallowed
-    /// (the cache is an accelerator, never a correctness dependency); the
-    /// in-memory entry is kept either way.
+    /// Records a result in the store's write-back buffer (made durable by
+    /// a threshold flush, [`PersistentCache::flush`], or drop). I/O errors
+    /// are swallowed — the cache is an accelerator, never a correctness
+    /// dependency; the in-memory entry is kept either way.
     pub fn put(&self, key: Vec<CallSiteId>, size: u64) {
-        let line = Self::format_entry(&key, size);
-        let fresh = self
-            .entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, size)
-            .is_none();
-        if fresh {
-            let mut f = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            let _ = writeln!(f, "{line}");
-            let _ = f.flush();
-        }
+        self.scope.put(key, size);
     }
 
-    /// Number of entries currently held (loaded + recorded).
+    /// Flushes buffered writes for this scope.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.scope.flush()
+    }
+
+    /// Number of entries currently resident (a bounded subset of the log).
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+        self.scope.len()
     }
 
-    /// Whether the cache holds no entries.
+    /// Whether the cache holds no resident entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.scope.is_empty()
     }
 
-    /// The backing file's path.
+    /// The backing scope log's path.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.scope.path()
     }
 
-    /// Lifetime counters.
+    /// The store this cache lives in (shared per directory per process).
+    pub fn store(&self) -> &Arc<LocalStore> {
+        &self.store
+    }
+
+    /// Lifetime counters of this scope.
     pub fn stats(&self) -> PersistStats {
-        PersistStats {
-            loaded: self.loaded,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        let c = self.scope.counters();
+        PersistStats { loaded: c.loaded, hits: c.hits, misses: c.misses }
+    }
+
+    /// Aggregate counters of the whole backing store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.store_stats()
     }
 }
 
@@ -332,7 +206,11 @@ impl<E: Evaluator + std::fmt::Debug> Evaluator for PersistentEvaluator<'_, E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optinline_store::{HEADER, LEGACY_HEADER};
+    use std::fs::OpenOptions;
     use std::io::{Read, Seek, SeekFrom};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d =
@@ -406,31 +284,38 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_lines_are_skipped_individually() {
+    fn legacy_v2_file_is_imported_with_line_level_tolerance() {
+        // An old release's flat per-module file: well-formed lines are
+        // imported; bad integer, unsorted sites, garbage bytes, and
+        // malformed ids are each dropped independently.
         let dir = tmpdir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("{:032x}.sizes", 9u128));
+        let legacy = dir.join(format!("{:032x}.sizes", 9u128));
         std::fs::write(
-            &path,
-            format!("{HEADER}\nmeta mod-c\n77 s1,s2\nnot a number s3\n88 s9,s4\n\u{1F4A3}\n99 -\n55 sX\n"),
+            &legacy,
+            format!(
+                "{LEGACY_HEADER}\nmeta mod-c\n77 s1,s2\nnot a number s3\n\
+                 88 s9,s4\n\u{1F4A3}\n99 -\n55 sX\n"
+            ),
         )
         .unwrap();
         let c = PersistentCache::open(&dir, 9, "mod-c").unwrap();
-        // Well-formed lines survive; bad integer, unsorted sites, garbage
-        // bytes, and malformed ids are each dropped independently.
         assert_eq!(c.stats().loaded, 2);
         assert_eq!(c.get(&k(&[1, 2])), Some(77));
         assert_eq!(c.get(&k(&[])), Some(99));
         assert_eq!(c.get(&k(&[9, 4])), None);
         assert_eq!(c.get(&k(&[4, 9])), None);
+        assert!(!legacy.exists(), "imported legacy file is retired");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn unknown_header_restarts_the_file() {
         let dir = tmpdir("version");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("{:032x}.sizes", 3u128));
+        // Seed a scope log carrying a future/unknown header.
+        let probe = PersistentCache::open(&dir, 3, "mod-v").unwrap();
+        let path = probe.path().to_path_buf();
+        drop(probe);
         std::fs::write(&path, "optinline-cache v0\n12 s1\n").unwrap();
         let c = PersistentCache::open(&dir, 3, "mod-v").unwrap();
         assert_eq!(c.stats().loaded, 0, "old-format entries must not leak in");
@@ -446,8 +331,9 @@ mod tests {
 
     #[test]
     fn meta_mismatch_restarts_the_file() {
-        // Same fingerprint (an FNV filename collision, or a stale file),
-        // different module identity: the recorded sizes must not be served.
+        // Same fingerprint (an FNV fingerprint collision, or a stale
+        // file), different module identity: the recorded sizes must not be
+        // served.
         let dir = tmpdir("meta");
         {
             let c = PersistentCache::open(&dir, 5, "modA target=x86 sites=3").unwrap();
@@ -475,6 +361,19 @@ mod tests {
         let c = PersistentCache::open(&dir, 6, "mod\nwith newline").unwrap();
         assert_eq!(c.stats().loaded, 1, "sanitized meta must round-trip");
         assert_eq!(c.get(&k(&[2])), Some(20));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn caches_in_one_process_share_one_store() {
+        let dir = tmpdir("share");
+        let a = PersistentCache::open(&dir, 0xaa, "mod-a").unwrap();
+        let b = PersistentCache::open(&dir, 0xbb, "mod-b").unwrap();
+        assert!(Arc::ptr_eq(a.store(), b.store()), "one directory, one store");
+        a.put(k(&[1]), 1);
+        b.put(k(&[2]), 2);
+        let stats = a.store_stats();
+        assert_eq!(stats.puts, 2, "store stats aggregate across scopes");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -3,13 +3,14 @@
 
 use optinline_codegen::X86Like;
 use optinline_core::{
-    Evaluator, EvaluatorStats, InliningConfiguration, SearchSession, SizeEvaluator,
+    cache_meta, module_fingerprint, Evaluator, EvaluatorStats, InliningConfiguration,
+    PersistentCache, SearchSession, SizeEvaluator,
 };
 use optinline_heuristics::CostModelInliner;
 use optinline_workloads::{spec_suite, Benchmark, Scale};
 use std::fmt::Write as _;
-use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// The harness-wide hash-consing session for the task-DAG search
 /// executor: every exhaustive search in a run shares it, so repeated
@@ -37,6 +38,11 @@ pub struct Ctx {
     /// Use the component-scoped incremental evaluator (default) instead of
     /// whole-module compiles (`--full-eval`).
     pub incremental: bool,
+    /// Directory for the persistent evaluation store (`--cache-dir`, or
+    /// the `OPTINLINE_CACHE_DIR` environment variable): a second harness
+    /// run answers every repeated size query from disk. `None` disables
+    /// persistence.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Ctx {
@@ -48,6 +54,7 @@ impl Ctx {
             exhaustive_bits: 14,
             out_dir: PathBuf::from("results"),
             incremental: true,
+            cache_dir: std::env::var_os("OPTINLINE_CACHE_DIR").map(PathBuf::from),
         }
     }
 
@@ -92,14 +99,26 @@ pub struct FileCase {
     pub no_inline_size: u64,
 }
 
-/// Loads the suite and precomputes per-file baselines.
-pub fn load_cases(scale: Scale, incremental: bool) -> Vec<FileCase> {
+/// Loads the suite and precomputes per-file baselines. With a cache
+/// directory, every evaluator gets a persistent scope in one shared
+/// store, addressed by its `memo_scope` identity — the same addressing
+/// the CLI uses, so harness and CLI runs share warm entries.
+pub fn load_cases(scale: Scale, incremental: bool, cache_dir: Option<&Path>) -> Vec<FileCase> {
     let suite: Vec<Benchmark> = spec_suite(scale);
     let mut cases = Vec::new();
     for bench in suite {
         for module in bench.files {
             let file = module.name.clone();
-            let evaluator = SizeEvaluator::new(module, Box::new(X86Like), incremental);
+            let mut evaluator = SizeEvaluator::new(module, Box::new(X86Like), incremental);
+            if let Some(dir) = cache_dir {
+                let legacy = module_fingerprint(evaluator.module(), evaluator.target().name());
+                let fp = evaluator.memo_scope().unwrap_or(legacy);
+                let meta = cache_meta(evaluator.module(), evaluator.target().name());
+                match PersistentCache::open_scoped(dir, fp, Some(legacy), &meta) {
+                    Ok(cache) => evaluator = evaluator.with_persist(Arc::new(cache)),
+                    Err(e) => eprintln!("warning: cache disabled for {file}: {e}"),
+                }
+            }
             let heuristic = InliningConfiguration::from_decisions(
                 CostModelInliner::default().decide(evaluator.module(), &X86Like),
             );
@@ -147,6 +166,11 @@ pub fn aggregate_stats(cases: &[FileCase]) -> EvaluatorStats {
 pub fn stats_footer(cases: &[FileCase]) -> String {
     let mut stats = aggregate_stats(cases);
     stats.absorb_executor(search_session().stats());
+    // All cases share one store (same directory), so its store-wide I/O
+    // counters fold in exactly once.
+    if let Some(cache) = cases.iter().find_map(|c| c.evaluator.persist()) {
+        stats.absorb_store(cache.store_stats());
+    }
     format!("evaluator: {}", stats.render())
 }
 

@@ -53,9 +53,11 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--small] [--bits N] [--out DIR] [--full-eval] <experiment|all>...\n"
+        "usage: experiments [--small] [--bits N] [--out DIR] [--full-eval] [--cache-dir DIR] \
+         <experiment|all>...\n"
     );
-    eprintln!("  --full-eval  whole-module compiles instead of the incremental evaluator\n");
+    eprintln!("  --full-eval  whole-module compiles instead of the incremental evaluator");
+    eprintln!("  --cache-dir  persistent evaluation store (also: OPTINLINE_CACHE_DIR env var)\n");
     eprintln!("experiments:");
     for (name, desc) in EXPERIMENTS {
         eprintln!("  {name:<12} {desc}");
@@ -78,6 +80,9 @@ fn main() {
             "--out" => {
                 ctx.out_dir = args.next().unwrap_or_else(|| usage()).into();
             }
+            "--cache-dir" => {
+                ctx.cache_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "all" => selected.extend(EXPERIMENTS.iter().map(|(n, _)| n.to_string())),
             name if EXPERIMENTS.iter().any(|(n, _)| *n == name) => selected.push(name.to_string()),
             _ => usage(),
@@ -90,7 +95,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     eprintln!("[generating suite + baselines ({:?} scale)...]", ctx.scale);
-    let cases = common::load_cases(ctx.scale, ctx.incremental);
+    let cases = common::load_cases(ctx.scale, ctx.incremental, ctx.cache_dir.as_deref());
     eprintln!(
         "[{} files, {} inlinable sites, {:.1}s]",
         cases.len(),

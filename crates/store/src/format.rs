@@ -1,0 +1,123 @@
+//! The on-disk line format shared by every scope log.
+//!
+//! A scope log is a newline-separated text file:
+//!
+//! ```text
+//! optinline-store v1            <- version header; mismatch = restart
+//! meta <tag>                    <- caller-supplied identity; mismatch = restart
+//! <size> -                      <- clean slate (no inlined sites)
+//! <size> s3,s7,s12              <- canonical inlined-site set, strictly sorted
+//! ```
+//!
+//! The entry grammar is byte-identical to the legacy per-module
+//! `optinline-cache v2` format, which is what makes legacy files importable
+//! line-by-line (see [`crate::LocalStore::scope`]). Parsing is tolerant:
+//! any malformed line (bad integer, unsorted or garbled site list, stray
+//! bytes) is skipped individually, so a damaged log degrades to a smaller
+//! log, never an error.
+
+use optinline_ir::CallSiteId;
+
+/// Format tag written as the first line of every scope log.
+pub const HEADER: &str = "optinline-store v1";
+
+/// Header of the legacy per-module cache files this store can import.
+pub const LEGACY_HEADER: &str = "optinline-cache v2";
+
+/// Prefix of the identity line written right after the header.
+pub const META_PREFIX: &str = "meta ";
+
+/// Extension of scope logs inside the sharded directories.
+pub const LOG_EXT: &str = "log";
+
+/// Extension of legacy flat per-module cache files.
+pub const LEGACY_EXT: &str = "sizes";
+
+/// Flattens a caller-supplied identity tag to one line: the meta line is
+/// positional, so embedded newlines would desync the whole format.
+pub fn sanitize_meta(meta: &str) -> String {
+    meta.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect()
+}
+
+/// Parses one entry line. `None` means the line is damaged and must be
+/// skipped (never trusted, never fatal).
+pub fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, u64)> {
+    let (size_str, sites_str) = line.trim_end().split_once(' ')?;
+    let size: u64 = size_str.parse().ok()?;
+    let mut sites = Vec::new();
+    if sites_str != "-" {
+        for part in sites_str.split(',') {
+            let id: u32 = part.strip_prefix('s')?.parse().ok()?;
+            sites.push(CallSiteId::new(id));
+        }
+        // Canonical entries are strictly sorted; anything else is a
+        // damaged line.
+        if !sites.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+    }
+    Some((sites, size))
+}
+
+/// Formats an entry line (without the trailing newline).
+pub fn format_entry(key: &[CallSiteId], size: u64) -> String {
+    if key.is_empty() {
+        return format!("{size} -");
+    }
+    let sites: Vec<String> = key.iter().map(|s| s.to_string()).collect();
+    format!("{} {}", size, sites.join(","))
+}
+
+/// The sharded relative path of a scope log: `ab/cdef...0123.log`, so one
+/// directory never accumulates thousands of files.
+pub fn scope_rel_path(fingerprint: u128) -> (String, String) {
+    let hex = format!("{fingerprint:032x}");
+    (hex[..2].to_string(), format!("{}.{LOG_EXT}", &hex[2..]))
+}
+
+/// Recovers the fingerprint from a sharded path's components, if they
+/// spell one.
+pub fn fingerprint_of(shard: &str, file_stem: &str) -> Option<u128> {
+    if shard.len() != 2 || file_stem.len() != 30 {
+        return None;
+    }
+    u128::from_str_radix(&format!("{shard}{file_stem}"), 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(ids: &[u32]) -> Vec<CallSiteId> {
+        ids.iter().map(|&i| CallSiteId::new(i)).collect()
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        for key in [k(&[]), k(&[3]), k(&[1, 5, 9])] {
+            let line = format_entry(&key, 777);
+            assert_eq!(parse_entry(&line), Some((key, 777)));
+        }
+    }
+
+    #[test]
+    fn damaged_lines_are_rejected() {
+        for bad in ["", "x -", "12", "12 s", "12 sX", "12 s4,s2", "12 s4,s4", "\u{1F4A3}"] {
+            assert_eq!(parse_entry(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn sharded_paths_round_trip() {
+        let fp = 0xfeed_face_cafe_babe_dead_beef_0123_4567_u128;
+        let (shard, file) = scope_rel_path(fp);
+        assert_eq!(shard.len(), 2);
+        let stem = file.strip_suffix(".log").unwrap();
+        assert_eq!(fingerprint_of(&shard, stem), Some(fp));
+    }
+
+    #[test]
+    fn meta_is_flattened() {
+        assert_eq!(sanitize_meta("a\nb\rc"), "a b c");
+    }
+}

@@ -1,0 +1,260 @@
+//! The store's on-disk index: one compact text file, atomically rewritten.
+//!
+//! The index is **advisory acceleration plus recency state**, never a
+//! source of truth for entry values: it records, per scope, the entry
+//! count, the log's byte size, and a logical last-used clock that GC's LRU
+//! eviction orders by. Every record is rebuildable from a full scan of the
+//! sharded logs ([`crate::LocalStore::verify`] does exactly that), so a
+//! missing, stale, or damaged index costs a scan, never an answer.
+//!
+//! Format (`index.v1` at the store root):
+//!
+//! ```text
+//! optinline-index v1
+//! clock 42
+//! scope <fp-hex32> entries <n> bytes <n> used <clock>
+//! ```
+//!
+//! Writes go to a temp file followed by an atomic rename, so readers see
+//! either the old index or the new one, never a torn mix. Malformed lines
+//! are skipped on load; an unknown header discards the file (it will be
+//! rebuilt as scopes are touched).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Header naming the index format.
+const INDEX_HEADER: &str = "optinline-index v1";
+
+/// File name of the index at the store root.
+pub const INDEX_FILE: &str = "index.v1";
+
+/// Per-scope index record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScopeRecord {
+    /// Live (distinct) entries the scope's log held when last synced.
+    pub entries: u64,
+    /// Byte size of the scope's log when last synced.
+    pub bytes: u64,
+    /// Logical clock value of the scope's last open or flush; GC evicts
+    /// in ascending `used` order (LRU).
+    pub used: u64,
+}
+
+/// The in-memory index image.
+#[derive(Clone, Debug, Default)]
+pub struct Index {
+    /// Monotonic logical clock; bumped on every touch.
+    pub clock: u64,
+    /// Records keyed by scope fingerprint.
+    pub scopes: HashMap<u128, ScopeRecord>,
+}
+
+impl Index {
+    /// Parses an index file, tolerantly. A missing file or unknown header
+    /// yields an empty index (rebuilt lazily); malformed lines are
+    /// skipped.
+    pub fn load(path: &Path) -> Index {
+        let Ok(text) = std::fs::read_to_string(path) else { return Index::default() };
+        let mut lines = text.lines();
+        if lines.next() != Some(INDEX_HEADER) {
+            return Index::default();
+        }
+        let mut index = Index::default();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("clock") => {
+                    if let Some(c) = parts.next().and_then(|v| v.parse().ok()) {
+                        index.clock = c;
+                    }
+                }
+                Some("scope") => {
+                    let parse = |kw: &str, parts: &mut std::str::SplitWhitespace| -> Option<u64> {
+                        if parts.next() != Some(kw) {
+                            return None;
+                        }
+                        parts.next().and_then(|v| v.parse().ok())
+                    };
+                    let Some(fp) = parts.next().and_then(|h| u128::from_str_radix(h, 16).ok())
+                    else {
+                        continue;
+                    };
+                    let (Some(entries), Some(bytes), Some(used)) = (
+                        parse("entries", &mut parts),
+                        parse("bytes", &mut parts),
+                        parse("used", &mut parts),
+                    ) else {
+                        continue;
+                    };
+                    index.scopes.insert(fp, ScopeRecord { entries, bytes, used });
+                }
+                _ => {}
+            }
+        }
+        index
+    }
+
+    /// Renders the file image (sorted by fingerprint for stable diffs).
+    fn render(&self) -> String {
+        let mut out = format!("{INDEX_HEADER}\nclock {}\n", self.clock);
+        let mut fps: Vec<&u128> = self.scopes.keys().collect();
+        fps.sort();
+        for fp in fps {
+            let r = &self.scopes[fp];
+            out.push_str(&format!(
+                "scope {fp:032x} entries {} bytes {} used {}\n",
+                r.entries, r.bytes, r.used
+            ));
+        }
+        out
+    }
+}
+
+/// The index shared between a [`crate::LocalStore`] and its open scopes:
+/// scopes push their record on every flush, the store persists the image
+/// atomically.
+#[derive(Debug)]
+pub struct SharedIndex {
+    path: PathBuf,
+    data: Mutex<Index>,
+}
+
+impl SharedIndex {
+    /// Loads (or initializes) the index living at `root`.
+    pub fn open(root: &Path) -> SharedIndex {
+        let path = root.join(INDEX_FILE);
+        let data = Mutex::new(Index::load(&path));
+        SharedIndex { path, data }
+    }
+
+    /// The index file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bumps the clock and returns the new value.
+    pub fn tick(&self) -> u64 {
+        let mut d = self.lock();
+        d.clock += 1;
+        d.clock
+    }
+
+    /// Updates (or creates) a scope's record, stamping it with a fresh
+    /// clock tick.
+    pub fn touch(&self, fingerprint: u128, entries: u64, bytes: u64) {
+        let mut d = self.lock();
+        d.clock += 1;
+        let used = d.clock;
+        d.scopes.insert(fingerprint, ScopeRecord { entries, bytes, used });
+    }
+
+    /// Removes a scope's record (after GC evicted its log).
+    pub fn remove(&self, fingerprint: u128) {
+        self.lock().scopes.remove(&fingerprint);
+    }
+
+    /// Replaces every record with `scopes` (a rebuild from a full scan),
+    /// preserving recency stamps where the old image had them and the
+    /// clock high-water mark.
+    pub fn rebuild(&self, scopes: HashMap<u128, ScopeRecord>) {
+        let mut d = self.lock();
+        let old = std::mem::take(&mut d.scopes);
+        d.scopes = scopes;
+        for (fp, r) in d.scopes.iter_mut() {
+            if let Some(prev) = old.get(fp) {
+                r.used = prev.used;
+            }
+        }
+    }
+
+    /// Snapshot of the current image.
+    pub fn snapshot(&self) -> Index {
+        self.lock().clone()
+    }
+
+    /// Persists the image via temp file + atomic rename. I/O errors are
+    /// returned but safe to swallow: the index is rebuildable.
+    pub fn save(&self) -> std::io::Result<()> {
+        let image = self.lock().render();
+        let tmp = self.path.with_extension(format!("v1.tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(image.as_bytes())?;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Index> {
+        self.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("optinline-index-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let idx = SharedIndex::open(&dir);
+        idx.touch(0xabc, 10, 1000);
+        idx.touch(0xdef, 20, 2000);
+        idx.touch(0xabc, 11, 1100);
+        idx.save().unwrap();
+        let again = SharedIndex::open(&dir);
+        let snap = again.snapshot();
+        assert_eq!(snap.clock, 3);
+        assert_eq!(snap.scopes[&0xabc], ScopeRecord { entries: 11, bytes: 1100, used: 3 });
+        assert_eq!(snap.scopes[&0xdef], ScopeRecord { entries: 20, bytes: 2000, used: 2 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_header_and_malformed_lines_are_discarded() {
+        let dir = tmpdir("tolerant");
+        std::fs::write(dir.join(INDEX_FILE), "who knows\nscope 1 entries 2 bytes 3 used 4\n")
+            .unwrap();
+        assert!(SharedIndex::open(&dir).snapshot().scopes.is_empty(), "unknown header");
+        std::fs::write(
+            dir.join(INDEX_FILE),
+            format!(
+                "{INDEX_HEADER}\nclock 9\nscope zz entries 1 bytes 1 used 1\n\
+                 scope 00000000000000000000000000000abc entries 5 bytes 50 used 7\nnoise\n"
+            ),
+        )
+        .unwrap();
+        let snap = SharedIndex::open(&dir).snapshot();
+        assert_eq!(snap.clock, 9);
+        assert_eq!(snap.scopes.len(), 1, "only the well-formed record survives");
+        assert_eq!(snap.scopes[&0xabc].entries, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebuild_preserves_recency_for_surviving_scopes() {
+        let dir = tmpdir("rebuild");
+        let idx = SharedIndex::open(&dir);
+        idx.touch(1, 1, 10);
+        idx.touch(2, 2, 20);
+        let mut scan = HashMap::new();
+        scan.insert(1, ScopeRecord { entries: 3, bytes: 30, used: 0 });
+        scan.insert(9, ScopeRecord { entries: 9, bytes: 90, used: 0 });
+        idx.rebuild(scan);
+        let snap = idx.snapshot();
+        assert_eq!(snap.scopes[&1], ScopeRecord { entries: 3, bytes: 30, used: 1 });
+        assert_eq!(snap.scopes[&9].used, 0, "fresh scope starts cold");
+        assert!(!snap.scopes.contains_key(&2), "vanished scope dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

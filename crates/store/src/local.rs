@@ -1,0 +1,446 @@
+//! The local filesystem store: sharded scope logs under one root, plus
+//! the shared index, size-budgeted GC, verification, and compaction.
+
+use crate::format::{
+    fingerprint_of, parse_entry, sanitize_meta, scope_rel_path, HEADER, LEGACY_EXT, LOG_EXT,
+    META_PREFIX,
+};
+use crate::index::{ScopeRecord, SharedIndex};
+use crate::scope::{Scope, ScopeCounters};
+use crate::{Store, StoreOptions, StoreStats};
+use optinline_ir::CallSiteId;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Identity of a scope to open: the content fingerprint, the
+/// human-auditable meta tag verified against the log, and optionally the
+/// fingerprint an older release would have used for its flat per-module
+/// file (enables one-time import).
+#[derive(Clone, Copy, Debug)]
+pub struct ScopeSpec<'a> {
+    /// Content fingerprint (module text + target + pipeline options).
+    pub fingerprint: u128,
+    /// Identity tag recorded on (and verified against) the log.
+    pub meta: &'a str,
+    /// Legacy per-module fingerprint whose `.sizes` file may be imported.
+    pub legacy_fingerprint: Option<u128>,
+}
+
+/// Result of a size-budgeted GC pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// The byte budget enforced.
+    pub budget_bytes: u64,
+    /// Store directory bytes before the pass.
+    pub before_bytes: u64,
+    /// Store directory bytes after the pass (≤ budget unless everything
+    /// evictable is gone and open scopes still exceed it).
+    pub after_bytes: u64,
+    /// Scope logs deleted, LRU first.
+    pub evicted_scopes: u64,
+    /// Legacy per-module files deleted (evicted before any scope log).
+    pub evicted_legacy: u64,
+}
+
+/// Result of a full structural scan ([`LocalStore::verify`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Scope logs scanned.
+    pub scopes: u64,
+    /// Distinct live entries across them.
+    pub entries: u64,
+    /// Bytes across scope logs.
+    pub bytes: u64,
+    /// Duplicate entry lines (reclaimable by compaction, not damage).
+    pub duplicate_lines: u64,
+    /// Malformed entry lines skipped (line-scoped damage).
+    pub malformed_lines: u64,
+    /// Log-named files whose header or meta line is unreadable.
+    pub unreadable_logs: u64,
+    /// Legacy `.sizes` files still awaiting import at the root.
+    pub legacy_files: u64,
+}
+
+impl VerifyReport {
+    /// Whether the scan found no damage (duplicates and pending legacy
+    /// files are normal operation, not damage).
+    pub fn clean(&self) -> bool {
+        self.malformed_lines == 0 && self.unreadable_logs == 0
+    }
+}
+
+/// One log discovered by a directory scan.
+struct Scanned {
+    fingerprint: u128,
+    path: PathBuf,
+    bytes: u64,
+}
+
+/// Global registry so every cache in a process (CLI run, experiments
+/// harness, tests) opening the same directory shares one store — one
+/// index image, one scope registry, one set of append handles.
+fn registry() -> &'static Mutex<HashMap<PathBuf, Weak<LocalStore>>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<PathBuf, Weak<LocalStore>>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The sharded local store. See the crate docs for the on-disk layout.
+pub struct LocalStore {
+    root: PathBuf,
+    opts: StoreOptions,
+    index: Arc<SharedIndex>,
+    scopes: Mutex<HashMap<u128, (String, Weak<crate::scope::ScopeInner>)>>,
+    /// Counters folded in from dropped scope handles.
+    retired: Arc<Mutex<ScopeCounters>>,
+    gc_evicted_scopes: AtomicU64,
+    gc_evicted_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for LocalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalStore").field("root", &self.root).finish()
+    }
+}
+
+impl LocalStore {
+    /// Opens the store rooted at `dir` with explicit options, creating the
+    /// directory if needed. Prefer [`LocalStore::shared`] outside tests
+    /// and benches so handles within a process coalesce.
+    pub fn open(dir: &Path, opts: StoreOptions) -> std::io::Result<Arc<LocalStore>> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Arc::new(LocalStore {
+            root: dir.to_path_buf(),
+            opts,
+            index: Arc::new(SharedIndex::open(dir)),
+            scopes: Mutex::new(HashMap::new()),
+            retired: Arc::new(Mutex::new(ScopeCounters::default())),
+            gc_evicted_scopes: AtomicU64::new(0),
+            gc_evicted_bytes: AtomicU64::new(0),
+        }))
+    }
+
+    /// Opens (or joins) the process-wide shared store for `dir` with
+    /// default options.
+    pub fn shared(dir: &Path) -> std::io::Result<Arc<LocalStore>> {
+        std::fs::create_dir_all(dir)?;
+        let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(store) = reg.get(&key).and_then(Weak::upgrade) {
+            return Ok(store);
+        }
+        let store = LocalStore::open(dir, StoreOptions::default())?;
+        reg.insert(key, Arc::downgrade(&store));
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Opens (or joins) the scope for `spec`, verifying its identity. A
+    /// live handle for the same fingerprint **and** meta is shared; a live
+    /// handle under a different meta is dropped from the registry and the
+    /// log restarted — the legacy filename-collision contract, applied
+    /// in-process.
+    pub fn scope(&self, spec: ScopeSpec<'_>) -> std::io::Result<Scope> {
+        let meta = sanitize_meta(spec.meta);
+        let mut reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((known_meta, weak)) = reg.get(&spec.fingerprint) {
+            if let Some(inner) = weak.upgrade() {
+                if *known_meta == meta {
+                    return Ok(Scope { inner });
+                }
+            }
+        }
+        let (shard, file) = scope_rel_path(spec.fingerprint);
+        let path = self.root.join(shard).join(file);
+        let legacy =
+            spec.legacy_fingerprint.map(|fp| self.root.join(format!("{fp:032x}.{LEGACY_EXT}")));
+        let scope = Scope::open(
+            path,
+            legacy.as_deref(),
+            spec.fingerprint,
+            &meta,
+            self.opts,
+            Arc::clone(&self.index),
+            Arc::clone(&self.retired),
+        )?;
+        reg.insert(spec.fingerprint, (meta, Arc::downgrade(&scope.inner)));
+        Ok(scope)
+    }
+
+    /// Flushes every live scope's write-back buffer and persists the
+    /// index.
+    pub fn flush_all(&self) -> std::io::Result<()> {
+        for scope in self.live_scopes() {
+            scope.flush()?;
+        }
+        self.index.save()
+    }
+
+    /// Walks the sharded directories, collecting every scope log.
+    fn scan(&self) -> std::io::Result<Vec<Scanned>> {
+        let mut logs = Vec::new();
+        for shard_entry in std::fs::read_dir(&self.root)? {
+            let shard_entry = shard_entry?;
+            if !shard_entry.file_type()?.is_dir() {
+                continue;
+            }
+            let shard_name = shard_entry.file_name().to_string_lossy().into_owned();
+            for entry in std::fs::read_dir(shard_entry.path())? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some(LOG_EXT) {
+                    continue;
+                }
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+                let Some(fingerprint) = fingerprint_of(&shard_name, stem) else { continue };
+                let bytes = entry.metadata()?.len();
+                logs.push(Scanned { fingerprint, path, bytes });
+            }
+        }
+        Ok(logs)
+    }
+
+    /// Legacy `.sizes` files still sitting flat at the root.
+    fn scan_legacy(&self) -> std::io::Result<Vec<(PathBuf, u64)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some(LEGACY_EXT) {
+                out.push((path, entry.metadata()?.len()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of every file under the root (logs, legacy files, the
+    /// index, stray temp files) — the quantity the GC budget bounds.
+    pub fn disk_bytes(&self) -> std::io::Result<u64> {
+        fn walk(dir: &Path) -> std::io::Result<u64> {
+            let mut total = 0;
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let meta = entry.metadata()?;
+                if meta.is_dir() {
+                    total += walk(&entry.path())?;
+                } else {
+                    total += meta.len();
+                }
+            }
+            Ok(total)
+        }
+        walk(&self.root)
+    }
+
+    /// Evicts least-recently-used scope logs (legacy files first — they
+    /// predate recency tracking) until the whole directory fits
+    /// `budget_bytes`, then persists the reconciled index. Scopes with a
+    /// live handle in this process are never evicted.
+    pub fn gc(&self, budget_bytes: u64) -> std::io::Result<GcReport> {
+        self.flush_all()?;
+        let before_bytes = self.disk_bytes()?;
+        let mut report = GcReport {
+            budget_bytes,
+            before_bytes,
+            after_bytes: before_bytes,
+            ..GcReport::default()
+        };
+        let mut remaining = before_bytes;
+
+        if remaining > budget_bytes {
+            for (path, bytes) in self.scan_legacy()? {
+                if remaining <= budget_bytes {
+                    break;
+                }
+                std::fs::remove_file(&path)?;
+                remaining = remaining.saturating_sub(bytes);
+                report.evicted_legacy += 1;
+                self.gc_evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+
+        if remaining > budget_bytes {
+            // Reconcile recency from the index with reality from the scan,
+            // then walk victims coldest-first.
+            let logs = self.scan()?;
+            let snapshot = self.index.snapshot();
+            let open: HashMap<u128, bool> = {
+                let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                reg.iter().map(|(fp, (_, w))| (*fp, w.upgrade().is_some())).collect()
+            };
+            let mut victims: Vec<&Scanned> = logs
+                .iter()
+                .filter(|s| !open.get(&s.fingerprint).copied().unwrap_or(false))
+                .collect();
+            victims.sort_by_key(|s| {
+                (snapshot.scopes.get(&s.fingerprint).map(|r| r.used).unwrap_or(0), s.fingerprint)
+            });
+            for victim in victims {
+                if remaining <= budget_bytes {
+                    break;
+                }
+                std::fs::remove_file(&victim.path)?;
+                // Prune the shard directory if this was its last log.
+                if let Some(parent) = victim.path.parent() {
+                    let _ = std::fs::remove_dir(parent);
+                }
+                self.index.remove(victim.fingerprint);
+                remaining = remaining.saturating_sub(victim.bytes);
+                report.evicted_scopes += 1;
+                self.gc_evicted_scopes.fetch_add(1, Ordering::Relaxed);
+                self.gc_evicted_bytes.fetch_add(victim.bytes, Ordering::Relaxed);
+            }
+        }
+
+        self.index.save()?;
+        report.after_bytes = self.disk_bytes()?;
+        Ok(report)
+    }
+
+    /// Structurally scans every scope log, counting damage, and rebuilds
+    /// the index from what the scan found (preserving recency stamps for
+    /// surviving scopes).
+    pub fn verify(&self) -> std::io::Result<VerifyReport> {
+        // Flush first so the scan sees this process's own writes.
+        for scope in self.live_scopes() {
+            scope.flush()?;
+        }
+        let mut report = VerifyReport::default();
+        let mut rebuilt: HashMap<u128, ScopeRecord> = HashMap::new();
+        for log in self.scan()? {
+            report.scopes += 1;
+            report.bytes += log.bytes;
+            let Ok(text) = std::fs::read_to_string(&log.path) else {
+                report.unreadable_logs += 1;
+                continue;
+            };
+            let mut lines = text.lines();
+            if lines.next() != Some(HEADER) {
+                report.unreadable_logs += 1;
+                continue;
+            }
+            if !lines.next().is_some_and(|l| l.starts_with(META_PREFIX)) {
+                report.unreadable_logs += 1;
+                continue;
+            }
+            let mut seen: std::collections::HashSet<Vec<CallSiteId>> =
+                std::collections::HashSet::new();
+            for line in lines {
+                match parse_entry(line) {
+                    Some((key, _)) => {
+                        if !seen.insert(key) {
+                            report.duplicate_lines += 1;
+                        }
+                    }
+                    None => report.malformed_lines += 1,
+                }
+            }
+            report.entries += seen.len() as u64;
+            rebuilt.insert(
+                log.fingerprint,
+                ScopeRecord { entries: seen.len() as u64, bytes: log.bytes, used: 0 },
+            );
+        }
+        report.legacy_files = self.scan_legacy()?.len() as u64;
+        self.index.rebuild(rebuilt);
+        self.index.save()?;
+        Ok(report)
+    }
+
+    /// Compacts every scope log on disk (live handles through their own
+    /// locked path, closed logs by direct rewrite). Returns total bytes
+    /// reclaimed.
+    pub fn compact_all(&self) -> std::io::Result<u64> {
+        let live: HashMap<u128, Scope> =
+            self.live_scopes().into_iter().map(|s| (s.fingerprint(), s)).collect();
+        let mut reclaimed = 0u64;
+        for log in self.scan()? {
+            let (before, after) = match live.get(&log.fingerprint) {
+                Some(scope) => scope.compact()?,
+                None => crate::scope::compact_closed_log(&log.path)?,
+            };
+            reclaimed += before.saturating_sub(after);
+        }
+        self.index.save()?;
+        Ok(reclaimed)
+    }
+
+    /// Aggregate counters: index totals plus per-scope activity (live and
+    /// retired handles) plus GC work.
+    pub fn store_stats(&self) -> StoreStats {
+        let mut counters = *self.retired.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for scope in self.live_scopes() {
+            counters.absorb(&scope.counters());
+        }
+        let snapshot = self.index.snapshot();
+        StoreStats {
+            scopes: snapshot.scopes.len() as u64,
+            entries: snapshot.scopes.values().map(|r| r.entries).sum(),
+            disk_bytes: snapshot.scopes.values().map(|r| r.bytes).sum(),
+            hits: counters.hits,
+            misses: counters.misses,
+            puts: counters.puts,
+            appends: counters.appends,
+            flushed_lines: counters.flushed_lines,
+            loaded: counters.loaded,
+            imported: counters.imported,
+            resident_evictions: counters.resident_evictions,
+            compactions: counters.compactions,
+            compacted_bytes: counters.compacted_bytes,
+            gc_evicted_scopes: self.gc_evicted_scopes.load(Ordering::Relaxed),
+            gc_evicted_bytes: self.gc_evicted_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn live_scopes(&self) -> Vec<Scope> {
+        let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        reg.values().filter_map(|(_, w)| w.upgrade()).map(|inner| Scope { inner }).collect()
+    }
+}
+
+impl Store for LocalStore {
+    fn get(&self, scope: u128, key: &[CallSiteId]) -> Option<u64> {
+        let inner = {
+            let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            reg.get(&scope).and_then(|(_, w)| w.upgrade())?
+        };
+        Scope { inner }.get(key)
+    }
+
+    fn put(&self, scope: u128, key: Vec<CallSiteId>, size: u64) {
+        let inner = {
+            let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            reg.get(&scope).and_then(|(_, w)| w.upgrade())
+        };
+        if let Some(inner) = inner {
+            Scope { inner }.put(key, size);
+        }
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        self.flush_all()
+    }
+
+    fn gc(&self, budget_bytes: u64) -> std::io::Result<GcReport> {
+        LocalStore::gc(self, budget_bytes)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.store_stats()
+    }
+}
+
+impl Drop for LocalStore {
+    fn drop(&mut self) {
+        for scope in self.live_scopes() {
+            let _ = scope.flush();
+        }
+        let _ = self.index.save();
+    }
+}
