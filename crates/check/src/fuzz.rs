@@ -11,6 +11,7 @@ use crate::oracle::{check_semantics, Limits};
 use crate::parcheck::check_parallel_search;
 use crate::reduce::{reduce, Reduction};
 use crate::schedcheck::check_scheduling;
+use crate::servecheck::check_serve_equivalence;
 use crate::sizecheck::check_sizes;
 use crate::storecheck::check_store_equivalence;
 use optinline_callgraph::Decision;
@@ -86,6 +87,9 @@ pub struct FuzzReport {
     /// Store-backed search vs no-persist reference comparisons performed
     /// (cold directory + warm reopen).
     pub store_comparisons: usize,
+    /// Daemon-transported vs direct-handler comparisons performed
+    /// (request kinds × cold/warm, dedup fan-out, drain).
+    pub serve_comparisons: usize,
     /// Comparisons skipped as inconclusive (fuel/stack).
     pub inconclusive: usize,
     /// Configurations skipped because their estimated inlining expansion
@@ -101,6 +105,8 @@ pub struct FuzzReport {
     pub parallel_failures: Vec<FailureRecord>,
     /// Store-oracle failures (persistent store vs no-persist run).
     pub store_failures: Vec<FailureRecord>,
+    /// Serve-oracle failures (daemon transport visible in the results).
+    pub serve_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
@@ -111,6 +117,7 @@ impl FuzzReport {
             && self.scheduling_failures.is_empty()
             && self.parallel_failures.is_empty()
             && self.store_failures.is_empty()
+            && self.serve_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -119,24 +126,27 @@ impl FuzzReport {
         let _ = writeln!(
             out,
             "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
-             {} scheduling comparisons, {} parallel-search comparisons, {} store comparisons",
+             {} scheduling comparisons, {} parallel-search comparisons, {} store comparisons, \
+             {} serve comparisons",
             self.cases,
             self.semantic_comparisons,
             self.inconclusive,
             self.size_comparisons,
             self.scheduling_comparisons,
             self.parallel_comparisons,
-            self.store_comparisons
+            self.store_comparisons,
+            self.serve_comparisons
         );
         let _ = writeln!(
             out,
             "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}   \
-             parallel divergences: {}   store divergences: {}",
+             parallel divergences: {}   store divergences: {}   serve divergences: {}",
             self.semantic_failures.len(),
             self.size_failures.len(),
             self.scheduling_failures.len(),
             self.parallel_failures.len(),
-            self.store_failures.len()
+            self.store_failures.len(),
+            self.serve_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -152,6 +162,7 @@ impl FuzzReport {
             .chain(&self.scheduling_failures)
             .chain(&self.parallel_failures)
             .chain(&self.store_failures)
+            .chain(&self.serve_failures)
         {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
@@ -372,6 +383,31 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
                             .unwrap_or(false)
                     },
                 )?);
+            }
+        }
+
+        // The serve oracle boots a real daemon (socket + threads) per
+        // run, so it samples every fourth case — still dozens of boots
+        // per default fuzz run, deterministic in the seed.
+        if case_seed.is_multiple_of(4) {
+            if let Some(sv) = check_serve_equivalence(&module, case_seed) {
+                report.serve_comparisons += sv.comparisons;
+                if let Some(first) = sv.mismatches.first() {
+                    let detail = first.to_string();
+                    report.serve_failures.push(record_failure(
+                        options,
+                        "serve",
+                        case_seed,
+                        detail,
+                        &module,
+                        &InliningConfiguration::clean_slate(),
+                        &mut |m, _| {
+                            check_serve_equivalence(m, case_seed)
+                                .map(|r| !r.mismatches.is_empty())
+                                .unwrap_or(false)
+                        },
+                    )?);
+                }
             }
         }
 

@@ -31,6 +31,11 @@
 //!   and size a no-persist run returns, on a cold directory and on a warm
 //!   reopen — which additionally must compile nothing and leave a
 //!   structurally clean store behind.
+//! - [`servecheck`] — the **serve oracle**: the optimization daemon's
+//!   transport must be invisible — served replies byte-identical to
+//!   direct handler calls for every request kind (cold and on a warm
+//!   repeat), identical concurrent requests collapsed into one
+//!   evaluation with byte-identical fan-out, and a clean drain.
 //! - [`reduce`] — the **delta-debugging reducer**: shrink a failing
 //!   `(module, configuration)` pair to a minimal call-closed reproducer by
 //!   dropping configuration decisions and slicing functions out.
@@ -51,6 +56,7 @@ pub mod oracle;
 pub mod parcheck;
 pub mod reduce;
 pub mod schedcheck;
+pub mod servecheck;
 pub mod sizecheck;
 pub mod storecheck;
 
@@ -60,5 +66,6 @@ pub use oracle::{check_semantics, observe, Behaviour, Limits, OracleReport, Sema
 pub use parcheck::{check_parallel_search, ParMismatch, ParReport};
 pub use reduce::{reduce, Reduction};
 pub use schedcheck::{check_scheduling, SchedMismatch, SchedReport};
+pub use servecheck::{check_serve_equivalence, ServeMismatch, ServeReport};
 pub use sizecheck::{check_sizes, SizeMismatch, SizeReport};
 pub use storecheck::{check_store_equivalence, StoreMismatch, StoreReport};

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod serve;
+
 use optinline_callgraph::{component_count, InlineGraph, PartitionStrategy};
 use optinline_codegen::{text_size, Target, WasmLike, X86Like};
 use optinline_core::autotune::Autotuner;
@@ -321,6 +323,11 @@ pub fn cmd_search(
     let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
     let h_size = search_ev.size_of(&heuristic);
     let none = search_ev.size_of(&InliningConfiguration::clean_slate());
+    // Commit buffered puts before the budget GC measures the directory
+    // (and before any abort path past this point could drop them).
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
     eval.maybe_gc(&cache)?;
     let mut out = String::new();
     let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
@@ -460,6 +467,9 @@ pub fn cmd_autotune(
     );
     let _ = writeln!(out, "configuration:   {}", best.config);
     let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
     eval.maybe_gc(&cache)?;
     if eval.show_stats {
         let mut stats = ev.stats();
@@ -668,6 +678,7 @@ pub fn cmd_cache(
             let _ = writeln!(out, "malformed lines: {}", report.malformed_lines);
             let _ = writeln!(out, "unreadable logs: {}", report.unreadable_logs);
             let _ = writeln!(out, "legacy files:    {}", report.legacy_files);
+            let _ = writeln!(out, "foreign files:   {}", report.foreign_files);
             let _ = writeln!(out, "index:           rebuilt");
             if !report.clean() {
                 return Err(format!("cache verify found damage\n{out}").into());

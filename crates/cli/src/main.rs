@@ -1,10 +1,14 @@
 //! Thin argv shim over `optinline_cli` (the testable library half).
 
+use optinline_cli::serve::{
+    cmd_serve, default_socket_path, parse_endpoint, remote_call, ServeConfig,
+};
 use optinline_cli::{
     cmd_autotune, cmd_cache, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link,
     cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction, CliError, EvalOptions,
     InitChoice, OptimizeOptions, StrategyChoice, TargetChoice,
 };
+use optinline_serve::RequestKind;
 
 const USAGE: &str = "\
 optinline — optimal function inlining toolkit (ASPLOS'22 reproduction)
@@ -14,15 +18,18 @@ usage:
   optinline stats    <file.ir>
   optinline optimize <file.ir> [--strategy never|always|heuristic|trial]
                                [--target x86|wasm] [--pass-stats]
-                               [--full-sweep] [-o out.ir]
+                               [--full-sweep] [-o out.ir] [--connect EP]
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
                                [--full-eval] [--stats] [--pass-stats]
                                [--jobs N] [--cache-dir DIR] [--no-persist]
-                               [--cache-budget-bytes N]
+                               [--cache-budget-bytes N] [--connect EP]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
                                [--target x86|wasm] [--full-eval] [--stats]
                                [--pass-stats] [--cache-dir DIR] [--no-persist]
-                               [--cache-budget-bytes N]
+                               [--cache-budget-bytes N] [--connect EP]
+  optinline serve    [--socket PATH | --tcp ADDR] [--cache-dir DIR]
+                               [--cache-budget-bytes N] [--queue N]
+                               [--max-concurrent N]
   optinline cache    stats|gc|verify|compact --cache-dir DIR
                                [--cache-budget-bytes N]   (gc only)
   optinline run      <file.ir>
@@ -32,6 +39,11 @@ usage:
   optinline cfg      <file.ir> --func NAME        (DOT to stdout)
   optinline check    [--fuzz N] [--seed N] [--reduce] [--repro-dir DIR]
   optinline check    --demo-reduce [--seed N] [--repro-dir DIR]
+
+`EP` is a Unix socket path or `tcp:HOST:PORT`. With --connect, optimize /
+search / autotune ask the daemon at EP first and transparently fall back
+to in-process evaluation when no daemon answers. Cache and --jobs flags
+are local settings: the daemon applies its own.
 ";
 
 struct Args {
@@ -154,8 +166,25 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "optimize" => {
             let strategy = StrategyChoice::parse(args.flag("strategy").unwrap_or("heuristic"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            let (report, module_text) =
-                cmd_optimize(&args.input()?, strategy, target, args.optimize_options())?;
+            let opts = args.optimize_options();
+            let source = args.input()?;
+            if let Some(ep) = args.flag("connect") {
+                let kind = RequestKind::Optimize {
+                    source: source.clone(),
+                    target: args.flag("target").unwrap_or("x86").to_string(),
+                    strategy: args.flag("strategy").unwrap_or("heuristic").to_string(),
+                    full_sweep: opts.full_sweep,
+                    pass_stats: opts.pass_stats,
+                };
+                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                    print!("{}", outcome.report);
+                    if args.flag("out").is_some() {
+                        args.write_or_print(outcome.module.as_deref().unwrap_or_default())?;
+                    }
+                    return Ok(());
+                }
+            }
+            let (report, module_text) = cmd_optimize(&source, strategy, target, opts)?;
             print!("{report}");
             if args.flag("out").is_some() {
                 args.write_or_print(&module_text)?;
@@ -165,14 +194,68 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "search" => {
             let bits: u32 = args.flag("bits").unwrap_or("16").parse()?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_search(&args.input()?, bits, target, args.eval_options()?)?);
+            let eval = args.eval_options()?;
+            let source = args.input()?;
+            if let Some(ep) = args.flag("connect") {
+                let kind = RequestKind::Search {
+                    source: source.clone(),
+                    target: args.flag("target").unwrap_or("x86").to_string(),
+                    bits,
+                    full_eval: !eval.incremental,
+                    stats: eval.show_stats,
+                    pass_stats: eval.show_pass_stats,
+                };
+                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                    print!("{}", outcome.report);
+                    return Ok(());
+                }
+            }
+            print!("{}", cmd_search(&source, bits, target, eval)?);
             Ok(())
         }
         "autotune" => {
             let rounds: usize = args.flag("rounds").unwrap_or("4").parse()?;
             let init = InitChoice::parse(args.flag("init").unwrap_or("both"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            print!("{}", cmd_autotune(&args.input()?, rounds, init, target, args.eval_options()?)?);
+            let eval = args.eval_options()?;
+            let source = args.input()?;
+            if let Some(ep) = args.flag("connect") {
+                let kind = RequestKind::Autotune {
+                    source: source.clone(),
+                    target: args.flag("target").unwrap_or("x86").to_string(),
+                    rounds: rounds as u32,
+                    init: args.flag("init").unwrap_or("both").to_string(),
+                    full_eval: !eval.incremental,
+                    stats: eval.show_stats,
+                    pass_stats: eval.show_pass_stats,
+                };
+                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                    print!("{}", outcome.report);
+                    return Ok(());
+                }
+            }
+            print!("{}", cmd_autotune(&source, rounds, init, target, eval)?);
+            Ok(())
+        }
+        "serve" => {
+            let endpoint = match (args.flag("socket"), args.flag("tcp")) {
+                (Some(_), Some(_)) => return Err("--socket and --tcp are exclusive".into()),
+                (Some(path), None) => parse_endpoint(path),
+                (None, Some(addr)) => optinline_serve::Endpoint::Tcp(addr.to_string()),
+                (None, None) => optinline_serve::Endpoint::Unix(default_socket_path()),
+            };
+            let config = ServeConfig {
+                endpoint,
+                cache_dir: args.flag("cache-dir").map(std::path::PathBuf::from),
+                cache_budget_bytes: args.cache_budget_bytes()?,
+                queue_capacity: args.flag("queue").map(str::parse).transpose()?.unwrap_or(0),
+                max_concurrent: args
+                    .flag("max-concurrent")
+                    .map(str::parse)
+                    .transpose()?
+                    .unwrap_or(0),
+            };
+            print!("{}", cmd_serve(config)?);
             Ok(())
         }
         "run" => {

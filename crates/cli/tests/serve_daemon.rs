@@ -1,0 +1,218 @@
+//! Daemon lifecycle tests against the real evaluator: byte-identity
+//! between served and in-process results (cold and warm cache), dedup of
+//! identical concurrent requests, transparent fallback when no daemon
+//! answers, and drain-under-load leaving the store verify-clean.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use optinline_cli::serve::{remote_call, start_daemon, ServeConfig};
+use optinline_cli::{
+    cmd_autotune, cmd_cache, cmd_gen, cmd_optimize, cmd_search, CacheAction, EvalOptions,
+    InitChoice, OptimizeOptions, StrategyChoice, TargetChoice,
+};
+use optinline_serve::{Client, Endpoint, RequestKind};
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("optinline-serve-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn demo_source() -> String {
+    cmd_gen(11, 5, 2).expect("generation succeeds")
+}
+
+fn search_kind(source: &str, bits: u32) -> RequestKind {
+    RequestKind::Search {
+        source: source.to_string(),
+        target: "x86".to_string(),
+        bits,
+        full_eval: false,
+        stats: false,
+        pass_stats: false,
+    }
+}
+
+#[test]
+fn served_results_are_byte_identical_to_in_process_cold_and_warm() {
+    let src = demo_source();
+    let sock = tmp("ident.sock");
+    let daemon_cache = tmp("ident-daemon-cache");
+    let local_cache = tmp("ident-local-cache");
+
+    let handle = start_daemon(ServeConfig {
+        endpoint: Endpoint::Unix(sock.clone()),
+        cache_dir: Some(daemon_cache.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+    let mut client = Client::connect(&Endpoint::Unix(sock.clone())).expect("connect");
+
+    // The daemon and the in-process run each get a fresh cache dir, so
+    // cold compares against cold and warm against warm ("compilations
+    // done" depends on cache warmth).
+    let local_eval = EvalOptions { cache_dir: Some(local_cache.clone()), ..EvalOptions::default() };
+
+    // search: cold, then warm.
+    let served_cold = client.call(search_kind(&src, 18), &mut |_| {}).expect("served search");
+    let local_cold = cmd_search(&src, 18, TargetChoice::X86, local_eval.clone()).unwrap();
+    assert_eq!(served_cold.report, local_cold, "cold search diverged");
+    let served_warm = client.call(search_kind(&src, 18), &mut |_| {}).expect("served search");
+    let local_warm = cmd_search(&src, 18, TargetChoice::X86, local_eval.clone()).unwrap();
+    assert_eq!(served_warm.report, local_warm, "warm search diverged");
+
+    // optimize: report and module text.
+    let kind = RequestKind::Optimize {
+        source: src.clone(),
+        target: "wasm".to_string(),
+        strategy: "trial".to_string(),
+        full_sweep: false,
+        pass_stats: true,
+    };
+    let served = client.call(kind, &mut |_| {}).expect("served optimize");
+    let (local_report, local_module) = cmd_optimize(
+        &src,
+        StrategyChoice::Trial,
+        TargetChoice::Wasm,
+        OptimizeOptions { full_sweep: false, pass_stats: true },
+    )
+    .unwrap();
+    assert_eq!(served.report, local_report, "optimize report diverged");
+    assert_eq!(served.module.as_deref(), Some(local_module.as_str()), "optimize module diverged");
+
+    // autotune: warm against the caches both runs just populated.
+    let kind = RequestKind::Autotune {
+        source: src.clone(),
+        target: "x86".to_string(),
+        rounds: 2,
+        init: "both".to_string(),
+        full_eval: false,
+        stats: false,
+        pass_stats: false,
+    };
+    let served = client.call(kind, &mut |_| {}).expect("served autotune");
+    let local =
+        cmd_autotune(&src, 2, InitChoice::Both, TargetChoice::X86, local_eval.clone()).unwrap();
+    assert_eq!(served.report, local, "autotune diverged");
+
+    handle.drain();
+    handle.join().expect("clean exit");
+    std::fs::remove_dir_all(&daemon_cache).ok();
+    std::fs::remove_dir_all(&local_cache).ok();
+}
+
+#[test]
+fn identical_concurrent_requests_evaluate_once() {
+    const CLIENTS: usize = 6;
+    let src = demo_source();
+    let sock = tmp("dedup.sock");
+    let handle = start_daemon(ServeConfig {
+        endpoint: Endpoint::Unix(sock.clone()),
+        max_concurrent: CLIENTS,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+
+    // All clients connect first, then fire the same request through a
+    // barrier; the dispatcher's dedup check runs in microseconds while
+    // the search itself takes milliseconds, so followers join the
+    // leader's in-flight evaluation.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let sock = sock.clone();
+            let src = src.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&Endpoint::Unix(sock)).expect("connect");
+                barrier.wait();
+                client.call(search_kind(&src, 18), &mut |_| {}).expect("served search")
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = workers.into_iter().map(|w| w.join().expect("client thread")).collect();
+
+    let first = &outcomes[0].report;
+    for out in &outcomes {
+        assert_eq!(&out.report, first, "fan-out must be byte-identical");
+    }
+
+    handle.drain();
+    let stats = handle.join().expect("clean exit");
+    assert_eq!(stats.completed, CLIENTS as u64);
+    assert_eq!(
+        stats.evaluations, 1,
+        "identical concurrent requests must collapse into one evaluation: {stats:?}"
+    );
+    assert_eq!(stats.dedup_joined, CLIENTS as u64 - 1);
+}
+
+#[test]
+fn missing_daemon_falls_back_to_in_process() {
+    let src = demo_source();
+    let sock = tmp("absent.sock");
+    let fallback = remote_call(&Endpoint::Unix(sock), search_kind(&src, 18))
+        .expect("fallback is not an error");
+    assert!(fallback.is_none(), "no daemon must mean in-process fallback, not a served result");
+}
+
+#[test]
+fn drain_under_load_leaves_the_store_verify_clean() {
+    const REQUESTS: usize = 4;
+    let src = demo_source();
+    let sock = tmp("drain.sock");
+    let cache = tmp("drain-cache");
+    let handle = start_daemon(ServeConfig {
+        endpoint: Endpoint::Unix(sock.clone()),
+        cache_dir: Some(cache.clone()),
+        max_concurrent: 2,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+
+    // Distinct identities so every request is a real evaluation writing
+    // through the shared store while the drain lands.
+    let workers: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            let sock = sock.clone();
+            let src = src.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&Endpoint::Unix(sock)).expect("connect");
+                client.call(search_kind(&src, 14 + i as u32), &mut |_| {}).expect("served search")
+            })
+        })
+        .collect();
+
+    // Drain mid-load: once everything is admitted (and with
+    // max_concurrent=2, at most half can have finished by the time the
+    // last one is accepted), the admitted work must finish and the store
+    // must flush.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while handle.stats().accepted < REQUESTS as u64 {
+        assert!(std::time::Instant::now() < deadline, "requests were not admitted in time");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    handle.drain();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let stats = handle.join().expect("clean exit");
+    assert_eq!(stats.completed, REQUESTS as u64, "admitted requests all complete: {stats:?}");
+
+    // The flushed store passes a full structural verify, and the drain
+    // actually committed entries (a lost write-back buffer would leave
+    // the scope empty or torn).
+    let report = cmd_cache(CacheAction::Verify, &cache, None).expect("verify is clean");
+    assert!(report.contains("malformed lines: 0"), "{report}");
+    assert!(report.contains("unreadable logs: 0"), "{report}");
+    let entries: u64 = report
+        .lines()
+        .find(|l| l.starts_with("entries:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("entries line");
+    assert!(entries > 0, "drain must flush evaluated entries to disk: {report}");
+    std::fs::remove_dir_all(&cache).ok();
+}

@@ -76,6 +76,22 @@ pub(crate) fn domain_fingerprint(
     h.finish()
 }
 
+/// 128-bit identity of a *request* against an evaluation service: a
+/// length-prefixed FNV-128 over every part that determines the reply
+/// bytes (request kind, module text, target, parameters). The serving
+/// daemon deduplicates in-flight requests by this value, so it lives in
+/// core next to [`domain_fingerprint`] — the two members of the identity
+/// family must never drift apart in hashing discipline.
+pub fn evaluation_identity<'a>(parts: impl IntoIterator<Item = &'a str>) -> u128 {
+    let mut h = Fnv128::new();
+    for part in parts {
+        // Length-prefix each part so ("ab", "c") and ("a", "bc") differ.
+        h.write_u64(part.len() as u64);
+        h.write(part.as_bytes());
+    }
+    h.finish()
+}
+
 /// An [`Evaluator`] backed by an actual module — enough surface for the
 /// searches (which need the call graph) to run against either the full
 /// or the incremental evaluator.

@@ -76,7 +76,9 @@ pub mod tree;
 pub use cache::{CacheStats, ShardedCache};
 pub use config::InliningConfiguration;
 pub use dag::{evaluate_inlining_tree_dag, ExecutorStats, SearchSession};
-pub use evaluator::{CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator};
+pub use evaluator::{
+    evaluation_identity, CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator,
+};
 pub use incremental::{IncrementalEvaluator, SizeEvaluator};
 pub use naive::{exhaustive_search, SearchOutcome};
 pub use persist::{

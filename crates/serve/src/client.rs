@@ -1,0 +1,155 @@
+//! The client half: dial an endpoint, stream events for one request at a
+//! time. Connection failure is a distinct error variant so callers (the
+//! CLI's `--connect` mode) can transparently fall back to in-process
+//! evaluation when no daemon answers.
+
+use std::io::{BufRead, BufReader, Write};
+
+use crate::net::{Endpoint, Stream};
+use crate::proto::{self, Event, Request, RequestKind, ServerStats};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No daemon answered at the endpoint. The caller should fall back to
+    /// in-process evaluation.
+    Connect(std::io::Error),
+    /// The connection died mid-conversation (after it was established).
+    Io(std::io::Error),
+    /// The daemon reported an evaluation error.
+    Remote(String),
+    /// The daemon sent something outside the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot reach daemon: {e}"),
+            ClientError::Io(e) => write!(f, "connection to daemon lost: {e}"),
+            ClientError::Remote(msg) => write!(f, "daemon error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The final answer to one evaluation request, plus what the event stream
+/// revealed about how it was served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Rendered report text, byte-identical to an in-process run.
+    pub report: String,
+    /// Optimized module text, for request kinds that produce one.
+    pub module: Option<String>,
+    /// True if this request joined an evaluation another request started.
+    pub deduped: bool,
+    /// True if this request's event carried the freshly computed result
+    /// (the leader); false for fan-out copies.
+    pub evaluated: bool,
+}
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Dials the daemon. Failure here is [`ClientError::Connect`] — the
+    /// fall-back-to-in-process signal.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ClientError> {
+        let stream = Stream::connect(endpoint).map_err(ClientError::Connect)?;
+        let read_half = stream.try_clone().map_err(ClientError::Connect)?;
+        Ok(Client { reader: BufReader::new(read_half), writer: stream, next_id: 1 })
+    }
+
+    fn send(&mut self, kind: RequestKind) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = proto::encode_request(&Request { id, kind });
+        self.writer.write_all(line.as_bytes()).map_err(ClientError::Io)?;
+        self.writer.write_all(b"\n").map_err(ClientError::Io)?;
+        self.writer.flush().map_err(ClientError::Io)?;
+        Ok(id)
+    }
+
+    fn read_event(&mut self) -> Result<Event, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).map_err(ClientError::Io)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                )));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return proto::decode_event(line.trim_end()).map_err(ClientError::Protocol);
+        }
+    }
+
+    /// Sends one evaluation request and streams its events until `done`
+    /// or `error`. Progress notes are handed to `progress` as they
+    /// arrive.
+    pub fn call(
+        &mut self,
+        kind: RequestKind,
+        progress: &mut dyn FnMut(&str),
+    ) -> Result<Outcome, ClientError> {
+        let id = self.send(kind)?;
+        let mut deduped = false;
+        loop {
+            match self.read_event()? {
+                Event::Queued { id: eid } if eid == id => {}
+                Event::Started { id: eid, deduped: d } if eid == id => deduped = d,
+                Event::Progress { id: eid, note } if eid == id => progress(&note),
+                Event::Done { id: eid, report, module, evaluated } if eid == id => {
+                    return Ok(Outcome { report, module, deduped, evaluated });
+                }
+                Event::Error { id: eid, message } if eid == id => {
+                    return Err(ClientError::Remote(message));
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected event for request {id}: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Round-trips a `ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.send(RequestKind::Ping)?;
+        match self.read_event()? {
+            Event::Pong { id: eid } if eid == id => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches a live snapshot of the daemon's counters.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ClientError> {
+        let id = self.send(RequestKind::Stats)?;
+        match self.read_event()? {
+            Event::Stats { id: eid, stats } if eid == id => Ok(stats),
+            other => Err(ClientError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. Returns once the daemon has
+    /// acknowledged (it finishes in-flight work after that).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.send(RequestKind::Shutdown)?;
+        match self.read_event()? {
+            Event::ShuttingDown { id: eid } if eid == id => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected shutting_down, got {other:?}"))),
+        }
+    }
+}

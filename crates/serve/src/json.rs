@@ -1,0 +1,311 @@
+//! A deliberately minimal JSON codec for the wire protocol.
+//!
+//! The serve protocol only ever exchanges *flat* objects of scalars —
+//! `{"id": 3, "kind": "search", "stats": true, ...}` — one per line.
+//! That restriction is what makes a dependency-free codec small enough to
+//! audit: no arrays, no nesting, no floats. Anything outside the subset
+//! is a protocol error, reported with enough context to debug a client.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar value of a protocol object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON integer (the protocol never uses fractions or exponents).
+    Int(i64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A flat protocol object. `BTreeMap` keeps encoding deterministic
+/// (sorted keys), which the byte-identity oracles rely on.
+pub type Object = BTreeMap<String, Value>;
+
+/// Appends `s` as a JSON string literal (quotes included) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes a flat object on one line (no trailing newline).
+pub fn encode(obj: &Object) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    for (i, (key, value)) in obj.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(&mut out, key);
+        out.push(':');
+        match value {
+            Value::Str(s) => write_escaped(&mut out, s),
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Null => out.push_str("null"),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one flat object. Errors carry a human-readable reason; the
+/// offending line is for the caller to attach.
+pub fn decode(line: &str) -> Result<Object, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut obj = Object::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            obj.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at offset {}", p.pos));
+    }
+    Ok(obj)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, found {other:?}", want as char)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.integer(),
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects and arrays are outside the protocol subset".to_string())
+            }
+            other => Err(format!("expected a value, found {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal (expected {word:?})"))
+        }
+    }
+
+    fn integer(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err("fractions and exponents are outside the protocol subset".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<i64>().map(Value::Int).map_err(|e| format!("bad integer {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        self.pos += 4;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Surrogate pairs never appear: the encoder only
+                        // emits \u escapes for C0 control characters.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 sequence: the input
+                    // line is valid UTF-8 (it came from a &str).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("malformed UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Object {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn round_trips_scalars_and_escapes() {
+        let o = obj(&[
+            ("id", Value::Int(42)),
+            ("neg", Value::Int(-7)),
+            ("kind", Value::Str("search".into())),
+            ("text", Value::Str("line1\nline2\t\"quoted\" \\ \u{0001} ünïcode".into())),
+            ("flag", Value::Bool(true)),
+            ("off", Value::Bool(false)),
+            ("none", Value::Null),
+        ]);
+        let line = encode(&o);
+        assert!(!line.contains('\n'), "one object = one line");
+        assert_eq!(decode(&line).unwrap(), o);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let o = obj(&[("b", Value::Int(2)), ("a", Value::Int(1))]);
+        assert_eq!(encode(&o), "{\"a\":1,\"b\":2}", "keys sort, byte-stable");
+    }
+
+    #[test]
+    fn rejects_everything_outside_the_subset() {
+        for bad in [
+            "",
+            "[1]",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":1.5}",
+            "{\"a\":1e3}",
+            "{\"a\":1}trailing",
+            "{\"a\"",
+            "{\"a\":}",
+            "{\"a\":tru}",
+            "{\"a\":\"unterminated}",
+        ] {
+            assert!(decode(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_objects() {
+        assert!(decode("  { }  ").unwrap().is_empty());
+        let o = decode(" { \"a\" : 1 , \"b\" : \"x\" } ").unwrap();
+        assert_eq!(o["a"], Value::Int(1));
+        assert_eq!(o["b"], Value::Str("x".into()));
+    }
+}

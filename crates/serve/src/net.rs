@@ -1,0 +1,176 @@
+//! Transport: a Unix domain socket by default, TCP behind a flag — both
+//! presented as one stream/listener pair so the protocol layers above
+//! never mention the address family.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Where a server listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix domain socket at this path (the default transport).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7979` (behind `--tcp`).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One accepted or dialed connection.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(endpoint: &Endpoint) -> std::io::Result<Stream> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix domain sockets are not available on this platform",
+            )),
+            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr.as_str())?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Half-closes both directions; used at drain completion so blocked
+    /// connection readers wake up and exit.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The bound listener side.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `endpoint`. A stale Unix socket file (a previous daemon that
+    /// died without cleanup) is detected by dialing it: no answer means
+    /// it is safe to remove and rebind; an answer means a daemon is
+    /// already serving there.
+    pub(crate) fn bind(endpoint: &Endpoint) -> std::io::Result<Listener> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("a daemon is already serving on {}", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix domain sockets are not available on this platform",
+            )),
+            Endpoint::Tcp(addr) => Ok(Listener::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one pending connection; `Ok(None)` means none is waiting
+    /// (the listener is non-blocking so the accept loop can poll the
+    /// drain flag).
+    pub(crate) fn accept(&self) -> std::io::Result<Option<Stream>> {
+        let accepted = match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => Ok(Some(stream)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The actual TCP address bound (useful with port 0 in tests).
+    pub(crate) fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+            Listener::Tcp(l) => l.local_addr().ok(),
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The serve wire protocol: newline-delimited JSON, one flat object per
+//! line, in both directions.
+//!
+//! ## Requests (client → server)
+//!
+//! ```text
+//! {"id":1,"kind":"ping"}
+//! {"id":2,"kind":"stats"}
+//! {"id":3,"kind":"shutdown"}
+//! {"id":4,"kind":"optimize","source":"...","target":"x86","strategy":"heuristic",
+//!  "full_sweep":false,"pass_stats":false}
+//! {"id":5,"kind":"search","source":"...","target":"x86","bits":16,
+//!  "full_eval":false,"stats":false,"pass_stats":false}
+//! {"id":6,"kind":"autotune","source":"...","target":"x86","rounds":2,"init":"both",
+//!  "full_eval":false,"stats":false,"pass_stats":false}
+//! ```
+//!
+//! `id` is chosen by the client and echoed on every event for that
+//! request; it only needs to be unique per connection.
+//!
+//! ## Events (server → client)
+//!
+//! ```text
+//! {"id":4,"event":"queued"}
+//! {"id":4,"event":"started","deduped":false}
+//! {"id":4,"event":"progress","note":"..."}
+//! {"id":4,"event":"done","report":"...","evaluated":true}        (+ "module":"...")
+//! {"id":4,"event":"error","message":"..."}
+//! {"id":1,"event":"pong"}
+//! {"id":2,"event":"stats",...ServerStats fields...}
+//! {"id":3,"event":"shutting_down"}
+//! ```
+//!
+//! `done` / `error` is always the final event for an id. `deduped:true`
+//! on `started` means the request joined an identical in-flight
+//! evaluation; its `done` then carries `evaluated:false` and the same
+//! report bytes as the leader's. Progress events fan out to every waiter
+//! joined at emission time (late joiners miss earlier lines).
+
+use crate::json::{self, Object, Value};
+use optinline_core::evaluation_identity;
+
+/// One decoded request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every event.
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+}
+
+/// The request kinds the daemon understands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Liveness probe.
+    Ping,
+    /// Server counters snapshot.
+    Stats,
+    /// Begin graceful drain: stop admitting, finish in-flight, flush.
+    Shutdown,
+    /// Run the optimization pipeline under an inlining strategy.
+    Optimize {
+        /// Textual IR of the module.
+        source: String,
+        /// `x86` | `wasm`.
+        target: String,
+        /// `never` | `always` | `heuristic` | `trial`.
+        strategy: String,
+        /// Use the legacy whole-module sweep scheduler.
+        full_sweep: bool,
+        /// Append the per-pass table to the report.
+        pass_stats: bool,
+    },
+    /// Optimal-inlining search over the module's residual tree.
+    Search {
+        /// Textual IR of the module.
+        source: String,
+        /// `x86` | `wasm`.
+        target: String,
+        /// Give up beyond `2^bits` unpruned points.
+        bits: u32,
+        /// Whole-module compiles instead of the incremental evaluator.
+        full_eval: bool,
+        /// Append the evaluator counter line to the report.
+        stats: bool,
+        /// Append the per-pass / analysis-cache table to the report.
+        pass_stats: bool,
+    },
+    /// The paper's local autotuner.
+    Autotune {
+        /// Textual IR of the module.
+        source: String,
+        /// `x86` | `wasm`.
+        target: String,
+        /// Autotuning rounds.
+        rounds: u32,
+        /// `clean` | `heuristic` | `both`.
+        init: String,
+        /// Whole-module compiles instead of the incremental evaluator.
+        full_eval: bool,
+        /// Append the evaluator counter line to the report.
+        stats: bool,
+        /// Append the per-pass / analysis-cache table to the report.
+        pass_stats: bool,
+    },
+}
+
+impl RequestKind {
+    /// The request's 128-bit evaluation identity, covering every field
+    /// that determines the reply bytes — the daemon's dedup key. Admin
+    /// requests have no identity (they are never deduplicated).
+    pub fn identity(&self) -> Option<u128> {
+        match self {
+            RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => None,
+            RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats } => {
+                Some(evaluation_identity([
+                    "optimize",
+                    source.as_str(),
+                    target.as_str(),
+                    strategy.as_str(),
+                    flag(*full_sweep),
+                    flag(*pass_stats),
+                ]))
+            }
+            RequestKind::Search { source, target, bits, full_eval, stats, pass_stats } => {
+                let bits = bits.to_string();
+                Some(evaluation_identity([
+                    "search",
+                    source.as_str(),
+                    target.as_str(),
+                    bits.as_str(),
+                    flag(*full_eval),
+                    flag(*stats),
+                    flag(*pass_stats),
+                ]))
+            }
+            RequestKind::Autotune {
+                source,
+                target,
+                rounds,
+                init,
+                full_eval,
+                stats,
+                pass_stats,
+            } => {
+                let rounds = rounds.to_string();
+                Some(evaluation_identity([
+                    "autotune",
+                    source.as_str(),
+                    target.as_str(),
+                    rounds.as_str(),
+                    init.as_str(),
+                    flag(*full_eval),
+                    flag(*stats),
+                    flag(*pass_stats),
+                ]))
+            }
+        }
+    }
+
+    /// The wire name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Ping => "ping",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Optimize { .. } => "optimize",
+            RequestKind::Search { .. } => "search",
+            RequestKind::Autotune { .. } => "autotune",
+        }
+    }
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// One event line sent back to a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The request was admitted to the queue.
+    Queued {
+        /// Request id.
+        id: u64,
+    },
+    /// Evaluation started (`deduped` = joined an identical in-flight one).
+    Started {
+        /// Request id.
+        id: u64,
+        /// Whether this request joined an in-flight evaluation.
+        deduped: bool,
+    },
+    /// A progress line from the evaluation.
+    Progress {
+        /// Request id.
+        id: u64,
+        /// Free-form progress text.
+        note: String,
+    },
+    /// Terminal success.
+    Done {
+        /// Request id.
+        id: u64,
+        /// The full report, byte-identical to the in-process command.
+        report: String,
+        /// The optimized module text (optimize requests only).
+        module: Option<String>,
+        /// Whether this request's evaluation actually ran here (`false`
+        /// for dedup joiners served by a leader's result).
+        evaluated: bool,
+    },
+    /// Terminal failure.
+    Error {
+        /// Request id (0 when the request line itself was unreadable).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// Reply to `ping`.
+    Pong {
+        /// Request id.
+        id: u64,
+    },
+    /// Reply to `stats`.
+    Stats {
+        /// Request id.
+        id: u64,
+        /// Server counters snapshot.
+        stats: ServerStats,
+    },
+    /// Acknowledgement of `shutdown`; drain begins after it is sent.
+    ShuttingDown {
+        /// Request id.
+        id: u64,
+    },
+}
+
+/// Server-side counters, exposed over the `stats` request. Dedup is
+/// observable here: N identical concurrent requests show as
+/// `evaluations + dedup_joined = N` with `evaluations = 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Evaluation requests admitted to the queue.
+    pub accepted: u64,
+    /// Evaluation requests refused because the server was draining.
+    pub rejected: u64,
+    /// Handler invocations (dedup leaders only).
+    pub evaluations: u64,
+    /// Requests served by joining an identical in-flight evaluation.
+    pub dedup_joined: u64,
+    /// Terminal `done` events sent.
+    pub completed: u64,
+    /// Terminal `error` events sent.
+    pub errors: u64,
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Leader evaluations executing right now.
+    pub in_flight: u64,
+}
+
+fn get_u64(obj: &Object, key: &str) -> Result<u64, String> {
+    let v = obj.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+    let n = v.as_int().ok_or_else(|| format!("field {key:?} must be an integer"))?;
+    u64::try_from(n).map_err(|_| format!("field {key:?} must be non-negative"))
+}
+
+fn get_u32(obj: &Object, key: &str) -> Result<u32, String> {
+    u32::try_from(get_u64(obj, key)?).map_err(|_| format!("field {key:?} is out of range"))
+}
+
+fn get_str(obj: &Object, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// Absent boolean fields default to `false`, so clients can omit them.
+fn get_flag(obj: &Object, key: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| format!("field {key:?} must be a boolean")),
+    }
+}
+
+/// Encodes a request as one line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let mut obj = Object::new();
+    obj.insert("id".into(), Value::Int(req.id as i64));
+    obj.insert("kind".into(), Value::Str(req.kind.name().into()));
+    match &req.kind {
+        RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => {}
+        RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats } => {
+            obj.insert("source".into(), Value::Str(source.clone()));
+            obj.insert("target".into(), Value::Str(target.clone()));
+            obj.insert("strategy".into(), Value::Str(strategy.clone()));
+            obj.insert("full_sweep".into(), Value::Bool(*full_sweep));
+            obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+        }
+        RequestKind::Search { source, target, bits, full_eval, stats, pass_stats } => {
+            obj.insert("source".into(), Value::Str(source.clone()));
+            obj.insert("target".into(), Value::Str(target.clone()));
+            obj.insert("bits".into(), Value::Int(i64::from(*bits)));
+            obj.insert("full_eval".into(), Value::Bool(*full_eval));
+            obj.insert("stats".into(), Value::Bool(*stats));
+            obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+        }
+        RequestKind::Autotune { source, target, rounds, init, full_eval, stats, pass_stats } => {
+            obj.insert("source".into(), Value::Str(source.clone()));
+            obj.insert("target".into(), Value::Str(target.clone()));
+            obj.insert("rounds".into(), Value::Int(i64::from(*rounds)));
+            obj.insert("init".into(), Value::Str(init.clone()));
+            obj.insert("full_eval".into(), Value::Bool(*full_eval));
+            obj.insert("stats".into(), Value::Bool(*stats));
+            obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+        }
+    }
+    json::encode(&obj)
+}
+
+/// Decodes one request line.
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let obj = json::decode(line)?;
+    let id = get_u64(&obj, "id")?;
+    let kind = match get_str(&obj, "kind")?.as_str() {
+        "ping" => RequestKind::Ping,
+        "stats" => RequestKind::Stats,
+        "shutdown" => RequestKind::Shutdown,
+        "optimize" => RequestKind::Optimize {
+            source: get_str(&obj, "source")?,
+            target: get_str(&obj, "target")?,
+            strategy: get_str(&obj, "strategy")?,
+            full_sweep: get_flag(&obj, "full_sweep")?,
+            pass_stats: get_flag(&obj, "pass_stats")?,
+        },
+        "search" => RequestKind::Search {
+            source: get_str(&obj, "source")?,
+            target: get_str(&obj, "target")?,
+            bits: get_u32(&obj, "bits")?,
+            full_eval: get_flag(&obj, "full_eval")?,
+            stats: get_flag(&obj, "stats")?,
+            pass_stats: get_flag(&obj, "pass_stats")?,
+        },
+        "autotune" => RequestKind::Autotune {
+            source: get_str(&obj, "source")?,
+            target: get_str(&obj, "target")?,
+            rounds: get_u32(&obj, "rounds")?,
+            init: get_str(&obj, "init")?,
+            full_eval: get_flag(&obj, "full_eval")?,
+            stats: get_flag(&obj, "stats")?,
+            pass_stats: get_flag(&obj, "pass_stats")?,
+        },
+        other => return Err(format!("unknown request kind {other:?}")),
+    };
+    Ok(Request { id, kind })
+}
+
+/// Encodes an event as one line (no trailing newline).
+pub fn encode_event(event: &Event) -> String {
+    let mut obj = Object::new();
+    let (id, name) = match event {
+        Event::Queued { id } => (*id, "queued"),
+        Event::Started { id, deduped } => {
+            obj.insert("deduped".into(), Value::Bool(*deduped));
+            (*id, "started")
+        }
+        Event::Progress { id, note } => {
+            obj.insert("note".into(), Value::Str(note.clone()));
+            (*id, "progress")
+        }
+        Event::Done { id, report, module, evaluated } => {
+            obj.insert("report".into(), Value::Str(report.clone()));
+            if let Some(m) = module {
+                obj.insert("module".into(), Value::Str(m.clone()));
+            }
+            obj.insert("evaluated".into(), Value::Bool(*evaluated));
+            (*id, "done")
+        }
+        Event::Error { id, message } => {
+            obj.insert("message".into(), Value::Str(message.clone()));
+            (*id, "error")
+        }
+        Event::Pong { id } => (*id, "pong"),
+        Event::Stats { id, stats } => {
+            obj.insert("accepted".into(), Value::Int(stats.accepted as i64));
+            obj.insert("rejected".into(), Value::Int(stats.rejected as i64));
+            obj.insert("evaluations".into(), Value::Int(stats.evaluations as i64));
+            obj.insert("dedup_joined".into(), Value::Int(stats.dedup_joined as i64));
+            obj.insert("completed".into(), Value::Int(stats.completed as i64));
+            obj.insert("errors".into(), Value::Int(stats.errors as i64));
+            obj.insert("queue_depth".into(), Value::Int(stats.queue_depth as i64));
+            obj.insert("in_flight".into(), Value::Int(stats.in_flight as i64));
+            (*id, "stats")
+        }
+        Event::ShuttingDown { id } => (*id, "shutting_down"),
+    };
+    obj.insert("id".into(), Value::Int(id as i64));
+    obj.insert("event".into(), Value::Str(name.into()));
+    json::encode(&obj)
+}
+
+/// Decodes one event line.
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let obj = json::decode(line)?;
+    let id = get_u64(&obj, "id")?;
+    match get_str(&obj, "event")?.as_str() {
+        "queued" => Ok(Event::Queued { id }),
+        "started" => Ok(Event::Started { id, deduped: get_flag(&obj, "deduped")? }),
+        "progress" => Ok(Event::Progress { id, note: get_str(&obj, "note")? }),
+        "done" => Ok(Event::Done {
+            id,
+            report: get_str(&obj, "report")?,
+            module: obj.get("module").and_then(Value::as_str).map(str::to_string),
+            evaluated: get_flag(&obj, "evaluated")?,
+        }),
+        "error" => Ok(Event::Error { id, message: get_str(&obj, "message")? }),
+        "pong" => Ok(Event::Pong { id }),
+        "stats" => Ok(Event::Stats {
+            id,
+            stats: ServerStats {
+                accepted: get_u64(&obj, "accepted")?,
+                rejected: get_u64(&obj, "rejected")?,
+                evaluations: get_u64(&obj, "evaluations")?,
+                dedup_joined: get_u64(&obj, "dedup_joined")?,
+                completed: get_u64(&obj, "completed")?,
+                errors: get_u64(&obj, "errors")?,
+                queue_depth: get_u64(&obj, "queue_depth")?,
+                in_flight: get_u64(&obj, "in_flight")?,
+            },
+        }),
+        "shutting_down" => Ok(Event::ShuttingDown { id }),
+        other => Err(format!("unknown event {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search(source: &str) -> RequestKind {
+        RequestKind::Search {
+            source: source.into(),
+            target: "x86".into(),
+            bits: 16,
+            full_eval: false,
+            stats: true,
+            pass_stats: false,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let kinds = [
+            RequestKind::Ping,
+            RequestKind::Stats,
+            RequestKind::Shutdown,
+            search("module \"m\"\nfunc f() {}\n"),
+            RequestKind::Optimize {
+                source: "m".into(),
+                target: "wasm".into(),
+                strategy: "trial".into(),
+                full_sweep: true,
+                pass_stats: true,
+            },
+            RequestKind::Autotune {
+                source: "m".into(),
+                target: "x86".into(),
+                rounds: 3,
+                init: "both".into(),
+                full_eval: true,
+                stats: false,
+                pass_stats: true,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let req = Request { id: i as u64 + 1, kind };
+            let line = encode_request(&req);
+            assert!(!line.contains('\n'), "NDJSON framing holds despite newlines in source");
+            assert_eq!(decode_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            Event::Queued { id: 9 },
+            Event::Started { id: 9, deduped: true },
+            Event::Progress { id: 9, note: "evaluating 128 points".into() },
+            Event::Done {
+                id: 9,
+                report: "optimal size: 42\n".into(),
+                module: Some("module \"m\"\n".into()),
+                evaluated: false,
+            },
+            Event::Done { id: 9, report: "r".into(), module: None, evaluated: true },
+            Event::Error { id: 0, message: "bad request".into() },
+            Event::Pong { id: 1 },
+            Event::Stats {
+                id: 2,
+                stats: ServerStats {
+                    accepted: 32,
+                    rejected: 1,
+                    evaluations: 1,
+                    dedup_joined: 31,
+                    completed: 32,
+                    errors: 1,
+                    queue_depth: 0,
+                    in_flight: 0,
+                },
+            },
+            Event::ShuttingDown { id: 3 },
+        ];
+        for event in events {
+            let line = encode_event(&event);
+            assert_eq!(decode_event(&line).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn identity_covers_every_reply_shaping_field() {
+        let base = search("m");
+        assert_eq!(base.identity(), search("m").identity(), "identical requests share identity");
+        let mut variants = vec![search("other")];
+        if let RequestKind::Search { source, target, bits, full_eval, pass_stats, .. } = &base {
+            variants.push(RequestKind::Search {
+                source: source.clone(),
+                target: target.clone(),
+                bits: *bits,
+                full_eval: *full_eval,
+                stats: false, // differs from base
+                pass_stats: *pass_stats,
+            });
+            variants.push(RequestKind::Search {
+                source: source.clone(),
+                target: "wasm".into(),
+                bits: *bits,
+                full_eval: *full_eval,
+                stats: true,
+                pass_stats: *pass_stats,
+            });
+            variants.push(RequestKind::Search {
+                source: source.clone(),
+                target: target.clone(),
+                bits: bits + 1,
+                full_eval: *full_eval,
+                stats: true,
+                pass_stats: *pass_stats,
+            });
+        }
+        for v in variants {
+            assert_ne!(base.identity(), v.identity(), "{v:?} must not collide with {base:?}");
+        }
+        assert_eq!(RequestKind::Ping.identity(), None, "admin requests are never deduplicated");
+    }
+
+    #[test]
+    fn kind_and_identity_disambiguate_equal_fields() {
+        // Same field values under different kinds must never collide.
+        let o = RequestKind::Optimize {
+            source: "m".into(),
+            target: "x86".into(),
+            strategy: "heuristic".into(),
+            full_sweep: false,
+            pass_stats: false,
+        };
+        let s = search("m");
+        assert_ne!(o.identity(), s.identity());
+    }
+}

@@ -1,0 +1,556 @@
+//! The daemon: bounded admission, in-flight dedup, graceful drain.
+//!
+//! # Life of a request
+//!
+//! A connection reader thread decodes one request per line. Admin
+//! requests (`ping`, `stats`, `shutdown`) are answered inline. Evaluation
+//! requests are acknowledged with `queued` and pushed into a bounded
+//! admission queue — when the queue is full the reader blocks, which
+//! back-pressures the client through the socket.
+//!
+//! A single dispatcher thread pops jobs while fewer than `max_concurrent`
+//! evaluations run. At dispatch the job's 128-bit evaluation identity is
+//! checked against the in-flight table: a hit makes this request a
+//! *joiner* (it is recorded as a waiter and occupies no slot), a miss
+//! makes it the *leader* of a fresh evaluation. The leader runs the
+//! injected [`Handler`] on its own thread; progress notes and the final
+//! result fan out to every waiter recorded by completion time. A panic in
+//! the handler is caught and reported as an `error` event so joiners are
+//! never stranded.
+//!
+//! # Drain
+//!
+//! `shutdown` requests, [`ServerHandle::drain`], and an optional external
+//! [`AtomicBool`] (wired to SIGTERM by the CLI) all trip the same flag:
+//! stop admitting, finish what is queued and running, tell the handler to
+//! flush durable state ([`Handler::drained`]), close connections, remove
+//! the Unix socket file, and return final [`ServerStats`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::net::{Endpoint, Listener, Stream};
+use crate::proto::{self, Event, Request, RequestKind, ServerStats};
+
+/// How often the accept loop re-checks the drain flags while idle.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// The result of one evaluation, fanned out verbatim to every waiter.
+///
+/// `report` is the exact text an in-process run would print; `module` is
+/// the optimized module text for `optimize` requests (`None` otherwise).
+/// Keeping these byte-identical to the in-process path is what makes the
+/// serve-equivalence oracle a pure string comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// Rendered report text, exactly as the in-process path prints it.
+    pub report: String,
+    /// Optimized module text, for request kinds that produce one.
+    pub module: Option<String>,
+}
+
+/// What the daemon actually runs. Injected so this crate stays free of a
+/// dependency on the CLI (which depends on everything else): the CLI
+/// implements `Handler` by calling the same `cmd_*` functions its
+/// subcommands use, which makes daemon and in-process results identical
+/// by construction.
+pub trait Handler: Send + Sync + 'static {
+    /// Evaluates one request. `progress` may be called with short
+    /// human-readable notes; they are fanned out to all current waiters.
+    /// `Err` is reported to clients as an `error` event.
+    fn handle(&self, kind: &RequestKind, progress: &dyn Fn(&str)) -> Result<Reply, String>;
+
+    /// Called exactly once, after the last evaluation of a drain has
+    /// finished and before the server exits. Flush durable state here
+    /// (the CLI flushes its store scopes so batched puts survive).
+    fn drained(&self) {}
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Bounded admission queue depth; readers block (back-pressuring
+    /// clients) when it is full.
+    pub queue_capacity: usize,
+    /// Maximum evaluations running at once. `0` means "worker pool
+    /// threads, at least 1".
+    pub max_concurrent: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { queue_capacity: 64, max_concurrent: 0 }
+    }
+}
+
+impl ServeOptions {
+    fn effective_concurrency(&self) -> usize {
+        if self.max_concurrent > 0 {
+            self.max_concurrent
+        } else {
+            optinline_core::WorkerPool::global().threads().max(1)
+        }
+    }
+}
+
+/// One evaluation request admitted into the queue.
+struct Job {
+    id: u64,
+    kind: RequestKind,
+    out: Arc<Out>,
+}
+
+/// A request waiting on an in-flight evaluation (the leader is the first
+/// entry of its identity's waiter list).
+#[derive(Clone)]
+struct Waiter {
+    id: u64,
+    out: Arc<Out>,
+}
+
+/// Per-connection serialized writer. Never hold this lock while calling
+/// `admit` (a full queue would then deadlock against fan-out trying to
+/// write to the same connection).
+#[derive(Debug)]
+struct Out {
+    stream: Mutex<Stream>,
+}
+
+impl Out {
+    fn new(stream: Stream) -> Out {
+        Out { stream: Mutex::new(stream) }
+    }
+
+    /// Writes one event line. Write errors are swallowed: a vanished
+    /// client must not take down an evaluation other waiters still want.
+    fn send(&self, event: &Event) {
+        let line = proto::encode_event(event);
+        let mut s = self.stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.write_all(b"\n");
+        let _ = s.flush();
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    running: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    evaluations: AtomicU64,
+    dedup_joined: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct ServerInner {
+    handler: Box<dyn Handler>,
+    queue_capacity: usize,
+    max_concurrent: usize,
+    state: Mutex<QueueState>,
+    /// Wakes the dispatcher (new job / freed slot), blocked admitters
+    /// (freed queue space), and the drain waiter (queue+running empty).
+    wake: Condvar,
+    in_flight: Mutex<HashMap<u128, Vec<Waiter>>>,
+    draining: AtomicBool,
+    counters: Counters,
+    /// Write halves of live connections, shut down after drain so reader
+    /// threads unblock and exit.
+    conns: Mutex<Vec<Stream>>,
+}
+
+impl std::fmt::Debug for ServerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerInner").finish_non_exhaustive()
+    }
+}
+
+impl ServerInner {
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_in_flight(&self) -> MutexGuard<'_, HashMap<u128, Vec<Waiter>>> {
+        self.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    fn server_stats(&self) -> ServerStats {
+        let (queue_depth, in_flight) = {
+            let s = self.lock_state();
+            (s.queue.len() as u64, s.running as u64)
+        };
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::SeqCst),
+            rejected: self.counters.rejected.load(Ordering::SeqCst),
+            evaluations: self.counters.evaluations.load(Ordering::SeqCst),
+            dedup_joined: self.counters.dedup_joined.load(Ordering::SeqCst),
+            completed: self.counters.completed.load(Ordering::SeqCst),
+            errors: self.counters.errors.load(Ordering::SeqCst),
+            queue_depth,
+            in_flight,
+        }
+    }
+
+    /// Blocks until the job fits in the queue (back-pressure) or the
+    /// server starts draining. Returns `false` if the job was refused.
+    fn admit(self: &Arc<Self>, job: Job) -> bool {
+        let mut s = self.lock_state();
+        loop {
+            if self.draining() {
+                return false;
+            }
+            if s.queue.len() < self.queue_capacity {
+                s.queue.push_back(job);
+                drop(s);
+                self.counters.accepted.fetch_add(1, Ordering::SeqCst);
+                self.wake.notify_all();
+                return true;
+            }
+            s = self.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Releases an evaluation slot (or a joiner's borrowed slot).
+    fn finish_slot(&self) {
+        let mut s = self.lock_state();
+        s.running -= 1;
+        drop(s);
+        self.wake.notify_all();
+    }
+
+    /// Dispatcher loop: runs until draining *and* the queue is empty.
+    /// Running evaluations finish on their own threads; `run` waits for
+    /// them separately.
+    fn dispatch(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut s = self.lock_state();
+                loop {
+                    if s.running < self.max_concurrent {
+                        if let Some(job) = s.queue.pop_front() {
+                            s.running += 1;
+                            break job;
+                        }
+                    }
+                    if self.draining() && s.queue.is_empty() {
+                        return;
+                    }
+                    s = self.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            // Queue space was freed: unblock one blocked admitter.
+            self.wake.notify_all();
+            self.launch(job);
+        }
+    }
+
+    /// Dedup-checks one popped job: join an in-flight identity or lead a
+    /// fresh evaluation.
+    fn launch(self: &Arc<Self>, job: Job) {
+        let Some(identity) = job.kind.identity() else {
+            // Admin kinds are answered at the connection layer and never
+            // reach the queue; refuse defensively rather than panic.
+            job.out.send(&Event::Error {
+                id: job.id,
+                message: format!("request kind {:?} is not evaluable", job.kind.name()),
+            });
+            self.counters.errors.fetch_add(1, Ordering::SeqCst);
+            self.finish_slot();
+            return;
+        };
+        let waiter = Waiter { id: job.id, out: Arc::clone(&job.out) };
+        let joined = {
+            let mut inflight = self.lock_in_flight();
+            match inflight.get_mut(&identity) {
+                Some(waiters) => {
+                    waiters.push(waiter);
+                    true
+                }
+                None => {
+                    inflight.insert(identity, vec![waiter]);
+                    false
+                }
+            }
+        };
+        job.out.send(&Event::Started { id: job.id, deduped: joined });
+        if joined {
+            self.counters.dedup_joined.fetch_add(1, Ordering::SeqCst);
+            // A joiner holds no slot: its result arrives with the leader's.
+            self.finish_slot();
+            return;
+        }
+        self.counters.evaluations.fetch_add(1, Ordering::SeqCst);
+        // A dedicated thread, not `WorkerPool::spawn`: on a zero-worker
+        // pool (single CPU) a fire-and-forget pool job only runs when some
+        // caller helps, which a daemon with no other traffic never does.
+        // Concurrency stays bounded by `max_concurrent` via the slot count.
+        let inner = Arc::clone(self);
+        let kind = job.kind;
+        std::thread::Builder::new()
+            .name(format!("serve-eval-{identity:032x}"))
+            .spawn(move || inner.execute(identity, kind))
+            .expect("spawn evaluation thread");
+    }
+
+    /// Runs the handler as the leader for `identity` and fans the outcome
+    /// out to every waiter registered by completion time.
+    fn execute(self: &Arc<Self>, identity: u128, kind: RequestKind) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let progress = |note: &str| {
+                // Snapshot waiters, then send outside the lock: a stalled
+                // client socket must not block the dedup table.
+                let waiters = self.lock_in_flight().get(&identity).cloned().unwrap_or_default();
+                for w in &waiters {
+                    w.out.send(&Event::Progress { id: w.id, note: note.to_string() });
+                }
+            };
+            self.handler.handle(&kind, &progress)
+        }));
+        let outcome = match outcome {
+            Ok(done) => done,
+            Err(_) => Err("evaluation panicked; see server log".to_string()),
+        };
+        let waiters = self.lock_in_flight().remove(&identity).unwrap_or_default();
+        let mut evaluated = true;
+        for w in &waiters {
+            match &outcome {
+                Ok(reply) => {
+                    w.out.send(&Event::Done {
+                        id: w.id,
+                        report: reply.report.clone(),
+                        module: reply.module.clone(),
+                        evaluated,
+                    });
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(message) => {
+                    w.out.send(&Event::Error { id: w.id, message: message.clone() });
+                    self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            evaluated = false;
+        }
+        self.finish_slot();
+    }
+
+    /// Reads requests off one connection until EOF or drain shutdown.
+    fn serve_conn(self: &Arc<Self>, stream: Stream) {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let out = Arc::new(Out::new(stream));
+        let reader = BufReader::new(read_half);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match proto::decode_request(&line) {
+                Ok(request) => request,
+                Err(e) => {
+                    out.send(&Event::Error { id: 0, message: format!("bad request: {e}") });
+                    continue;
+                }
+            };
+            let Request { id, kind } = request;
+            match kind {
+                RequestKind::Ping => out.send(&Event::Pong { id }),
+                RequestKind::Stats => out.send(&Event::Stats { id, stats: self.server_stats() }),
+                RequestKind::Shutdown => {
+                    out.send(&Event::ShuttingDown { id });
+                    self.begin_drain();
+                }
+                kind => {
+                    if self.draining() {
+                        self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                        out.send(&Event::Error {
+                            id,
+                            message: "server is draining; run in-process instead".to_string(),
+                        });
+                        continue;
+                    }
+                    // `queued` goes out before `admit` can block so the
+                    // client always sees it first; the writer lock is NOT
+                    // held across `admit` (deadlock: full queue + fan-out
+                    // to this same connection).
+                    out.send(&Event::Queued { id });
+                    let admitted = self.admit(Job { id, kind, out: Arc::clone(&out) });
+                    if !admitted {
+                        self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                        out.send(&Event::Error {
+                            id,
+                            message: "server is draining; run in-process instead".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+    listener: Listener,
+    endpoint: Endpoint,
+    /// External drain signal (the CLI points this at its SIGTERM flag).
+    drain_on: Option<&'static AtomicBool>,
+}
+
+impl Server {
+    /// Binds `endpoint` eagerly (so address errors surface before any
+    /// daemonization) with the given handler and options.
+    pub fn bind(
+        endpoint: Endpoint,
+        handler: Box<dyn Handler>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = Listener::bind(&endpoint)?;
+        let inner = Arc::new(ServerInner {
+            handler,
+            queue_capacity: opts.queue_capacity.max(1),
+            max_concurrent: opts.effective_concurrency(),
+            state: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            in_flight: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        Ok(Server { inner, listener, endpoint, drain_on: None })
+    }
+
+    /// Additionally trip drain when `flag` becomes true (checked every
+    /// accept-poll tick). The CLI wires this to its SIGTERM handler.
+    pub fn drain_on(mut self, flag: &'static AtomicBool) -> Server {
+        self.drain_on = Some(flag);
+        self
+    }
+
+    /// The TCP address actually bound, if the endpoint is TCP (lets tests
+    /// bind port 0 and discover the real port).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listener.tcp_addr()
+    }
+
+    /// Serves until drained, then returns final stats. Blocks the calling
+    /// thread; use [`Server::start`] for a handle-based variant.
+    pub fn run(self) -> std::io::Result<ServerStats> {
+        let inner = Arc::clone(&self.inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("serve-dispatch".to_string())
+            .spawn(move || inner.dispatch())
+            .expect("spawn dispatcher thread");
+
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if let Some(flag) = self.drain_on {
+                if flag.load(Ordering::SeqCst) {
+                    self.inner.begin_drain();
+                }
+            }
+            if self.inner.draining() {
+                break;
+            }
+            match self.listener.accept()? {
+                Some(stream) => {
+                    if let Ok(write_half) = stream.try_clone() {
+                        let mut conns = self
+                            .inner
+                            .conns
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        conns.push(write_half);
+                    }
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || inner.serve_conn(stream))
+                        .expect("spawn connection thread");
+                }
+                None => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+
+        // Stop accepting, finish everything queued and running.
+        drop(self.listener);
+        {
+            let mut s = self.inner.lock_state();
+            while !(s.queue.is_empty() && s.running == 0) {
+                s = self.inner.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let _ = dispatcher.join();
+
+        // All evaluations done: let the handler flush durable state before
+        // any client can observe the daemon as gone.
+        self.inner.handler.drained();
+
+        // Unblock connection readers so their threads exit.
+        let conns = {
+            let mut c = self.inner.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *c)
+        };
+        for conn in &conns {
+            conn.shutdown();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(self.inner.server_stats())
+    }
+
+    /// Runs the server on a background thread and returns a handle for
+    /// draining and joining (used by tests and the equivalence oracle).
+    pub fn start(self) -> ServerHandle {
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        ServerHandle { inner, thread }
+    }
+}
+
+/// Handle to a server running on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    thread: std::thread::JoinHandle<std::io::Result<ServerStats>>,
+}
+
+impl ServerHandle {
+    /// Trips the drain flag: stop admitting, finish in-flight, exit.
+    pub fn drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// A live snapshot of server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.server_stats()
+    }
+
+    /// Waits for the server to finish draining and returns final stats.
+    pub fn join(self) -> std::io::Result<ServerStats> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! A SIGTERM/SIGINT latch with no dependencies: the handler does nothing
+//! but store into a static `AtomicBool`, which is async-signal-safe. The
+//! server's accept loop polls the flag and turns it into a graceful
+//! drain, so `kill -TERM <daemon>` finishes in-flight work and flushes
+//! the store instead of dying mid-write.
+
+use std::sync::atomic::AtomicBool;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // void (*signal(int, void (*)(int)))(int) — the return value (the
+        // previous handler) is pointer-sized; we never call it.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn install() -> &'static AtomicBool {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+        &DRAIN
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::sync::atomic::AtomicBool;
+
+    pub static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    /// No signals to hook on this platform; the flag can still be tripped
+    /// by a `shutdown` request or [`ServerHandle::drain`].
+    pub fn install() -> &'static AtomicBool {
+        &DRAIN
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers (Unix; a no-op latch elsewhere) and
+/// returns the flag they trip. Pass it to [`Server::drain_on`] so either
+/// signal starts a graceful drain.
+///
+/// [`Server::drain_on`]: crate::Server::drain_on
+pub fn install_drain_handler() -> &'static AtomicBool {
+    imp::install()
+}

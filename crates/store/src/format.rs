@@ -75,6 +75,14 @@ pub fn scope_rel_path(fingerprint: u128) -> (String, String) {
     (hex[..2].to_string(), format!("{}.{LOG_EXT}", &hex[2..]))
 }
 
+/// Splits a shard-directory file name into its log stem, or `None` for
+/// anything that is not a `*.log` file — the tolerant replacement for
+/// `strip_suffix(".log").unwrap()`, which panicked on any stray foreign
+/// file (editor droppings, temp files) in a shard directory.
+pub fn log_file_stem(file_name: &str) -> Option<&str> {
+    file_name.strip_suffix(LOG_EXT).and_then(|s| s.strip_suffix('.'))
+}
+
 /// Recovers the fingerprint from a sharded path's components, if they
 /// spell one.
 pub fn fingerprint_of(shard: &str, file_stem: &str) -> Option<u128> {
@@ -112,8 +120,16 @@ mod tests {
         let fp = 0xfeed_face_cafe_babe_dead_beef_0123_4567_u128;
         let (shard, file) = scope_rel_path(fp);
         assert_eq!(shard.len(), 2);
-        let stem = file.strip_suffix(".log").unwrap();
+        let stem = log_file_stem(&file).expect("scope logs always carry the log extension");
         assert_eq!(fingerprint_of(&shard, stem), Some(fp));
+    }
+
+    #[test]
+    fn foreign_file_names_have_no_log_stem() {
+        for name in ["README.txt", "notes", "log", ".log.swp", "cafe.log.tmp.123", "x.LOG"] {
+            assert_eq!(log_file_stem(name), None, "{name:?} is not a scope log");
+        }
+        assert_eq!(log_file_stem("cafebabe.log"), Some("cafebabe"));
     }
 
     #[test]

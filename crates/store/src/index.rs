@@ -120,6 +120,10 @@ impl Index {
 pub struct SharedIndex {
     path: PathBuf,
     data: Mutex<Index>,
+    /// Serializes [`SharedIndex::save`] calls: concurrent savers share one
+    /// pid-keyed temp path, so an unserialized rename could steal another
+    /// saver's temp file (or persist the older of two images last).
+    saving: Mutex<()>,
 }
 
 impl SharedIndex {
@@ -127,7 +131,7 @@ impl SharedIndex {
     pub fn open(root: &Path) -> SharedIndex {
         let path = root.join(INDEX_FILE);
         let data = Mutex::new(Index::load(&path));
-        SharedIndex { path, data }
+        SharedIndex { path, data, saving: Mutex::new(()) }
     }
 
     /// The index file's path.
@@ -135,20 +139,27 @@ impl SharedIndex {
         &self.path
     }
 
-    /// Bumps the clock and returns the new value.
-    pub fn tick(&self) -> u64 {
-        let mut d = self.lock();
-        d.clock += 1;
-        d.clock
-    }
-
     /// Updates (or creates) a scope's record, stamping it with a fresh
-    /// clock tick.
+    /// clock tick. Only scope *opens* go through here — an open has just
+    /// (re)created the log file, so inserting a record is always truthful.
     pub fn touch(&self, fingerprint: u128, entries: u64, bytes: u64) {
         let mut d = self.lock();
         d.clock += 1;
         let used = d.clock;
         d.scopes.insert(fingerprint, ScopeRecord { entries, bytes, used });
+    }
+
+    /// Updates an *existing* record, stamping it with a fresh clock tick;
+    /// a missing record stays missing. Flush, compaction, and drop go
+    /// through here so a handle racing a GC pass can never re-insert
+    /// ("resurrect") the record of a log the GC just deleted.
+    pub fn sync(&self, fingerprint: u128, entries: u64, bytes: u64) {
+        let mut d = self.lock();
+        if d.scopes.contains_key(&fingerprint) {
+            d.clock += 1;
+            let used = d.clock;
+            d.scopes.insert(fingerprint, ScopeRecord { entries, bytes, used });
+        }
     }
 
     /// Removes a scope's record (after GC evicted its log).
@@ -178,6 +189,7 @@ impl SharedIndex {
     /// Persists the image via temp file + atomic rename. I/O errors are
     /// returned but safe to swallow: the index is rebuildable.
     pub fn save(&self) -> std::io::Result<()> {
+        let _guard = self.saving.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let image = self.lock().render();
         let tmp = self.path.with_extension(format!("v1.tmp.{}", std::process::id()));
         {
@@ -217,6 +229,22 @@ mod tests {
         assert_eq!(snap.clock, 3);
         assert_eq!(snap.scopes[&0xabc], ScopeRecord { entries: 11, bytes: 1100, used: 3 });
         assert_eq!(snap.scopes[&0xdef], ScopeRecord { entries: 20, bytes: 2000, used: 2 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_updates_but_never_resurrects() {
+        let dir = tmpdir("sync");
+        let idx = SharedIndex::open(&dir);
+        idx.touch(0xabc, 1, 100);
+        idx.sync(0xabc, 2, 200);
+        assert_eq!(idx.snapshot().scopes[&0xabc], ScopeRecord { entries: 2, bytes: 200, used: 2 });
+        idx.remove(0xabc);
+        idx.sync(0xabc, 3, 300);
+        assert!(
+            !idx.snapshot().scopes.contains_key(&0xabc),
+            "sync after removal must not re-insert the record"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -38,8 +38,8 @@ mod local;
 mod scope;
 
 pub use format::{
-    fingerprint_of, format_entry, parse_entry, sanitize_meta, scope_rel_path, HEADER, LEGACY_EXT,
-    LEGACY_HEADER, LOG_EXT, META_PREFIX,
+    fingerprint_of, format_entry, log_file_stem, parse_entry, sanitize_meta, scope_rel_path,
+    HEADER, LEGACY_EXT, LEGACY_HEADER, LOG_EXT, META_PREFIX,
 };
 pub use index::{Index, ScopeRecord, SharedIndex, INDEX_FILE};
 pub use local::{GcReport, LocalStore, ScopeSpec, VerifyReport};

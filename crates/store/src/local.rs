@@ -2,7 +2,7 @@
 //! the shared index, size-budgeted GC, verification, and compaction.
 
 use crate::format::{
-    fingerprint_of, parse_entry, sanitize_meta, scope_rel_path, HEADER, LEGACY_EXT, LOG_EXT,
+    fingerprint_of, log_file_stem, parse_entry, sanitize_meta, scope_rel_path, HEADER, LEGACY_EXT,
     META_PREFIX,
 };
 use crate::index::{ScopeRecord, SharedIndex};
@@ -61,6 +61,9 @@ pub struct VerifyReport {
     pub unreadable_logs: u64,
     /// Legacy `.sizes` files still awaiting import at the root.
     pub legacy_files: u64,
+    /// Unrecognized files inside shard directories (editor droppings,
+    /// stray temp files) — skipped, never touched, never fatal.
+    pub foreign_files: u64,
 }
 
 impl VerifyReport {
@@ -76,6 +79,14 @@ struct Scanned {
     fingerprint: u128,
     path: PathBuf,
     bytes: u64,
+}
+
+/// Everything a sharded-directory walk found.
+struct ScanOutcome {
+    /// Well-formed scope logs.
+    logs: Vec<Scanned>,
+    /// Files inside shard directories that are not scope logs.
+    foreign_files: u64,
 }
 
 /// Global registry so every cache in a process (CLI run, experiments
@@ -182,28 +193,34 @@ impl LocalStore {
         self.index.save()
     }
 
-    /// Walks the sharded directories, collecting every scope log.
-    fn scan(&self) -> std::io::Result<Vec<Scanned>> {
-        let mut logs = Vec::new();
+    /// Walks the sharded directories, collecting every scope log and
+    /// counting (but never touching) anything else it finds in a shard.
+    /// Entries that vanish mid-walk (a concurrent GC pass) are skipped,
+    /// never an error.
+    fn scan(&self) -> std::io::Result<ScanOutcome> {
+        let mut out = ScanOutcome { logs: Vec::new(), foreign_files: 0 };
         for shard_entry in std::fs::read_dir(&self.root)? {
             let shard_entry = shard_entry?;
-            if !shard_entry.file_type()?.is_dir() {
+            let is_dir = shard_entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+            if !is_dir {
                 continue;
             }
             let shard_name = shard_entry.file_name().to_string_lossy().into_owned();
-            for entry in std::fs::read_dir(shard_entry.path())? {
-                let entry = entry?;
-                let path = entry.path();
-                if path.extension().and_then(|e| e.to_str()) != Some(LOG_EXT) {
+            let Ok(shard_dir) = std::fs::read_dir(shard_entry.path()) else { continue };
+            for entry in shard_dir {
+                let Ok(entry) = entry else { continue };
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(fingerprint) =
+                    log_file_stem(&name).and_then(|stem| fingerprint_of(&shard_name, stem))
+                else {
+                    out.foreign_files += 1;
                     continue;
-                }
-                let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
-                let Some(fingerprint) = fingerprint_of(&shard_name, stem) else { continue };
-                let bytes = entry.metadata()?.len();
-                logs.push(Scanned { fingerprint, path, bytes });
+                };
+                let Ok(meta) = entry.metadata() else { continue };
+                out.logs.push(Scanned { fingerprint, path: entry.path(), bytes: meta.len() });
             }
         }
-        Ok(logs)
+        Ok(out)
     }
 
     /// Legacy `.sizes` files still sitting flat at the root.
@@ -226,9 +243,10 @@ impl LocalStore {
             let mut total = 0;
             for entry in std::fs::read_dir(dir)? {
                 let entry = entry?;
-                let meta = entry.metadata()?;
+                // Tolerate entries vanishing mid-walk (concurrent GC).
+                let Ok(meta) = entry.metadata() else { continue };
                 if meta.is_dir() {
-                    total += walk(&entry.path())?;
+                    total += walk(&entry.path()).unwrap_or(0);
                 } else {
                     total += meta.len();
                 }
@@ -267,34 +285,53 @@ impl LocalStore {
 
         if remaining > budget_bytes {
             // Reconcile recency from the index with reality from the scan,
-            // then walk victims coldest-first.
-            let logs = self.scan()?;
+            // then walk victims coldest-first. The snapshot is taken once
+            // for the whole pass, so concurrent touches cannot reorder the
+            // victim walk mid-run.
+            let scan = self.scan()?;
             let snapshot = self.index.snapshot();
-            let open: HashMap<u128, bool> = {
-                let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                reg.iter().map(|(fp, (_, w))| (*fp, w.upgrade().is_some())).collect()
-            };
-            let mut victims: Vec<&Scanned> = logs
-                .iter()
-                .filter(|s| !open.get(&s.fingerprint).copied().unwrap_or(false))
-                .collect();
+            let mut victims: Vec<&Scanned> = scan.logs.iter().collect();
             victims.sort_by_key(|s| {
                 (snapshot.scopes.get(&s.fingerprint).map(|r| r.used).unwrap_or(0), s.fingerprint)
             });
+            let mut evicted: Vec<u128> = Vec::new();
             for victim in victims {
                 if remaining <= budget_bytes {
                     break;
                 }
-                std::fs::remove_file(&victim.path)?;
+                // Liveness is re-checked per victim *under the scope
+                // registry lock*, and the unlink plus index removal happen
+                // while it is held: `scope()` holds the same lock for its
+                // whole open, so a handle opened concurrently can neither
+                // lose its freshly (re)created log nor re-insert
+                // ("resurrect") the record this pass is dropping.
+                let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if reg.get(&victim.fingerprint).is_some_and(|(_, w)| w.upgrade().is_some()) {
+                    continue;
+                }
+                match std::fs::remove_file(&victim.path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(e),
+                }
+                self.index.remove(victim.fingerprint);
+                drop(reg);
                 // Prune the shard directory if this was its last log.
                 if let Some(parent) = victim.path.parent() {
                     let _ = std::fs::remove_dir(parent);
                 }
-                self.index.remove(victim.fingerprint);
+                evicted.push(victim.fingerprint);
                 remaining = remaining.saturating_sub(victim.bytes);
                 report.evicted_scopes += 1;
                 self.gc_evicted_scopes.fetch_add(1, Ordering::Relaxed);
                 self.gc_evicted_bytes.fetch_add(victim.bytes, Ordering::Relaxed);
+            }
+            // A handle dropped mid-walk may still sync its record from its
+            // Drop after the liveness check saw it dead; sweep the evicted
+            // fingerprints once more so the image saved below cannot carry
+            // records for logs this pass deleted.
+            for fp in evicted {
+                self.index.remove(fp);
             }
         }
 
@@ -313,7 +350,9 @@ impl LocalStore {
         }
         let mut report = VerifyReport::default();
         let mut rebuilt: HashMap<u128, ScopeRecord> = HashMap::new();
-        for log in self.scan()? {
+        let scan = self.scan()?;
+        report.foreign_files = scan.foreign_files;
+        for log in scan.logs {
             report.scopes += 1;
             report.bytes += log.bytes;
             let Ok(text) = std::fs::read_to_string(&log.path) else {
@@ -360,7 +399,7 @@ impl LocalStore {
         let live: HashMap<u128, Scope> =
             self.live_scopes().into_iter().map(|s| (s.fingerprint(), s)).collect();
         let mut reclaimed = 0u64;
-        for log in self.scan()? {
+        for log in self.scan()?.logs {
             let (before, after) = match live.get(&log.fingerprint) {
                 Some(scope) => scope.compact()?,
                 None => crate::scope::compact_closed_log(&log.path)?,

@@ -409,7 +409,7 @@ impl Scope {
         inner.flush_locked(&mut state)?;
         let (live, bytes) = (state.live_entries, state.disk_bytes);
         drop(state);
-        inner.index.touch(inner.fingerprint, live, bytes);
+        inner.index.sync(inner.fingerprint, live, bytes);
         Ok(())
     }
 
@@ -421,7 +421,7 @@ impl Scope {
         let sizes = inner.compact_locked(&mut state)?;
         let (live, bytes) = (state.live_entries, state.disk_bytes);
         drop(state);
-        inner.index.touch(inner.fingerprint, live, bytes);
+        inner.index.sync(inner.fingerprint, live, bytes);
         Ok(sizes)
     }
 
@@ -547,7 +547,10 @@ impl Drop for ScopeInner {
         let _ = self.flush_locked(&mut state);
         let (live, bytes) = (state.live_entries, state.disk_bytes);
         drop(state);
-        self.index.touch(self.fingerprint, live, bytes);
+        // `sync`, not `touch`: if a GC pass evicted this scope's log while
+        // the handle was being dropped, re-inserting the record would
+        // resurrect an index entry for a file that no longer exists.
+        self.index.sync(self.fingerprint, live, bytes);
         let _ = self.index.save();
         let counters = ScopeCounters {
             loaded: self.loaded,

@@ -514,3 +514,142 @@ fn concurrent_appenders_survive_compaction_and_gc() {
     assert_eq!(stats.entries, u64::from(per_thread) * 2);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Regression: a stray non-`.log` file in a shard directory used to be a
+/// panic risk in every scan-based operation; now it is skipped, counted,
+/// and survives reopen / verify / gc untouched.
+#[test]
+fn foreign_files_in_shard_dirs_are_skipped_and_counted() {
+    let dir = tmpdir("foreign");
+    let fp = 0xf0_u128;
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[]), 100);
+        scope.put(k(&[1]), 90);
+    }
+    // Drop foreign files into the scope's shard directory.
+    let shard = log_path(&dir, fp).parent().unwrap().to_path_buf();
+    std::fs::write(shard.join("README.txt"), "someone's notes\n").unwrap();
+    std::fs::write(shard.join("stray"), "no extension\n").unwrap();
+    std::fs::write(shard.join("deadbeef.log"), "log extension, wrong stem length\n").unwrap();
+
+    // Reopening and scanning must neither panic nor misread the strays.
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let report = store.verify().unwrap();
+    assert!(report.clean(), "strays are not damage: {report:?}");
+    assert_eq!(report.scopes, 1, "only the real log is a scope");
+    assert_eq!(report.entries, 2);
+    assert_eq!(report.foreign_files, 3, "every stray counted");
+    let scope = store.scope(spec(fp)).unwrap();
+    assert_eq!(scope.get(&k(&[])), Some(100));
+    drop(scope);
+
+    // GC walks the same directories; strays survive it untouched.
+    store.gc(0).unwrap();
+    assert!(shard.join("README.txt").exists(), "gc never deletes foreign files");
+    assert!(shard.join("stray").exists());
+    assert!(shard.join("deadbeef.log").exists());
+    assert!(!log_path(&dir, fp).exists(), "the real log was evictable");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Explicit `flush()` makes buffered puts durable while every handle stays
+/// alive — the path a long-running daemon relies on, where drop-flush
+/// never runs between requests.
+#[test]
+fn explicit_flush_commits_buffered_puts_without_drop() {
+    let dir = tmpdir("explicit-flush");
+    // Thresholds high enough that nothing flushes on its own.
+    let opts = StoreOptions {
+        flush_every_lines: 1 << 20,
+        flush_bytes: 1 << 30,
+        ..StoreOptions::default()
+    };
+    let store = LocalStore::open(&dir, opts).unwrap();
+    let scope = store.scope(spec(0xf1)).unwrap();
+    scope.put(k(&[]), 100);
+    scope.put(k(&[2]), 80);
+    let on_disk = std::fs::read_to_string(log_path(&dir, 0xf1)).unwrap();
+    assert_eq!(on_disk.lines().count(), 2, "header + meta only: puts still buffered in memory");
+
+    store.flush_all().unwrap();
+    let on_disk = std::fs::read_to_string(log_path(&dir, 0xf1)).unwrap();
+    assert_eq!(on_disk.lines().count(), 4, "flush committed both buffered lines");
+    assert!(on_disk.ends_with('\n'), "no torn tail");
+    // A second cold reader (fresh store, same directory) sees them while
+    // the writing handles are still alive.
+    let cold = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let cold_scope = cold.scope(spec(0xf1)).unwrap();
+    assert_eq!(cold_scope.counters().loaded, 2, "durable without any drop");
+    drop(cold_scope);
+    drop(scope);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Writers open scopes, put, and drop while a collector loops a tiny
+/// budget: eviction must never resurrect an index record for a deleted
+/// log, and scopes being (re)opened mid-pass must never lose fresh puts.
+#[test]
+fn concurrent_gc_and_put_never_resurrect_evicted_scopes() {
+    let dir = tmpdir("gc-race");
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let rounds: u32 = 60;
+    let writer = |lane: u128| {
+        let store = Arc::clone(&store);
+        move || {
+            for r in 0..rounds {
+                let fp = lane * 0x1_0000 + u128::from(r % 7);
+                let scope = store
+                    .scope(ScopeSpec {
+                        fingerprint: fp,
+                        meta: "mod-a target=t sites=4",
+                        legacy_fingerprint: None,
+                    })
+                    .unwrap();
+                for i in 0..20 {
+                    scope.put(k(&[r * 100 + i]), u64::from(i));
+                }
+                // Puts made while the handle lives must survive the
+                // collector: live scopes are never evicted.
+                assert_eq!(scope.get(&k(&[r * 100])), Some(0));
+                drop(scope);
+                std::thread::yield_now();
+            }
+        }
+    };
+    let collector = {
+        let store = Arc::clone(&store);
+        move || {
+            for _ in 0..40 {
+                store.gc(256).unwrap();
+                std::thread::yield_now();
+            }
+        }
+    };
+    let handles = vec![
+        std::thread::spawn(writer(1)),
+        std::thread::spawn(writer(2)),
+        std::thread::spawn(writer(3)),
+        std::thread::spawn(collector),
+    ];
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // No resurrection: every record the index still carries must have its
+    // log on disk (checked BEFORE verify, which would rebuild the index
+    // and mask the bug).
+    store.flush_all().unwrap();
+    let stats = store.store_stats();
+    let on_disk: u64 = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+        .map(|shard| std::fs::read_dir(shard.path()).map(|d| d.count() as u64).unwrap_or(0))
+        .sum();
+    assert_eq!(stats.scopes, on_disk, "index records exactly match logs on disk");
+    let report = store.verify().unwrap();
+    assert!(report.clean(), "no damage after the race: {report:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
