@@ -45,6 +45,7 @@ fn search_kind(source: &str, bits: u32) -> RequestKind {
         full_eval: false,
         stats: false,
         pass_stats: false,
+        objective: "size".to_string(),
     }
 }
 
@@ -68,7 +69,7 @@ struct EchoHandler;
 
 impl Handler for EchoHandler {
     fn handle(&self, kind: &RequestKind, _progress: &dyn Fn(&str)) -> Result<Reply, String> {
-        Ok(Reply { report: format!("echo {}\n", kind.name()), module: None })
+        Ok(Reply { report: format!("echo {}\n", kind.name()), module: None, measurement: None })
     }
 }
 
@@ -90,7 +91,11 @@ impl Handler for SearchHandler {
         let ev = CompilerEvaluator::new(module, Box::new(X86Like));
         let (config, size) =
             evaluate_inlining_tree(&tree, &ev, InliningConfiguration::clean_slate());
-        Ok(Reply { report: format!("optimal size: {size} B\nconfig: {config}\n"), module: None })
+        Ok(Reply {
+            report: format!("optimal size: {size} B\nconfig: {config}\n"),
+            module: None,
+            measurement: Some(optinline_ir::Measurement::size_only(size)),
+        })
     }
 }
 

@@ -4,7 +4,7 @@
 //! the `results/perf_store.txt` numbers.
 
 use optinline_bench::{criterion_group, criterion_main, Criterion};
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 use optinline_store::{LocalStore, ScopeSpec, StoreOptions};
 use std::path::{Path, PathBuf};
 
@@ -44,7 +44,7 @@ fn bench_put_throughput(c: &mut Criterion) {
                 let store = LocalStore::open(&dir, opts).expect("store opens");
                 let scope = store.scope(spec(fp)).expect("scope opens");
                 for i in 0..PUTS {
-                    scope.put(key(i), u64::from(i));
+                    scope.put(key(i), Measurement::size_only(u64::from(i)));
                 }
                 scope.flush().expect("flush succeeds");
                 scope.counters().appends
@@ -64,7 +64,7 @@ fn seed_scope(dir: &Path, fp: u128, dup: bool) {
         let store = LocalStore::open(dir, opts).expect("store opens");
         let scope = store.scope(spec(fp)).expect("scope opens");
         for i in 0..PUTS {
-            scope.put(key(i), u64::from(i));
+            scope.put(key(i), Measurement::size_only(u64::from(i)));
         }
         scope.flush().expect("flush succeeds");
         scope.path().to_path_buf()
@@ -112,7 +112,7 @@ fn bench_gc(c: &mut Criterion) {
         for fp in 1u128..=16 {
             let scope = store.scope(spec(fp)).expect("scope opens");
             for i in 0..64u32 {
-                scope.put(key(i), u64::from(i));
+                scope.put(key(i), Measurement::size_only(u64::from(i)));
             }
         }
         store.flush_all().expect("flush succeeds");

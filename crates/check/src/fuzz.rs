@@ -6,6 +6,7 @@
 //! configurations probed on that module come from the same stream. A
 //! failure record therefore names the one number needed to replay it.
 
+use crate::cyclecheck::check_cycles;
 use crate::inject::BuggyEvaluator;
 use crate::oracle::{check_semantics, Limits};
 use crate::parcheck::check_parallel_search;
@@ -90,6 +91,13 @@ pub struct FuzzReport {
     /// Daemon-transported vs direct-handler comparisons performed
     /// (request kinds × cold/warm, dedup fan-out, drain).
     pub serve_comparisons: usize,
+    /// Cycles-oracle comparisons performed (behaviour preservation plus
+    /// measurement determinism across evaluator shapes and the pool).
+    pub cycle_comparisons: usize,
+    /// Configurations observed to move the cycle count under `-Os` —
+    /// recorded evidence that "cycles may change" is exercised, never a
+    /// failure.
+    pub cycles_changed: usize,
     /// Comparisons skipped as inconclusive (fuel/stack).
     pub inconclusive: usize,
     /// Configurations skipped because their estimated inlining expansion
@@ -107,6 +115,9 @@ pub struct FuzzReport {
     pub store_failures: Vec<FailureRecord>,
     /// Serve-oracle failures (daemon transport visible in the results).
     pub serve_failures: Vec<FailureRecord>,
+    /// Cycles-oracle failures (behaviour change or a non-deterministic
+    /// measurement).
+    pub cycle_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
@@ -118,6 +129,7 @@ impl FuzzReport {
             && self.parallel_failures.is_empty()
             && self.store_failures.is_empty()
             && self.serve_failures.is_empty()
+            && self.cycle_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -127,7 +139,7 @@ impl FuzzReport {
             out,
             "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
              {} scheduling comparisons, {} parallel-search comparisons, {} store comparisons, \
-             {} serve comparisons",
+             {} serve comparisons, {} cycle comparisons ({} configs moved cycles)",
             self.cases,
             self.semantic_comparisons,
             self.inconclusive,
@@ -135,18 +147,22 @@ impl FuzzReport {
             self.scheduling_comparisons,
             self.parallel_comparisons,
             self.store_comparisons,
-            self.serve_comparisons
+            self.serve_comparisons,
+            self.cycle_comparisons,
+            self.cycles_changed
         );
         let _ = writeln!(
             out,
             "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}   \
-             parallel divergences: {}   store divergences: {}   serve divergences: {}",
+             parallel divergences: {}   store divergences: {}   serve divergences: {}   \
+             cycle divergences: {}",
             self.semantic_failures.len(),
             self.size_failures.len(),
             self.scheduling_failures.len(),
             self.parallel_failures.len(),
             self.store_failures.len(),
-            self.serve_failures.len()
+            self.serve_failures.len(),
+            self.cycle_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -163,6 +179,7 @@ impl FuzzReport {
             .chain(&self.parallel_failures)
             .chain(&self.store_failures)
             .chain(&self.serve_failures)
+            .chain(&self.cycle_failures)
         {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
@@ -411,6 +428,32 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
             }
         }
 
+        // The cycles oracle interprets every public entry per
+        // configuration on top of the compiles, so it samples every
+        // other case — still half the corpus, deterministic in the seed.
+        if case_seed.is_multiple_of(2) {
+            let cy = check_cycles(&module, &configs, Some(pool));
+            report.cycle_comparisons += cy.comparisons;
+            report.cycles_changed += cy.cycles_changed;
+            if let Some(first) = cy.mismatches.first() {
+                let bad_config = first.config.clone();
+                let detail = first.to_string();
+                report.cycle_failures.push(record_failure(
+                    options,
+                    "cycles",
+                    case_seed,
+                    detail,
+                    &module,
+                    &bad_config,
+                    &mut |m, c| {
+                        !check_cycles(m, std::slice::from_ref(&c.clone()), None)
+                            .mismatches
+                            .is_empty()
+                    },
+                )?);
+            }
+        }
+
         let sizes = check_sizes(&module, &configs, Some(pool));
         report.size_comparisons += sizes.comparisons;
         if let Some(first) = sizes.mismatches.first() {
@@ -513,6 +556,7 @@ mod tests {
         assert!(report.clean(), "{}", report.render());
         assert!(report.semantic_comparisons > 0);
         assert!(report.size_comparisons > 0);
+        assert!(report.cycle_comparisons > 0, "sampled cycles oracle never ran");
     }
 
     #[test]

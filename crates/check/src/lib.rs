@@ -22,6 +22,11 @@
 //!   scheduler must produce byte-identical modules (and sizes) to the
 //!   legacy whole-module sweep kept behind
 //!   `PipelineOptions::full_sweep`, on every module × configuration.
+//! - [`cyclecheck`] — the **cycles oracle**: `-Os` under any
+//!   configuration preserves observable behaviour while the simulated
+//!   cycle count may change (the former asserted, the latter recorded),
+//!   and the `(size, cycles)` measurement is exactly reproducible across
+//!   evaluator shapes and worker counts.
 //! - [`parcheck`] — the **parallel-search oracle**: the task-DAG search
 //!   executor must return the exact configuration and size the sequential
 //!   Algorithm 1 walk returns — at every worker count, cold or with a warm
@@ -50,6 +55,7 @@
 //! Everything is deterministic given a seed, so any reported failure is
 //! reproducible from its one-line record.
 
+pub mod cyclecheck;
 pub mod fuzz;
 pub mod inject;
 pub mod oracle;
@@ -60,6 +66,7 @@ pub mod servecheck;
 pub mod sizecheck;
 pub mod storecheck;
 
+pub use cyclecheck::{check_cycles, CycleMismatch, CycleReport};
 pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
 pub use inject::BuggyEvaluator;
 pub use oracle::{check_semantics, observe, Behaviour, Limits, OracleReport, SemanticDivergence};

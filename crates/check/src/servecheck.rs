@@ -120,6 +120,7 @@ impl OracleHandler {
                         ev.compilations()
                     ),
                     module: None,
+                    measurement: Some(optinline_ir::Measurement::size_only(size)),
                 })
             }
             RequestKind::Optimize { source, .. } => {
@@ -138,6 +139,7 @@ impl OracleHandler {
                         100.0 * after as f64 / before as f64
                     ),
                     module: Some(optimized.to_string()),
+                    measurement: Some(optinline_ir::Measurement::size_only(after)),
                 })
             }
             other => Err(format!("oracle does not serve {}", other.name())),
@@ -153,6 +155,7 @@ fn search_kind(source: &str, bits: u32) -> RequestKind {
         full_eval: false,
         stats: false,
         pass_stats: false,
+        objective: "size".to_string(),
     }
 }
 
@@ -202,6 +205,7 @@ pub fn check_serve_equivalence(module: &Module, seed: u64) -> Option<ServeReport
             strategy: "heuristic".to_string(),
             full_sweep: false,
             pass_stats: false,
+            objective: "size".to_string(),
         },
     ];
     match Client::connect(&endpoint) {

@@ -29,12 +29,14 @@ use optinline_codegen::{text_size, Target, WasmLike, X86Like};
 use optinline_core::autotune::Autotuner;
 use optinline_core::tree::{evaluate_inlining_tree, space_size, try_build_inlining_tree};
 use optinline_core::{
-    cache_meta, evaluate_inlining_tree_dag, module_fingerprint, Evaluator, EvaluatorStats,
-    InliningConfiguration, PersistentCache, PersistentEvaluator, SearchSession, SizeEvaluator,
-    WorkerPool,
+    cache_meta, evaluate_inlining_tree_dag, module_cycles, module_fingerprint, objective_scope,
+    Evaluator, EvaluatorStats, InliningConfiguration, ParetoFront, PersistentCache,
+    PersistentEvaluator, SearchSession, SizeEvaluator, SpeedEvaluator, WorkerPool,
 };
 use optinline_heuristics::{baselines, CostModelInliner, TrialInliner};
-use optinline_ir::{parse_module, Module};
+use optinline_ir::{parse_module, Measurement, Module};
+
+pub use optinline_core::Objective;
 use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions};
 use optinline_store::LocalStore;
 use std::error::Error;
@@ -146,6 +148,9 @@ pub struct EvalOptions {
     /// after the run, least-recently-used scope logs are evicted until the
     /// cache directory fits. `None` leaves the store unbounded.
     pub cache_budget_bytes: Option<u64>,
+    /// What to optimize (`--objective`): size (default, byte-identical to
+    /// the historical output), speed, or the Pareto front over both.
+    pub objective: Objective,
 }
 
 impl Default for EvalOptions {
@@ -158,6 +163,7 @@ impl Default for EvalOptions {
             cache_dir: None,
             no_persist: false,
             cache_budget_bytes: None,
+            objective: Objective::Size,
         }
     }
 }
@@ -168,16 +174,27 @@ impl EvalOptions {
     /// fingerprint (module text + target + pipeline options), with the
     /// older per-module fingerprint passed along so a pre-store flat cache
     /// file is imported once (or cleanly ignored if its identity differs).
-    fn open_cache(&self, ev: &SizeEvaluator) -> Result<Option<PersistentCache>, CliError> {
+    fn open_cache(
+        &self,
+        ev: &SizeEvaluator,
+        objective: Objective,
+    ) -> Result<Option<PersistentCache>, CliError> {
         match (&self.cache_dir, self.no_persist) {
             (Some(dir), false) => {
                 let legacy = module_fingerprint(ev.module(), ev.target().name());
-                let fp = ev.memo_scope().unwrap_or(legacy);
+                let base = ev.memo_scope().unwrap_or(legacy);
+                // Size keeps its historical scope; cycles-carrying
+                // objectives get a scope derived from it plus the cost
+                // model, so size-only and speed entries never alias.
+                let fp = objective_scope(base, objective, ev.cost_model());
                 // Recorded in the log and verified on reopen, so a
                 // fingerprint collision or stale file restarts the scope
                 // instead of serving another module's sizes.
                 let meta = cache_meta(ev.module(), ev.target().name());
-                Ok(Some(PersistentCache::open_scoped(dir, fp, Some(legacy), &meta)?))
+                // Legacy flat files hold size-only entries under the size
+                // identity; they are only importable into the size scope.
+                let import = (!objective.wants_cycles()).then_some(legacy);
+                Ok(Some(PersistentCache::open_scoped(dir, fp, import, &meta)?))
             }
             _ => Ok(None),
         }
@@ -203,6 +220,10 @@ pub struct OptimizeOptions {
     /// Append the per-pass invocation/changed table plus analysis-cache
     /// and scheduling counters to the report (`--pass-stats`).
     pub pass_stats: bool,
+    /// What to measure (`--objective`): `Size` keeps the historical report
+    /// byte-identical; cycles-aware objectives append interpreted-cycle
+    /// lines for the strategy's one configuration.
+    pub objective: Objective,
 }
 
 /// Parses a module from textual IR, verifying it.
@@ -254,6 +275,18 @@ pub fn cmd_optimize(
     target: TargetChoice,
     opts: OptimizeOptions,
 ) -> Result<(String, String), CliError> {
+    let (report, module, _) = cmd_optimize_measured(source, strategy, target, opts)?;
+    Ok((report, module))
+}
+
+/// [`cmd_optimize`], additionally returning the optimized module's
+/// [`Measurement`] (what the serve protocol reports on `done` events).
+pub fn cmd_optimize_measured(
+    source: &str,
+    strategy: StrategyChoice,
+    target: TargetChoice,
+    opts: OptimizeOptions,
+) -> Result<(String, String, Measurement), CliError> {
     let module = load_module(source)?;
     let config = strategy.configuration(&module, target.as_dyn());
     let mut optimized = module.clone();
@@ -285,10 +318,27 @@ pub fn cmd_optimize(
         "size:            {before} B -> {after} B ({:.1}%)",
         100.0 * after as f64 / before as f64
     );
+    let measurement = if opts.objective.wants_cycles() {
+        let cost = optinline_ir::interp::CostModel::default();
+        let cycles_before = module_cycles(&module, &cost);
+        let cycles_after = module_cycles(&optimized, &cost);
+        let fmt = |c: Option<u64>| match c {
+            Some(c) => c.to_string(),
+            None => "n/a".to_string(),
+        };
+        let _ = writeln!(out, "objective:       {}", opts.objective);
+        let _ = writeln!(out, "cycles:          {} -> {}", fmt(cycles_before), fmt(cycles_after));
+        match cycles_after {
+            Some(c) => Measurement::with_cycles(after, c),
+            None => Measurement::size_only(after),
+        }
+    } else {
+        Measurement::size_only(after)
+    };
     if opts.pass_stats {
         out.push_str(&report.stats.render());
     }
-    Ok((out, optimized.to_string()))
+    Ok((out, optimized.to_string(), measurement))
 }
 
 /// `optinline search` — exhaustive optimum through the recursively
@@ -299,20 +349,59 @@ pub fn cmd_search(
     target: TargetChoice,
     eval: EvalOptions,
 ) -> Result<String, CliError> {
-    let module = load_module(source)?;
-    let graph = InlineGraph::from_module(&module);
-    let n = module.inlinable_sites().len();
-    let Some(tree) = try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1u128 << bits)
-    else {
-        return Err(format!(
+    Ok(cmd_search_measured(source, bits, target, eval)?.0)
+}
+
+/// [`cmd_search`], additionally returning the winning measurement (what
+/// the serve protocol reports on `done` events). Under `--objective
+/// pareto` the measurement is the front's smallest-size point.
+pub fn cmd_search_measured(
+    source: &str,
+    bits: u32,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
+    match eval.objective {
+        Objective::Size => search_size(source, bits, target, eval).map(|(r, m)| (r, Some(m))),
+        Objective::Speed => search_speed(source, bits, target, eval).map(|(r, m)| (r, Some(m))),
+        Objective::Pareto => search_pareto(source, bits, target, eval),
+    }
+}
+
+/// Builds the search tree or reports that the pruned space is too large.
+fn build_search_tree(module: &Module, bits: u32) -> Result<optinline_core::InliningTree, CliError> {
+    let graph = InlineGraph::from_module(module);
+    try_build_inlining_tree(&graph, PartitionStrategy::Paper, 1u128 << bits).ok_or_else(|| {
+        format!(
             "recursively partitioned space exceeds 2^{bits} evaluations; \
              raise --bits or use `autotune`"
         )
-        .into());
-    };
+        .into()
+    })
+}
+
+/// `size B, cycles cycles` — the two-metric report form.
+fn fmt_measurement(m: Measurement) -> String {
+    match m.cycles {
+        Some(c) => format!("{} B, {c} cycles", m.size),
+        None => format!("{} B, no cycles (nothing executable)", m.size),
+    }
+}
+
+/// The historical size-objective search, byte-identical to every release
+/// before measurements existed.
+fn search_size(
+    source: &str,
+    bits: u32,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Measurement), CliError> {
+    let module = load_module(source)?;
+    let n = module.inlinable_sites().len();
+    let tree = build_search_tree(&module, bits)?;
     let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let evals = space_size(&tree);
-    let cache = eval.open_cache(&ev)?;
+    let cache = eval.open_cache(&ev, Objective::Size)?;
     let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
     let search_ev: &dyn Evaluator = match &persisted {
         Some(p) => p,
@@ -349,7 +438,157 @@ pub fn cmd_search(
     if eval.show_pass_stats {
         out.push_str(&ev.stats().pipeline.render());
     }
-    Ok(out)
+    Ok((out, Measurement::size_only(size)))
+}
+
+/// Speed-objective search: the same tree walk with simulated cycles as
+/// the minimized scalar, via [`SpeedEvaluator`]. Cached in a store scope
+/// derived from the size domain plus the cost model, so warm size caches
+/// are neither reused nor disturbed.
+fn search_speed(
+    source: &str,
+    bits: u32,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Measurement), CliError> {
+    let module = load_module(source)?;
+    let n = module.inlinable_sites().len();
+    let tree = build_search_tree(&module, bits)?;
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
+    let evals = space_size(&tree);
+    let cache = eval.open_cache(&ev, Objective::Speed)?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let base: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
+    let speed = SpeedEvaluator::new(base, ev.cost_model());
+    let session = SearchSession::new();
+    let (config, _) = run_search(&tree, &speed, eval.jobs, &session);
+    let best = base.measure(&config, Objective::Speed);
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    let h = base.measure(&heuristic, Objective::Speed);
+    let none = base.measure(&InliningConfiguration::clean_slate(), Objective::Speed);
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
+    eval.maybe_gc(&cache)?;
+    // A module with nothing executable degrades to the size scalar — the
+    // same fallback SpeedEvaluator::size_of applies during the search.
+    let scalar = |m: Measurement| m.cycles.unwrap_or(m.size);
+    let best_scalar = scalar(best);
+    let mut out = String::new();
+    let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
+    let _ = writeln!(out, "evaluations needed: {evals}");
+    let _ = writeln!(out, "compilations done:  {} (memoized)", ev.stats().compiles);
+    let _ = writeln!(out, "objective:          speed (simulated cycles)");
+    match best.cycles {
+        Some(c) => {
+            let _ = writeln!(out, "optimal cycles:     {c}");
+        }
+        None => {
+            let _ = writeln!(out, "optimal cycles:     n/a (nothing executable; size used)");
+        }
+    }
+    let _ = writeln!(out, "optimal size:       {} B", best.size);
+    let _ = writeln!(out, "optimal config:     {config}");
+    let _ = writeln!(
+        out,
+        "no inlining:        {} cycles ({:.1}%)",
+        scalar(none),
+        100.0 * scalar(none) as f64 / best_scalar as f64
+    );
+    let _ = writeln!(
+        out,
+        "heuristic:          {} cycles ({:.1}%)",
+        scalar(h),
+        100.0 * scalar(h) as f64 / best_scalar as f64
+    );
+    if eval.show_stats {
+        let _ =
+            writeln!(out, "evaluator:          {}", merged_stats(&ev, &session, &cache).render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
+    }
+    Ok((out, best))
+}
+
+/// Pareto-objective search: run the exhaustive search once per scalar
+/// objective, then fold both winners and both baselines into a dominance
+/// front. The returned measurement is the front's smallest-size point.
+fn search_pareto(
+    source: &str,
+    bits: u32,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
+    let module = load_module(source)?;
+    let n = module.inlinable_sites().len();
+    let tree = build_search_tree(&module, bits)?;
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
+    let evals = space_size(&tree);
+    // Size leg: its own store scope (the historical one), its own session.
+    let size_cfg = {
+        let cache = eval.open_cache(&ev, Objective::Size)?;
+        let persisted =
+            cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+        let base: &dyn Evaluator = match &persisted {
+            Some(p) => p,
+            None => &ev,
+        };
+        let session = SearchSession::new();
+        let (config, _) = run_search(&tree, base, eval.jobs, &session);
+        if let Some(c) = &cache {
+            c.flush()?;
+        }
+        config
+    };
+    // Speed leg plus the front measurements, in the shared cycles scope.
+    let cache = eval.open_cache(&ev, Objective::Pareto)?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let base: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
+    let speed = SpeedEvaluator::new(base, ev.cost_model());
+    let session = SearchSession::new();
+    let (speed_cfg, _) = run_search(&tree, &speed, eval.jobs, &session);
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    let mut front = ParetoFront::new();
+    for config in [InliningConfiguration::clean_slate(), heuristic, size_cfg.clone(), speed_cfg] {
+        let measured = base.measure(&config, Objective::Pareto);
+        front.insert(config, measured);
+    }
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
+    eval.maybe_gc(&cache)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "sites:              {n} (naive space 2^{n})");
+    let _ = writeln!(out, "evaluations needed: {evals} per leg");
+    let _ = writeln!(out, "compilations done:  {} (memoized)", ev.stats().compiles);
+    let _ = writeln!(out, "objective:          pareto (size, cycles)");
+    if let Some(p) = front.min_size() {
+        let _ =
+            writeln!(out, "size-optimal:       {} :: {}", fmt_measurement(p.measurement), p.config);
+    }
+    if let Some(p) = front.min_cycles() {
+        let _ =
+            writeln!(out, "speed-optimal:      {} :: {}", fmt_measurement(p.measurement), p.config);
+    }
+    let _ = writeln!(out, "pareto front:       {} point(s)", front.len());
+    for p in front.points() {
+        let _ = writeln!(out, "  - {} :: {}", fmt_measurement(p.measurement), p.config);
+    }
+    if eval.show_stats {
+        let _ =
+            writeln!(out, "evaluator:          {}", merged_stats(&ev, &session, &cache).render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
+    }
+    Ok((out, front.min_size().map(|p| p.measurement)))
 }
 
 /// Dispatches a tree evaluation according to `--jobs`: `Some(1)` is the
@@ -424,13 +663,47 @@ pub fn cmd_autotune(
     target: TargetChoice,
     eval: EvalOptions,
 ) -> Result<String, CliError> {
+    Ok(cmd_autotune_measured(source, rounds, init, target, eval)?.0)
+}
+
+/// [`cmd_autotune`], additionally returning the tuned best's measurement
+/// (what the serve protocol reports on `done` events). Under `--objective
+/// pareto` the measurement is the front's smallest-size point; `None`
+/// when the module has nothing to tune.
+pub fn cmd_autotune_measured(
+    source: &str,
+    rounds: usize,
+    init: InitChoice,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
+    match eval.objective {
+        Objective::Size => autotune_size(source, rounds, init, target, eval),
+        Objective::Speed => autotune_speed(source, rounds, init, target, eval),
+        Objective::Pareto => autotune_pareto(source, rounds, init, target, eval),
+    }
+}
+
+/// Report line for a module with nothing to tune, shared by every
+/// objective.
+const NOTHING_TO_TUNE: &str = "module has no inlinable call sites; nothing to tune\n";
+
+/// The historical size-objective autotuner, byte-identical to every
+/// release before measurements existed.
+fn autotune_size(
+    source: &str,
+    rounds: usize,
+    init: InitChoice,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
     let module = load_module(source)?;
     let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
     let sites = ev.sites().clone();
     if sites.is_empty() {
-        return Ok("module has no inlinable call sites; nothing to tune\n".into());
+        return Ok((NOTHING_TO_TUNE.into(), None));
     }
-    let cache = eval.open_cache(&ev)?;
+    let cache = eval.open_cache(&ev, Objective::Size)?;
     let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
     let search_ev: &dyn Evaluator = match &persisted {
         Some(p) => p,
@@ -482,7 +755,146 @@ pub fn cmd_autotune(
     if eval.show_pass_stats {
         out.push_str(&ev.stats().pipeline.render());
     }
-    Ok(out)
+    Ok((out, Some(Measurement::size_only(best.size))))
+}
+
+/// Speed-objective autotuner: the same hill climb with simulated cycles
+/// as the minimized scalar, via [`SpeedEvaluator`].
+fn autotune_speed(
+    source: &str,
+    rounds: usize,
+    init: InitChoice,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
+    let module = load_module(source)?;
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
+    let sites = ev.sites().clone();
+    if sites.is_empty() {
+        return Ok((NOTHING_TO_TUNE.into(), None));
+    }
+    let cache = eval.open_cache(&ev, Objective::Speed)?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let base: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
+    let speed = SpeedEvaluator::new(base, ev.cost_model());
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    // The scalar is cycles (size for a module with nothing executable —
+    // SpeedEvaluator's uniform fallback).
+    let h_cycles = speed.size_of(&heuristic);
+    let tuner = Autotuner::new(&speed, sites.clone());
+    let mut out = String::new();
+    let _ = writeln!(out, "objective:       speed (simulated cycles)");
+    let mut outcomes = Vec::new();
+    if init != InitChoice::Heuristic {
+        let clean = tuner.clean_slate(rounds);
+        let _ = writeln!(
+            out,
+            "clean slate:     {} cycles after {} round(s)",
+            clean.best().size,
+            clean.rounds.len()
+        );
+        outcomes.push(clean);
+    }
+    if init != InitChoice::Clean {
+        let h = tuner.run(heuristic.clone(), rounds);
+        let _ = writeln!(
+            out,
+            "heuristic init:  {} cycles after {} round(s)",
+            h.best().size,
+            h.rounds.len()
+        );
+        outcomes.push(h);
+    }
+    let best = Autotuner::combine(outcomes.iter());
+    let _ = writeln!(out, "baseline:        {h_cycles} cycles (100.0%)");
+    let _ = writeln!(
+        out,
+        "tuned best:      {} cycles ({:.1}%)",
+        best.size,
+        100.0 * best.size as f64 / h_cycles as f64
+    );
+    let _ = writeln!(out, "configuration:   {}", best.config);
+    let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
+    let measurement = base.measure(&best.config, Objective::Speed);
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
+    eval.maybe_gc(&cache)?;
+    if eval.show_stats {
+        let mut stats = ev.stats();
+        if let Some(c) = &cache {
+            stats.absorb_persist(c.stats());
+            stats.absorb_store(c.store_stats());
+        }
+        let _ = writeln!(out, "evaluator:       {}", stats.render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
+    }
+    Ok((out, Some(measurement)))
+}
+
+/// Pareto-objective autotuner: frontier-seeded hill climb over both
+/// metrics at once ([`Autotuner::run_pareto`]); dominated configurations
+/// are pruned as they are measured.
+fn autotune_pareto(
+    source: &str,
+    rounds: usize,
+    init: InitChoice,
+    target: TargetChoice,
+    eval: EvalOptions,
+) -> Result<(String, Option<Measurement>), CliError> {
+    let module = load_module(source)?;
+    let ev = SizeEvaluator::new(module, target.boxed(), eval.incremental);
+    let sites = ev.sites().clone();
+    if sites.is_empty() {
+        return Ok((NOTHING_TO_TUNE.into(), None));
+    }
+    let cache = eval.open_cache(&ev, Objective::Pareto)?;
+    let persisted = cache.as_ref().map(|c| PersistentEvaluator::new(&ev, c, ev.sites().clone()));
+    let base: &dyn Evaluator = match &persisted {
+        Some(p) => p,
+        None => &ev,
+    };
+    let heuristic = StrategyChoice::Heuristic.configuration(ev.module(), ev.target());
+    let inits: Vec<InliningConfiguration> = match init {
+        InitChoice::Clean => vec![InliningConfiguration::clean_slate()],
+        InitChoice::Heuristic => vec![heuristic.clone()],
+        InitChoice::Both => vec![InliningConfiguration::clean_slate(), heuristic.clone()],
+    };
+    let rounds = rounds.max(1);
+    let tuner = Autotuner::new(base, sites.clone());
+    let outcome = tuner.run_pareto(inits, rounds);
+    let baseline = base.measure(&heuristic, Objective::Pareto);
+    if let Some(c) = &cache {
+        c.flush()?;
+    }
+    eval.maybe_gc(&cache)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "objective:       pareto (size, cycles)");
+    let _ = writeln!(out, "rounds:          {} of {rounds}", outcome.rounds);
+    let _ = writeln!(out, "evaluations:     {}", outcome.evaluations);
+    let _ = writeln!(out, "baseline:        {} (heuristic)", fmt_measurement(baseline));
+    let _ = writeln!(out, "pareto front:    {} point(s)", outcome.front.len());
+    for p in outcome.front.points() {
+        let _ = writeln!(out, "  - {} :: {}", fmt_measurement(p.measurement), p.config);
+    }
+    let _ = writeln!(out, "compilations:    {}", ev.stats().compiles);
+    if eval.show_stats {
+        let mut stats = ev.stats();
+        if let Some(c) = &cache {
+            stats.absorb_persist(c.stats());
+            stats.absorb_store(c.store_stats());
+        }
+        let _ = writeln!(out, "evaluator:       {}", stats.render());
+    }
+    if eval.show_pass_stats {
+        out.push_str(&ev.stats().pipeline.render());
+    }
+    Ok((out, outcome.front.min_size().map(|p| p.measurement)))
 }
 
 /// `optinline run` — interpret the module's `main`.
@@ -679,6 +1091,15 @@ pub fn cmd_cache(
             let _ = writeln!(out, "unreadable logs: {}", report.unreadable_logs);
             let _ = writeln!(out, "legacy files:    {}", report.legacy_files);
             let _ = writeln!(out, "foreign files:   {}", report.foreign_files);
+            let _ = writeln!(out, "size-only lines: {}", report.size_only_lines);
+            let _ = writeln!(out, "measured lines:  {}", report.measurement_lines);
+            for mix in &report.mix {
+                let _ = writeln!(
+                    out,
+                    "  scope {:032x}: {} size-only, {} measured",
+                    mix.fingerprint, mix.size_only_lines, mix.measurement_lines
+                );
+            }
             let _ = writeln!(out, "index:           rebuilt");
             if !report.clean() {
                 return Err(format!("cache verify found damage\n{out}").into());
@@ -1062,6 +1483,219 @@ mod tests {
             .unwrap();
         assert_eq!(compiles, "0", "survivor must stay warm: {warm}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn speed_search_reports_cycles_and_is_deterministic() {
+        let src = demo_source();
+        let opts = |jobs| EvalOptions { jobs, objective: Objective::Speed, ..Default::default() };
+        let sequential = cmd_search(&src, 18, TargetChoice::X86, opts(Some(1))).unwrap();
+        assert!(sequential.contains("objective:          speed"), "{sequential}");
+        assert!(sequential.contains("optimal cycles:"), "{sequential}");
+        assert!(sequential.contains("optimal size:"), "{sequential}");
+        // The optimum dominates both baselines in cycles.
+        for line in sequential.lines().filter(|l| l.contains('%')) {
+            let pct: f64 = line
+                .split('(')
+                .nth(1)
+                .and_then(|s| s.split('%').next())
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(100.0);
+            assert!(pct >= 100.0 - 1e-9, "baseline beat the speed optimum: {line}");
+        }
+        // Byte-identical across executor shapes, like the size search
+        // ("compilations done" may differ: concurrent lanes can race to
+        // compile the same memo key — duplicated work, never a different
+        // answer).
+        let masked = |report: String| -> String {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("compilations done:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for jobs in [None, Some(2), Some(4)] {
+            let parallel = cmd_search(&src, 18, TargetChoice::X86, opts(jobs)).unwrap();
+            assert_eq!(masked(sequential.clone()), masked(parallel), "jobs={jobs:?} diverged");
+        }
+    }
+
+    #[test]
+    fn pareto_search_builds_a_deterministic_front() {
+        let src = demo_source();
+        let opts = || EvalOptions { objective: Objective::Pareto, ..Default::default() };
+        let first = cmd_search(&src, 18, TargetChoice::X86, opts()).unwrap();
+        assert!(first.contains("objective:          pareto"), "{first}");
+        assert!(first.contains("size-optimal:"), "{first}");
+        assert!(first.contains("speed-optimal:"), "{first}");
+        assert!(first.contains("pareto front:"), "{first}");
+        assert!(first.contains(" B, "), "points carry both metrics: {first}");
+        let again = cmd_search(&src, 18, TargetChoice::X86, opts()).unwrap();
+        assert_eq!(first, again, "pareto front must be run-to-run deterministic");
+        // The size-optimal point matches the plain size search's optimum.
+        let size_report = cmd_search(&src, 18, TargetChoice::X86, EvalOptions::default()).unwrap();
+        let optimal: u64 = size_report
+            .lines()
+            .find(|l| l.starts_with("optimal size:"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(
+            first.contains(&format!("size-optimal:       {optimal} B")),
+            "front must contain the size optimum ({optimal} B): {first}"
+        );
+    }
+
+    #[test]
+    fn pareto_autotune_prunes_dominated_configs() {
+        let src = demo_source();
+        let opts = || EvalOptions { objective: Objective::Pareto, ..Default::default() };
+        let first = cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86, opts()).unwrap();
+        assert!(first.contains("objective:       pareto"), "{first}");
+        assert!(first.contains("pareto front:"), "{first}");
+        assert!(first.contains("evaluations:"), "{first}");
+        let points = first.lines().filter(|l| l.starts_with("  - ")).count();
+        assert!(points >= 1, "front must be non-empty: {first}");
+        let again = cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86, opts()).unwrap();
+        assert_eq!(first, again, "pareto tuning must be deterministic");
+        // No point on the front dominates another: sizes strictly
+        // decrease only if cycles increase along the sorted front.
+        let metrics: Vec<(u64, u64)> = first
+            .lines()
+            .filter(|l| l.starts_with("  - "))
+            .filter_map(|l| {
+                let rest = l.strip_prefix("  - ")?;
+                let size: u64 = rest.split(" B").next()?.trim().parse().ok()?;
+                let cycles: u64 =
+                    rest.split(", ").nth(1)?.split(' ').next()?.trim().parse().ok()?;
+                Some((size, cycles))
+            })
+            .collect();
+        for pair in metrics.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(a.0 < b.0 || (a.0 == b.0 && a.1 <= b.1), "front not sorted: {metrics:?}");
+            assert!(a.1 > b.1 || (a.0 == b.0), "dominated point survived: {metrics:?}");
+        }
+    }
+
+    #[test]
+    fn speed_autotune_minimizes_cycles() {
+        let src = demo_source();
+        let opts = EvalOptions { objective: Objective::Speed, ..Default::default() };
+        let report = cmd_autotune(&src, 3, InitChoice::Both, TargetChoice::X86, opts).unwrap();
+        assert!(report.contains("objective:       speed"), "{report}");
+        assert!(report.contains("tuned best:"), "{report}");
+        assert!(report.contains("cycles"), "{report}");
+        let pct: f64 = report
+            .lines()
+            .find(|l| l.contains("tuned best"))
+            .and_then(|l| l.split('(').nth(1))
+            .and_then(|s| s.split('%').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("percentage present");
+        assert!(pct <= 100.0, "tuning must not lose to the baseline: {report}");
+    }
+
+    #[test]
+    fn objectives_share_a_store_without_aliasing() {
+        let src = demo_source();
+        let dir =
+            std::env::temp_dir().join(format!("optinline-cli-objcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = |objective| EvalOptions {
+            cache_dir: Some(dir.clone()),
+            objective,
+            ..Default::default()
+        };
+        let size_cold = cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Size)).unwrap();
+        let speed_cold = cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Speed)).unwrap();
+        // Two scopes now exist: the historical size scope and the cycles
+        // scope — speed entries never alias size entries.
+        let stats = cmd_cache(CacheAction::Stats, &dir, None).unwrap();
+        assert!(stats.contains("scopes:          2"), "{stats}");
+        // Both objectives warm-start from their own scope, to identical
+        // reports with zero compilations.
+        let compiles = |r: &str| {
+            r.lines()
+                .find(|l| l.starts_with("compilations done:"))
+                .and_then(|l| l.split_whitespace().nth(2).map(str::to_owned))
+                .unwrap()
+        };
+        let size_warm = cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Size)).unwrap();
+        assert_eq!(compiles(&size_warm), "0", "warm size run must not compile: {size_warm}");
+        let masked = |r: &str| {
+            r.lines()
+                .filter(|l| !l.starts_with("compilations done:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(masked(&size_cold), masked(&size_warm));
+        let speed_warm = cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Speed)).unwrap();
+        assert_eq!(compiles(&speed_warm), "0", "warm speed run must not compile: {speed_warm}");
+        assert_eq!(masked(&speed_cold), masked(&speed_warm));
+        // A pareto run reuses the speed scope (one shared cycles scope),
+        // not a third one.
+        cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Pareto)).unwrap();
+        let stats = cmd_cache(CacheAction::Stats, &dir, None).unwrap();
+        assert!(stats.contains("scopes:          2"), "pareto must share the speed scope: {stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_verify_reports_the_format_mix_per_scope() {
+        let src = demo_source();
+        let dir = std::env::temp_dir().join(format!("optinline-cli-mix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = |objective| EvalOptions {
+            cache_dir: Some(dir.clone()),
+            objective,
+            ..Default::default()
+        };
+        cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Size)).unwrap();
+        cmd_search(&src, 18, TargetChoice::X86, opts(Objective::Speed)).unwrap();
+        let verify = cmd_cache(CacheAction::Verify, &dir, None).unwrap();
+        assert!(verify.contains("size-only lines:"), "{verify}");
+        assert!(verify.contains("measured lines:"), "{verify}");
+        let count = |label: &str| -> u64 {
+            verify
+                .lines()
+                .find(|l| l.starts_with(label))
+                .and_then(|l| l.split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert!(count("size-only lines:") > 0, "size scope writes bare sizes: {verify}");
+        assert!(count("measured lines:") > 0, "speed scope writes cycles: {verify}");
+        let mix_lines = verify.lines().filter(|l| l.trim_start().starts_with("scope ")).count();
+        assert_eq!(mix_lines, 2, "one mix line per scope: {verify}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn optimize_reports_cycles_under_speed_objective() {
+        let src = demo_source();
+        let (plain, _) =
+            cmd_optimize(&src, StrategyChoice::Heuristic, TargetChoice::X86, Default::default())
+                .unwrap();
+        assert!(!plain.contains("cycles:"), "size report stays unchanged: {plain}");
+        let (speed, _, m) = cmd_optimize_measured(
+            &src,
+            StrategyChoice::Heuristic,
+            TargetChoice::X86,
+            OptimizeOptions { objective: Objective::Speed, ..Default::default() },
+        )
+        .unwrap();
+        assert!(speed.contains("objective:       speed"), "{speed}");
+        assert!(speed.contains("cycles:"), "{speed}");
+        assert!(m.cycles.is_some(), "generated modules have a public main: {m:?}");
+        // The cycles lines are appended: everything else matches.
+        let strip = |r: &str| {
+            r.lines()
+                .filter(|l| !l.starts_with("objective:") && !l.starts_with("cycles:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&plain), strip(&speed));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use optinline_cli::serve::{
 use optinline_cli::{
     cmd_autotune, cmd_cache, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link,
     cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction, CliError, EvalOptions,
-    InitChoice, OptimizeOptions, StrategyChoice, TargetChoice,
+    InitChoice, Objective, OptimizeOptions, StrategyChoice, TargetChoice,
 };
 use optinline_serve::RequestKind;
 
@@ -18,13 +18,16 @@ usage:
   optinline stats    <file.ir>
   optinline optimize <file.ir> [--strategy never|always|heuristic|trial]
                                [--target x86|wasm] [--pass-stats]
+                               [--objective size|speed|pareto]
                                [--full-sweep] [-o out.ir] [--connect EP]
   optinline search   <file.ir> [--bits N] [--target x86|wasm]
+                               [--objective size|speed|pareto]
                                [--full-eval] [--stats] [--pass-stats]
                                [--jobs N] [--cache-dir DIR] [--no-persist]
                                [--cache-budget-bytes N] [--connect EP]
   optinline autotune <file.ir> [--rounds N] [--init clean|heuristic|both]
                                [--target x86|wasm] [--full-eval] [--stats]
+                               [--objective size|speed|pareto]
                                [--pass-stats] [--cache-dir DIR] [--no-persist]
                                [--cache-budget-bytes N] [--connect EP]
   optinline serve    [--socket PATH | --tcp ADDR] [--cache-dir DIR]
@@ -107,7 +110,14 @@ impl Args {
             cache_dir: self.flag("cache-dir").map(std::path::PathBuf::from),
             no_persist: self.flag("no-persist").is_some(),
             cache_budget_bytes: self.cache_budget_bytes()?,
+            objective: self.objective()?,
         })
+    }
+
+    fn objective(&self) -> Result<Objective, CliError> {
+        let s = self.flag("objective").unwrap_or("size");
+        Objective::parse(s)
+            .ok_or_else(|| format!("unknown objective `{s}` (expected size|speed|pareto)").into())
     }
 
     fn cache_budget_bytes(&self) -> Result<Option<u64>, CliError> {
@@ -117,11 +127,12 @@ impl Args {
         }
     }
 
-    fn optimize_options(&self) -> OptimizeOptions {
-        OptimizeOptions {
+    fn optimize_options(&self) -> Result<OptimizeOptions, CliError> {
+        Ok(OptimizeOptions {
             full_sweep: self.flag("full-sweep").is_some(),
             pass_stats: self.flag("pass-stats").is_some(),
-        }
+            objective: self.objective()?,
+        })
     }
 
     fn input(&self) -> Result<String, CliError> {
@@ -166,7 +177,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "optimize" => {
             let strategy = StrategyChoice::parse(args.flag("strategy").unwrap_or("heuristic"))?;
             let target = TargetChoice::parse(args.flag("target").unwrap_or("x86"))?;
-            let opts = args.optimize_options();
+            let opts = args.optimize_options()?;
             let source = args.input()?;
             if let Some(ep) = args.flag("connect") {
                 let kind = RequestKind::Optimize {
@@ -175,6 +186,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     strategy: args.flag("strategy").unwrap_or("heuristic").to_string(),
                     full_sweep: opts.full_sweep,
                     pass_stats: opts.pass_stats,
+                    objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
                 if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
                     print!("{}", outcome.report);
@@ -204,6 +216,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     full_eval: !eval.incremental,
                     stats: eval.show_stats,
                     pass_stats: eval.show_pass_stats,
+                    objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
                 if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
                     print!("{}", outcome.report);
@@ -228,6 +241,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     full_eval: !eval.incremental,
                     stats: eval.show_stats,
                     pass_stats: eval.show_pass_stats,
+                    objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
                 if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
                     print!("{}", outcome.report);

@@ -18,8 +18,8 @@ use optinline_serve::{
 use optinline_store::LocalStore;
 
 use crate::{
-    cmd_autotune, cmd_optimize, cmd_search, CliError, EvalOptions, InitChoice, OptimizeOptions,
-    StrategyChoice, TargetChoice,
+    cmd_autotune_measured, cmd_optimize_measured, cmd_search_measured, CliError, EvalOptions,
+    InitChoice, Objective, OptimizeOptions, StrategyChoice, TargetChoice,
 };
 
 /// Everything `optinline serve` needs to boot a daemon.
@@ -96,7 +96,13 @@ impl CliHandler {
         Ok(CliHandler { cache_dir, cache_budget_bytes, store })
     }
 
-    fn eval_options(&self, incremental: bool, stats: bool, pass_stats: bool) -> EvalOptions {
+    fn eval_options(
+        &self,
+        incremental: bool,
+        stats: bool,
+        pass_stats: bool,
+        objective: Objective,
+    ) -> EvalOptions {
         EvalOptions {
             incremental,
             show_stats: stats,
@@ -105,8 +111,16 @@ impl CliHandler {
             cache_dir: self.cache_dir.clone(),
             no_persist: false,
             cache_budget_bytes: self.cache_budget_bytes,
+            objective,
         }
     }
+}
+
+/// Parses a wire-format objective spelling; the decode layer has already
+/// defaulted an absent field to `size`.
+fn parse_objective(s: &str) -> Result<Objective, String> {
+    Objective::parse(s)
+        .ok_or_else(|| format!("unknown objective `{s}` (expected size|speed|pareto)"))
 }
 
 impl Handler for CliHandler {
@@ -114,19 +128,38 @@ impl Handler for CliHandler {
         progress(&format!("evaluating {}", kind.name()));
         let as_msg = |e: CliError| e.to_string();
         match kind {
-            RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats } => {
+            RequestKind::Optimize {
+                source,
+                target,
+                strategy,
+                full_sweep,
+                pass_stats,
+                objective,
+            } => {
                 let strategy = StrategyChoice::parse(strategy).map_err(as_msg)?;
                 let target = TargetChoice::parse(target).map_err(as_msg)?;
-                let opts = OptimizeOptions { full_sweep: *full_sweep, pass_stats: *pass_stats };
-                let (report, module) =
-                    cmd_optimize(source, strategy, target, opts).map_err(as_msg)?;
-                Ok(Reply { report, module: Some(module) })
+                let objective = parse_objective(objective)?;
+                let opts =
+                    OptimizeOptions { full_sweep: *full_sweep, pass_stats: *pass_stats, objective };
+                let (report, module, measurement) =
+                    cmd_optimize_measured(source, strategy, target, opts).map_err(as_msg)?;
+                Ok(Reply { report, module: Some(module), measurement: Some(measurement) })
             }
-            RequestKind::Search { source, target, bits, full_eval, stats, pass_stats } => {
+            RequestKind::Search {
+                source,
+                target,
+                bits,
+                full_eval,
+                stats,
+                pass_stats,
+                objective,
+            } => {
                 let target = TargetChoice::parse(target).map_err(as_msg)?;
-                let eval = self.eval_options(!*full_eval, *stats, *pass_stats);
-                let report = cmd_search(source, *bits, target, eval).map_err(as_msg)?;
-                Ok(Reply { report, module: None })
+                let objective = parse_objective(objective)?;
+                let eval = self.eval_options(!*full_eval, *stats, *pass_stats, objective);
+                let (report, measurement) =
+                    cmd_search_measured(source, *bits, target, eval).map_err(as_msg)?;
+                Ok(Reply { report, module: None, measurement })
             }
             RequestKind::Autotune {
                 source,
@@ -136,13 +169,16 @@ impl Handler for CliHandler {
                 full_eval,
                 stats,
                 pass_stats,
+                objective,
             } => {
                 let target = TargetChoice::parse(target).map_err(as_msg)?;
                 let init = InitChoice::parse(init).map_err(as_msg)?;
-                let eval = self.eval_options(!*full_eval, *stats, *pass_stats);
-                let report =
-                    cmd_autotune(source, *rounds as usize, init, target, eval).map_err(as_msg)?;
-                Ok(Reply { report, module: None })
+                let objective = parse_objective(objective)?;
+                let eval = self.eval_options(!*full_eval, *stats, *pass_stats, objective);
+                let (report, measurement) =
+                    cmd_autotune_measured(source, *rounds as usize, init, target, eval)
+                        .map_err(as_msg)?;
+                Ok(Reply { report, module: None, measurement })
             }
             other => Err(format!("request kind {:?} is not evaluable", other.name())),
         }

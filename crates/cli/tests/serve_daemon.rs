@@ -32,6 +32,7 @@ fn search_kind(source: &str, bits: u32) -> RequestKind {
         full_eval: false,
         stats: false,
         pass_stats: false,
+        objective: "size".to_string(),
     }
 }
 
@@ -70,13 +71,14 @@ fn served_results_are_byte_identical_to_in_process_cold_and_warm() {
         strategy: "trial".to_string(),
         full_sweep: false,
         pass_stats: true,
+        objective: "size".to_string(),
     };
     let served = client.call(kind, &mut |_| {}).expect("served optimize");
     let (local_report, local_module) = cmd_optimize(
         &src,
         StrategyChoice::Trial,
         TargetChoice::Wasm,
-        OptimizeOptions { full_sweep: false, pass_stats: true },
+        OptimizeOptions { full_sweep: false, pass_stats: true, ..Default::default() },
     )
     .unwrap();
     assert_eq!(served.report, local_report, "optimize report diverged");
@@ -91,11 +93,84 @@ fn served_results_are_byte_identical_to_in_process_cold_and_warm() {
         full_eval: false,
         stats: false,
         pass_stats: false,
+        objective: "size".to_string(),
     };
     let served = client.call(kind, &mut |_| {}).expect("served autotune");
     let local =
         cmd_autotune(&src, 2, InitChoice::Both, TargetChoice::X86, local_eval.clone()).unwrap();
     assert_eq!(served.report, local, "autotune diverged");
+
+    handle.drain();
+    handle.join().expect("clean exit");
+    std::fs::remove_dir_all(&daemon_cache).ok();
+    std::fs::remove_dir_all(&local_cache).ok();
+}
+
+#[test]
+fn served_objectives_match_in_process_and_report_measurements() {
+    let src = demo_source();
+    let sock = tmp("objective.sock");
+    let daemon_cache = tmp("objective-daemon-cache");
+    let local_cache = tmp("objective-local-cache");
+
+    let handle = start_daemon(ServeConfig {
+        endpoint: Endpoint::Unix(sock.clone()),
+        cache_dir: Some(daemon_cache.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+    let mut client = Client::connect(&Endpoint::Unix(sock.clone())).expect("connect");
+
+    let kind = |objective: &str| RequestKind::Search {
+        source: src.clone(),
+        target: "x86".to_string(),
+        bits: 18,
+        full_eval: false,
+        stats: false,
+        pass_stats: false,
+        objective: objective.to_string(),
+    };
+    let local_eval = |objective| EvalOptions {
+        cache_dir: Some(local_cache.clone()),
+        objective,
+        ..EvalOptions::default()
+    };
+
+    // Pareto: served == in-process, cold and warm, and the done event
+    // carries the front's smallest-size measurement.
+    let served = client.call(kind("pareto"), &mut |_| {}).expect("served pareto");
+    let local =
+        cmd_search(&src, 18, TargetChoice::X86, local_eval(optinline_cli::Objective::Pareto))
+            .unwrap();
+    assert_eq!(served.report, local, "cold pareto search diverged");
+    let m = served.measurement.expect("pareto search reports a measurement");
+    assert!(m.cycles.is_some(), "pareto measurement carries cycles: {m:?}");
+    assert!(local.contains(&format!("size-optimal:       {} B", m.size)), "{local}");
+    let served_warm = client.call(kind("pareto"), &mut |_| {}).expect("served pareto");
+    let local_warm =
+        cmd_search(&src, 18, TargetChoice::X86, local_eval(optinline_cli::Objective::Pareto))
+            .unwrap();
+    assert_eq!(served_warm.report, local_warm, "warm pareto search diverged");
+
+    // Speed: same equivalence, plus the measurement matches the report.
+    let served = client.call(kind("speed"), &mut |_| {}).expect("served speed");
+    let local =
+        cmd_search(&src, 18, TargetChoice::X86, local_eval(optinline_cli::Objective::Speed))
+            .unwrap();
+    assert_eq!(served.report, local, "speed search diverged");
+    let m = served.measurement.expect("speed search reports a measurement");
+    assert!(local.contains(&format!("optimal size:       {} B", m.size)), "{local}");
+
+    // An explicit `size` objective and an absent one share a dedup
+    // identity and a report.
+    let explicit = client.call(kind("size"), &mut |_| {}).expect("served size");
+    let m = explicit.measurement.expect("size search reports a measurement");
+    assert_eq!(m.cycles, None, "size measurements are size-only: {m:?}");
+    assert!(explicit.report.contains(&format!("optimal size:       {} B", m.size)));
+
+    // A bogus objective is a daemon-side error, not a hang.
+    let err = client.call(kind("fast"), &mut |_| {});
+    assert!(err.is_err(), "unknown objective must be rejected");
 
     handle.drain();
     handle.join().expect("clean exit");

@@ -17,6 +17,8 @@
 
 use crate::config::InliningConfiguration;
 use crate::evaluator::Evaluator;
+use crate::measure::Objective;
+use crate::pareto::ParetoFront;
 use optinline_ir::CallSiteId;
 use std::collections::BTreeSet;
 
@@ -63,6 +65,17 @@ impl TuneOutcome {
     pub fn total_evaluations(&self) -> u128 {
         self.rounds.iter().map(|r| r.evaluations).sum()
     }
+}
+
+/// Outcome of a Pareto-front tuning session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoOutcome {
+    /// The final front.
+    pub front: ParetoFront,
+    /// Rounds actually run (early exit on a round that adds no point).
+    pub rounds: usize,
+    /// Distinct configurations measured.
+    pub evaluations: u128,
 }
 
 /// The autotuner (Algorithm 3 plus the §5.1 variations).
@@ -282,6 +295,67 @@ impl<'e> Autotuner<'e> {
         TuneOutcome { rounds: reports }
     }
 
+    /// Multi-objective tuning: grow a Pareto front of (size, cycles) by
+    /// local flips. Every frontier configuration is probed one flip in
+    /// every direction; non-dominated probes join the front and seed the
+    /// next round. Stops at `rounds`, or earlier once a whole round adds
+    /// nothing. `inits` seeds the front (the clean slate when empty).
+    ///
+    /// Deterministic and insertion-order-independent: sites are probed in
+    /// id order from frontier points in sorted order, each distinct
+    /// canonical configuration is measured exactly once (the `visited`
+    /// set), and the front's tie rule is lexicographic. Two runs — or a
+    /// direct run and a daemon-routed one — produce identical fronts.
+    pub fn run_pareto(
+        &self,
+        inits: impl IntoIterator<Item = InliningConfiguration>,
+        rounds: usize,
+    ) -> ParetoOutcome {
+        assert!(rounds >= 1, "at least one round is required");
+        let canonical = |config: &InliningConfiguration| -> Vec<CallSiteId> {
+            config.inlined_sites().intersection(&self.sites).copied().collect()
+        };
+        let mut visited: BTreeSet<Vec<CallSiteId>> = BTreeSet::new();
+        let mut front = ParetoFront::new();
+        let mut evaluations = 0u128;
+        let mut seeds: Vec<InliningConfiguration> = inits.into_iter().collect();
+        if seeds.is_empty() {
+            seeds.push(InliningConfiguration::clean_slate());
+        }
+        for seed in seeds {
+            if visited.insert(canonical(&seed)) {
+                evaluations += 1;
+                let measured = self.evaluator.measure(&seed, Objective::Pareto);
+                front.insert(seed, measured);
+            }
+        }
+        let mut rounds_run = 0;
+        for _ in 0..rounds {
+            rounds_run += 1;
+            let bases: Vec<InliningConfiguration> =
+                front.points().iter().map(|p| p.config.clone()).collect();
+            let mut progressed = false;
+            for base in bases {
+                for &site in &self.sites {
+                    let mut flipped = base.clone();
+                    flipped.flip(site);
+                    if !visited.insert(canonical(&flipped)) {
+                        continue;
+                    }
+                    evaluations += 1;
+                    let measured = self.evaluator.measure(&flipped, Objective::Pareto);
+                    if front.insert(flipped, measured) {
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        ParetoOutcome { front, rounds: rounds_run, evaluations }
+    }
+
     /// Best-of combination across several outcomes (per-file `min`, as in
     /// Figures 15/18).
     pub fn combine<'a>(outcomes: impl IntoIterator<Item = &'a TuneOutcome>) -> RoundReport {
@@ -487,6 +561,86 @@ mod tests {
         let ev = Landscape::default();
         let tuner = Autotuner::new(&ev, sites());
         tuner.run_guarded(InliningConfiguration::clean_slate(), 1, &|_| None, 0.5);
+    }
+
+    /// The Landscape's sizes with an adversarial cycle model: every flip
+    /// that shrinks the binary slows it down, so the Pareto front must
+    /// hold genuine trade-offs.
+    #[derive(Debug, Default)]
+    struct MeasuredLandscape(Landscape);
+
+    impl Evaluator for MeasuredLandscape {
+        fn size_of(&self, c: &InliningConfiguration) -> u64 {
+            self.0.size_of(c)
+        }
+        fn measure(
+            &self,
+            c: &InliningConfiguration,
+            objective: Objective,
+        ) -> optinline_ir::Measurement {
+            let size = self.size_of(c);
+            if !objective.wants_cycles() {
+                return optinline_ir::Measurement::size_only(size);
+            }
+            let b = |i: u32| (c.decision(s(i)) == Decision::Inline) as i64;
+            let cycles = (100 + 8 * b(0) - 5 * b(1) + 2 * b(2)) as u64;
+            optinline_ir::Measurement::with_cycles(size, cycles)
+        }
+        fn compilations(&self) -> u64 {
+            self.0.compilations()
+        }
+        fn queries(&self) -> u64 {
+            self.0.queries()
+        }
+    }
+
+    #[test]
+    fn pareto_tuning_without_cycles_degenerates_to_size_tuning() {
+        // The Landscape's default `measure` is size-only, so dominance is
+        // plain size comparison: the front collapses to the optimum the
+        // scalar tuner finds.
+        let ev = Landscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let out = tuner.run_pareto([], 4);
+        assert_eq!(out.front.len(), 1);
+        assert_eq!(out.front.min_size().unwrap().measurement.size, 92);
+        let scalar = Autotuner::new(&Landscape::default(), sites()).sequential().clean_slate(4);
+        // Same decisions up to canonical form (explicit vs default
+        // NoInline entries differ between the two construction paths).
+        assert_eq!(
+            out.front.min_size().unwrap().config.inlined_sites(),
+            scalar.best().config.inlined_sites()
+        );
+    }
+
+    #[test]
+    fn pareto_tuning_holds_size_cycles_trade_offs() {
+        let ev = MeasuredLandscape::default();
+        let tuner = Autotuner::new(&ev, sites()).sequential();
+        let out = tuner.run_pareto([], 5);
+        // Smallest binary: s0 inlined (92 bytes, 108 cycles). Fastest:
+        // s1 inlined (105 bytes, 95 cycles). Both must be on the front.
+        let sizes: Vec<(u64, Option<u64>)> =
+            out.front.points().iter().map(|p| (p.measurement.size, p.measurement.cycles)).collect();
+        assert!(sizes.contains(&(92, Some(108))), "{sizes:?}");
+        assert!(sizes.contains(&(105, Some(95))), "{sizes:?}");
+        assert!(out.front.len() >= 3, "intermediate trade-offs survive: {sizes:?}");
+        assert_eq!(out.front.min_size().unwrap().measurement.size, 92);
+        assert_eq!(out.front.min_cycles().unwrap().measurement.cycles, Some(95));
+        // Every distinct configuration is measured at most once.
+        assert!(out.evaluations <= 8, "3 sites span 8 configurations, got {}", out.evaluations);
+    }
+
+    #[test]
+    fn pareto_tuning_is_reproducible() {
+        let run = || {
+            let ev = MeasuredLandscape::default();
+            Autotuner::new(&ev, sites()).sequential().run_pareto([], 5)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.front, b.front);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.rounds, b.rounds);
     }
 
     fn landscape_components() -> Vec<BTreeSet<CallSiteId>> {

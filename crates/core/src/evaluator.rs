@@ -16,9 +16,11 @@
 
 use crate::cache::ShardedCache;
 use crate::config::InliningConfiguration;
+use crate::measure::{module_cycles, Objective};
 use optinline_callgraph::Fnv128;
 use optinline_codegen::{text_size, Target};
-use optinline_ir::{CallSiteId, Module};
+use optinline_ir::interp::CostModel;
+use optinline_ir::{CallSiteId, Measurement, Module};
 use optinline_opt::{optimize_os_report, ForcedDecisions, PipelineOptions, PipelineStats};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +34,18 @@ use std::time::{Duration, Instant};
 pub trait Evaluator: Sync {
     /// The `.text` size of the module under `config`.
     fn size_of(&self, config: &InliningConfiguration) -> u64;
+
+    /// Measures `config` under `objective`. The default covers size-only
+    /// evaluators: it wraps [`size_of`](Evaluator::size_of) whatever the
+    /// objective, reporting `cycles: None` — a correct (if cycle-blind)
+    /// answer. Module-backed evaluators override this to measure
+    /// simulated cycles when the objective wants them; the `Size`
+    /// objective must always reduce to exactly `size_of`, so size-driven
+    /// callers stay byte-identical to the scalar era.
+    fn measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        let _ = objective;
+        Measurement::size_only(self.size_of(config))
+    }
 
     /// Number of *distinct* compilations performed so far (cache misses).
     fn compilations(&self) -> u64;
@@ -147,6 +161,12 @@ pub struct EvaluatorStats {
     /// Per-pass, analysis-cache, and scheduling counters aggregated over
     /// every compile this evaluator performed (rendered by `--pass-stats`).
     pub pipeline: PipelineStats,
+    /// Cycle measurements served (including cycles-cache hits); 0 for
+    /// size-only runs.
+    pub cycle_measures: u64,
+    /// Whole-module compiles performed *only* to measure cycles (the
+    /// cycles path never reuses a size compile's artifact).
+    pub cycle_compiles: u64,
     /// Tasks materialized by the task-DAG search executor (0 when the
     /// sequential walk ran).
     pub executor_tasks: u64,
@@ -190,6 +210,12 @@ impl EvaluatorStats {
             self.compile_time,
             self.fixpoint_cap_hits,
         );
+        if self.cycle_measures > 0 {
+            line.push_str(&format!(
+                ", cycles: {} measures / {} compiles",
+                self.cycle_measures, self.cycle_compiles,
+            ));
+        }
         if self.executor_tasks > 0 {
             line.push_str(&format!(
                 ", executor: {} tasks / {} steals / {} dedup hits",
@@ -257,8 +283,15 @@ pub struct CompilerEvaluator {
     options: PipelineOptions,
     sites: BTreeSet<CallSiteId>,
     cache: ShardedCache<BTreeSet<CallSiteId>, u64>,
+    /// Cycles memo, separate from the size memo: most runs never measure
+    /// cycles and must not pay for the wider value. `None` is a cached
+    /// answer too ("nothing executable"), not a miss.
+    cycles_cache: ShardedCache<BTreeSet<CallSiteId>, Option<u64>>,
+    cost: CostModel,
     compiles: AtomicU64,
     queries: AtomicU64,
+    cycle_measures: AtomicU64,
+    cycle_compiles: AtomicU64,
     compile_nanos: AtomicU64,
     pipeline_stats: Mutex<PipelineStats>,
     scope: OnceLock<u128>,
@@ -285,8 +318,12 @@ impl CompilerEvaluator {
             options: PipelineOptions::default(),
             sites,
             cache: ShardedCache::new(),
+            cycles_cache: ShardedCache::new(),
+            cost: CostModel::default(),
             compiles: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            cycle_measures: AtomicU64::new(0),
+            cycle_compiles: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
             pipeline_stats: Mutex::new(PipelineStats::default()),
             scope: OnceLock::new(),
@@ -319,6 +356,27 @@ impl CompilerEvaluator {
         self.options
     }
 
+    /// The cost model cycle measurements run under (part of the
+    /// cycles-scope identity).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The simulated cycles of the module under `config`, memoized on the
+    /// canonical inlined-site set. `None` means nothing executable.
+    fn cycles_of(&self, config: &InliningConfiguration) -> Option<u64> {
+        let key: BTreeSet<CallSiteId> =
+            config.inlined_sites().intersection(&self.sites).copied().collect();
+        if let Some(cycles) = self.cycles_cache.get(&key) {
+            return cycles;
+        }
+        let optimized = self.compile(config);
+        self.cycle_compiles.fetch_add(1, Ordering::Relaxed);
+        let cycles = module_cycles(&optimized, &self.cost);
+        self.cycles_cache.insert(key, cycles);
+        cycles
+    }
+
     /// Snapshot of the observability counters.
     pub fn stats(&self) -> EvaluatorStats {
         let cache = self.cache.stats();
@@ -336,6 +394,8 @@ impl CompilerEvaluator {
             full_module_equivalents: compiles as f64,
             fixpoint_cap_hits: pipeline.cap_hits,
             pipeline,
+            cycle_measures: self.cycle_measures.load(Ordering::Relaxed),
+            cycle_compiles: self.cycle_compiles.load(Ordering::Relaxed),
             ..EvaluatorStats::default()
         }
     }
@@ -352,6 +412,18 @@ impl CompilerEvaluator {
 }
 
 impl Evaluator for CompilerEvaluator {
+    fn measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        if !objective.wants_cycles() {
+            return Measurement::size_only(self.size_of(config));
+        }
+        self.cycle_measures.fetch_add(1, Ordering::Relaxed);
+        let size = self.size_of(config);
+        match self.cycles_of(config) {
+            Some(cycles) => Measurement::with_cycles(size, cycles),
+            None => Measurement::size_only(size),
+        }
+    }
+
     fn size_of(&self, config: &InliningConfiguration) -> u64 {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let key: BTreeSet<CallSiteId> =
@@ -493,6 +565,38 @@ mod tests {
         });
         assert_eq!(ev.compilations(), 1);
         assert_eq!(ev.queries(), 5);
+    }
+
+    #[test]
+    fn measure_under_size_objective_is_exactly_size_of() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let cfg = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        let size = ev.size_of(&cfg);
+        let measured = ev.measure(&cfg, Objective::Size);
+        assert_eq!(measured, Measurement::size_only(size));
+        assert_eq!(ev.stats().cycle_measures, 0, "size queries never touch the cycles path");
+        assert_eq!(ev.stats().cycle_compiles, 0);
+    }
+
+    #[test]
+    fn measure_under_speed_objective_carries_memoized_cycles() {
+        let (m, site) = demo_module();
+        let ev = CompilerEvaluator::new(m, Box::new(X86Like));
+        let clean = InliningConfiguration::clean_slate();
+        let inlined = InliningConfiguration::clean_slate().with(site, Decision::Inline);
+        let a = ev.measure(&clean, Objective::Speed);
+        let b = ev.measure(&inlined, Objective::Pareto);
+        assert!(a.cycles.is_some() && b.cycles.is_some(), "main is executable");
+        // Inlining removes the call overhead on this module: fewer cycles.
+        assert!(b.cycles.unwrap() < a.cycles.unwrap(), "{a:?} vs {b:?}");
+        // Re-measuring hits the cycles memo: no extra compile.
+        let again = ev.measure(&clean, Objective::Speed);
+        assert_eq!(a, again);
+        let s = ev.stats();
+        assert_eq!(s.cycle_measures, 3);
+        assert_eq!(s.cycle_compiles, 2, "two distinct configs, one memo hit");
+        assert!(s.render().contains("cycles: 3 measures"));
     }
 
     #[test]

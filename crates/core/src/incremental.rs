@@ -35,10 +35,12 @@
 use crate::cache::ShardedCache;
 use crate::config::InliningConfiguration;
 use crate::evaluator::{CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator};
+use crate::measure::{module_cycles, Objective};
 use optinline_callgraph::{coarse_components, Decision};
 use optinline_codegen::{text_size, Target};
 use optinline_ir::analysis::EffectSummary;
-use optinline_ir::{extract_slice, CallSiteId, Module};
+use optinline_ir::interp::CostModel;
+use optinline_ir::{extract_slice, CallSiteId, Measurement, Module};
 use optinline_opt::{
     optimize_os_report, optimize_os_report_with_summary, ForcedDecisions, PipelineOptions,
     PipelineStats,
@@ -77,8 +79,16 @@ pub struct IncrementalEvaluator {
     constant_slices: Vec<Module>,
     constant_part: OnceLock<u64>,
     cache: ShardedCache<(usize, BTreeSet<CallSiteId>), u64>,
+    /// Cycles memo over *whole-module* canonical keys: the size
+    /// decomposition is exact because every `-Os` pass is componentwise,
+    /// but the cost model's i-cache is global, so cycles are measured on
+    /// whole-module compiles and memoized separately.
+    cycles_cache: ShardedCache<BTreeSet<CallSiteId>, Option<u64>>,
+    cost: CostModel,
     queries: AtomicU64,
     compiles: AtomicU64,
+    cycle_measures: AtomicU64,
+    cycle_compiles: AtomicU64,
     per_component_compiles: Vec<AtomicU64>,
     /// Σ pristine instruction counts over all compiles, for the
     /// full-module-equivalents metric.
@@ -135,8 +145,12 @@ impl IncrementalEvaluator {
             constant_slices,
             constant_part: OnceLock::new(),
             cache: ShardedCache::new(),
+            cycles_cache: ShardedCache::new(),
+            cost: CostModel::default(),
             queries: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
+            cycle_measures: AtomicU64::new(0),
+            cycle_compiles: AtomicU64::new(0),
             per_component_compiles,
             compiled_insts: AtomicU64::new(0),
             compile_nanos: AtomicU64::new(0),
@@ -164,6 +178,28 @@ impl IncrementalEvaluator {
     /// Number of coarse components (with and without inlinable sites).
     pub fn component_count(&self) -> usize {
         self.active.len() + self.constant_slices.len()
+    }
+
+    /// The cost model cycle measurements run under (part of the
+    /// cycles-scope identity).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The simulated cycles of the module under `config`, memoized on the
+    /// whole-module canonical inlined-site set. `None` means nothing
+    /// executable.
+    fn cycles_of(&self, config: &InliningConfiguration) -> Option<u64> {
+        let key: BTreeSet<CallSiteId> =
+            config.inlined_sites().intersection(&self.sites).copied().collect();
+        if let Some(cycles) = self.cycles_cache.get(&key) {
+            return cycles;
+        }
+        let optimized = self.compile(config);
+        self.cycle_compiles.fetch_add(1, Ordering::Relaxed);
+        let cycles = module_cycles(&optimized, &self.cost);
+        self.cycles_cache.insert(key, cycles);
+        cycles
     }
 
     /// Compiles the *whole* module under `config` and returns it
@@ -197,6 +233,8 @@ impl IncrementalEvaluator {
                 / self.module_insts as f64,
             fixpoint_cap_hits: pipeline.cap_hits,
             pipeline,
+            cycle_measures: self.cycle_measures.load(Ordering::Relaxed),
+            cycle_compiles: self.cycle_compiles.load(Ordering::Relaxed),
             ..EvaluatorStats::default()
         }
     }
@@ -258,6 +296,18 @@ impl IncrementalEvaluator {
 }
 
 impl Evaluator for IncrementalEvaluator {
+    fn measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        if !objective.wants_cycles() {
+            return Measurement::size_only(self.size_of(config));
+        }
+        self.cycle_measures.fetch_add(1, Ordering::Relaxed);
+        let size = self.size_of(config);
+        match self.cycles_of(config) {
+            Some(cycles) => Measurement::with_cycles(size, cycles),
+            None => Measurement::size_only(size),
+        }
+    }
+
     fn size_of(&self, config: &InliningConfiguration) -> u64 {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let inlined = config.inlined_sites();
@@ -398,10 +448,26 @@ impl SizeEvaluator {
         }
     }
 
+    /// The cost model cycle measurements run under (part of the
+    /// cycles-scope identity).
+    pub fn cost_model(&self) -> &CostModel {
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.cost_model(),
+            SizeEvaluatorKind::Incremental(ev) => ev.cost_model(),
+        }
+    }
+
     fn inner_size_of(&self, config: &InliningConfiguration) -> u64 {
         match &self.kind {
             SizeEvaluatorKind::Full(ev) => ev.size_of(config),
             SizeEvaluatorKind::Incremental(ev) => ev.size_of(config),
+        }
+    }
+
+    fn inner_measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        match &self.kind {
+            SizeEvaluatorKind::Full(ev) => ev.measure(config, objective),
+            SizeEvaluatorKind::Incremental(ev) => ev.measure(config, objective),
         }
     }
 }
@@ -415,12 +481,33 @@ impl Evaluator for SizeEvaluator {
         // configuration's inlined sites restricted to this module's.
         let key: Vec<CallSiteId> =
             config.inlined_sites().intersection(self.sites()).copied().collect();
-        if let Some(size) = cache.get(&key) {
-            return size;
+        if let Some(found) = cache.get(&key) {
+            return found.size;
         }
         let size = self.inner_size_of(config);
-        cache.put(key, size);
+        cache.put(key, Measurement::size_only(size));
         size
+    }
+
+    fn measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        if !objective.wants_cycles() {
+            return Measurement::size_only(self.size_of(config));
+        }
+        let Some(cache) = &self.persist else {
+            return self.inner_measure(config, objective);
+        };
+        let key: Vec<CallSiteId> =
+            config.inlined_sites().intersection(self.sites()).copied().collect();
+        // Only a cycles-carrying entry answers a cycles query; a size-only
+        // one falls through so the fresh measurement can upgrade it.
+        if let Some(found) = cache.get(&key) {
+            if found.cycles.is_some() {
+                return found;
+            }
+        }
+        let measured = self.inner_measure(config, objective);
+        cache.put(key, measured);
+        measured
     }
 
     fn compilations(&self) -> u64 {
@@ -629,6 +716,73 @@ mod tests {
         assert_eq!(full.size_of(&cfg), incr.size_of(&cfg));
         assert_eq!(full.sites(), incr.sites());
         assert!(incr.stats().compiles > 0);
+    }
+
+    #[test]
+    fn size_and_speed_scopes_never_alias_and_survive_compact_and_gc() {
+        use crate::measure::objective_scope;
+        use crate::persist::{cache_meta, PersistentCache};
+        use optinline_callgraph::Decision;
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("optinline-objscope-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (m, sites) = two_component_module();
+        let meta = cache_meta(&m, "x86-like");
+        let cfg = InliningConfiguration::clean_slate().with(sites[0], Decision::Inline);
+        let domain = SizeEvaluator::new(m.clone(), Box::new(X86Like), false)
+            .memo_scope()
+            .expect("module-backed evaluators name their domain");
+        let cost = CostModel::default();
+        let speed_fp = objective_scope(domain, Objective::Speed, &cost);
+        assert_ne!(speed_fp, domain);
+
+        // Cold runs: one per objective, each against its own scope.
+        let (size_cold, speed_cold);
+        {
+            let cache = Arc::new(PersistentCache::open_scoped(&dir, domain, None, &meta).unwrap());
+            let ev = SizeEvaluator::new(m.clone(), Box::new(X86Like), false).with_persist(cache);
+            size_cold = ev.measure(&cfg, Objective::Size);
+            assert!(size_cold.cycles.is_none());
+        }
+        {
+            let cache =
+                Arc::new(PersistentCache::open_scoped(&dir, speed_fp, None, &meta).unwrap());
+            let ev = SizeEvaluator::new(m.clone(), Box::new(X86Like), false).with_persist(cache);
+            speed_cold = ev.measure(&cfg, Objective::Speed);
+            assert_eq!(speed_cold.size, size_cold.size, "same domain, same sizes");
+            assert!(speed_cold.cycles.is_some(), "public mains are executable");
+        }
+
+        // Compact and GC (budget generous enough to keep both logs): the
+        // two scopes must both survive, still separated.
+        {
+            let store = optinline_store::LocalStore::shared(&dir).unwrap();
+            store.compact_all().unwrap();
+            let gc = store.gc(1 << 30).unwrap();
+            assert_eq!(gc.evicted_scopes, 0, "both scopes fit the budget");
+        }
+
+        // Warm runs: every answer comes from the right scope, with zero
+        // compiles and no cycles leaking into the size scope.
+        let key: Vec<CallSiteId> =
+            cfg.inlined_sites().intersection(&sites.iter().copied().collect()).copied().collect();
+        {
+            let cache = Arc::new(PersistentCache::open_scoped(&dir, domain, None, &meta).unwrap());
+            let ev =
+                SizeEvaluator::new(m.clone(), Box::new(X86Like), false).with_persist(cache.clone());
+            assert_eq!(ev.measure(&cfg, Objective::Size), size_cold);
+            assert_eq!(ev.compilations(), 0, "warm size measure must not compile");
+            let raw = cache.get(&key).expect("the size scope holds the entry");
+            assert!(raw.cycles.is_none(), "cycles must never alias into the size scope");
+        }
+        {
+            let cache =
+                Arc::new(PersistentCache::open_scoped(&dir, speed_fp, None, &meta).unwrap());
+            let ev = SizeEvaluator::new(m, Box::new(X86Like), false).with_persist(cache);
+            assert_eq!(ev.measure(&cfg, Objective::Speed), speed_cold);
+            assert_eq!(ev.compilations(), 0, "warm speed measure must not compile either");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

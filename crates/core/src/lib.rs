@@ -68,7 +68,9 @@ mod dag;
 mod evaluator;
 pub mod farm;
 mod incremental;
+mod measure;
 pub mod naive;
+mod pareto;
 mod persist;
 mod pool;
 pub mod tree;
@@ -80,7 +82,11 @@ pub use evaluator::{
     evaluation_identity, CompilerEvaluator, Evaluator, EvaluatorStats, ModuleEvaluator,
 };
 pub use incremental::{IncrementalEvaluator, SizeEvaluator};
+pub use measure::{
+    cost_model_fingerprint, module_cycles, objective_scope, Objective, SpeedEvaluator,
+};
 pub use naive::{exhaustive_search, SearchOutcome};
+pub use pareto::{ParetoFront, ParetoPoint};
 pub use persist::{
     cache_meta, module_fingerprint, PersistStats, PersistentCache, PersistentEvaluator,
 };

@@ -1,0 +1,188 @@
+//! Deterministic Pareto front over (size, cycles) measurements.
+//!
+//! The multi-objective autotuner does not pick one winner: it maintains
+//! the set of configurations no other configuration *dominates* (smaller
+//! or equal in both metrics, strictly smaller in one — see
+//! [`Measurement::dominates`]). The front here is deliberately boring:
+//! a sorted `Vec` with insertion-time pruning, because reproducibility
+//! matters more than asymptotics at the scale of inlining search spaces.
+//! Insertion order cannot change the resulting front — dominance is
+//! transitive-free of ties thanks to a lexicographic tiebreak on the
+//! canonical inlined-site key — so parallel producers can feed a front
+//! through any interleaving and end at the same set.
+
+use crate::config::InliningConfiguration;
+use optinline_ir::{CallSiteId, Measurement};
+
+/// One non-dominated configuration and its measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub config: InliningConfiguration,
+    /// Its measurement.
+    pub measurement: Measurement,
+    /// Canonical identity: the configuration's inlined sites, sorted.
+    /// Doubles as the deterministic tiebreak between measurement-equal
+    /// configurations.
+    key: Vec<CallSiteId>,
+}
+
+/// The set of non-dominated (configuration, measurement) points, kept
+/// sorted by `(size, cycles, key)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParetoFront {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> ParetoFront {
+        ParetoFront::default()
+    }
+
+    /// Offers a point to the front. Returns `true` if the point joined
+    /// (possibly displacing points it dominates), `false` if an existing
+    /// point dominates it — or ties it exactly with a lexicographically
+    /// smaller key, the deterministic duplicate rule.
+    pub fn insert(&mut self, config: InliningConfiguration, measurement: Measurement) -> bool {
+        let key: Vec<CallSiteId> = config.inlined_sites().into_iter().collect();
+        for p in &self.points {
+            if p.measurement.dominates(&measurement) {
+                return false;
+            }
+            if p.measurement == measurement && p.key <= key {
+                return false;
+            }
+        }
+        self.points.retain(|p| {
+            let displaced = measurement.dominates(&p.measurement)
+                || (p.measurement == measurement && key < p.key);
+            !displaced
+        });
+        let point = ParetoPoint { config, measurement, key };
+        let at = self
+            .points
+            .partition_point(|p| (p.measurement, &p.key) < (point.measurement, &point.key));
+        self.points.insert(at, point);
+        true
+    }
+
+    /// The non-dominated points, sorted by `(size, cycles, key)`.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of points on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with the smallest size (`None` on an empty front). With
+    /// the sort order, this is simply the first point.
+    pub fn min_size(&self) -> Option<&ParetoPoint> {
+        self.points.first()
+    }
+
+    /// The point with the smallest cycle count among cycles-carrying
+    /// points (`None` when no point carries cycles).
+    pub fn min_cycles(&self) -> Option<&ParetoPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.measurement.cycles.is_some())
+            .min_by_key(|p| (p.measurement.cycles, p.measurement.size, &p.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinline_callgraph::Decision;
+
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn cfg(inlined: &[u32]) -> InliningConfiguration {
+        inlined.iter().map(|&i| (s(i), Decision::Inline)).collect()
+    }
+
+    fn mc(size: u64, cycles: u64) -> Measurement {
+        Measurement::with_cycles(size, cycles)
+    }
+
+    #[test]
+    fn dominated_points_are_rejected_and_displaced() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(cfg(&[]), mc(100, 100)));
+        // Strictly better in one metric, equal in the other: joins, and
+        // the old point survives only if not dominated.
+        assert!(front.insert(cfg(&[1]), mc(100, 50)));
+        assert_eq!(front.len(), 1, "equal size, fewer cycles dominates");
+        assert!(front.insert(cfg(&[2]), mc(50, 200)));
+        assert_eq!(front.len(), 2, "a size/cycles trade-off coexists");
+        // Dominated by (50, 200): rejected outright.
+        assert!(!front.insert(cfg(&[3]), mc(60, 200)));
+        // Dominates everything: the front collapses to it.
+        assert!(front.insert(cfg(&[4]), mc(10, 10)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0].measurement, mc(10, 10));
+    }
+
+    #[test]
+    fn insertion_order_cannot_change_the_front() {
+        let points = [
+            (cfg(&[]), mc(100, 100)),
+            (cfg(&[1]), mc(80, 120)),
+            (cfg(&[2]), mc(120, 80)),
+            (cfg(&[1, 2]), mc(90, 90)),
+            (cfg(&[3]), mc(80, 130)),
+        ];
+        let mut orders = vec![vec![0, 1, 2, 3, 4], vec![4, 3, 2, 1, 0], vec![2, 4, 0, 3, 1]];
+        let fronts: Vec<ParetoFront> = orders
+            .drain(..)
+            .map(|order| {
+                let mut f = ParetoFront::new();
+                for i in order {
+                    let (c, m) = points[i].clone();
+                    f.insert(c, m);
+                }
+                f
+            })
+            .collect();
+        assert_eq!(fronts[0], fronts[1]);
+        assert_eq!(fronts[0], fronts[2]);
+        // (100,100) is dominated by (90,90); (80,130) by (80,120).
+        assert_eq!(fronts[0].len(), 3);
+    }
+
+    #[test]
+    fn measurement_ties_keep_the_lexicographically_smallest_config() {
+        for (first, second) in [(cfg(&[2]), cfg(&[1])), (cfg(&[1]), cfg(&[2]))] {
+            let mut front = ParetoFront::new();
+            front.insert(first, mc(70, 70));
+            front.insert(second, mc(70, 70));
+            assert_eq!(front.len(), 1);
+            assert_eq!(front.points()[0].key, vec![s(1)], "ties resolve by key, not arrival");
+        }
+    }
+
+    #[test]
+    fn size_only_and_measured_points_coexist() {
+        // A size-only point (no executable to measure) is incomparable to
+        // a cycles-carrying one: neither dominates.
+        let mut front = ParetoFront::new();
+        assert!(front.insert(cfg(&[]), Measurement::size_only(100)));
+        assert!(front.insert(cfg(&[1]), mc(120, 10)));
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.min_size().unwrap().measurement.size, 100);
+        assert_eq!(front.min_cycles().unwrap().measurement, mc(120, 10));
+        // Among size-only points themselves, plain size dominance applies.
+        assert!(front.insert(cfg(&[2]), Measurement::size_only(90)));
+        assert_eq!(front.len(), 2);
+    }
+}

@@ -30,8 +30,9 @@
 
 use crate::config::InliningConfiguration;
 use crate::evaluator::Evaluator;
+use crate::measure::Objective;
 use optinline_callgraph::Fnv128;
-use optinline_ir::{CallSiteId, Module};
+use optinline_ir::{CallSiteId, Measurement, Module};
 use optinline_store::{LocalStore, Scope, ScopeSpec, StoreStats};
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -103,8 +104,9 @@ impl PersistentCache {
         Ok(PersistentCache { store, scope })
     }
 
-    /// Looks up the size recorded for a canonical inlined-site set.
-    pub fn get(&self, key: &[CallSiteId]) -> Option<u64> {
+    /// Looks up the measurement recorded for a canonical inlined-site set.
+    /// Legacy size-only entries surface as `cycles: None`.
+    pub fn get(&self, key: &[CallSiteId]) -> Option<Measurement> {
         self.scope.get(key)
     }
 
@@ -112,8 +114,8 @@ impl PersistentCache {
     /// a threshold flush, [`PersistentCache::flush`], or drop). I/O errors
     /// are swallowed — the cache is an accelerator, never a correctness
     /// dependency; the in-memory entry is kept either way.
-    pub fn put(&self, key: Vec<CallSiteId>, size: u64) {
-        self.scope.put(key, size);
+    pub fn put(&self, key: Vec<CallSiteId>, value: Measurement) {
+        self.scope.put(key, value);
     }
 
     /// Flushes buffered writes for this scope.
@@ -180,12 +182,29 @@ impl<'e, E: Evaluator + std::fmt::Debug> PersistentEvaluator<'e, E> {
 impl<E: Evaluator + std::fmt::Debug> Evaluator for PersistentEvaluator<'_, E> {
     fn size_of(&self, config: &InliningConfiguration) -> u64 {
         let key = self.key_of(config);
-        if let Some(size) = self.cache.get(&key) {
-            return size;
+        if let Some(found) = self.cache.get(&key) {
+            return found.size;
         }
         let size = self.inner.size_of(config);
-        self.cache.put(key, size);
+        self.cache.put(key, Measurement::size_only(size));
         size
+    }
+
+    fn measure(&self, config: &InliningConfiguration, objective: Objective) -> Measurement {
+        if !objective.wants_cycles() {
+            return Measurement::size_only(self.size_of(config));
+        }
+        let key = self.key_of(config);
+        // A size-only entry does not answer a cycles query: fall through
+        // and let the richer measurement upgrade it in the store.
+        if let Some(found) = self.cache.get(&key) {
+            if found.cycles.is_some() {
+                return found;
+            }
+        }
+        let measured = self.inner.measure(config, objective);
+        self.cache.put(key, measured);
+        measured
     }
 
     fn compilations(&self) -> u64 {
@@ -223,21 +242,25 @@ mod tests {
         ids.iter().map(|&i| CallSiteId::new(i)).collect()
     }
 
+    fn m(size: u64) -> Measurement {
+        Measurement::size_only(size)
+    }
+
     #[test]
     fn round_trips_across_reopen() {
         let dir = tmpdir("roundtrip");
         {
             let c = PersistentCache::open(&dir, 0xfeed, "mod-rt").unwrap();
-            c.put(k(&[]), 400);
-            c.put(k(&[1, 5, 9]), 321);
-            c.put(k(&[2]), 77);
+            c.put(k(&[]), m(400));
+            c.put(k(&[1, 5, 9]), m(321));
+            c.put(k(&[2]), m(77));
             assert_eq!(c.stats().loaded, 0);
         }
         let c = PersistentCache::open(&dir, 0xfeed, "mod-rt").unwrap();
         assert_eq!(c.stats().loaded, 3);
-        assert_eq!(c.get(&k(&[])), Some(400));
-        assert_eq!(c.get(&k(&[1, 5, 9])), Some(321));
-        assert_eq!(c.get(&k(&[2])), Some(77));
+        assert_eq!(c.get(&k(&[])), Some(m(400)));
+        assert_eq!(c.get(&k(&[1, 5, 9])), Some(m(321)));
+        assert_eq!(c.get(&k(&[2])), Some(m(77)));
         assert_eq!(c.get(&k(&[3])), None);
         assert_eq!(c.stats(), PersistStats { loaded: 3, hits: 3, misses: 1 });
         std::fs::remove_dir_all(&dir).unwrap();
@@ -248,7 +271,7 @@ mod tests {
         let dir = tmpdir("fingerprints");
         let a = PersistentCache::open(&dir, 1, "mod-a").unwrap();
         let b = PersistentCache::open(&dir, 2, "mod-b").unwrap();
-        a.put(k(&[4]), 10);
+        a.put(k(&[4]), m(10));
         assert_ne!(a.path(), b.path());
         assert_eq!(b.get(&k(&[4])), None);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -260,8 +283,8 @@ mod tests {
         let path;
         {
             let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
-            c.put(k(&[1]), 11);
-            c.put(k(&[2]), 22);
+            c.put(k(&[1]), m(11));
+            c.put(k(&[2]), m(22));
             path = c.path().to_path_buf();
         }
         // Chop the file mid-way through the last entry, as a crash would.
@@ -273,13 +296,13 @@ mod tests {
         f.seek(SeekFrom::End(0)).unwrap();
         drop(f);
         let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
-        assert_eq!(c.get(&k(&[1])), Some(11));
+        assert_eq!(c.get(&k(&[1])), Some(m(11)));
         assert_eq!(c.get(&k(&[2])), None, "the damaged line must be dropped");
         // And the cache still accepts fresh writes for the lost key.
-        c.put(k(&[2]), 22);
+        c.put(k(&[2]), m(22));
         drop(c);
         let c = PersistentCache::open(&dir, 7, "mod-t").unwrap();
-        assert_eq!(c.get(&k(&[2])), Some(22));
+        assert_eq!(c.get(&k(&[2])), Some(m(22)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -301,8 +324,8 @@ mod tests {
         .unwrap();
         let c = PersistentCache::open(&dir, 9, "mod-c").unwrap();
         assert_eq!(c.stats().loaded, 2);
-        assert_eq!(c.get(&k(&[1, 2])), Some(77));
-        assert_eq!(c.get(&k(&[])), Some(99));
+        assert_eq!(c.get(&k(&[1, 2])), Some(m(77)));
+        assert_eq!(c.get(&k(&[])), Some(m(99)));
         assert_eq!(c.get(&k(&[9, 4])), None);
         assert_eq!(c.get(&k(&[4, 9])), None);
         assert!(!legacy.exists(), "imported legacy file is retired");
@@ -319,13 +342,13 @@ mod tests {
         std::fs::write(&path, "optinline-cache v0\n12 s1\n").unwrap();
         let c = PersistentCache::open(&dir, 3, "mod-v").unwrap();
         assert_eq!(c.stats().loaded, 0, "old-format entries must not leak in");
-        c.put(k(&[8]), 123);
+        c.put(k(&[8]), m(123));
         drop(c);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(contents.starts_with(HEADER), "file restarted at current version");
         let c = PersistentCache::open(&dir, 3, "mod-v").unwrap();
         assert_eq!(c.stats().loaded, 1);
-        assert_eq!(c.get(&k(&[8])), Some(123));
+        assert_eq!(c.get(&k(&[8])), Some(m(123)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -337,17 +360,17 @@ mod tests {
         let dir = tmpdir("meta");
         {
             let c = PersistentCache::open(&dir, 5, "modA target=x86 sites=3").unwrap();
-            c.put(k(&[1]), 111);
+            c.put(k(&[1]), m(111));
         }
         let c = PersistentCache::open(&dir, 5, "modB target=x86 sites=3").unwrap();
         assert_eq!(c.stats().loaded, 0, "a colliding module's entries must not leak in");
         assert_eq!(c.get(&k(&[1])), None);
-        c.put(k(&[1]), 222);
+        c.put(k(&[1]), m(222));
         drop(c);
         // The restart stamped the new identity; modB's entries round-trip.
         let c = PersistentCache::open(&dir, 5, "modB target=x86 sites=3").unwrap();
         assert_eq!(c.stats().loaded, 1);
-        assert_eq!(c.get(&k(&[1])), Some(222));
+        assert_eq!(c.get(&k(&[1])), Some(m(222)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -356,11 +379,11 @@ mod tests {
         let dir = tmpdir("metanl");
         {
             let c = PersistentCache::open(&dir, 6, "mod\nwith newline").unwrap();
-            c.put(k(&[2]), 20);
+            c.put(k(&[2]), m(20));
         }
         let c = PersistentCache::open(&dir, 6, "mod\nwith newline").unwrap();
         assert_eq!(c.stats().loaded, 1, "sanitized meta must round-trip");
-        assert_eq!(c.get(&k(&[2])), Some(20));
+        assert_eq!(c.get(&k(&[2])), Some(m(20)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -370,8 +393,8 @@ mod tests {
         let a = PersistentCache::open(&dir, 0xaa, "mod-a").unwrap();
         let b = PersistentCache::open(&dir, 0xbb, "mod-b").unwrap();
         assert!(Arc::ptr_eq(a.store(), b.store()), "one directory, one store");
-        a.put(k(&[1]), 1);
-        b.put(k(&[2]), 2);
+        a.put(k(&[1]), m(1));
+        b.put(k(&[2]), m(2));
         let stats = a.store_stats();
         assert_eq!(stats.puts, 2, "store stats aggregate across scopes");
         std::fs::remove_dir_all(&dir).unwrap();

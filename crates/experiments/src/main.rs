@@ -14,6 +14,7 @@ mod exp_autotune;
 mod exp_cases;
 mod exp_casestudies;
 mod exp_extensions;
+mod exp_pareto;
 mod exp_perf;
 mod exp_roofline;
 mod exp_rounds;
@@ -42,6 +43,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig18", "round-based, combined"),
     ("table4", "per-round trace of one module"),
     ("fig19", "runtime impact of size tuning"),
+    ("pareto", "size/cycles Pareto frontiers vs size-only tuning"),
     ("case_sqlite", "SQLite-style amalgamation (x86 + wasm)"),
     ("case_llvm", "LLVM-style library"),
     ("trials", "extension: trial-inliner strategy tier"),
@@ -151,6 +153,7 @@ fn main() {
             "fig18" => exp_rounds::fig18(&ctx, &cases, &tunes),
             "table4" => exp_rounds::table4(&ctx),
             "fig19" => exp_perf::fig19(&ctx, &cases),
+            "pareto" => exp_pareto::pareto(&ctx, &cases, 2),
             "case_sqlite" => exp_casestudies::case_sqlite(&ctx),
             "case_llvm" => exp_casestudies::case_llvm(&ctx),
             "trials" => exp_extensions::trials(&ctx, &optima),

@@ -220,7 +220,9 @@ impl<'m> Interp<'m> {
             return;
         }
         let units = self.func_units[func.index()];
-        self.cycles += units.min(self.cost.icache_capacity) * self.cost.icache_miss_per_unit;
+        self.charge(
+            units.min(self.cost.icache_capacity).saturating_mul(self.cost.icache_miss_per_unit),
+        );
         while self.icache_used + units > self.cost.icache_capacity {
             match self.icache.pop_front() {
                 Some((_, u)) => self.icache_used -= u,
@@ -229,6 +231,13 @@ impl<'m> Interp<'m> {
         }
         self.icache.push_back((func, units));
         self.icache_used += units;
+    }
+
+    /// Accrues cycles saturating at `u64::MAX`: a deep-recursion workload
+    /// under an inflated cost model must clamp, never wrap (the same rule
+    /// `space_size`/`tree_stats` follow for size accounting).
+    fn charge(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_add(cycles);
     }
 
     fn step(&mut self) -> Result<(), InterpError> {
@@ -264,20 +273,20 @@ impl<'m> Interp<'m> {
                 self.step()?;
                 match inst {
                     Inst::Const { dst, value } => {
-                        self.cycles += self.cost.konst;
+                        self.charge(self.cost.konst);
                         regs[dst.index()] = *value;
                     }
                     Inst::Bin { dst, op, lhs, rhs } => {
                         use crate::inst::BinOp;
-                        self.cycles += match op {
+                        self.charge(match op {
                             BinOp::Mul => self.cost.mul,
                             BinOp::Div | BinOp::Rem => self.cost.div,
                             _ => self.cost.alu,
-                        };
+                        });
                         regs[dst.index()] = op.eval(regs[lhs.index()], regs[rhs.index()]);
                     }
                     Inst::Call { dst, callee, args, .. } => {
-                        self.cycles += self.cost.call_overhead;
+                        self.charge(self.cost.call_overhead);
                         self.touch_icache(*callee);
                         let vals: Vec<i64> = args.iter().map(|a| regs[a.index()]).collect();
                         let r = self.call(*callee, &vals, depth + 1)?;
@@ -286,11 +295,11 @@ impl<'m> Interp<'m> {
                         }
                     }
                     Inst::Load { dst, global } => {
-                        self.cycles += self.cost.mem;
+                        self.charge(self.cost.mem);
                         regs[dst.index()] = self.globals[global.index()];
                     }
                     Inst::Store { global, src } => {
-                        self.cycles += self.cost.mem;
+                        self.charge(self.cost.mem);
                         let value = regs[src.index()];
                         self.globals[global.index()] = value;
                         if let Some(trace) = &mut self.trace {
@@ -309,11 +318,11 @@ impl<'m> Interp<'m> {
             };
             match &b.term {
                 Terminator::Jump(t) => {
-                    self.cycles += self.cost.jump;
+                    self.charge(self.cost.jump);
                     block = apply(&mut regs, t, func);
                 }
                 Terminator::Branch { cond, then_to, else_to } => {
-                    self.cycles += self.cost.branch;
+                    self.charge(self.cost.branch);
                     let t = if regs[cond.index()] != 0 { then_to } else { else_to };
                     block = apply(&mut regs, t, func);
                 }
@@ -546,6 +555,28 @@ mod tests {
         assert_eq!(*interp_err, InterpError::CalledStub(stubbed));
         assert_ne!(*interp_err, InterpError::UnreachableExecuted(stubbed));
         assert!(interp_err.to_string().contains("stub"));
+    }
+
+    #[test]
+    fn cycle_accumulation_saturates_instead_of_wrapping() {
+        // A deep call chain under a near-MAX per-call cost overflows u64
+        // within a handful of frames; the counter must clamp at MAX the
+        // way space_size/tree_stats clamp size sums, never wrap to a tiny
+        // total that would look like a fast program.
+        let (m, entry) = call_chain(64);
+        let mut cost = CostModel::without_icache();
+        cost.call_overhead = u64::MAX / 2;
+        let out = Interp::with_cost(&m, cost).run(entry, &[]).unwrap();
+        assert_eq!(out.cycles, u64::MAX);
+        assert_eq!(out.ret, Some(7), "saturation must not disturb semantics");
+
+        // The icache path saturates too: a huge per-unit miss cost times
+        // the touched units must clamp rather than overflow the multiply.
+        let (m2, entry2) = call_chain(8);
+        let icost = CostModel { icache_miss_per_unit: u64::MAX, ..CostModel::default() };
+        let out2 = Interp::with_cost(&m2, icost).run(entry2, &[]).unwrap();
+        assert_eq!(out2.cycles, u64::MAX);
+        assert_eq!(out2.ret, Some(7));
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod ids;
 mod inst;
 pub mod interp;
 pub mod link;
+mod measure;
 mod module;
 pub mod parse;
 pub mod slice;
@@ -81,6 +82,7 @@ pub use function::{Block, Function, Linkage};
 pub use ids::{BlockId, CallSiteId, FuncId, GlobalId, ValueId};
 pub use inst::{BinOp, Inst, JumpTarget, Terminator};
 pub use link::{internalize_except, link_modules};
+pub use measure::Measurement;
 pub use module::{Global, Module};
 pub use parse::{parse_module, ParseError};
 pub use slice::extract_slice;

@@ -1,0 +1,82 @@
+//! The multi-objective evaluation result shared by every layer above the
+//! IR: code size plus (optionally) simulated cycles.
+//!
+//! The paper's pipeline measures one scalar — bytes of `-Os` output — and
+//! PRs 1–7 threaded that `u64` through evaluator, memo, store, daemon, and
+//! autotuner. [`Measurement`] lifts the assumption: `size` is always
+//! present (the size objective stays byte-identical to the scalar era),
+//! `cycles` is present only when the caller asked for a speed or Pareto
+//! objective and the module had something executable to interpret.
+//!
+//! The type lives in `optinline-ir` because the store depends on `ir` (for
+//! [`CallSiteId`](crate::CallSiteId)) and `core` depends on the store —
+//! this is the lowest crate every measuring layer can see.
+
+/// One evaluation result: `-Os` text size in bytes, plus simulated cycles
+/// when a runtime objective was requested and measurable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Measurement {
+    /// Size of the optimized module's textual form, in bytes.
+    pub size: u64,
+    /// Total simulated cycles over the module's public entry points;
+    /// `None` when cycles were not requested or nothing was executable.
+    pub cycles: Option<u64>,
+}
+
+impl Measurement {
+    /// A size-only measurement — what every pre-measurement layer
+    /// produced, and what old store lines decode to.
+    pub fn size_only(size: u64) -> Measurement {
+        Measurement { size, cycles: None }
+    }
+
+    /// A full measurement with both metrics.
+    pub fn with_cycles(size: u64, cycles: u64) -> Measurement {
+        Measurement { size, cycles: Some(cycles) }
+    }
+
+    /// Pareto dominance: `self` dominates `other` iff it is no worse on
+    /// both metrics and strictly better on at least one. Measurements with
+    /// mismatched cycle availability are incomparable (never dominate), so
+    /// a size-only entry can never evict a measured one or vice versa.
+    pub fn dominates(&self, other: &Measurement) -> bool {
+        let (cycles_le, cycles_lt) = match (self.cycles, other.cycles) {
+            (Some(a), Some(b)) => (a <= b, a < b),
+            (None, None) => (true, false),
+            _ => return false,
+        };
+        self.size <= other.size && cycles_le && (self.size < other.size || cycles_lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_only_has_no_cycles() {
+        let m = Measurement::size_only(42);
+        assert_eq!(m.size, 42);
+        assert_eq!(m.cycles, None);
+    }
+
+    #[test]
+    fn dominance_requires_no_worse_on_both_and_better_on_one() {
+        let a = Measurement::with_cycles(10, 100);
+        assert!(Measurement::with_cycles(9, 100).dominates(&a));
+        assert!(Measurement::with_cycles(10, 99).dominates(&a));
+        assert!(Measurement::with_cycles(9, 99).dominates(&a));
+        assert!(!a.dominates(&a), "equal points never dominate each other");
+        assert!(!Measurement::with_cycles(9, 101).dominates(&a), "trade-offs are incomparable");
+        assert!(!Measurement::with_cycles(11, 99).dominates(&a));
+    }
+
+    #[test]
+    fn mismatched_cycle_availability_is_incomparable() {
+        let sized = Measurement::size_only(5);
+        let timed = Measurement::with_cycles(10, 10);
+        assert!(!sized.dominates(&timed));
+        assert!(!timed.dominates(&sized));
+        assert!(Measurement::size_only(4).dominates(&Measurement::size_only(5)));
+    }
+}

@@ -43,6 +43,8 @@ pub struct Outcome {
     pub report: String,
     /// Optimized module text, for request kinds that produce one.
     pub module: Option<String>,
+    /// The winning measurement, when the daemon reported one.
+    pub measurement: Option<optinline_ir::Measurement>,
     /// True if this request joined an evaluation another request started.
     pub deduped: bool,
     /// True if this request's event carried the freshly computed result
@@ -110,8 +112,8 @@ impl Client {
                 Event::Queued { id: eid } if eid == id => {}
                 Event::Started { id: eid, deduped: d } if eid == id => deduped = d,
                 Event::Progress { id: eid, note } if eid == id => progress(&note),
-                Event::Done { id: eid, report, module, evaluated } if eid == id => {
-                    return Ok(Outcome { report, module, deduped, evaluated });
+                Event::Done { id: eid, report, module, measurement, evaluated } if eid == id => {
+                    return Ok(Outcome { report, module, measurement, deduped, evaluated });
                 }
                 Event::Error { id: eid, message } if eid == id => {
                     return Err(ClientError::Remote(message));

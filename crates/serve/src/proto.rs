@@ -8,12 +8,16 @@
 //! {"id":2,"kind":"stats"}
 //! {"id":3,"kind":"shutdown"}
 //! {"id":4,"kind":"optimize","source":"...","target":"x86","strategy":"heuristic",
-//!  "full_sweep":false,"pass_stats":false}
+//!  "full_sweep":false,"pass_stats":false,"objective":"size"}
 //! {"id":5,"kind":"search","source":"...","target":"x86","bits":16,
-//!  "full_eval":false,"stats":false,"pass_stats":false}
+//!  "full_eval":false,"stats":false,"pass_stats":false,"objective":"size"}
 //! {"id":6,"kind":"autotune","source":"...","target":"x86","rounds":2,"init":"both",
-//!  "full_eval":false,"stats":false,"pass_stats":false}
+//!  "full_eval":false,"stats":false,"pass_stats":false,"objective":"pareto"}
 //! ```
+//!
+//! `objective` is `size` | `speed` | `pareto` and defaults to `size` when
+//! absent, so pre-measurement clients keep working and keep their dedup
+//! identities (the identity always hashes the effective objective).
 //!
 //! `id` is chosen by the client and echoed on every event for that
 //! request; it only needs to be unique per connection.
@@ -25,6 +29,7 @@
 //! {"id":4,"event":"started","deduped":false}
 //! {"id":4,"event":"progress","note":"..."}
 //! {"id":4,"event":"done","report":"...","evaluated":true}        (+ "module":"...")
+//!                                                     (+ "size":N [+ "cycles":M])
 //! {"id":4,"event":"error","message":"..."}
 //! {"id":1,"event":"pong"}
 //! {"id":2,"event":"stats",...ServerStats fields...}
@@ -39,6 +44,7 @@
 
 use crate::json::{self, Object, Value};
 use optinline_core::evaluation_identity;
+use optinline_ir::Measurement;
 
 /// One decoded request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +76,8 @@ pub enum RequestKind {
         full_sweep: bool,
         /// Append the per-pass table to the report.
         pass_stats: bool,
+        /// `size` | `speed` | `pareto` (absent on the wire means `size`).
+        objective: String,
     },
     /// Optimal-inlining search over the module's residual tree.
     Search {
@@ -85,6 +93,8 @@ pub enum RequestKind {
         stats: bool,
         /// Append the per-pass / analysis-cache table to the report.
         pass_stats: bool,
+        /// `size` | `speed` | `pareto` (absent on the wire means `size`).
+        objective: String,
     },
     /// The paper's local autotuner.
     Autotune {
@@ -102,6 +112,8 @@ pub enum RequestKind {
         stats: bool,
         /// Append the per-pass / analysis-cache table to the report.
         pass_stats: bool,
+        /// `size` | `speed` | `pareto` (absent on the wire means `size`).
+        objective: String,
     },
 }
 
@@ -112,17 +124,31 @@ impl RequestKind {
     pub fn identity(&self) -> Option<u128> {
         match self {
             RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => None,
-            RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats } => {
-                Some(evaluation_identity([
-                    "optimize",
-                    source.as_str(),
-                    target.as_str(),
-                    strategy.as_str(),
-                    flag(*full_sweep),
-                    flag(*pass_stats),
-                ]))
-            }
-            RequestKind::Search { source, target, bits, full_eval, stats, pass_stats } => {
+            RequestKind::Optimize {
+                source,
+                target,
+                strategy,
+                full_sweep,
+                pass_stats,
+                objective,
+            } => Some(evaluation_identity([
+                "optimize",
+                source.as_str(),
+                target.as_str(),
+                strategy.as_str(),
+                flag(*full_sweep),
+                flag(*pass_stats),
+                objective.as_str(),
+            ])),
+            RequestKind::Search {
+                source,
+                target,
+                bits,
+                full_eval,
+                stats,
+                pass_stats,
+                objective,
+            } => {
                 let bits = bits.to_string();
                 Some(evaluation_identity([
                     "search",
@@ -132,6 +158,7 @@ impl RequestKind {
                     flag(*full_eval),
                     flag(*stats),
                     flag(*pass_stats),
+                    objective.as_str(),
                 ]))
             }
             RequestKind::Autotune {
@@ -142,6 +169,7 @@ impl RequestKind {
                 full_eval,
                 stats,
                 pass_stats,
+                objective,
             } => {
                 let rounds = rounds.to_string();
                 Some(evaluation_identity([
@@ -153,6 +181,7 @@ impl RequestKind {
                     flag(*full_eval),
                     flag(*stats),
                     flag(*pass_stats),
+                    objective.as_str(),
                 ]))
             }
         }
@@ -209,6 +238,10 @@ pub enum Event {
         report: String,
         /// The optimized module text (optimize requests only).
         module: Option<String>,
+        /// The winning measurement, when the evaluation produced one:
+        /// `size` always set, `cycles` only under a cycles-aware
+        /// objective with something executable to interpret.
+        measurement: Option<Measurement>,
         /// Whether this request's evaluation actually ran here (`false`
         /// for dedup joiners served by a leader's result).
         evaluated: bool,
@@ -279,11 +312,40 @@ fn get_str(obj: &Object, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing string field {key:?}"))
 }
 
+/// Optional `size` (+ optional `cycles`) fields on a `done` event;
+/// `cycles` without `size` is malformed.
+fn decode_measurement(obj: &Object) -> Result<Option<Measurement>, String> {
+    let Some(_) = obj.get("size") else {
+        return match obj.get("cycles") {
+            Some(_) => Err("field \"cycles\" requires field \"size\"".to_string()),
+            None => Ok(None),
+        };
+    };
+    let size = get_u64(obj, "size")?;
+    Ok(Some(match obj.get("cycles") {
+        Some(_) => Measurement::with_cycles(size, get_u64(obj, "cycles")?),
+        None => Measurement::size_only(size),
+    }))
+}
+
 /// Absent boolean fields default to `false`, so clients can omit them.
 fn get_flag(obj: &Object, key: &str) -> Result<bool, String> {
     match obj.get(key) {
         None => Ok(false),
         Some(v) => v.as_bool().ok_or_else(|| format!("field {key:?} must be a boolean")),
+    }
+}
+
+/// Absent `objective` means `size`, so pre-measurement clients keep
+/// working; the spelling is not validated here — the handler rejects
+/// unknown objectives with a proper `error` event.
+fn get_objective(obj: &Object) -> Result<String, String> {
+    match obj.get("objective") {
+        None => Ok("size".to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "field \"objective\" must be a string".to_string()),
     }
 }
 
@@ -294,22 +356,33 @@ pub fn encode_request(req: &Request) -> String {
     obj.insert("kind".into(), Value::Str(req.kind.name().into()));
     match &req.kind {
         RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => {}
-        RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats } => {
+        RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats, objective } => {
             obj.insert("source".into(), Value::Str(source.clone()));
             obj.insert("target".into(), Value::Str(target.clone()));
             obj.insert("strategy".into(), Value::Str(strategy.clone()));
             obj.insert("full_sweep".into(), Value::Bool(*full_sweep));
             obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+            obj.insert("objective".into(), Value::Str(objective.clone()));
         }
-        RequestKind::Search { source, target, bits, full_eval, stats, pass_stats } => {
+        RequestKind::Search { source, target, bits, full_eval, stats, pass_stats, objective } => {
             obj.insert("source".into(), Value::Str(source.clone()));
             obj.insert("target".into(), Value::Str(target.clone()));
             obj.insert("bits".into(), Value::Int(i64::from(*bits)));
             obj.insert("full_eval".into(), Value::Bool(*full_eval));
             obj.insert("stats".into(), Value::Bool(*stats));
             obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+            obj.insert("objective".into(), Value::Str(objective.clone()));
         }
-        RequestKind::Autotune { source, target, rounds, init, full_eval, stats, pass_stats } => {
+        RequestKind::Autotune {
+            source,
+            target,
+            rounds,
+            init,
+            full_eval,
+            stats,
+            pass_stats,
+            objective,
+        } => {
             obj.insert("source".into(), Value::Str(source.clone()));
             obj.insert("target".into(), Value::Str(target.clone()));
             obj.insert("rounds".into(), Value::Int(i64::from(*rounds)));
@@ -317,6 +390,7 @@ pub fn encode_request(req: &Request) -> String {
             obj.insert("full_eval".into(), Value::Bool(*full_eval));
             obj.insert("stats".into(), Value::Bool(*stats));
             obj.insert("pass_stats".into(), Value::Bool(*pass_stats));
+            obj.insert("objective".into(), Value::Str(objective.clone()));
         }
     }
     json::encode(&obj)
@@ -336,6 +410,7 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
             strategy: get_str(&obj, "strategy")?,
             full_sweep: get_flag(&obj, "full_sweep")?,
             pass_stats: get_flag(&obj, "pass_stats")?,
+            objective: get_objective(&obj)?,
         },
         "search" => RequestKind::Search {
             source: get_str(&obj, "source")?,
@@ -344,6 +419,7 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
             full_eval: get_flag(&obj, "full_eval")?,
             stats: get_flag(&obj, "stats")?,
             pass_stats: get_flag(&obj, "pass_stats")?,
+            objective: get_objective(&obj)?,
         },
         "autotune" => RequestKind::Autotune {
             source: get_str(&obj, "source")?,
@@ -353,6 +429,7 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
             full_eval: get_flag(&obj, "full_eval")?,
             stats: get_flag(&obj, "stats")?,
             pass_stats: get_flag(&obj, "pass_stats")?,
+            objective: get_objective(&obj)?,
         },
         other => return Err(format!("unknown request kind {other:?}")),
     };
@@ -372,10 +449,16 @@ pub fn encode_event(event: &Event) -> String {
             obj.insert("note".into(), Value::Str(note.clone()));
             (*id, "progress")
         }
-        Event::Done { id, report, module, evaluated } => {
+        Event::Done { id, report, module, measurement, evaluated } => {
             obj.insert("report".into(), Value::Str(report.clone()));
             if let Some(m) = module {
                 obj.insert("module".into(), Value::Str(m.clone()));
+            }
+            if let Some(m) = measurement {
+                obj.insert("size".into(), Value::Int(m.size as i64));
+                if let Some(cycles) = m.cycles {
+                    obj.insert("cycles".into(), Value::Int(cycles as i64));
+                }
             }
             obj.insert("evaluated".into(), Value::Bool(*evaluated));
             (*id, "done")
@@ -415,6 +498,7 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             id,
             report: get_str(&obj, "report")?,
             module: obj.get("module").and_then(Value::as_str).map(str::to_string),
+            measurement: decode_measurement(&obj)?,
             evaluated: get_flag(&obj, "evaluated")?,
         }),
         "error" => Ok(Event::Error { id, message: get_str(&obj, "message")? }),
@@ -449,6 +533,7 @@ mod tests {
             full_eval: false,
             stats: true,
             pass_stats: false,
+            objective: "size".into(),
         }
     }
 
@@ -465,6 +550,7 @@ mod tests {
                 strategy: "trial".into(),
                 full_sweep: true,
                 pass_stats: true,
+                objective: "speed".into(),
             },
             RequestKind::Autotune {
                 source: "m".into(),
@@ -474,6 +560,7 @@ mod tests {
                 full_eval: true,
                 stats: false,
                 pass_stats: true,
+                objective: "pareto".into(),
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
@@ -494,9 +581,23 @@ mod tests {
                 id: 9,
                 report: "optimal size: 42\n".into(),
                 module: Some("module \"m\"\n".into()),
+                measurement: Some(Measurement::with_cycles(42, 310)),
                 evaluated: false,
             },
-            Event::Done { id: 9, report: "r".into(), module: None, evaluated: true },
+            Event::Done {
+                id: 9,
+                report: "r".into(),
+                module: None,
+                measurement: Some(Measurement::size_only(7)),
+                evaluated: true,
+            },
+            Event::Done {
+                id: 9,
+                report: "r".into(),
+                module: None,
+                measurement: None,
+                evaluated: true,
+            },
             Event::Error { id: 0, message: "bad request".into() },
             Event::Pong { id: 1 },
             Event::Stats {
@@ -533,6 +634,7 @@ mod tests {
                 full_eval: *full_eval,
                 stats: false, // differs from base
                 pass_stats: *pass_stats,
+                objective: "size".into(),
             });
             variants.push(RequestKind::Search {
                 source: source.clone(),
@@ -541,6 +643,7 @@ mod tests {
                 full_eval: *full_eval,
                 stats: true,
                 pass_stats: *pass_stats,
+                objective: "size".into(),
             });
             variants.push(RequestKind::Search {
                 source: source.clone(),
@@ -549,6 +652,16 @@ mod tests {
                 full_eval: *full_eval,
                 stats: true,
                 pass_stats: *pass_stats,
+                objective: "size".into(),
+            });
+            variants.push(RequestKind::Search {
+                source: source.clone(),
+                target: target.clone(),
+                bits: *bits,
+                full_eval: *full_eval,
+                stats: true,
+                pass_stats: *pass_stats,
+                objective: "pareto".into(), // differs from base
             });
         }
         for v in variants {
@@ -566,8 +679,22 @@ mod tests {
             strategy: "heuristic".into(),
             full_sweep: false,
             pass_stats: false,
+            objective: "size".into(),
         };
         let s = search("m");
         assert_ne!(o.identity(), s.identity());
+    }
+
+    #[test]
+    fn absent_objective_decodes_as_size_and_shares_its_identity() {
+        // A pre-measurement client line: no "objective" field at all.
+        let line = r#"{"id":5,"kind":"search","source":"m","target":"x86","bits":16,"stats":true}"#;
+        let req = decode_request(line).unwrap();
+        assert_eq!(req.kind, search("m"));
+        assert_eq!(
+            req.kind.identity(),
+            search("m").identity(),
+            "legacy lines dedup with explicit --objective size requests"
+        );
     }
 }

@@ -50,6 +50,8 @@ pub struct Reply {
     pub report: String,
     /// Optimized module text, for request kinds that produce one.
     pub module: Option<String>,
+    /// The winning measurement, when the evaluation produced one.
+    pub measurement: Option<optinline_ir::Measurement>,
 }
 
 /// What the daemon actually runs. Injected so this crate stays free of a
@@ -336,6 +338,7 @@ impl ServerInner {
                         id: w.id,
                         report: reply.report.clone(),
                         module: reply.module.clone(),
+                        measurement: reply.measurement,
                         evaluated,
                     });
                     self.counters.completed.fetch_add(1, Ordering::SeqCst);

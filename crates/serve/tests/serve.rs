@@ -27,6 +27,7 @@ fn search(source: &str, bits: u32) -> RequestKind {
         full_eval: false,
         stats: true,
         pass_stats: false,
+        objective: "size".to_string(),
     }
 }
 
@@ -90,16 +91,21 @@ impl Handler for TestHandler {
             gate.wait();
         }
         match kind {
-            RequestKind::Search { source, bits, .. } => {
-                Ok(Reply { report: format!("best of {source} at {bits} bits"), module: None })
-            }
+            RequestKind::Search { source, bits, .. } => Ok(Reply {
+                report: format!("best of {source} at {bits} bits"),
+                module: None,
+                measurement: None,
+            }),
             RequestKind::Optimize { source, .. } => Ok(Reply {
                 report: format!("optimized {source}"),
                 module: Some(format!("(module {source})")),
+                measurement: None,
             }),
-            RequestKind::Autotune { source, rounds, .. } => {
-                Ok(Reply { report: format!("tuned {source} over {rounds} rounds"), module: None })
-            }
+            RequestKind::Autotune { source, rounds, .. } => Ok(Reply {
+                report: format!("tuned {source} over {rounds} rounds"),
+                module: None,
+                measurement: None,
+            }),
             other => Err(format!("not evaluable: {}", other.name())),
         }
     }
@@ -144,6 +150,7 @@ fn round_trips_every_request_kind_over_a_unix_socket() {
                 strategy: "trial".to_string(),
                 full_sweep: true,
                 pass_stats: false,
+                objective: "size".to_string(),
             },
             &mut |_| {},
         )

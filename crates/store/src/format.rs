@@ -5,18 +5,24 @@
 //! ```text
 //! optinline-store v1            <- version header; mismatch = restart
 //! meta <tag>                    <- caller-supplied identity; mismatch = restart
-//! <size> -                      <- clean slate (no inlined sites)
-//! <size> s3,s7,s12              <- canonical inlined-site set, strictly sorted
+//! <size> -                      <- size-only entry, clean slate (no inlined sites)
+//! <size> s3,s7,s12              <- size-only entry, canonical strictly-sorted site set
+//! <size>+<cycles> s3,s7         <- measurement entry carrying simulated cycles
 //! ```
 //!
-//! The entry grammar is byte-identical to the legacy per-module
+//! The size-only entry grammar is byte-identical to the legacy per-module
 //! `optinline-cache v2` format, which is what makes legacy files importable
-//! line-by-line (see [`crate::LocalStore::scope`]). Parsing is tolerant:
-//! any malformed line (bad integer, unsorted or garbled site list, stray
-//! bytes) is skipped individually, so a damaged log degrades to a smaller
-//! log, never an error.
+//! line-by-line (see [`crate::LocalStore::scope`]). Measurement entries
+//! extend the value field with `+<cycles>` rather than bumping the header:
+//! a header bump would restart (discard) every existing log, while the
+//! extended grammar lets old size-only lines keep decoding (as
+//! `cycles: None`) and old readers skip the new lines as malformed —
+//! degrading to a smaller cache, never a wrong answer. Parsing is
+//! tolerant: any malformed line (bad integer, unsorted or garbled site
+//! list, stray bytes) is skipped individually, so a damaged log degrades
+//! to a smaller log, never an error.
 
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 
 /// Format tag written as the first line of every scope log.
 pub const HEADER: &str = "optinline-store v1";
@@ -40,10 +46,16 @@ pub fn sanitize_meta(meta: &str) -> String {
 }
 
 /// Parses one entry line. `None` means the line is damaged and must be
-/// skipped (never trusted, never fatal).
-pub fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, u64)> {
-    let (size_str, sites_str) = line.trim_end().split_once(' ')?;
-    let size: u64 = size_str.parse().ok()?;
+/// skipped (never trusted, never fatal). A bare `<size>` value decodes to
+/// a size-only measurement; `<size>+<cycles>` carries both metrics.
+pub fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, Measurement)> {
+    let (value_str, sites_str) = line.trim_end().split_once(' ')?;
+    let value = match value_str.split_once('+') {
+        Some((size_str, cycles_str)) => {
+            Measurement::with_cycles(size_str.parse().ok()?, cycles_str.parse().ok()?)
+        }
+        None => Measurement::size_only(value_str.parse().ok()?),
+    };
     let mut sites = Vec::new();
     if sites_str != "-" {
         for part in sites_str.split(',') {
@@ -56,16 +68,21 @@ pub fn parse_entry(line: &str) -> Option<(Vec<CallSiteId>, u64)> {
             return None;
         }
     }
-    Some((sites, size))
+    Some((sites, value))
 }
 
-/// Formats an entry line (without the trailing newline).
-pub fn format_entry(key: &[CallSiteId], size: u64) -> String {
+/// Formats an entry line (without the trailing newline). A size-only
+/// measurement writes the legacy-compatible bare-size form.
+pub fn format_entry(key: &[CallSiteId], value: Measurement) -> String {
+    let value_str = match value.cycles {
+        Some(cycles) => format!("{}+{cycles}", value.size),
+        None => value.size.to_string(),
+    };
     if key.is_empty() {
-        return format!("{size} -");
+        return format!("{value_str} -");
     }
     let sites: Vec<String> = key.iter().map(|s| s.to_string()).collect();
-    format!("{} {}", size, sites.join(","))
+    format!("{value_str} {}", sites.join(","))
 }
 
 /// The sharded relative path of a scope log: `ab/cdef...0123.log`, so one
@@ -102,15 +119,44 @@ mod tests {
 
     #[test]
     fn entries_round_trip() {
-        for key in [k(&[]), k(&[3]), k(&[1, 5, 9])] {
-            let line = format_entry(&key, 777);
-            assert_eq!(parse_entry(&line), Some((key, 777)));
+        for value in [Measurement::size_only(777), Measurement::with_cycles(777, 4321)] {
+            for key in [k(&[]), k(&[3]), k(&[1, 5, 9])] {
+                let line = format_entry(&key, value);
+                assert_eq!(parse_entry(&line), Some((key, value)));
+            }
         }
     }
 
     #[test]
+    fn size_only_entries_keep_the_legacy_wire_form() {
+        // The bare-size grammar is what legacy v2 files and old readers
+        // speak; a size-only measurement must not change a single byte.
+        assert_eq!(format_entry(&k(&[]), Measurement::size_only(100)), "100 -");
+        assert_eq!(format_entry(&k(&[1, 3]), Measurement::size_only(80)), "80 s1,s3");
+        assert_eq!(
+            parse_entry("80 s1,s3"),
+            Some((k(&[1, 3]), Measurement::size_only(80))),
+            "old lines decode as cycles-free measurements"
+        );
+        assert_eq!(format_entry(&k(&[2]), Measurement::with_cycles(80, 900)), "80+900 s2");
+    }
+
+    #[test]
     fn damaged_lines_are_rejected() {
-        for bad in ["", "x -", "12", "12 s", "12 sX", "12 s4,s2", "12 s4,s4", "\u{1F4A3}"] {
+        for bad in [
+            "",
+            "x -",
+            "12",
+            "12 s",
+            "12 sX",
+            "12 s4,s2",
+            "12 s4,s4",
+            "\u{1F4A3}",
+            "12+ -",
+            "+9 -",
+            "12+x s1",
+            "12+3+4 -",
+        ] {
             assert_eq!(parse_entry(bad), None, "{bad:?} should not parse");
         }
     }

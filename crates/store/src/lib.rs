@@ -42,10 +42,10 @@ pub use format::{
     HEADER, LEGACY_EXT, LEGACY_HEADER, LOG_EXT, META_PREFIX,
 };
 pub use index::{Index, ScopeRecord, SharedIndex, INDEX_FILE};
-pub use local::{GcReport, LocalStore, ScopeSpec, VerifyReport};
+pub use local::{GcReport, LocalStore, ScopeFormatMix, ScopeSpec, VerifyReport};
 pub use scope::{Scope, ScopeCounters};
 
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 
 /// Tuning knobs of a [`LocalStore`].
 #[derive(Clone, Copy, Debug)]
@@ -126,12 +126,12 @@ impl StoreStats {
 /// (the serving daemon of ROADMAP items 1–2) is meant to slot in behind
 /// the same five operations.
 pub trait Store: std::fmt::Debug {
-    /// Looks up the size recorded for `key` in `scope`. Only scopes
+    /// Looks up the measurement recorded for `key` in `scope`. Only scopes
     /// already opened via the implementation's handshake can answer.
-    fn get(&self, scope: u128, key: &[CallSiteId]) -> Option<u64>;
-    /// Records a measured size for `key` in `scope` (buffered; durable by
+    fn get(&self, scope: u128, key: &[CallSiteId]) -> Option<Measurement>;
+    /// Records a measurement for `key` in `scope` (buffered; durable by
     /// [`Store::flush`] at the latest).
-    fn put(&self, scope: u128, key: Vec<CallSiteId>, size: u64);
+    fn put(&self, scope: u128, key: Vec<CallSiteId>, value: Measurement);
     /// Makes every buffered write durable.
     fn flush(&self) -> std::io::Result<()>;
     /// Evicts least-recently-used scopes until the store fits

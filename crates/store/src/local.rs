@@ -8,7 +8,7 @@ use crate::format::{
 use crate::index::{ScopeRecord, SharedIndex};
 use crate::scope::{Scope, ScopeCounters};
 use crate::{Store, StoreOptions, StoreStats};
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,8 +44,21 @@ pub struct GcReport {
     pub evicted_legacy: u64,
 }
 
-/// Result of a full structural scan ([`LocalStore::verify`]).
+/// Per-scope entry-format tally: how many lines still speak the old
+/// size-only grammar versus the cycles-carrying measurement grammar —
+/// the migration-progress signal `optinline cache verify` surfaces.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScopeFormatMix {
+    /// The scope's fingerprint.
+    pub fingerprint: u128,
+    /// Entry lines in the legacy bare-size form (`<size> <sites>`).
+    pub size_only_lines: u64,
+    /// Entry lines carrying cycles (`<size>+<cycles> <sites>`).
+    pub measurement_lines: u64,
+}
+
+/// Result of a full structural scan ([`LocalStore::verify`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VerifyReport {
     /// Scope logs scanned.
     pub scopes: u64,
@@ -64,6 +77,12 @@ pub struct VerifyReport {
     /// Unrecognized files inside shard directories (editor droppings,
     /// stray temp files) — skipped, never touched, never fatal.
     pub foreign_files: u64,
+    /// Entry lines across all scopes still in the size-only grammar.
+    pub size_only_lines: u64,
+    /// Entry lines across all scopes carrying cycles.
+    pub measurement_lines: u64,
+    /// Per-scope format mix, in scan order.
+    pub mix: Vec<ScopeFormatMix>,
 }
 
 impl VerifyReport {
@@ -370,9 +389,15 @@ impl LocalStore {
             }
             let mut seen: std::collections::HashSet<Vec<CallSiteId>> =
                 std::collections::HashSet::new();
+            let mut mix = ScopeFormatMix { fingerprint: log.fingerprint, ..Default::default() };
             for line in lines {
                 match parse_entry(line) {
-                    Some((key, _)) => {
+                    Some((key, value)) => {
+                        if value.cycles.is_some() {
+                            mix.measurement_lines += 1;
+                        } else {
+                            mix.size_only_lines += 1;
+                        }
                         if !seen.insert(key) {
                             report.duplicate_lines += 1;
                         }
@@ -381,6 +406,9 @@ impl LocalStore {
                 }
             }
             report.entries += seen.len() as u64;
+            report.size_only_lines += mix.size_only_lines;
+            report.measurement_lines += mix.measurement_lines;
+            report.mix.push(mix);
             rebuilt.insert(
                 log.fingerprint,
                 ScopeRecord { entries: seen.len() as u64, bytes: log.bytes, used: 0 },
@@ -444,7 +472,7 @@ impl LocalStore {
 }
 
 impl Store for LocalStore {
-    fn get(&self, scope: u128, key: &[CallSiteId]) -> Option<u64> {
+    fn get(&self, scope: u128, key: &[CallSiteId]) -> Option<Measurement> {
         let inner = {
             let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             reg.get(&scope).and_then(|(_, w)| w.upgrade())?
@@ -452,13 +480,13 @@ impl Store for LocalStore {
         Scope { inner }.get(key)
     }
 
-    fn put(&self, scope: u128, key: Vec<CallSiteId>, size: u64) {
+    fn put(&self, scope: u128, key: Vec<CallSiteId>, value: Measurement) {
         let inner = {
             let reg = self.scopes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             reg.get(&scope).and_then(|(_, w)| w.upgrade())
         };
         if let Some(inner) = inner {
-            Scope { inner }.put(key, size);
+            Scope { inner }.put(key, value);
         }
     }
 

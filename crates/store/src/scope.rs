@@ -37,7 +37,7 @@
 use crate::format::{format_entry, parse_entry, sanitize_meta, HEADER, LEGACY_HEADER, META_PREFIX};
 use crate::index::SharedIndex;
 use crate::StoreOptions;
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -106,7 +106,7 @@ fn ends_with_newline(path: &Path) -> bool {
 /// What a log parse recovered.
 struct LoadOutcome {
     /// Entries in first-seen order (duplicates resolved to the first).
-    entries: Vec<(Vec<CallSiteId>, u64)>,
+    entries: Vec<(Vec<CallSiteId>, Measurement)>,
     /// Bytes of duplicate or malformed lines — reclaimable by compaction.
     dead_bytes: u64,
     /// The file must be restarted (unknown header or foreign meta).
@@ -129,18 +129,27 @@ fn load_log(file: File, header: &str, meta: &str) -> LoadOutcome {
         _ => return LoadOutcome { entries: Vec::new(), dead_bytes: 0, restart: true },
     }
     let mut seen: HashMap<Vec<CallSiteId>, usize> = HashMap::new();
-    let mut entries = Vec::new();
+    let mut entries: Vec<(Vec<CallSiteId>, Measurement)> = Vec::new();
     let mut dead_bytes = 0u64;
     for line in lines.map_while(Result::ok) {
         match parse_entry(&line) {
-            Some((key, size)) => {
-                if seen.contains_key(&key) {
-                    // A later duplicate: same deterministic value, dead
-                    // bytes on disk.
-                    dead_bytes += line.len() as u64 + 1;
+            Some((key, value)) => {
+                if let Some(&at) = seen.get(&key) {
+                    // A later duplicate. Sizes are deterministic, so the
+                    // values agree on what they both carry — but a later
+                    // line may *upgrade* a size-only entry with cycles
+                    // (measured after the size landed). Keep the richer
+                    // value; either way one of the two lines is dead.
+                    let old = entries[at].1;
+                    if old.cycles.is_none() && value.cycles.is_some() {
+                        entries[at].1 = value;
+                        dead_bytes += format_entry(&key, old).len() as u64 + 1;
+                    } else {
+                        dead_bytes += line.len() as u64 + 1;
+                    }
                 } else {
                     seen.insert(key.clone(), entries.len());
-                    entries.push((key, size));
+                    entries.push((key, value));
                 }
             }
             None => dead_bytes += line.len() as u64 + 1,
@@ -154,11 +163,11 @@ fn load_log(file: File, header: &str, meta: &str) -> LoadOutcome {
 fn rewrite_log(
     path: &Path,
     meta: &str,
-    entries: &[(Vec<CallSiteId>, u64)],
+    entries: &[(Vec<CallSiteId>, Measurement)],
 ) -> std::io::Result<u64> {
     let mut image = format!("{HEADER}\n{META_PREFIX}{meta}\n");
-    for (key, size) in entries {
-        image.push_str(&format_entry(key, *size));
+    for (key, value) in entries {
+        image.push_str(&format_entry(key, *value));
         image.push('\n');
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
@@ -173,7 +182,7 @@ fn rewrite_log(
 
 struct ScopeState {
     /// Resident read cache (bounded subset of the log).
-    entries: HashMap<Vec<CallSiteId>, u64>,
+    entries: HashMap<Vec<CallSiteId>, Measurement>,
     /// FIFO order for the resident bound.
     order: VecDeque<Vec<CallSiteId>>,
     /// Formatted lines awaiting one batched append.
@@ -298,8 +307,8 @@ impl Scope {
         let live_entries = entries.len() as u64;
         let mut map = HashMap::with_capacity(entries.len());
         let mut order = VecDeque::with_capacity(entries.len());
-        for (key, size) in entries {
-            map.insert(key.clone(), size);
+        for (key, value) in entries {
+            map.insert(key.clone(), value);
             order.push_back(key);
         }
         let mut evicted_at_load = 0u64;
@@ -354,8 +363,9 @@ impl Scope {
         Ok(scope)
     }
 
-    /// Looks up the size recorded for a canonical inlined-site set.
-    pub fn get(&self, key: &[CallSiteId]) -> Option<u64> {
+    /// Looks up the measurement recorded for a canonical inlined-site
+    /// set.
+    pub fn get(&self, key: &[CallSiteId]) -> Option<Measurement> {
         let found = self.inner.lock().entries.get(key).copied();
         match found {
             Some(v) => {
@@ -370,18 +380,28 @@ impl Scope {
     }
 
     /// Records a result in the write-back buffer (deduplicated against the
-    /// resident map). I/O errors are swallowed — the store is an
-    /// accelerator, never a correctness dependency; the in-memory entry is
-    /// kept either way.
-    pub fn put(&self, key: Vec<CallSiteId>, size: u64) {
+    /// resident map). A resident size-only entry is *upgraded* in place
+    /// when the new value carries cycles — the richer line is appended and
+    /// the old one becomes dead bytes — but never downgraded. I/O errors
+    /// are swallowed — the store is an accelerator, never a correctness
+    /// dependency; the in-memory entry is kept either way.
+    pub fn put(&self, key: Vec<CallSiteId>, value: Measurement) {
         let inner = &*self.inner;
         let mut state = inner.lock();
-        if state.entries.contains_key(&key) {
-            return;
+        let upgraded = match state.entries.get(&key) {
+            Some(old) if old.cycles.is_none() && value.cycles.is_some() => {
+                state.dead_bytes += format_entry(&key, *old).len() as u64 + 1;
+                true
+            }
+            Some(_) => return,
+            None => false,
+        };
+        let line = format_entry(&key, value);
+        state.entries.insert(key.clone(), value);
+        if !upgraded {
+            state.order.push_back(key);
+            state.live_entries += 1;
         }
-        let line = format_entry(&key, size);
-        state.entries.insert(key.clone(), size);
-        state.order.push_back(key);
         if state.entries.len() > inner.opts.max_resident_entries {
             if let Some(old) = state.order.pop_front() {
                 state.entries.remove(&old);
@@ -391,7 +411,6 @@ impl Scope {
         state.pending.push_str(&line);
         state.pending.push('\n');
         state.pending_lines += 1;
-        state.live_entries += 1;
         state.disk_bytes += line.len() as u64 + 1;
         inner.puts.fetch_add(1, Ordering::Relaxed);
         if state.pending_lines >= inner.opts.flush_every_lines as u64

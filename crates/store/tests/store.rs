@@ -3,7 +3,7 @@
 //! resident memory, legacy import, compaction, size-budgeted GC, and a
 //! concurrent appenders-vs-compaction stress run.
 
-use optinline_ir::CallSiteId;
+use optinline_ir::{CallSiteId, Measurement};
 use optinline_store::{
     scope_rel_path, LocalStore, ScopeSpec, Store, StoreOptions, HEADER, LEGACY_HEADER,
 };
@@ -19,6 +19,10 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 fn k(ids: &[u32]) -> Vec<CallSiteId> {
     ids.iter().map(|&i| CallSiteId::new(i)).collect()
+}
+
+fn m(size: u64) -> Measurement {
+    Measurement::size_only(size)
 }
 
 fn spec(fp: u128) -> ScopeSpec<'static> {
@@ -37,14 +41,14 @@ fn round_trips_across_reopen() {
     {
         let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
         let scope = store.scope(spec(0xa1)).unwrap();
-        scope.put(k(&[]), 100);
-        scope.put(k(&[1, 3]), 80);
+        scope.put(k(&[]), m(100));
+        scope.put(k(&[1, 3]), m(80));
     }
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let scope = store.scope(spec(0xa1)).unwrap();
     assert_eq!(scope.counters().loaded, 2);
-    assert_eq!(scope.get(&k(&[])), Some(100));
-    assert_eq!(scope.get(&k(&[1, 3])), Some(80));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
+    assert_eq!(scope.get(&k(&[1, 3])), Some(m(80)));
     assert_eq!(scope.get(&k(&[2])), None);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -55,8 +59,8 @@ fn distinct_fingerprints_use_distinct_sharded_logs() {
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let a = store.scope(spec(0x0100_0000_0000_0000_0000_0000_0000_0001_u128)).unwrap();
     let b = store.scope(spec(0x0200_0000_0000_0000_0000_0000_0000_0002_u128)).unwrap();
-    a.put(k(&[]), 1);
-    b.put(k(&[]), 2);
+    a.put(k(&[]), m(1));
+    b.put(k(&[]), m(2));
     store.flush_all().unwrap();
     assert_ne!(a.path(), b.path());
     assert_ne!(
@@ -64,8 +68,8 @@ fn distinct_fingerprints_use_distinct_sharded_logs() {
         b.path().parent().unwrap(),
         "different fingerprint prefixes land in different shard dirs"
     );
-    assert_eq!(a.get(&k(&[])), Some(1));
-    assert_eq!(b.get(&k(&[])), Some(2));
+    assert_eq!(a.get(&k(&[])), Some(m(1)));
+    assert_eq!(b.get(&k(&[])), Some(m(2)));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -86,9 +90,9 @@ fn corrupt_lines_are_skipped_individually() {
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let scope = store.scope(spec(fp)).unwrap();
     assert_eq!(scope.counters().loaded, 3, "only well-formed, sorted lines survive");
-    assert_eq!(scope.get(&k(&[])), Some(100));
-    assert_eq!(scope.get(&k(&[1, 3])), Some(80));
-    assert_eq!(scope.get(&k(&[9])), Some(70));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
+    assert_eq!(scope.get(&k(&[1, 3])), Some(m(80)));
+    assert_eq!(scope.get(&k(&[9])), Some(m(70)));
     assert_eq!(scope.get(&k(&[1, 2])), None, "unsorted line was damage, not data");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -105,14 +109,14 @@ fn truncated_final_line_is_skipped_and_terminated() {
         let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
         let scope = store.scope(spec(fp)).unwrap();
         assert_eq!(scope.counters().loaded, 1, "the torn tail is not data");
-        assert_eq!(scope.get(&k(&[])), Some(100));
+        assert_eq!(scope.get(&k(&[])), Some(m(100)));
         // A fresh put after the torn tail must not splice into it.
-        scope.put(k(&[7]), 60);
+        scope.put(k(&[7]), m(60));
     }
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let scope = store.scope(spec(fp)).unwrap();
-    assert_eq!(scope.get(&k(&[7])), Some(60), "post-crash appends survive reopen");
-    assert_eq!(scope.get(&k(&[])), Some(100));
+    assert_eq!(scope.get(&k(&[7])), Some(m(60)), "post-crash appends survive reopen");
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -154,7 +158,7 @@ fn same_fingerprint_different_meta_in_process_restarts() {
     let dir = tmpdir("collide");
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let a = store.scope(spec(0x11)).unwrap();
-    a.put(k(&[]), 100);
+    a.put(k(&[]), m(100));
     a.flush().unwrap();
     let b = store
         .scope(ScopeSpec {
@@ -186,8 +190,8 @@ fn legacy_v2_file_with_matching_meta_is_imported_and_removed() {
         })
         .unwrap();
     assert_eq!(scope.counters().imported, 2);
-    assert_eq!(scope.get(&k(&[])), Some(100));
-    assert_eq!(scope.get(&k(&[1, 3])), Some(80));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
+    assert_eq!(scope.get(&k(&[1, 3])), Some(m(80)));
     assert!(!legacy_path.exists(), "imported legacy file is retired");
     assert!(log_path(&dir, 0xabcd).exists());
     std::fs::remove_dir_all(&dir).unwrap();
@@ -221,7 +225,7 @@ fn puts_are_batched_into_few_appends() {
     let store = LocalStore::open(&dir, opts).unwrap();
     let scope = store.scope(spec(0xba)).unwrap();
     for i in 0..20 {
-        scope.put(k(&[i]), 100 + u64::from(i));
+        scope.put(k(&[i]), m(100 + u64::from(i)));
     }
     scope.flush().unwrap();
     let c = scope.counters();
@@ -235,7 +239,7 @@ fn puts_are_batched_into_few_appends() {
             .unwrap();
     let scope1 = unbatched.scope(spec(0xbb)).unwrap();
     for i in 0..20 {
-        scope1.put(k(&[i]), 100 + u64::from(i));
+        scope1.put(k(&[i]), m(100 + u64::from(i)));
     }
     assert_eq!(scope1.counters().appends, 20, "one syscall per put without batching");
     std::fs::remove_dir_all(&dir).unwrap();
@@ -247,12 +251,12 @@ fn pending_entries_survive_via_drop_flush() {
     {
         let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
         let scope = store.scope(spec(0xdf)).unwrap();
-        scope.put(k(&[4]), 44);
+        scope.put(k(&[4]), m(44));
         assert_eq!(scope.counters().appends, 0, "still buffered");
     }
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let scope = store.scope(spec(0xdf)).unwrap();
-    assert_eq!(scope.get(&k(&[4])), Some(44), "drop flushed the buffer");
+    assert_eq!(scope.get(&k(&[4])), Some(m(44)), "drop flushed the buffer");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -264,7 +268,7 @@ fn resident_map_is_bounded_but_disk_keeps_everything() {
         let store = LocalStore::open(&dir, opts).unwrap();
         let scope = store.scope(spec(0xb0)).unwrap();
         for i in 0..10 {
-            scope.put(k(&[i]), u64::from(i));
+            scope.put(k(&[i]), m(u64::from(i)));
         }
         assert!(scope.len() <= 4, "resident map respects the bound");
         assert!(scope.counters().resident_evictions >= 6);
@@ -273,7 +277,7 @@ fn resident_map_is_bounded_but_disk_keeps_everything() {
     let scope = store.scope(spec(0xb0)).unwrap();
     assert_eq!(scope.counters().loaded, 10, "evicted entries were still committed");
     for i in 0..10 {
-        assert_eq!(scope.get(&k(&[i])), Some(u64::from(i)));
+        assert_eq!(scope.get(&k(&[i])), Some(m(u64::from(i))));
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -297,10 +301,10 @@ fn compaction_drops_duplicates_and_preserves_entries() {
     let (b, a) = scope.compact().unwrap();
     assert_eq!(b, before);
     assert!(a < b, "duplicates reclaimed: {b} -> {a}");
-    assert_eq!(scope.get(&k(&[])), Some(100));
-    assert_eq!(scope.get(&k(&[1, 3])), Some(80));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
+    assert_eq!(scope.get(&k(&[1, 3])), Some(m(80)));
     // And entries put after compaction still land.
-    scope.put(k(&[9]), 70);
+    scope.put(k(&[9]), m(70));
     scope.flush().unwrap();
     drop(scope);
     drop(store);
@@ -327,7 +331,7 @@ fn open_auto_compacts_when_dead_ratio_is_crossed() {
     let after = std::fs::metadata(&path).unwrap().len();
     assert!(after < before / 10, "mostly-dead log shrank on open: {before} -> {after}");
     assert_eq!(scope.counters().compactions, 1);
-    assert_eq!(scope.get(&k(&[])), Some(100));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -346,7 +350,7 @@ fn gc_enforces_the_byte_budget_lru_first() {
                 })
                 .unwrap();
             for i in 0..50 {
-                scope.put(k(&[i]), u64::from(i));
+                scope.put(k(&[i]), m(u64::from(i)));
             }
             scope.flush().unwrap();
         }
@@ -383,13 +387,13 @@ fn gc_never_evicts_scopes_with_live_handles() {
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let held = store.scope(spec(0x77)).unwrap();
     for i in 0..50 {
-        held.put(k(&[i]), u64::from(i));
+        held.put(k(&[i]), m(u64::from(i)));
     }
     held.flush().unwrap();
     let report = store.gc(0).unwrap();
     assert!(held.path().exists(), "open scope survives even a zero budget");
     assert_eq!(report.evicted_scopes, 0);
-    assert_eq!(held.get(&k(&[3])), Some(3));
+    assert_eq!(held.get(&k(&[3])), Some(m(3)));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -399,8 +403,8 @@ fn verify_counts_damage_and_rebuilds_the_index() {
     {
         let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
         let scope = store.scope(spec(0x51)).unwrap();
-        scope.put(k(&[]), 10);
-        scope.put(k(&[2]), 8);
+        scope.put(k(&[]), m(10));
+        scope.put(k(&[2]), m(8));
     }
     // Damage one log line and delete the index entirely.
     let path = log_path(&dir, 0x51);
@@ -422,13 +426,83 @@ fn verify_counts_damage_and_rebuilds_the_index() {
 }
 
 #[test]
+fn mixed_format_logs_round_trip_and_verify_reports_the_mix() {
+    let dir = tmpdir("mixedfmt");
+    let fp = 0x3f_u128;
+    // Hand-write a log mixing old size-only lines with cycles-carrying
+    // measurement lines — the shape of a store mid-migration.
+    let path = log_path(&dir, fp);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(
+        &path,
+        format!("{HEADER}\nmeta mod-a target=t sites=4\n100 -\n80+900 s1,s3\n70 s9\n"),
+    )
+    .unwrap();
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let scope = store.scope(spec(fp)).unwrap();
+    assert_eq!(scope.get(&k(&[])), Some(m(100)), "old lines decode as size-only");
+    assert_eq!(
+        scope.get(&k(&[1, 3])),
+        Some(Measurement::with_cycles(80, 900)),
+        "measurement lines keep their cycles"
+    );
+    scope.put(k(&[2]), Measurement::with_cycles(60, 500));
+    drop(scope);
+    let report = store.verify().unwrap();
+    assert!(report.clean(), "a mixed log is healthy, not damaged: {report:?}");
+    assert_eq!(report.size_only_lines, 2);
+    assert_eq!(report.measurement_lines, 2);
+    assert_eq!(report.mix.len(), 1);
+    assert_eq!(report.mix[0].fingerprint, fp);
+    assert_eq!(report.mix[0].size_only_lines, 2);
+    assert_eq!(report.mix[0].measurement_lines, 2);
+
+    // Compaction preserves both grammars byte-for-byte per entry.
+    store.compact_all().unwrap();
+    let scope = store.scope(spec(fp)).unwrap();
+    assert_eq!(scope.get(&k(&[1, 3])), Some(Measurement::with_cycles(80, 900)));
+    assert_eq!(scope.get(&k(&[2])), Some(Measurement::with_cycles(60, 500)));
+    assert_eq!(scope.get(&k(&[9])), Some(m(70)));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn size_only_entries_upgrade_to_measurements_but_never_downgrade() {
+    let dir = tmpdir("upgrade");
+    let fp = 0x40_u128;
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[1]), m(80));
+        // A later measurement of the same key carries cycles: upgraded.
+        scope.put(k(&[1]), Measurement::with_cycles(80, 900));
+        assert_eq!(scope.get(&k(&[1])), Some(Measurement::with_cycles(80, 900)));
+        // The reverse direction is a no-op: cycles are never dropped.
+        scope.put(k(&[1]), m(80));
+        assert_eq!(scope.get(&k(&[1])), Some(Measurement::with_cycles(80, 900)));
+    }
+    // The upgrade survives a reload (the log holds both lines; the richer
+    // one wins) and a compaction (the dead size-only line is dropped).
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    {
+        let scope = store.scope(spec(fp)).unwrap();
+        assert_eq!(scope.counters().loaded, 1);
+        assert_eq!(scope.get(&k(&[1])), Some(Measurement::with_cycles(80, 900)));
+    }
+    store.compact_all().unwrap();
+    let scope = store.scope(spec(fp)).unwrap();
+    assert_eq!(scope.get(&k(&[1])), Some(Measurement::with_cycles(80, 900)));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn store_trait_routes_through_open_scopes() {
     let dir = tmpdir("trait");
     let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
     let scope = store.scope(spec(0x42)).unwrap();
     let dyn_store: &dyn Store = &*store;
-    dyn_store.put(0x42, k(&[1]), 5);
-    assert_eq!(dyn_store.get(0x42, &k(&[1])), Some(5));
+    dyn_store.put(0x42, k(&[1]), m(5));
+    assert_eq!(dyn_store.get(0x42, &k(&[1])), Some(m(5)));
     assert_eq!(dyn_store.get(0x43, &k(&[1])), None, "unopened scope answers nothing");
     dyn_store.flush().unwrap();
     assert!(dyn_store.stats().puts >= 1);
@@ -460,7 +534,7 @@ fn concurrent_appenders_survive_compaction_and_gc() {
             let scope = scope.clone();
             move || {
                 for i in 0..per_thread {
-                    scope.put(k(&[base + i]), u64::from(base + i));
+                    scope.put(k(&[base + i]), m(u64::from(base + i)));
                     if i % 64 == 0 {
                         let _ = scope.flush();
                     }
@@ -506,7 +580,7 @@ fn concurrent_appenders_survive_compaction_and_gc() {
     let scope = store.scope(spec(0x57)).unwrap();
     for base in [0u32, 10_000] {
         for i in 0..per_thread {
-            assert_eq!(scope.get(&k(&[base + i])), Some(u64::from(base + i)));
+            assert_eq!(scope.get(&k(&[base + i])), Some(m(u64::from(base + i))));
         }
     }
     // Index/scan agreement.
@@ -525,8 +599,8 @@ fn foreign_files_in_shard_dirs_are_skipped_and_counted() {
     {
         let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
         let scope = store.scope(spec(fp)).unwrap();
-        scope.put(k(&[]), 100);
-        scope.put(k(&[1]), 90);
+        scope.put(k(&[]), m(100));
+        scope.put(k(&[1]), m(90));
     }
     // Drop foreign files into the scope's shard directory.
     let shard = log_path(&dir, fp).parent().unwrap().to_path_buf();
@@ -542,7 +616,7 @@ fn foreign_files_in_shard_dirs_are_skipped_and_counted() {
     assert_eq!(report.entries, 2);
     assert_eq!(report.foreign_files, 3, "every stray counted");
     let scope = store.scope(spec(fp)).unwrap();
-    assert_eq!(scope.get(&k(&[])), Some(100));
+    assert_eq!(scope.get(&k(&[])), Some(m(100)));
     drop(scope);
 
     // GC walks the same directories; strays survive it untouched.
@@ -568,8 +642,8 @@ fn explicit_flush_commits_buffered_puts_without_drop() {
     };
     let store = LocalStore::open(&dir, opts).unwrap();
     let scope = store.scope(spec(0xf1)).unwrap();
-    scope.put(k(&[]), 100);
-    scope.put(k(&[2]), 80);
+    scope.put(k(&[]), m(100));
+    scope.put(k(&[2]), m(80));
     let on_disk = std::fs::read_to_string(log_path(&dir, 0xf1)).unwrap();
     assert_eq!(on_disk.lines().count(), 2, "header + meta only: puts still buffered in memory");
 
@@ -608,11 +682,11 @@ fn concurrent_gc_and_put_never_resurrect_evicted_scopes() {
                     })
                     .unwrap();
                 for i in 0..20 {
-                    scope.put(k(&[r * 100 + i]), u64::from(i));
+                    scope.put(k(&[r * 100 + i]), m(u64::from(i)));
                 }
                 // Puts made while the handle lives must survive the
                 // collector: live scopes are never evicted.
-                assert_eq!(scope.get(&k(&[r * 100])), Some(0));
+                assert_eq!(scope.get(&k(&[r * 100])), Some(m(0)));
                 drop(scope);
                 std::thread::yield_now();
             }
