@@ -6,6 +6,7 @@
 //! configurations probed on that module come from the same stream. A
 //! failure record therefore names the one number needed to replay it.
 
+use crate::chaoscheck::check_chaos;
 use crate::cyclecheck::check_cycles;
 use crate::inject::BuggyEvaluator;
 use crate::oracle::{check_semantics, Limits};
@@ -94,6 +95,9 @@ pub struct FuzzReport {
     /// Cycles-oracle comparisons performed (behaviour preservation plus
     /// measurement determinism across evaluator shapes and the pool).
     pub cycle_comparisons: usize,
+    /// Chaos-oracle assertions performed (no-hang, survivor byte-identity,
+    /// terminal accounting, crash-recovery verification).
+    pub chaos_comparisons: usize,
     /// Configurations observed to move the cycle count under `-Os` —
     /// recorded evidence that "cycles may change" is exercised, never a
     /// failure.
@@ -118,6 +122,9 @@ pub struct FuzzReport {
     /// Cycles-oracle failures (behaviour change or a non-deterministic
     /// measurement).
     pub cycle_failures: Vec<FailureRecord>,
+    /// Chaos-oracle failures (a hang, a divergent survivor, leaked
+    /// accounting, or unclean crash recovery).
+    pub chaos_failures: Vec<FailureRecord>,
 }
 
 impl FuzzReport {
@@ -130,6 +137,7 @@ impl FuzzReport {
             && self.store_failures.is_empty()
             && self.serve_failures.is_empty()
             && self.cycle_failures.is_empty()
+            && self.chaos_failures.is_empty()
     }
 
     /// Multi-line human-readable summary.
@@ -139,7 +147,8 @@ impl FuzzReport {
             out,
             "fuzz: {} cases, {} semantic comparisons ({} inconclusive), {} size comparisons, \
              {} scheduling comparisons, {} parallel-search comparisons, {} store comparisons, \
-             {} serve comparisons, {} cycle comparisons ({} configs moved cycles)",
+             {} serve comparisons, {} cycle comparisons ({} configs moved cycles), \
+             {} chaos assertions",
             self.cases,
             self.semantic_comparisons,
             self.inconclusive,
@@ -149,20 +158,22 @@ impl FuzzReport {
             self.store_comparisons,
             self.serve_comparisons,
             self.cycle_comparisons,
-            self.cycles_changed
+            self.cycles_changed,
+            self.chaos_comparisons
         );
         let _ = writeln!(
             out,
             "semantic divergences: {}   size mismatches: {}   scheduling divergences: {}   \
              parallel divergences: {}   store divergences: {}   serve divergences: {}   \
-             cycle divergences: {}",
+             cycle divergences: {}   chaos failures: {}",
             self.semantic_failures.len(),
             self.size_failures.len(),
             self.scheduling_failures.len(),
             self.parallel_failures.len(),
             self.store_failures.len(),
             self.serve_failures.len(),
-            self.cycle_failures.len()
+            self.cycle_failures.len(),
+            self.chaos_failures.len()
         );
         if self.skipped_oversized > 0 {
             let _ = writeln!(
@@ -180,6 +191,7 @@ impl FuzzReport {
             .chain(&self.store_failures)
             .chain(&self.serve_failures)
             .chain(&self.cycle_failures)
+            .chain(&self.chaos_failures)
         {
             let _ = writeln!(out, "  [seed {}] {}", f.case_seed, f.detail);
             if let Some(n) = f.reduced_functions {
@@ -425,6 +437,23 @@ pub fn run_fuzz(options: &FuzzOptions) -> std::io::Result<FuzzReport> {
                         },
                     )?);
                 }
+            }
+        }
+
+        // The chaos oracle boots a fault-injected daemon and inflicts
+        // crash artifacts on a store per run, so it samples a quarter of
+        // the corpus (offset from the serve oracle's quarter). It needs
+        // no module: its workload derives entirely from the case seed.
+        if case_seed % 4 == 1 {
+            let ch = check_chaos(case_seed);
+            report.chaos_comparisons += ch.comparisons;
+            if let Some(first) = ch.mismatches.first() {
+                report.chaos_failures.push(FailureRecord {
+                    case_seed,
+                    detail: first.to_string(),
+                    reduced_functions: None,
+                    repro_path: None,
+                });
             }
         }
 

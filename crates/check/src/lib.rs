@@ -55,6 +55,7 @@
 //! Everything is deterministic given a seed, so any reported failure is
 //! reproducible from its one-line record.
 
+pub mod chaoscheck;
 pub mod cyclecheck;
 pub mod fuzz;
 pub mod inject;
@@ -66,6 +67,7 @@ pub mod servecheck;
 pub mod sizecheck;
 pub mod storecheck;
 
+pub use chaoscheck::{check_chaos, run_chaos, ChaosMismatch, ChaosReport};
 pub use cyclecheck::{check_cycles, CycleMismatch, CycleReport};
 pub use fuzz::{run_fuzz, run_reducer_demo, DemoReport, FuzzOptions, FuzzReport};
 pub use inject::BuggyEvaluator;

@@ -314,12 +314,21 @@ pub fn check_serve_equivalence(module: &Module, seed: u64) -> Option<ServeReport
     handle.drain();
     match handle.join() {
         Ok(stats) => {
-            if stats.completed + stats.errors != stats.accepted {
+            // Every accepted request must land in exactly one terminal
+            // counter: completed, errored, shed past its deadline, or
+            // cancelled by its waiters vanishing.
+            let terminal = stats.completed + stats.errors + stats.shed_deadline + stats.cancelled;
+            if terminal != stats.accepted {
                 report.mismatches.push(ServeMismatch {
                     stage: "drain",
                     detail: format!(
-                        "counters leak requests: accepted {} vs completed {} + errors {}",
-                        stats.accepted, stats.completed, stats.errors
+                        "counters leak requests: accepted {} vs completed {} + errors {} \
+                         + shed {} + cancelled {}",
+                        stats.accepted,
+                        stats.completed,
+                        stats.errors,
+                        stats.shed_deadline,
+                        stats.cancelled
                     ),
                 });
             }

@@ -988,6 +988,25 @@ pub fn cmd_check(
     }
 }
 
+/// `optinline check --chaos N` — the standalone chaos oracle: N cases of
+/// seeded fault injection against a live daemon plus crash/recovery
+/// cycles against a store, asserting no hangs, byte-identical surviving
+/// replies, exact accounting, and a clean `verify` after every restart.
+/// A run with broken promises is an `Err` so the process exits non-zero.
+pub fn cmd_check_chaos(cases: usize, seed: u64) -> Result<String, CliError> {
+    let report = optinline_check::run_chaos(cases, seed);
+    let mut rendered = report.render();
+    rendered.push('\n');
+    for m in &report.mismatches {
+        let _ = writeln!(rendered, "  {m}");
+    }
+    if report.clean() {
+        Ok(rendered)
+    } else {
+        Err(format!("chaos check failed\n{rendered}").into())
+    }
+}
+
 /// `optinline check --demo-reduce` — seed a known fast-path size bug, let
 /// the size oracle catch it, and shrink the trigger with the reducer. An
 /// end-to-end proof that the harness detects and minimizes real failures.

@@ -4,11 +4,11 @@ use optinline_cli::serve::{
     cmd_serve, default_socket_path, parse_endpoint, remote_call, ServeConfig,
 };
 use optinline_cli::{
-    cmd_autotune, cmd_cache, cmd_cfg, cmd_check, cmd_corpus, cmd_demo_reduce, cmd_gen, cmd_link,
-    cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction, CliError, EvalOptions,
-    InitChoice, Objective, OptimizeOptions, StrategyChoice, TargetChoice,
+    cmd_autotune, cmd_cache, cmd_cfg, cmd_check, cmd_check_chaos, cmd_corpus, cmd_demo_reduce,
+    cmd_gen, cmd_link, cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction,
+    CliError, EvalOptions, InitChoice, Objective, OptimizeOptions, StrategyChoice, TargetChoice,
 };
-use optinline_serve::RequestKind;
+use optinline_serve::{ClientConfig, RequestKind};
 
 const USAGE: &str = "\
 optinline — optimal function inlining toolkit (ASPLOS'22 reproduction)
@@ -42,11 +42,20 @@ usage:
   optinline cfg      <file.ir> --func NAME        (DOT to stdout)
   optinline check    [--fuzz N] [--seed N] [--reduce] [--repro-dir DIR]
   optinline check    --demo-reduce [--seed N] [--repro-dir DIR]
+  optinline check    --chaos N [--seed N]
 
 `EP` is a Unix socket path or `tcp:HOST:PORT`. With --connect, optimize /
 search / autotune ask the daemon at EP first and transparently fall back
-to in-process evaluation when no daemon answers. Cache and --jobs flags
-are local settings: the daemon applies its own.
+to in-process evaluation when no daemon answers or it is draining. Cache
+and --jobs flags are local settings: the daemon applies its own.
+
+client knobs (with --connect):
+  --deadline-ms N         queue-time budget; the daemon sheds the request
+                          with `rejected{deadline}` if still queued past it
+  --connect-timeout-ms N  bound on each dial attempt      (default 2000)
+  --retries N             transient-failure retries       (default 2)
+  --retry-backoff-ms N    backoff base, doubled and capped, deterministic
+                          jitter                          (default 50)
 ";
 
 struct Args {
@@ -127,6 +136,24 @@ impl Args {
         }
     }
 
+    /// Client-side robustness knobs for `--connect` calls. The retry
+    /// jitter seed is the pid: deterministic within one process, spread
+    /// across a herd of clients hammering a recovering daemon.
+    fn client_config(&self) -> Result<ClientConfig, CliError> {
+        Ok(ClientConfig {
+            connect_timeout: Some(std::time::Duration::from_millis(
+                self.flag("connect-timeout-ms").unwrap_or("2000").parse()?,
+            )),
+            deadline_ms: self.flag("deadline-ms").map(str::parse).transpose()?,
+            retries: self.flag("retries").unwrap_or("2").parse()?,
+            retry_base: std::time::Duration::from_millis(
+                self.flag("retry-backoff-ms").unwrap_or("50").parse()?,
+            ),
+            retry_seed: std::process::id() as u64,
+            ..ClientConfig::default()
+        })
+    }
+
     fn optimize_options(&self) -> Result<OptimizeOptions, CliError> {
         Ok(OptimizeOptions {
             full_sweep: self.flag("full-sweep").is_some(),
@@ -188,7 +215,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     pass_stats: opts.pass_stats,
                     objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
-                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                if let Some(outcome) =
+                    remote_call(&parse_endpoint(ep), kind, &args.client_config()?)?
+                {
                     print!("{}", outcome.report);
                     if args.flag("out").is_some() {
                         args.write_or_print(outcome.module.as_deref().unwrap_or_default())?;
@@ -218,7 +247,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     pass_stats: eval.show_pass_stats,
                     objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
-                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                if let Some(outcome) =
+                    remote_call(&parse_endpoint(ep), kind, &args.client_config()?)?
+                {
                     print!("{}", outcome.report);
                     return Ok(());
                 }
@@ -243,7 +274,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     pass_stats: eval.show_pass_stats,
                     objective: args.flag("objective").unwrap_or("size").to_string(),
                 };
-                if let Some(outcome) = remote_call(&parse_endpoint(ep), kind)? {
+                if let Some(outcome) =
+                    remote_call(&parse_endpoint(ep), kind, &args.client_config()?)?
+                {
                     print!("{}", outcome.report);
                     return Ok(());
                 }
@@ -297,7 +330,9 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
             let seed: u64 = args.flag("seed").unwrap_or("12648430").parse()?;
             let repro_dir =
                 std::path::PathBuf::from(args.flag("repro-dir").unwrap_or("results/repros"));
-            if args.flag("demo-reduce").is_some() {
+            if let Some(chaos) = args.flag("chaos") {
+                print!("{}", cmd_check_chaos(chaos.parse()?, seed)?);
+            } else if args.flag("demo-reduce").is_some() {
                 print!("{}", cmd_demo_reduce(seed, Some(&repro_dir))?);
             } else {
                 let cases: usize = args.flag("fuzz").unwrap_or("100").parse()?;
@@ -327,6 +362,10 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
 }
 
 fn main() {
+    // Arm a fault plan from OPTINLINE_FAULT_PLAN, if one is set: CI's
+    // kill-9-mid-write recovery check crashes this very binary at a
+    // chosen store write. A no-op (one env read) in normal runs.
+    optinline_fault::arm_from_env();
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
         eprint!("{USAGE}");

@@ -12,8 +12,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use optinline_serve::{
-    install_drain_handler, Client, ClientError, Endpoint, Handler, Outcome, Reply, RequestKind,
-    ServeOptions, Server, ServerHandle, ServerStats,
+    install_drain_handler, Client, ClientConfig, ClientError, Endpoint, Handler, Outcome, Reply,
+    RequestKind, ServeOptions, Server, ServerHandle, ServerStats,
 };
 use optinline_store::LocalStore;
 
@@ -237,17 +237,27 @@ pub fn render_server_stats(stats: &ServerStats) -> String {
     let _ = writeln!(out, "dedup joined:  {}", stats.dedup_joined);
     let _ = writeln!(out, "completed:     {}", stats.completed);
     let _ = writeln!(out, "errors:        {}", stats.errors);
+    let _ = writeln!(out, "shed deadline: {}", stats.shed_deadline);
+    let _ = writeln!(out, "cancelled:     {}", stats.cancelled);
     out
 }
 
 /// Tries to serve `kind` through the daemon at `endpoint`.
 ///
-/// `Ok(None)` means no daemon answered (the caller should run
-/// in-process — the transparent fallback); daemon-side failures after a
-/// successful connect are real errors, not fallbacks, so a half-broken
-/// daemon cannot silently double the work.
-pub fn remote_call(endpoint: &Endpoint, kind: RequestKind) -> Result<Option<Outcome>, CliError> {
-    let mut client = match Client::connect(endpoint) {
+/// `Ok(None)` means no daemon answered or the daemon is going away
+/// (connect failure after the configured retries, or a typed
+/// `rejected{draining}` refusal) — the caller should run in-process,
+/// the terminal degradation. Daemon-side failures after a successful
+/// admit are real errors, not fallbacks, so a half-broken daemon cannot
+/// silently double the work; in particular a `rejected{deadline}` means
+/// the caller's own queue-time budget expired and retrying locally
+/// would only blow past it further.
+pub fn remote_call(
+    endpoint: &Endpoint,
+    kind: RequestKind,
+    config: &ClientConfig,
+) -> Result<Option<Outcome>, CliError> {
+    let mut client = match Client::connect_with(endpoint, config.clone()) {
         Ok(client) => client,
         Err(ClientError::Connect(e)) => {
             eprintln!("[no daemon at {endpoint} ({e}); running in-process]");
@@ -257,6 +267,10 @@ pub fn remote_call(endpoint: &Endpoint, kind: RequestKind) -> Result<Option<Outc
     };
     match client.call(kind, &mut |note| eprintln!("[daemon] {note}")) {
         Ok(outcome) => Ok(Some(outcome)),
+        Err(ClientError::Rejected(reason)) if reason == "draining" => {
+            eprintln!("[daemon at {endpoint} is draining; running in-process]");
+            Ok(None)
+        }
         Err(e) => Err(e.to_string().into()),
     }
 }

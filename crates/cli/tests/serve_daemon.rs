@@ -11,7 +11,7 @@ use optinline_cli::{
     cmd_autotune, cmd_cache, cmd_gen, cmd_optimize, cmd_search, CacheAction, EvalOptions,
     InitChoice, OptimizeOptions, StrategyChoice, TargetChoice,
 };
-use optinline_serve::{Client, Endpoint, RequestKind};
+use optinline_serve::{Client, ClientConfig, ClientError, Endpoint, RequestKind};
 
 fn tmp(name: &str) -> PathBuf {
     let p = std::env::temp_dir().join(format!("optinline-serve-cli-{name}-{}", std::process::id()));
@@ -228,9 +228,121 @@ fn identical_concurrent_requests_evaluate_once() {
 fn missing_daemon_falls_back_to_in_process() {
     let src = demo_source();
     let sock = tmp("absent.sock");
-    let fallback = remote_call(&Endpoint::Unix(sock), search_kind(&src, 18))
-        .expect("fallback is not an error");
+    let fallback =
+        remote_call(&Endpoint::Unix(sock), search_kind(&src, 18), &ClientConfig::default())
+            .expect("fallback is not an error");
     assert!(fallback.is_none(), "no daemon must mean in-process fallback, not a served result");
+}
+
+#[test]
+fn an_unreachable_tcp_daemon_degrades_to_fallback_within_the_dial_bound() {
+    // Satellite fix for the unbounded dial: `--connect` against a dead
+    // TCP endpoint must degrade to in-process within the configured
+    // connect timeout instead of hanging on the kernel's default.
+    let src = demo_source();
+    let config = ClientConfig {
+        connect_timeout: Some(std::time::Duration::from_millis(250)),
+        ..ClientConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let fallback =
+        remote_call(&Endpoint::Tcp("127.0.0.1:1".into()), search_kind(&src, 18), &config)
+            .expect("a dead endpoint is a fallback, not an error");
+    assert!(fallback.is_none(), "nothing listening must mean in-process fallback");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "the dial must be bounded: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn drain_under_saturation_finishes_admitted_work_and_rejects_new_with_a_typed_event() {
+    // The drain signal lands while the admission queue is saturated:
+    // one evaluation slot, five distinct real searches admitted. Every
+    // admitted request must still complete, a request arriving after
+    // the drain must get the typed `rejected{draining}` event (never a
+    // silent drop or a hang), the store must flush, and the daemon must
+    // exit cleanly.
+    const REQUESTS: usize = 5;
+    let src = demo_source();
+    let sock = tmp("saturate.sock");
+    let cache = tmp("saturate-cache");
+    let handle = start_daemon(ServeConfig {
+        endpoint: Endpoint::Unix(sock.clone()),
+        cache_dir: Some(cache.clone()),
+        queue_capacity: REQUESTS,
+        max_concurrent: 1,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+
+    let workers: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            let sock = sock.clone();
+            let src = src.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&Endpoint::Unix(sock)).expect("connect");
+                client.call(search_kind(&src, 15 + i as u32), &mut |_| {}).expect("served search")
+            })
+        })
+        .collect();
+
+    // With one slot, at most one request can be evaluating once all five
+    // are admitted — the rest sit in the queue when the drain lands.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while handle.stats().accepted < REQUESTS as u64 {
+        assert!(std::time::Instant::now() < deadline, "requests were not admitted in time");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // Connect the late client before the drain lands: an established
+    // connection keeps getting served events, so its post-drain request
+    // draws the typed rejection instead of a socket error. The ping
+    // round-trip proves the accept loop picked the connection up — a
+    // dial alone only parks it in the listen backlog.
+    let mut late = Client::connect(&Endpoint::Unix(sock.clone())).expect("connect");
+    late.ping().expect("pre-drain ping");
+    handle.drain();
+
+    // New work after the drain is refused with the typed event, not
+    // silently dropped or hung.
+    match late.call(search_kind(&src, 20), &mut |_| {}) {
+        Err(ClientError::Rejected(reason)) => assert_eq!(reason, "draining"),
+        other => panic!("a post-drain request must be typed-rejected, got {other:?}"),
+    }
+
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let stats = handle.join().expect("clean exit");
+    assert_eq!(stats.completed, REQUESTS as u64, "admitted work all completes: {stats:?}");
+    assert!(stats.rejected >= 1, "post-drain requests are counted as rejected: {stats:?}");
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.errors + stats.shed_deadline + stats.cancelled,
+        "counters must not leak requests: {stats:?}"
+    );
+
+    // The drain flushed the store: a full structural verify passes and
+    // the evaluated entries made it to disk.
+    let report = cmd_cache(CacheAction::Verify, &cache, None).expect("verify is clean");
+    assert!(report.contains("malformed lines: 0"), "{report}");
+    assert!(report.contains("unreadable logs: 0"), "{report}");
+    let entries: u64 = report
+        .lines()
+        .find(|l| l.starts_with("entries:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("entries line");
+    assert!(entries > 0, "drain must flush evaluated entries to disk: {report}");
+
+    // With the daemon gone (socket removed on exit), `--connect` is a
+    // clean in-process fallback — the terminal degradation.
+    let fallback =
+        remote_call(&Endpoint::Unix(sock), search_kind(&src, 20), &ClientConfig::default())
+            .expect("a dead daemon is a fallback, not an error");
+    assert!(fallback.is_none(), "a drained daemon must degrade to in-process");
+    std::fs::remove_dir_all(&cache).ok();
 }
 
 #[test]

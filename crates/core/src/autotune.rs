@@ -142,6 +142,7 @@ impl<'e> Autotuner<'e> {
         let mut reports = Vec::new();
         let mut base = init;
         for round in 1..=rounds {
+            optinline_ir::cancel::checkpoint();
             let base_size = self.evaluator.size_of(&base);
             let (tuned, flips) = self.tune_round(&base);
             let size = self.evaluator.size_of(&tuned);
@@ -196,6 +197,7 @@ impl<'e> Autotuner<'e> {
         let mut reports = Vec::new();
         let mut base = init;
         for round in 1..=rounds {
+            optinline_ir::cancel::checkpoint();
             let base_size = self.evaluator.size_of(&base);
             let probe_sites: BTreeSet<CallSiteId> = self
                 .sites
@@ -257,6 +259,7 @@ impl<'e> Autotuner<'e> {
         let mut reports = Vec::new();
         let mut base = init;
         for round in 1..=rounds {
+            optinline_ir::cancel::checkpoint();
             let base_size = self.evaluator.size_of(&base);
             let base_cycles = cycles_of(&base);
             let mut keep = Vec::new();
@@ -331,6 +334,7 @@ impl<'e> Autotuner<'e> {
         }
         let mut rounds_run = 0;
         for _ in 0..rounds {
+            optinline_ir::cancel::checkpoint();
             rounds_run += 1;
             let bases: Vec<InliningConfiguration> =
                 front.points().iter().map(|p| p.config.clone()).collect();

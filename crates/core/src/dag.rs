@@ -312,6 +312,10 @@ struct Run<'a> {
 
 impl Run<'_> {
     fn execute(&self, id: usize) {
+        // Checkpoint here, not in `drive`: the unwind is caught per-task
+        // and converted into the abort flag, so every lane exits before
+        // the panic resurfaces at the call site.
+        optinline_ir::cancel::checkpoint();
         let task = &self.tasks[id];
         let child = |i: usize| {
             self.tasks[task.children[i]].result.get().expect("dependency settled before parent")

@@ -339,7 +339,14 @@ impl WorkerPool {
         while !ready() {
             let job = lock_ignore_poison(&self.inner.queue).pop_front();
             match job {
-                Some((_, job)) => drop(catch_unwind(AssertUnwindSafe(job))),
+                Some((_, job)) => {
+                    // Stolen jobs may belong to a *different* request than
+                    // the one this thread is helping for; mask the thread's
+                    // cancel token so one request's cancellation cannot
+                    // unwind another request's work.
+                    let _mask = optinline_ir::cancel::suspend();
+                    drop(catch_unwind(AssertUnwindSafe(job)));
+                }
                 None => std::thread::park_timeout(Duration::from_micros(50)),
             }
         }

@@ -222,6 +222,9 @@ fn evaluate_inner(
     base: InliningConfiguration,
     par: usize,
 ) -> (InliningConfiguration, u64) {
+    // Safe to unwind here even mid-fan-out: `join`/`map` resurface a
+    // closure panic only after every borrowed job has settled.
+    optinline_ir::cancel::checkpoint();
     match tree {
         InliningTree::Leaf => {
             let size = evaluator.size_of(&base);

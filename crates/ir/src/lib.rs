@@ -62,6 +62,7 @@
 pub mod analysis;
 pub mod analysis_manager;
 mod builder;
+pub mod cancel;
 mod display;
 pub mod dot;
 mod function;

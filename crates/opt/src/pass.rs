@@ -309,6 +309,7 @@ impl PassManager {
     ) -> Fixpoint {
         let mut fp = Fixpoint::default();
         for _ in 0..self.max_iterations {
+            optinline_ir::cancel::checkpoint();
             let mut changed = false;
             for pass in &self.passes {
                 let c = pass.run(module);
@@ -376,6 +377,9 @@ impl PassManager {
         // value ids, so visit order is observable in the output).
         let mut dirty: BTreeSet<FuncId> = seed.into_iter().collect();
         for _ in 0..self.max_iterations {
+            // A round boundary is a module-consistent point, so it is the
+            // cancellation checkpoint for served pipeline work.
+            optinline_ir::cancel::checkpoint();
             if dirty.is_empty() {
                 fp.hit_fixpoint = true;
                 break;

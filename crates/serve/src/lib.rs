@@ -39,7 +39,7 @@ mod client;
 mod server;
 mod signal;
 
-pub use client::{Client, ClientError, Outcome};
+pub use client::{Client, ClientConfig, ClientError, Outcome};
 pub use net::Endpoint;
 pub use proto::{Event, Request, RequestKind, ServerStats};
 pub use server::{Handler, Reply, ServeOptions, Server, ServerHandle};

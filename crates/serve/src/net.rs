@@ -35,7 +35,15 @@ pub(crate) enum Stream {
 }
 
 impl Stream {
-    pub(crate) fn connect(endpoint: &Endpoint) -> std::io::Result<Stream> {
+    /// Dials with an optional connect timeout. A half-open TCP endpoint
+    /// (SYN black-holed) would otherwise block for the kernel's full
+    /// retransmission schedule — minutes — which is the unbounded-dial
+    /// hang this bounds. Unix-socket connects complete or fail in the
+    /// kernel without a handshake, so they need no timeout machinery.
+    pub(crate) fn connect_timeout(
+        endpoint: &Endpoint,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<Stream> {
         match endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
@@ -44,7 +52,40 @@ impl Stream {
                 std::io::ErrorKind::Unsupported,
                 "unix domain sockets are not available on this platform",
             )),
-            Endpoint::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr.as_str())?)),
+            Endpoint::Tcp(addr) => {
+                let Some(timeout) = timeout else {
+                    return Ok(Stream::Tcp(TcpStream::connect(addr.as_str())?));
+                };
+                use std::net::ToSocketAddrs;
+                let mut last = None;
+                for resolved in addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => return Ok(Stream::Tcp(stream)),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("{addr} resolved to no addresses"),
+                    )
+                }))
+            }
+        }
+    }
+
+    /// Bounds how long a read blocks with no bytes arriving (`None`
+    /// removes the bound). On the client this turns a silent daemon into
+    /// a transient `TimedOut`/`WouldBlock` error the retry layer can act
+    /// on, instead of a hang.
+    pub(crate) fn set_read_timeout(
+        &self,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
 

@@ -22,6 +22,12 @@
 //! `id` is chosen by the client and echoed on every event for that
 //! request; it only needs to be unique per connection.
 //!
+//! Any evaluation request may carry `"deadline_ms":N` — a queue-time
+//! budget. Work still queued when the budget expires is shed with a
+//! typed `rejected` event instead of evaluated late. The deadline is
+//! **not** part of the dedup identity: two requests differing only in
+//! deadline want the same bytes and must share one evaluation.
+//!
 //! ## Events (server → client)
 //!
 //! ```text
@@ -31,12 +37,16 @@
 //! {"id":4,"event":"done","report":"...","evaluated":true}        (+ "module":"...")
 //!                                                     (+ "size":N [+ "cycles":M])
 //! {"id":4,"event":"error","message":"..."}
+//! {"id":4,"event":"rejected","reason":"draining"}
 //! {"id":1,"event":"pong"}
 //! {"id":2,"event":"stats",...ServerStats fields...}
 //! {"id":3,"event":"shutting_down"}
 //! ```
 //!
-//! `done` / `error` is always the final event for an id. `deduped:true`
+//! `done` / `error` / `rejected` is always the final event for an id.
+//! `rejected` carries a machine-readable `reason` (`draining` |
+//! `deadline` | `cancelled`) so no request ever disappears silently —
+//! shed and cancelled work is still *answered*. `deduped:true`
 //! on `started` means the request joined an identical in-flight
 //! evaluation; its `done` then carries `evaluated:false` and the same
 //! report bytes as the leader's. Progress events fan out to every waiter
@@ -53,6 +63,17 @@ pub struct Request {
     pub id: u64,
     /// What to do.
     pub kind: RequestKind,
+    /// Queue-time budget in milliseconds: still queued when it expires →
+    /// shed with `rejected{deadline}`. Deliberately excluded from the
+    /// dedup identity (it shapes scheduling, never the reply bytes).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request with no deadline.
+    pub fn new(id: u64, kind: RequestKind) -> Request {
+        Request { id, kind, deadline_ms: None }
+    }
 }
 
 /// The request kinds the daemon understands.
@@ -253,6 +274,17 @@ pub enum Event {
         /// What went wrong.
         message: String,
     },
+    /// Terminal refusal: the request was not (fully) evaluated and never
+    /// will be. Typed so shed work is observable, never silent.
+    Rejected {
+        /// Request id.
+        id: u64,
+        /// Machine-readable reason: `draining` (server refusing new
+        /// work), `deadline` (queue-time budget expired before a slot
+        /// freed), or `cancelled` (every waiter disconnected and the
+        /// evaluation was stopped at a checkpoint).
+        reason: String,
+    },
     /// Reply to `ping`.
     Pong {
         /// Request id.
@@ -289,6 +321,13 @@ pub struct ServerStats {
     pub completed: u64,
     /// Terminal `error` events sent.
     pub errors: u64,
+    /// Queued requests shed with `rejected{deadline}` because their
+    /// queue-time budget expired before a slot freed.
+    pub shed_deadline: u64,
+    /// Requests terminated by waiter disconnection: queued jobs dropped
+    /// when their connection died, plus evaluations stopped at a
+    /// cancellation checkpoint.
+    pub cancelled: u64,
     /// Requests waiting in the admission queue right now.
     pub queue_depth: u64,
     /// Leader evaluations executing right now.
@@ -299,6 +338,15 @@ fn get_u64(obj: &Object, key: &str) -> Result<u64, String> {
     let v = obj.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
     let n = v.as_int().ok_or_else(|| format!("field {key:?} must be an integer"))?;
     u64::try_from(n).map_err(|_| format!("field {key:?} must be non-negative"))
+}
+
+/// Absent counter fields decode as 0, so a new client reading an old
+/// daemon's stats line still works.
+fn get_u64_or_0(obj: &Object, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(0),
+        Some(_) => get_u64(obj, key),
+    }
 }
 
 fn get_u32(obj: &Object, key: &str) -> Result<u32, String> {
@@ -354,6 +402,9 @@ pub fn encode_request(req: &Request) -> String {
     let mut obj = Object::new();
     obj.insert("id".into(), Value::Int(req.id as i64));
     obj.insert("kind".into(), Value::Str(req.kind.name().into()));
+    if let Some(deadline) = req.deadline_ms {
+        obj.insert("deadline_ms".into(), Value::Int(deadline as i64));
+    }
     match &req.kind {
         RequestKind::Ping | RequestKind::Stats | RequestKind::Shutdown => {}
         RequestKind::Optimize { source, target, strategy, full_sweep, pass_stats, objective } => {
@@ -433,7 +484,11 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
         },
         other => return Err(format!("unknown request kind {other:?}")),
     };
-    Ok(Request { id, kind })
+    let deadline_ms = match obj.get("deadline_ms") {
+        None => None,
+        Some(_) => Some(get_u64(&obj, "deadline_ms")?),
+    };
+    Ok(Request { id, kind, deadline_ms })
 }
 
 /// Encodes an event as one line (no trailing newline).
@@ -467,6 +522,10 @@ pub fn encode_event(event: &Event) -> String {
             obj.insert("message".into(), Value::Str(message.clone()));
             (*id, "error")
         }
+        Event::Rejected { id, reason } => {
+            obj.insert("reason".into(), Value::Str(reason.clone()));
+            (*id, "rejected")
+        }
         Event::Pong { id } => (*id, "pong"),
         Event::Stats { id, stats } => {
             obj.insert("accepted".into(), Value::Int(stats.accepted as i64));
@@ -475,6 +534,8 @@ pub fn encode_event(event: &Event) -> String {
             obj.insert("dedup_joined".into(), Value::Int(stats.dedup_joined as i64));
             obj.insert("completed".into(), Value::Int(stats.completed as i64));
             obj.insert("errors".into(), Value::Int(stats.errors as i64));
+            obj.insert("shed_deadline".into(), Value::Int(stats.shed_deadline as i64));
+            obj.insert("cancelled".into(), Value::Int(stats.cancelled as i64));
             obj.insert("queue_depth".into(), Value::Int(stats.queue_depth as i64));
             obj.insert("in_flight".into(), Value::Int(stats.in_flight as i64));
             (*id, "stats")
@@ -502,6 +563,7 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             evaluated: get_flag(&obj, "evaluated")?,
         }),
         "error" => Ok(Event::Error { id, message: get_str(&obj, "message")? }),
+        "rejected" => Ok(Event::Rejected { id, reason: get_str(&obj, "reason")? }),
         "pong" => Ok(Event::Pong { id }),
         "stats" => Ok(Event::Stats {
             id,
@@ -512,6 +574,8 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
                 dedup_joined: get_u64(&obj, "dedup_joined")?,
                 completed: get_u64(&obj, "completed")?,
                 errors: get_u64(&obj, "errors")?,
+                shed_deadline: get_u64_or_0(&obj, "shed_deadline")?,
+                cancelled: get_u64_or_0(&obj, "cancelled")?,
                 queue_depth: get_u64(&obj, "queue_depth")?,
                 in_flight: get_u64(&obj, "in_flight")?,
             },
@@ -564,11 +628,27 @@ mod tests {
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
-            let req = Request { id: i as u64 + 1, kind };
+            let mut req = Request::new(i as u64 + 1, kind);
+            if i % 2 == 0 {
+                req.deadline_ms = Some(1500);
+            }
             let line = encode_request(&req);
             assert!(!line.contains('\n'), "NDJSON framing holds despite newlines in source");
             assert_eq!(decode_request(&line).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn deadline_is_optional_on_the_wire_and_absent_from_identity() {
+        let line = r#"{"id":5,"kind":"ping"}"#;
+        assert_eq!(decode_request(line).unwrap().deadline_ms, None, "legacy lines still decode");
+        let quick = Request { id: 1, kind: search("m"), deadline_ms: Some(10) };
+        let patient = Request { id: 2, kind: search("m"), deadline_ms: None };
+        assert_eq!(
+            quick.kind.identity(),
+            patient.kind.identity(),
+            "deadline shapes scheduling, not reply bytes, so it must dedup across values"
+        );
     }
 
     #[test]
@@ -599,6 +679,8 @@ mod tests {
                 evaluated: true,
             },
             Event::Error { id: 0, message: "bad request".into() },
+            Event::Rejected { id: 11, reason: "deadline".into() },
+            Event::Rejected { id: 12, reason: "draining".into() },
             Event::Pong { id: 1 },
             Event::Stats {
                 id: 2,
@@ -607,8 +689,10 @@ mod tests {
                     rejected: 1,
                     evaluations: 1,
                     dedup_joined: 31,
-                    completed: 32,
+                    completed: 28,
                     errors: 1,
+                    shed_deadline: 2,
+                    cancelled: 2,
                     queue_depth: 0,
                     in_flight: 0,
                 },
@@ -619,6 +703,21 @@ mod tests {
             let line = encode_event(&event);
             assert_eq!(decode_event(&line).unwrap(), event);
         }
+    }
+
+    #[test]
+    fn stats_lines_missing_new_counters_decode_as_zero() {
+        // An old daemon's stats line: no shed_deadline / cancelled fields.
+        let line = concat!(
+            r#"{"id":2,"event":"stats","accepted":4,"rejected":0,"evaluations":4,"#,
+            r#""dedup_joined":0,"completed":4,"errors":0,"queue_depth":0,"in_flight":0}"#
+        );
+        let Event::Stats { stats, .. } = decode_event(line).unwrap() else {
+            panic!("not a stats event")
+        };
+        assert_eq!(stats.shed_deadline, 0);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.completed, 4);
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! The daemon: bounded admission, in-flight dedup, graceful drain.
+//! The daemon: fair bounded admission, in-flight dedup, deadlines,
+//! cooperative cancellation, graceful drain.
 //!
 //! # Life of a request
 //!
 //! A connection reader thread decodes one request per line. Admin
 //! requests (`ping`, `stats`, `shutdown`) are answered inline. Evaluation
 //! requests are acknowledged with `queued` and pushed into a bounded
-//! admission queue — when the queue is full the reader blocks, which
+//! admission structure — when it is full the reader blocks, which
 //! back-pressures the client through the socket.
+//!
+//! Admission is **round-robin per connection**, not a global FIFO: each
+//! connection owns a sub-queue and the dispatcher takes one job per
+//! connection per turn, so a client that batches a thousand requests
+//! cannot starve a client that sends one. The total across sub-queues is
+//! still bounded by `queue_capacity`.
 //!
 //! A single dispatcher thread pops jobs while fewer than `max_concurrent`
 //! evaluations run. At dispatch the job's 128-bit evaluation identity is
@@ -18,25 +25,54 @@
 //! the handler is caught and reported as an `error` event so joiners are
 //! never stranded.
 //!
+//! # Deadlines and shedding
+//!
+//! A request may carry a queue-time budget (`deadline_ms`). The
+//! dispatcher sweeps expired jobs out of the sub-queues each tick and
+//! answers them with a typed `rejected{deadline}` event — under overload
+//! the daemon sheds late work instead of evaluating it after the client
+//! stopped caring, and the shed is always observable, never a silent
+//! drop.
+//!
+//! # Cancellation
+//!
+//! A waiter whose socket write fails is reaped from its flight
+//! immediately, and a connection's death reaps its queued jobs and all
+//! its waiters. A flight whose **last** waiter disappears has its
+//! [`CancelToken`](optinline_ir::cancel::CancelToken) cancelled; the
+//! evaluation notices at its next pass/search checkpoint and unwinds with
+//! a `Cancelled` payload, which the executor absorbs — nobody is waiting
+//! for the answer. The identity's slot is generation-stamped so a new
+//! identical request arriving after cancellation starts a fresh flight
+//! instead of joining the dying one.
+//!
 //! # Drain
 //!
 //! `shutdown` requests, [`ServerHandle::drain`], and an optional external
 //! [`AtomicBool`] (wired to SIGTERM by the CLI) all trip the same flag:
-//! stop admitting, finish what is queued and running, tell the handler to
-//! flush durable state ([`Handler::drained`]), close connections, remove
-//! the Unix socket file, and return final [`ServerStats`].
+//! stop admitting (new work is answered `rejected{draining}`), finish
+//! what is queued and running, tell the handler to flush durable state
+//! ([`Handler::drained`]), close connections, remove the Unix socket
+//! file, and return final [`ServerStats`].
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use optinline_ir::cancel::{self, CancelToken, Cancelled};
 
 use crate::net::{Endpoint, Listener, Stream};
 use crate::proto::{self, Event, Request, RequestKind, ServerStats};
 
 /// How often the accept loop re-checks the drain flags while idle.
 const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// How often the dispatcher sweeps for expired deadlines while blocked
+/// (all slots busy or queue empty): bounds shed latency under overload.
+const DISPATCH_TICK: Duration = Duration::from_millis(25);
 
 /// The result of one evaluation, fanned out verbatim to every waiter.
 ///
@@ -63,6 +99,12 @@ pub trait Handler: Send + Sync + 'static {
     /// Evaluates one request. `progress` may be called with short
     /// human-readable notes; they are fanned out to all current waiters.
     /// `Err` is reported to clients as an `error` event.
+    ///
+    /// The executor installs the request's cancel token around this
+    /// call, so any `optinline_ir::cancel::checkpoint()` the evaluation
+    /// passes through will stop it once every waiter has disconnected —
+    /// handlers built on the optimizer/search stack get cancellation for
+    /// free, without a signature change.
     fn handle(&self, kind: &RequestKind, progress: &dyn Fn(&str)) -> Result<Reply, String>;
 
     /// Called exactly once, after the last evaluation of a drain has
@@ -74,8 +116,9 @@ pub trait Handler: Send + Sync + 'static {
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeOptions {
-    /// Bounded admission queue depth; readers block (back-pressuring
-    /// clients) when it is full.
+    /// Bounded admission depth, summed across all per-connection
+    /// sub-queues; readers block (back-pressuring clients) when it is
+    /// full.
     pub queue_capacity: usize,
     /// Maximum evaluations running at once. `0` means "worker pool
     /// threads, at least 1".
@@ -98,19 +141,35 @@ impl ServeOptions {
     }
 }
 
-/// One evaluation request admitted into the queue.
+/// One evaluation request admitted into a connection's sub-queue.
 struct Job {
     id: u64,
     kind: RequestKind,
     out: Arc<Out>,
+    /// Queue-time budget: still queued past this instant → shed with
+    /// `rejected{deadline}`.
+    deadline: Option<Instant>,
 }
 
 /// A request waiting on an in-flight evaluation (the leader is the first
-/// entry of its identity's waiter list).
+/// entry of its flight's waiter list).
 #[derive(Clone)]
 struct Waiter {
     id: u64,
     out: Arc<Out>,
+}
+
+/// One in-flight evaluation: its waiters and the cancellation plumbing.
+struct Flight {
+    /// Generation stamp: a leader only removes/serves the identity's
+    /// entry if the generation still matches its own, so a *new* flight
+    /// started after this one was cancelled is never clobbered by the
+    /// old leader's epilogue.
+    gen: u64,
+    waiters: Vec<Waiter>,
+    /// Cancelled when the last waiter disappears; the leader's
+    /// evaluation observes it at its next checkpoint.
+    cancel: CancelToken,
 }
 
 /// Per-connection serialized writer. Never hold this lock while calling
@@ -118,29 +177,149 @@ struct Waiter {
 /// write to the same connection).
 #[derive(Debug)]
 struct Out {
+    /// The owning connection's id — the admission fairness key and the
+    /// reap key when the connection dies.
+    conn: u64,
     stream: Mutex<Stream>,
+    /// Cleared on the first write failure (and on reader exit): a dead
+    /// connection's waiters are reaped and its queued jobs dropped, and
+    /// no further writes are attempted.
+    alive: AtomicBool,
+    /// Context string for fault-injection filtering (the endpoint).
+    ctx: Arc<str>,
 }
 
 impl Out {
-    fn new(stream: Stream) -> Out {
-        Out { stream: Mutex::new(stream) }
+    fn new(conn: u64, stream: Stream, ctx: Arc<str>) -> Out {
+        Out { conn, stream: Mutex::new(stream), alive: AtomicBool::new(true), ctx }
     }
 
-    /// Writes one event line. Write errors are swallowed: a vanished
-    /// client must not take down an evaluation other waiters still want.
-    fn send(&self, event: &Event) {
+    fn alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Writes one event line. Returns whether the write reached the
+    /// socket; a failure marks the connection dead so the caller can
+    /// reap its waiters — a vanished client must not take down an
+    /// evaluation other waiters still want, nor keep soaking up fan-out.
+    fn send(&self, event: &Event) -> bool {
+        if !self.alive() {
+            return false;
+        }
         let line = proto::encode_event(event);
         let mut s = self.stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = s.write_all(line.as_bytes());
-        let _ = s.write_all(b"\n");
-        let _ = s.flush();
+        let result = (|| -> std::io::Result<()> {
+            if optinline_fault::armed() {
+                match optinline_fault::write_cap("serve.out", &self.ctx, line.len()) {
+                    optinline_fault::WriteFault::Pass => {}
+                    optinline_fault::WriteFault::Truncate(keep) => {
+                        let _ = s.write_all(&line.as_bytes()[..keep]);
+                        let _ = s.flush();
+                        return Err(optinline_fault::write_error("serve.out"));
+                    }
+                    optinline_fault::WriteFault::Error => {
+                        return Err(optinline_fault::write_error("serve.out"));
+                    }
+                }
+            }
+            s.write_all(line.as_bytes())?;
+            s.write_all(b"\n")?;
+            s.flush()
+        })();
+        if result.is_err() {
+            self.mark_dead();
+            // Close the socket outright: a half-written frame is garbage
+            // the client cannot resynchronize on, and the shutdown both
+            // unblocks the client's pending read immediately and wakes
+            // this connection's reader thread so its waiters get reaped.
+            s.shutdown();
+        }
+        result.is_ok()
     }
 }
 
+/// Round-robin per-connection admission: each connection owns a
+/// sub-queue; `pop_fair` serves connections in rotation so one chatty
+/// connection cannot starve the rest. `queued` is the global bound.
 #[derive(Default)]
 struct QueueState {
-    queue: VecDeque<Job>,
+    per_conn: HashMap<u64, VecDeque<Job>>,
+    /// Rotation order; invariant: a connection appears here exactly once
+    /// iff its sub-queue is non-empty.
+    rr: VecDeque<u64>,
+    queued: usize,
     running: usize,
+}
+
+impl QueueState {
+    fn push(&mut self, job: Job) {
+        let conn = job.out.conn;
+        let q = self.per_conn.entry(conn).or_default();
+        if q.is_empty() {
+            self.rr.push_back(conn);
+        }
+        q.push_back(job);
+        self.queued += 1;
+    }
+
+    /// One job from the connection at the head of the rotation; the
+    /// connection goes to the back if it still has queued work.
+    fn pop_fair(&mut self) -> Option<Job> {
+        let conn = self.rr.pop_front()?;
+        let q = self.per_conn.get_mut(&conn)?;
+        let job = q.pop_front();
+        if q.is_empty() {
+            self.per_conn.remove(&conn);
+        } else {
+            self.rr.push_back(conn);
+        }
+        if job.is_some() {
+            self.queued -= 1;
+        }
+        job
+    }
+
+    /// Sweeps every sub-queue: deadline-expired jobs into `shed`,
+    /// dead-connection jobs into `dead` (a backstop — `drop_conn`
+    /// normally gets them first).
+    fn take_expired(&mut self, now: Instant, shed: &mut Vec<Job>, dead: &mut Vec<Job>) {
+        if self.queued == 0 {
+            return;
+        }
+        let before = shed.len() + dead.len();
+        for q in self.per_conn.values_mut() {
+            let mut keep = VecDeque::with_capacity(q.len());
+            while let Some(job) = q.pop_front() {
+                if !job.out.alive() {
+                    dead.push(job);
+                } else if job.deadline.is_some_and(|d| d <= now) {
+                    shed.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *q = keep;
+        }
+        let removed = shed.len() + dead.len() - before;
+        if removed > 0 {
+            self.queued -= removed;
+            self.per_conn.retain(|_, q| !q.is_empty());
+            let per_conn = &self.per_conn;
+            self.rr.retain(|c| per_conn.contains_key(c));
+        }
+    }
+
+    /// Drops every queued job belonging to `conn`; returns how many.
+    fn drop_conn(&mut self, conn: u64) -> u64 {
+        let dropped = self.per_conn.remove(&conn).map_or(0, |q| q.len());
+        self.queued -= dropped;
+        self.rr.retain(|c| *c != conn);
+        dropped as u64
+    }
 }
 
 #[derive(Default)]
@@ -151,6 +330,8 @@ struct Counters {
     dedup_joined: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+    shed_deadline: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 struct ServerInner {
@@ -161,9 +342,14 @@ struct ServerInner {
     /// Wakes the dispatcher (new job / freed slot), blocked admitters
     /// (freed queue space), and the drain waiter (queue+running empty).
     wake: Condvar,
-    in_flight: Mutex<HashMap<u128, Vec<Waiter>>>,
+    in_flight: Mutex<HashMap<u128, Flight>>,
     draining: AtomicBool,
     counters: Counters,
+    next_conn: AtomicU64,
+    next_gen: AtomicU64,
+    /// Endpoint display string, threaded into every `Out` as the
+    /// fault-injection context.
+    ctx: Arc<str>,
     /// Write halves of live connections, shut down after drain so reader
     /// threads unblock and exit.
     conns: Mutex<Vec<Stream>>,
@@ -180,7 +366,7 @@ impl ServerInner {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn lock_in_flight(&self) -> MutexGuard<'_, HashMap<u128, Vec<Waiter>>> {
+    fn lock_in_flight(&self) -> MutexGuard<'_, HashMap<u128, Flight>> {
         self.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
@@ -193,10 +379,16 @@ impl ServerInner {
         self.wake.notify_all();
     }
 
+    fn count_cancelled(&self, n: u64) {
+        if n > 0 {
+            self.counters.cancelled.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
     fn server_stats(&self) -> ServerStats {
         let (queue_depth, in_flight) = {
             let s = self.lock_state();
-            (s.queue.len() as u64, s.running as u64)
+            (s.queued as u64, s.running as u64)
         };
         ServerStats {
             accepted: self.counters.accepted.load(Ordering::SeqCst),
@@ -205,21 +397,24 @@ impl ServerInner {
             dedup_joined: self.counters.dedup_joined.load(Ordering::SeqCst),
             completed: self.counters.completed.load(Ordering::SeqCst),
             errors: self.counters.errors.load(Ordering::SeqCst),
+            shed_deadline: self.counters.shed_deadline.load(Ordering::SeqCst),
+            cancelled: self.counters.cancelled.load(Ordering::SeqCst),
             queue_depth,
             in_flight,
         }
     }
 
-    /// Blocks until the job fits in the queue (back-pressure) or the
-    /// server starts draining. Returns `false` if the job was refused.
+    /// Blocks until the job fits under the global bound (back-pressure)
+    /// or the server starts draining. Returns `false` if the job was
+    /// refused.
     fn admit(self: &Arc<Self>, job: Job) -> bool {
         let mut s = self.lock_state();
         loop {
             if self.draining() {
                 return false;
             }
-            if s.queue.len() < self.queue_capacity {
-                s.queue.push_back(job);
+            if s.queued < self.queue_capacity {
+                s.push(job);
                 drop(s);
                 self.counters.accepted.fetch_add(1, Ordering::SeqCst);
                 self.wake.notify_all();
@@ -239,32 +434,58 @@ impl ServerInner {
 
     /// Dispatcher loop: runs until draining *and* the queue is empty.
     /// Running evaluations finish on their own threads; `run` waits for
-    /// them separately.
+    /// them separately. Each pass first sweeps deadline-expired (and
+    /// dead-connection) jobs out of the sub-queues; the typed rejection
+    /// events go out *after* the state lock is dropped.
     fn dispatch(self: &Arc<Self>) {
+        let mut shed: Vec<Job> = Vec::new();
+        let mut dead: Vec<Job> = Vec::new();
         loop {
             let job = {
                 let mut s = self.lock_state();
                 loop {
+                    s.take_expired(Instant::now(), &mut shed, &mut dead);
+                    if !shed.is_empty() || !dead.is_empty() {
+                        break None;
+                    }
                     if s.running < self.max_concurrent {
-                        if let Some(job) = s.queue.pop_front() {
+                        if let Some(job) = s.pop_fair() {
                             s.running += 1;
-                            break job;
+                            break Some(job);
                         }
                     }
-                    if self.draining() && s.queue.is_empty() {
+                    if self.draining() && s.queued == 0 {
                         return;
                     }
-                    s = self.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // A timed wait, not a plain one: deadline expiry is
+                    // a wake-up source no notification announces.
+                    s = self
+                        .wake
+                        .wait_timeout(s, DISPATCH_TICK)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0;
                 }
             };
-            // Queue space was freed: unblock one blocked admitter.
+            // Queue space was freed: unblock blocked admitters.
             self.wake.notify_all();
-            self.launch(job);
+            for job in shed.drain(..) {
+                self.counters.shed_deadline.fetch_add(1, Ordering::SeqCst);
+                job.out.send(&Event::Rejected { id: job.id, reason: "deadline".to_string() });
+            }
+            for job in dead.drain(..) {
+                drop(job);
+                self.count_cancelled(1);
+            }
+            if let Some(job) = job {
+                self.launch(job);
+            }
         }
     }
 
-    /// Dedup-checks one popped job: join an in-flight identity or lead a
-    /// fresh evaluation.
+    /// Dedup-checks one popped job: join a live in-flight identity or
+    /// lead a fresh evaluation. A *cancelled* flight is never joined —
+    /// its evaluation is already unwinding — so the job replaces it as a
+    /// new generation.
     fn launch(self: &Arc<Self>, job: Job) {
         let Some(identity) = job.kind.identity() else {
             // Admin kinds are answered at the connection layer and never
@@ -278,26 +499,29 @@ impl ServerInner {
             return;
         };
         let waiter = Waiter { id: job.id, out: Arc::clone(&job.out) };
-        let joined = {
+        let lead = {
             let mut inflight = self.lock_in_flight();
             match inflight.get_mut(&identity) {
-                Some(waiters) => {
-                    waiters.push(waiter);
-                    true
+                Some(flight) if !flight.cancel.is_cancelled() => {
+                    flight.waiters.push(waiter);
+                    None
                 }
-                None => {
-                    inflight.insert(identity, vec![waiter]);
-                    false
+                _ => {
+                    let gen = self.next_gen.fetch_add(1, Ordering::SeqCst);
+                    let flight = Flight { gen, waiters: vec![waiter], cancel: CancelToken::new() };
+                    let token = flight.cancel.clone();
+                    inflight.insert(identity, flight);
+                    Some((gen, token))
                 }
             }
         };
-        job.out.send(&Event::Started { id: job.id, deduped: joined });
-        if joined {
+        job.out.send(&Event::Started { id: job.id, deduped: lead.is_none() });
+        let Some((gen, token)) = lead else {
             self.counters.dedup_joined.fetch_add(1, Ordering::SeqCst);
             // A joiner holds no slot: its result arrives with the leader's.
             self.finish_slot();
             return;
-        }
+        };
         self.counters.evaluations.fetch_add(1, Ordering::SeqCst);
         // A dedicated thread, not `WorkerPool::spawn`: on a zero-worker
         // pool (single CPU) a fire-and-forget pool job only runs when some
@@ -307,56 +531,151 @@ impl ServerInner {
         let kind = job.kind;
         std::thread::Builder::new()
             .name(format!("serve-eval-{identity:032x}"))
-            .spawn(move || inner.execute(identity, kind))
+            .spawn(move || inner.execute(identity, gen, token, kind))
             .expect("spawn evaluation thread");
     }
 
-    /// Runs the handler as the leader for `identity` and fans the outcome
-    /// out to every waiter registered by completion time.
-    fn execute(self: &Arc<Self>, identity: u128, kind: RequestKind) {
+    /// Removes waiters (by `(conn, id)`) from the given flight if the
+    /// generation still matches, cancelling the flight when its last
+    /// waiter goes. Returns how many were removed.
+    fn reap_waiters(&self, identity: u128, gen: u64, dead: &[(u64, u64)]) -> u64 {
+        let mut inflight = self.lock_in_flight();
+        let Some(flight) = inflight.get_mut(&identity) else { return 0 };
+        if flight.gen != gen {
+            return 0;
+        }
+        let before = flight.waiters.len();
+        flight.waiters.retain(|w| !dead.contains(&(w.out.conn, w.id)));
+        let removed = (before - flight.waiters.len()) as u64;
+        if removed > 0 && flight.waiters.is_empty() {
+            flight.cancel.cancel();
+        }
+        removed
+    }
+
+    /// Runs the handler as the leader of `(identity, gen)` and fans the
+    /// outcome out to every waiter still registered at completion time.
+    fn execute(self: &Arc<Self>, identity: u128, gen: u64, token: CancelToken, kind: RequestKind) {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Install the flight's cancel token around the handler: any
+            // checkpoint the evaluation passes through now answers to
+            // this flight's waiters.
+            let _cancel = cancel::install(token);
             let progress = |note: &str| {
                 // Snapshot waiters, then send outside the lock: a stalled
-                // client socket must not block the dedup table.
-                let waiters = self.lock_in_flight().get(&identity).cloned().unwrap_or_default();
+                // client socket must not block the dedup table. A waiter
+                // whose write fails is reaped on the spot (satellite of
+                // the disconnected-waiter leak fix) so later fan-out
+                // skips it — and if it was the last one, the flight is
+                // cancelled.
+                let waiters = self
+                    .lock_in_flight()
+                    .get(&identity)
+                    .filter(|f| f.gen == gen)
+                    .map(|f| f.waiters.clone())
+                    .unwrap_or_default();
+                let mut dead: Vec<(u64, u64)> = Vec::new();
                 for w in &waiters {
-                    w.out.send(&Event::Progress { id: w.id, note: note.to_string() });
+                    if !w.out.send(&Event::Progress { id: w.id, note: note.to_string() }) {
+                        dead.push((w.out.conn, w.id));
+                    }
+                }
+                if !dead.is_empty() {
+                    self.count_cancelled(self.reap_waiters(identity, gen, &dead));
                 }
             };
             self.handler.handle(&kind, &progress)
         }));
-        let outcome = match outcome {
-            Ok(done) => done,
-            Err(_) => Err("evaluation panicked; see server log".to_string()),
+        enum Terminal {
+            Reply(Reply),
+            Fail(String),
+            Cancelled,
+        }
+        let terminal = match outcome {
+            Ok(Ok(reply)) => Terminal::Reply(reply),
+            Ok(Err(message)) => Terminal::Fail(message),
+            Err(payload) if payload.downcast_ref::<Cancelled>().is_some() => Terminal::Cancelled,
+            Err(_) => Terminal::Fail("evaluation panicked; see server log".to_string()),
         };
-        let waiters = self.lock_in_flight().remove(&identity).unwrap_or_default();
+        let waiters = {
+            let mut inflight = self.lock_in_flight();
+            match inflight.get(&identity) {
+                // Only this generation's entry belongs to this leader: a
+                // successor flight at the same identity is left alone.
+                Some(flight) if flight.gen == gen => {
+                    inflight.remove(&identity).map(|f| f.waiters).unwrap_or_default()
+                }
+                _ => Vec::new(),
+            }
+        };
         let mut evaluated = true;
         for w in &waiters {
-            match &outcome {
-                Ok(reply) => {
-                    w.out.send(&Event::Done {
-                        id: w.id,
-                        report: reply.report.clone(),
-                        module: reply.module.clone(),
-                        measurement: reply.measurement,
-                        evaluated,
-                    });
-                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+            let sent = match &terminal {
+                Terminal::Reply(reply) => w.out.send(&Event::Done {
+                    id: w.id,
+                    report: reply.report.clone(),
+                    module: reply.module.clone(),
+                    measurement: reply.measurement,
+                    evaluated,
+                }),
+                Terminal::Fail(message) => {
+                    w.out.send(&Event::Error { id: w.id, message: message.clone() })
                 }
-                Err(message) => {
-                    w.out.send(&Event::Error { id: w.id, message: message.clone() });
-                    self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                // Normally unreachable (cancellation implies zero
+                // waiters), but a waiter that raced in is answered, not
+                // stranded.
+                Terminal::Cancelled => {
+                    w.out.send(&Event::Rejected { id: w.id, reason: "cancelled".to_string() })
                 }
-            }
+            };
+            // Every waiter lands in exactly one terminal counter; a
+            // failed terminal write counts as cancelled — the client
+            // disconnected and never got an answer.
+            let counter = match (&terminal, sent) {
+                (_, false) | (Terminal::Cancelled, true) => &self.counters.cancelled,
+                (Terminal::Reply(_), true) => &self.counters.completed,
+                (Terminal::Fail(_), true) => &self.counters.errors,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
             evaluated = false;
         }
         self.finish_slot();
     }
 
+    /// Reader-exit cleanup: the connection is gone, so drop its queued
+    /// jobs, remove its waiters from every flight (cancelling flights
+    /// that empty), and stop all future writes to it.
+    fn reap_connection(&self, conn: u64, out: &Out) {
+        out.mark_dead();
+        let dropped = {
+            let mut s = self.lock_state();
+            s.drop_conn(conn)
+        };
+        if dropped > 0 {
+            self.count_cancelled(dropped);
+            self.wake.notify_all();
+        }
+        let mut reaped = 0u64;
+        {
+            let mut inflight = self.lock_in_flight();
+            for flight in inflight.values_mut() {
+                let before = flight.waiters.len();
+                flight.waiters.retain(|w| w.out.conn != conn);
+                let removed = (before - flight.waiters.len()) as u64;
+                if removed > 0 && flight.waiters.is_empty() {
+                    flight.cancel.cancel();
+                }
+                reaped += removed;
+            }
+        }
+        self.count_cancelled(reaped);
+    }
+
     /// Reads requests off one connection until EOF or drain shutdown.
     fn serve_conn(self: &Arc<Self>, stream: Stream) {
         let Ok(read_half) = stream.try_clone() else { return };
-        let out = Arc::new(Out::new(stream));
+        let conn = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        let out = Arc::new(Out::new(conn, stream, Arc::clone(&self.ctx)));
         let reader = BufReader::new(read_half);
         for line in reader.lines() {
             let Ok(line) = line else { break };
@@ -370,10 +689,14 @@ impl ServerInner {
                     continue;
                 }
             };
-            let Request { id, kind } = request;
+            let Request { id, kind, deadline_ms } = request;
             match kind {
-                RequestKind::Ping => out.send(&Event::Pong { id }),
-                RequestKind::Stats => out.send(&Event::Stats { id, stats: self.server_stats() }),
+                RequestKind::Ping => {
+                    out.send(&Event::Pong { id });
+                }
+                RequestKind::Stats => {
+                    out.send(&Event::Stats { id, stats: self.server_stats() });
+                }
                 RequestKind::Shutdown => {
                     out.send(&Event::ShuttingDown { id });
                     self.begin_drain();
@@ -381,10 +704,7 @@ impl ServerInner {
                 kind => {
                     if self.draining() {
                         self.counters.rejected.fetch_add(1, Ordering::SeqCst);
-                        out.send(&Event::Error {
-                            id,
-                            message: "server is draining; run in-process instead".to_string(),
-                        });
+                        out.send(&Event::Rejected { id, reason: "draining".to_string() });
                         continue;
                     }
                     // `queued` goes out before `admit` can block so the
@@ -392,17 +712,16 @@ impl ServerInner {
                     // held across `admit` (deadlock: full queue + fan-out
                     // to this same connection).
                     out.send(&Event::Queued { id });
-                    let admitted = self.admit(Job { id, kind, out: Arc::clone(&out) });
+                    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                    let admitted = self.admit(Job { id, kind, out: Arc::clone(&out), deadline });
                     if !admitted {
                         self.counters.rejected.fetch_add(1, Ordering::SeqCst);
-                        out.send(&Event::Error {
-                            id,
-                            message: "server is draining; run in-process instead".to_string(),
-                        });
+                        out.send(&Event::Rejected { id, reason: "draining".to_string() });
                     }
                 }
             }
         }
+        self.reap_connection(conn, &out);
     }
 }
 
@@ -434,6 +753,9 @@ impl Server {
             in_flight: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             counters: Counters::default(),
+            next_conn: AtomicU64::new(0),
+            next_gen: AtomicU64::new(0),
+            ctx: Arc::from(endpoint.to_string()),
             conns: Mutex::new(Vec::new()),
         });
         Ok(Server { inner, listener, endpoint, drain_on: None })
@@ -495,7 +817,7 @@ impl Server {
         drop(self.listener);
         {
             let mut s = self.inner.lock_state();
-            while !(s.queue.is_empty() && s.running == 0) {
+            while !(s.queued == 0 && s.running == 0) {
                 s = self.inner.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }

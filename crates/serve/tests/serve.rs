@@ -265,9 +265,10 @@ fn drain_finishes_in_flight_work_then_flushes_the_handler() {
     handle.drain();
     assert!(!drained.load(Ordering::SeqCst), "flush must not run before in-flight work ends");
 
-    // New work is refused while draining.
+    // New work is refused while draining — with a typed rejection, not a
+    // generic error, so clients can tell "shed" from "failed".
     match late.call(search("(module late)", 3), &mut |_| {}) {
-        Err(ClientError::Remote(msg)) => assert!(msg.contains("draining"), "got: {msg}"),
+        Err(ClientError::Rejected(reason)) => assert_eq!(reason, "draining"),
         other => panic!("expected a draining rejection, got {other:?}"),
     }
 

@@ -57,18 +57,30 @@ impl Index {
     /// yields an empty index (rebuilt lazily); malformed lines are
     /// skipped.
     pub fn load(path: &Path) -> Index {
-        let Ok(text) = std::fs::read_to_string(path) else { return Index::default() };
+        Index::load_report(path).0
+    }
+
+    /// [`Index::load`], also reporting whether the file was *damaged*:
+    /// it existed but its header or any of its lines could not be parsed
+    /// — the signature of a torn or interrupted index write. A missing
+    /// file is not damage (a fresh store has none); damage means the
+    /// advisory image cannot be trusted and should be rebuilt by rescan.
+    pub fn load_report(path: &Path) -> (Index, bool) {
+        let Ok(text) = std::fs::read_to_string(path) else { return (Index::default(), false) };
         let mut lines = text.lines();
         if lines.next() != Some(INDEX_HEADER) {
-            return Index::default();
+            return (Index::default(), true);
         }
         let mut index = Index::default();
+        let mut damaged = false;
         for line in lines {
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("clock") => {
                     if let Some(c) = parts.next().and_then(|v| v.parse().ok()) {
                         index.clock = c;
+                    } else {
+                        damaged = true;
                     }
                 }
                 Some("scope") => {
@@ -80,6 +92,7 @@ impl Index {
                     };
                     let Some(fp) = parts.next().and_then(|h| u128::from_str_radix(h, 16).ok())
                     else {
+                        damaged = true;
                         continue;
                     };
                     let (Some(entries), Some(bytes), Some(used)) = (
@@ -87,14 +100,16 @@ impl Index {
                         parse("bytes", &mut parts),
                         parse("used", &mut parts),
                     ) else {
+                        damaged = true;
                         continue;
                     };
                     index.scopes.insert(fp, ScopeRecord { entries, bytes, used });
                 }
-                _ => {}
+                None => {}
+                _ => damaged = true,
             }
         }
-        index
+        (index, damaged)
     }
 
     /// Renders the file image (sorted by fingerprint for stable diffs).
@@ -124,14 +139,31 @@ pub struct SharedIndex {
     /// pid-keyed temp path, so an unserialized rename could steal another
     /// saver's temp file (or persist the older of two images last).
     saving: Mutex<()>,
+    /// The on-disk file was torn or unreadable when loaded. Set at open,
+    /// cleared when [`SharedIndex::rebuild`] replaces the image with the
+    /// result of a full rescan.
+    damaged: std::sync::atomic::AtomicBool,
 }
 
 impl SharedIndex {
     /// Loads (or initializes) the index living at `root`.
     pub fn open(root: &Path) -> SharedIndex {
         let path = root.join(INDEX_FILE);
-        let data = Mutex::new(Index::load(&path));
-        SharedIndex { path, data, saving: Mutex::new(()) }
+        let (index, damaged) = Index::load_report(&path);
+        SharedIndex {
+            path,
+            data: Mutex::new(index),
+            saving: Mutex::new(()),
+            damaged: std::sync::atomic::AtomicBool::new(damaged),
+        }
+    }
+
+    /// Whether the on-disk image was damaged when this index was opened
+    /// (and has not been rebuilt since). The store reacts by rescanning
+    /// the logs — the index is advisory, so recovery is a rebuild, never
+    /// a data-loss event.
+    pub fn damaged(&self) -> bool {
+        self.damaged.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The index file's path.
@@ -179,6 +211,9 @@ impl SharedIndex {
                 r.used = prev.used;
             }
         }
+        // The image is now grounded in a full scan; any damage the load
+        // saw has been superseded.
+        self.damaged.store(false, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Snapshot of the current image.
@@ -194,8 +229,27 @@ impl SharedIndex {
         let tmp = self.path.with_extension(format!("v1.tmp.{}", std::process::id()));
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(image.as_bytes())?;
+            let mut bytes = image.as_bytes();
+            if optinline_fault::armed() {
+                let ctx = self.path.to_string_lossy();
+                match optinline_fault::write_cap("store.index.save", &ctx, bytes.len()) {
+                    optinline_fault::WriteFault::Pass => {}
+                    // Torn image published by the rename: the power-loss
+                    // shape that forces index recovery by rescan.
+                    optinline_fault::WriteFault::Truncate(keep) => bytes = &bytes[..keep],
+                    optinline_fault::WriteFault::Error => {
+                        // Leaves the temp file behind for the stale-tmp
+                        // sweep to find.
+                        return Err(optinline_fault::write_error("store.index.save"));
+                    }
+                }
+            }
+            f.write_all(bytes)?;
             f.flush()?;
+        }
+        if optinline_fault::armed() {
+            // Crash point with the temp fully written but unpublished.
+            optinline_fault::fail_point("store.index.rename", &self.path.to_string_lossy())?;
         }
         std::fs::rename(&tmp, &self.path)
     }

@@ -77,6 +77,13 @@ pub struct VerifyReport {
     /// Unrecognized files inside shard directories (editor droppings,
     /// stray temp files) — skipped, never touched, never fatal.
     pub foreign_files: u64,
+    /// Orphaned `*.tmp.<pid>` files swept: their writer is dead, so the
+    /// interrupted rewrite they belonged to will never be published.
+    pub stale_tmp_files: u64,
+    /// Logs whose torn trailing line (crash mid-append) was truncated
+    /// away during the scan. Repair, not damage: the torn entry was
+    /// never durably recorded.
+    pub repaired_logs: u64,
     /// Entry lines across all scopes still in the size-only grammar.
     pub size_only_lines: u64,
     /// Entry lines across all scopes carrying cycles.
@@ -141,7 +148,7 @@ impl LocalStore {
     /// and benches so handles within a process coalesce.
     pub fn open(dir: &Path, opts: StoreOptions) -> std::io::Result<Arc<LocalStore>> {
         std::fs::create_dir_all(dir)?;
-        Ok(Arc::new(LocalStore {
+        let store = Arc::new(LocalStore {
             root: dir.to_path_buf(),
             opts,
             index: Arc::new(SharedIndex::open(dir)),
@@ -149,7 +156,15 @@ impl LocalStore {
             retired: Arc::new(Mutex::new(ScopeCounters::default())),
             gc_evicted_scopes: AtomicU64::new(0),
             gc_evicted_bytes: AtomicU64::new(0),
-        }))
+        });
+        if store.index.damaged() {
+            // The index write was interrupted (torn tmp published, or the
+            // file otherwise unreadable). The index is advisory, so
+            // recovery is a rescan of the logs — which also rebuilds and
+            // re-persists a clean image.
+            let _ = store.verify();
+        }
+        Ok(store)
     }
 
     /// Opens (or joins) the process-wide shared store for `dir` with
@@ -359,20 +374,78 @@ impl LocalStore {
         Ok(report)
     }
 
+    /// Sweeps orphaned temp files left by interrupted atomic rewrites.
+    /// A `<name>.tmp.<pid>` whose writer is still alive is in use and
+    /// left alone (as is this process's own); one whose writer is gone
+    /// will never be renamed into place and is deleted. Where process
+    /// liveness cannot be checked, only files older than a minute go.
+    fn sweep_stale_tmp(&self) -> u64 {
+        fn writer_is_dead(path: &Path, pid: u64) -> bool {
+            if pid == std::process::id() as u64 {
+                return false;
+            }
+            if Path::new("/proc").is_dir() {
+                return !Path::new(&format!("/proc/{pid}")).exists();
+            }
+            path.metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age.as_secs() > 60)
+        }
+        fn sweep_dir(dir: &Path) -> u64 {
+            let mut removed = 0;
+            let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if !path.is_file() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(pid) =
+                    name.rsplit_once(".tmp.").and_then(|(_, pid)| pid.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                if writer_is_dead(&path, pid) && std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+            removed
+        }
+        let mut removed = sweep_dir(&self.root);
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                    removed += sweep_dir(&entry.path());
+                }
+            }
+        }
+        removed
+    }
+
     /// Structurally scans every scope log, counting damage, and rebuilds
     /// the index from what the scan found (preserving recency stamps for
-    /// surviving scopes).
+    /// surviving scopes). Doubles as the store's crash-recovery
+    /// primitive: torn log tails are truncated, orphaned temp files from
+    /// interrupted rewrites are swept, and the rebuilt index replaces
+    /// whatever a torn index write left behind.
     pub fn verify(&self) -> std::io::Result<VerifyReport> {
         // Flush first so the scan sees this process's own writes.
         for scope in self.live_scopes() {
             scope.flush()?;
         }
-        let mut report = VerifyReport::default();
+        let mut report =
+            VerifyReport { stale_tmp_files: self.sweep_stale_tmp(), ..VerifyReport::default() };
         let mut rebuilt: HashMap<u128, ScopeRecord> = HashMap::new();
         let scan = self.scan()?;
         report.foreign_files = scan.foreign_files;
-        for log in scan.logs {
+        for mut log in scan.logs {
             report.scopes += 1;
+            if let Ok(dropped @ 1..) = crate::scope::truncate_torn_tail(&log.path) {
+                report.repaired_logs += 1;
+                log.bytes = log.bytes.saturating_sub(dropped);
+            }
             report.bytes += log.bytes;
             let Ok(text) = std::fs::read_to_string(&log.path) else {
                 report.unreadable_logs += 1;

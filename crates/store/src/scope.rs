@@ -87,20 +87,46 @@ impl ScopeCounters {
     }
 }
 
-/// Whether the file's final byte is a newline (empty files count as
-/// terminated). Used to detect partial trailing lines after a crash.
-fn ends_with_newline(path: &Path) -> bool {
+/// Truncates a partial trailing line (a crash mid-append leaves bytes
+/// after the last newline) down to the last newline-terminated prefix.
+/// The torn entry was never durably recorded, so dropping its bytes is
+/// recovery, not data loss — and unlike terminating the line in place,
+/// truncation leaves nothing behind for `verify` to count as damage.
+/// Returns the number of bytes dropped (0 when the tail is intact).
+pub(crate) fn truncate_torn_tail(path: &Path) -> std::io::Result<u64> {
     use std::io::{Read, Seek, SeekFrom};
-    let Ok(mut f) = File::open(path) else { return true };
-    let Ok(len) = f.metadata().map(|m| m.len()) else { return true };
+    let mut f = match OpenOptions::new().read(true).write(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let len = f.metadata()?.len();
     if len == 0 {
-        return true;
+        return Ok(0);
     }
-    if f.seek(SeekFrom::End(-1)).is_err() {
-        return true;
+    // Scan backwards in chunks for the last newline; the common case
+    // (intact tail) touches exactly one byte.
+    let mut end = len;
+    let mut buf = [0u8; 4096];
+    while end > 0 {
+        let start = end.saturating_sub(buf.len() as u64);
+        let chunk = &mut buf[..(end - start) as usize];
+        f.seek(SeekFrom::Start(start))?;
+        f.read_exact(chunk)?;
+        if let Some(at) = chunk.iter().rposition(|&b| b == b'\n') {
+            let keep = start + at as u64 + 1;
+            if keep == len {
+                return Ok(0);
+            }
+            f.set_len(keep)?;
+            return Ok(len - keep);
+        }
+        end = start;
     }
-    let mut b = [0u8; 1];
-    f.read_exact(&mut b).map(|_| b[0] == b'\n').unwrap_or(true)
+    // No newline at all: the whole file is one torn write (a crash while
+    // stamping a fresh header). Restart from empty.
+    f.set_len(0)?;
+    Ok(len)
 }
 
 /// What a log parse recovered.
@@ -173,8 +199,28 @@ fn rewrite_log(
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(image.as_bytes())?;
+        let mut bytes = image.as_bytes();
+        if optinline_fault::armed() {
+            let ctx = path.to_string_lossy();
+            match optinline_fault::write_cap("store.rewrite", &ctx, bytes.len()) {
+                optinline_fault::WriteFault::Pass => {}
+                // A torn image that still gets renamed models power loss
+                // after the rename metadata reached disk but the data
+                // pages did not.
+                optinline_fault::WriteFault::Truncate(keep) => bytes = &bytes[..keep],
+                optinline_fault::WriteFault::Error => {
+                    // The temp file stays behind — exactly the stale-tmp
+                    // artifact `verify` sweeps.
+                    return Err(optinline_fault::write_error("store.rewrite"));
+                }
+            }
+        }
+        f.write_all(bytes)?;
         f.flush()?;
+    }
+    if optinline_fault::armed() {
+        // Crash point between the temp write and the publishing rename.
+        optinline_fault::fail_point("store.rewrite.rename", &path.to_string_lossy())?;
     }
     std::fs::rename(&tmp, path)?;
     Ok(image.len() as u64)
@@ -272,6 +318,11 @@ impl Scope {
             }
         }
 
+        // Crash recovery before anything reads the log: drop a torn
+        // trailing line so it neither loads as damage nor splices with
+        // the next append.
+        truncate_torn_tail(&path)?;
+
         let (mut entries, mut dead_bytes, restart) = match File::open(&path) {
             Ok(f) => {
                 let out = load_log(f, HEADER, &meta);
@@ -292,11 +343,6 @@ impl Scope {
         let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
         if file.metadata().map(|m| m.len() == 0).unwrap_or(true) {
             write!(file, "{HEADER}\n{META_PREFIX}{meta}\n")?;
-            file.flush()?;
-        } else if !ends_with_newline(&path) {
-            // A crash mid-append left a partial line; terminate it so the
-            // next append can't splice onto the damaged bytes.
-            writeln!(file)?;
             file.flush()?;
         }
         let disk_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
@@ -505,6 +551,22 @@ impl ScopeInner {
         let lines = state.pending_lines;
         let buf = std::mem::take(&mut state.pending);
         state.pending_lines = 0;
+        if optinline_fault::armed() {
+            let ctx = self.path.to_string_lossy();
+            match optinline_fault::write_cap("store.append", &ctx, buf.len()) {
+                optinline_fault::WriteFault::Pass => {}
+                // Torn append: a strict prefix reaches the log — the shape
+                // a crash mid-write leaves, which reopen recovery truncates.
+                optinline_fault::WriteFault::Truncate(keep) => {
+                    let _ = state.file.write_all(&buf.as_bytes()[..keep]);
+                    let _ = state.file.flush();
+                    return Err(optinline_fault::write_error("store.append"));
+                }
+                optinline_fault::WriteFault::Error => {
+                    return Err(optinline_fault::write_error("store.append"));
+                }
+            }
+        }
         state.file.write_all(buf.as_bytes())?;
         state.file.flush()?;
         self.appends.fetch_add(1, Ordering::Relaxed);

@@ -727,3 +727,129 @@ fn concurrent_gc_and_put_never_resurrect_evicted_scopes() {
     assert!(report.clean(), "no damage after the race: {report:?}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn torn_tail_recovery_leaves_verify_clean() {
+    let dir = tmpdir("torn-clean");
+    let fp = 0x7c1e_u128;
+    let path = log_path(&dir, fp);
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[]), m(100));
+        scope.put(k(&[2]), m(90));
+        scope.flush().unwrap();
+    }
+    // Crash mid-append: a partial entry line with no trailing newline.
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    text.push_str("80 s1,s");
+    std::fs::write(&path, &text).unwrap();
+
+    // Reopen truncates the torn bytes instead of terminating them, so a
+    // subsequent structural scan finds zero damage.
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let scope = store.scope(spec(fp)).unwrap();
+    assert_eq!(scope.counters().loaded, 2, "the torn entry was never data");
+    let report = store.verify().unwrap();
+    assert!(report.clean(), "verify must be clean after crash recovery: {report:?}");
+    assert_eq!(report.malformed_lines, 0);
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert!(on_disk.ends_with('\n'), "the log ends on a line boundary again");
+    assert!(!on_disk.contains("s1,s"), "the torn bytes are gone");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_repairs_a_torn_tail_it_finds() {
+    let dir = tmpdir("verify-repair");
+    let fp = 0x7c2e_u128;
+    let path = log_path(&dir, fp);
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[]), m(100));
+        scope.flush().unwrap();
+    }
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    text.push_str("99 s3");
+    std::fs::write(&path, &text).unwrap();
+
+    // No reopen of the scope: verify itself is the recovery pass.
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let report = store.verify().unwrap();
+    assert_eq!(report.repaired_logs, 1, "the torn tail was truncated by the scan");
+    assert!(report.clean(), "repair leaves no damage behind: {report:?}");
+    assert_eq!(report.entries, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn damaged_index_recovers_by_rescan_on_open() {
+    use optinline_store::INDEX_FILE;
+    let dir = tmpdir("index-recover");
+    let fp = 0x1dec_u128;
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[]), m(100));
+        scope.put(k(&[1]), m(90));
+        store.flush_all().unwrap();
+    }
+    // Tear the index as an interrupted atomic write would: a truncated
+    // image published over the real one.
+    let index_path = dir.join(INDEX_FILE);
+    let image = std::fs::read_to_string(&index_path).unwrap();
+    std::fs::write(&index_path, &image[..image.len() - 7]).unwrap();
+
+    // Reopen: the damage is detected and the index rebuilt by rescan.
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let stats = store.store_stats();
+    assert_eq!(stats.scopes, 1, "the rescued index knows the scope again");
+    assert_eq!(stats.entries, 2);
+    let reloaded = std::fs::read_to_string(&index_path).unwrap();
+    assert!(reloaded.starts_with("optinline-index v1\n"), "a clean image was re-persisted");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_unreadable_index_header_also_triggers_rescan() {
+    use optinline_store::INDEX_FILE;
+    let dir = tmpdir("index-header");
+    let fp = 0x1ded_u128;
+    {
+        let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+        let scope = store.scope(spec(fp)).unwrap();
+        scope.put(k(&[]), m(77));
+        store.flush_all().unwrap();
+    }
+    std::fs::write(dir.join(INDEX_FILE), "garbage header\nwhatever\n").unwrap();
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(store.store_stats().scopes, 1, "rescan recovery found the log");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_sweeps_orphaned_tmp_files_but_spares_live_ones() {
+    let dir = tmpdir("tmp-sweep");
+    let fp = 0x5e1f_u128;
+    let store = LocalStore::open(&dir, StoreOptions::default()).unwrap();
+    let scope = store.scope(spec(fp)).unwrap();
+    scope.put(k(&[]), m(10));
+    scope.flush().unwrap();
+
+    // An orphan from a dead writer (pid far outside any live range) and
+    // one belonging to this very process.
+    let shard = log_path(&dir, fp).parent().unwrap().to_path_buf();
+    let orphan = shard.join("deadbeef.tmp.999999999");
+    let own = shard.join(format!("cafe.tmp.{}", std::process::id()));
+    std::fs::write(&orphan, "half an image").unwrap();
+    std::fs::write(&own, "in progress").unwrap();
+
+    let report = store.verify().unwrap();
+    assert_eq!(report.stale_tmp_files, 1, "exactly the orphan was swept: {report:?}");
+    assert!(!orphan.exists(), "the dead writer's temp file is gone");
+    assert!(own.exists(), "this process's own temp file is untouched");
+    assert!(report.clean());
+    let _ = std::fs::remove_file(&own);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
