@@ -37,7 +37,7 @@ fn boot(tag: &str) -> (Endpoint, ServerHandle) {
     let server = Server::bind(
         endpoint.clone(),
         Box::new(SlowHandler),
-        ServeOptions { queue_capacity: CLIENTS, max_concurrent: SLOTS },
+        ServeOptions { queue_capacity: CLIENTS, max_concurrent: SLOTS, ..ServeOptions::default() },
     )
     .expect("daemon binds");
     (endpoint, server.start())

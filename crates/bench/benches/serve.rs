@@ -31,7 +31,7 @@ fn boot(tag: &str, handler: Box<dyn Handler>, max_concurrent: usize) -> (Endpoin
     let server = Server::bind(
         endpoint.clone(),
         handler,
-        ServeOptions { queue_capacity: 64, max_concurrent },
+        ServeOptions { queue_capacity: 64, max_concurrent, ..ServeOptions::default() },
     )
     .expect("daemon binds");
     (endpoint, server.start())
@@ -112,6 +112,44 @@ fn bench_transport(c: &mut Criterion) {
     group.bench_function("noop_request", |b| {
         b.iter(|| client.call(kind.clone(), &mut |_| {}).expect("echoed").report.len())
     });
+
+    // Regression tripwire for the event loop: a ping must never become
+    // tick-bound. The old accept path slept 20 ms between accept polls;
+    // a poll-loop bug that parks a ready connection until the next
+    // timeout would show up here as a ~25 ms median. The bound is loose
+    // (real medians are tens of microseconds) so only a tick-scale
+    // regression trips it, not CI noise.
+    let mut rtts: Vec<std::time::Duration> = (0..200)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            client.ping().expect("pong");
+            t0.elapsed()
+        })
+        .collect();
+    rtts.sort();
+    let median_rtt = rtts[rtts.len() / 2];
+    assert!(
+        median_rtt < std::time::Duration::from_millis(5),
+        "median ping round-trip {median_rtt:?} is tick-scale: readiness regression"
+    );
+    // Same tripwire for accept: dial-to-first-pong must not inherit a
+    // sleep-based accept loop (the old one cost up to 20 ms per dial).
+    let mut dials: Vec<std::time::Duration> = (0..50)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let mut fresh = Client::connect(&endpoint).expect("client connects");
+            fresh.ping().expect("pong");
+            t0.elapsed()
+        })
+        .collect();
+    dials.sort();
+    let median_dial = dials[dials.len() / 2];
+    assert!(
+        median_dial < std::time::Duration::from_millis(10),
+        "median dial+ping {median_dial:?} is sleep-scale: accept readiness regression"
+    );
+    println!("serve_transport: median ping {median_rtt:?}, median dial+ping {median_dial:?}");
+
     drop(client);
     handle.drain();
     handle.join().expect("clean exit");

@@ -178,7 +178,7 @@ fn chaos_serve(seed: u64, report: &mut ChaosReport) {
     let server = match Server::bind(
         endpoint.clone(),
         Box::new(ChaosHandler),
-        ServeOptions { queue_capacity: 32, max_concurrent: 2 },
+        ServeOptions { queue_capacity: 32, max_concurrent: 2, ..ServeOptions::default() },
     ) {
         Ok(s) => s,
         Err(e) => {

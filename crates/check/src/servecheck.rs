@@ -183,7 +183,11 @@ pub fn check_serve_equivalence(module: &Module, seed: u64) -> Option<ServeReport
     let server = match Server::bind(
         endpoint.clone(),
         Box::new(SharedHandler(Arc::clone(&handler))),
-        ServeOptions { queue_capacity: 16, max_concurrent: DEDUP_CLIENTS },
+        ServeOptions {
+            queue_capacity: 16,
+            max_concurrent: DEDUP_CLIENTS,
+            ..ServeOptions::default()
+        },
     ) {
         Ok(s) => s,
         Err(e) => {

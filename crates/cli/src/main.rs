@@ -8,7 +8,7 @@ use optinline_cli::{
     cmd_gen, cmd_link, cmd_optimize, cmd_print, cmd_run, cmd_search, cmd_stats, CacheAction,
     CliError, EvalOptions, InitChoice, Objective, OptimizeOptions, StrategyChoice, TargetChoice,
 };
-use optinline_serve::{ClientConfig, RequestKind};
+use optinline_serve::{loadgen, ClientConfig, RequestKind};
 
 const USAGE: &str = "\
 optinline — optimal function inlining toolkit (ASPLOS'22 reproduction)
@@ -33,6 +33,9 @@ usage:
   optinline serve    [--socket PATH | --tcp ADDR] [--cache-dir DIR]
                                [--cache-budget-bytes N] [--queue N]
                                [--max-concurrent N]
+  optinline loadgen  [--connect EP] [--connections N] [--requests N]
+                               [--mix ping|search|ping:9,search:1]
+                               [--threads N] [--seed N] [--deadline-ms N]
   optinline cache    stats|gc|verify|compact --cache-dir DIR
                                [--cache-budget-bytes N]   (gc only)
   optinline run      <file.ir>
@@ -303,6 +306,41 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
                     .unwrap_or(0),
             };
             print!("{}", cmd_serve(config)?);
+            Ok(())
+        }
+        "loadgen" => {
+            let endpoint = match args.flag("connect") {
+                Some(ep) => parse_endpoint(ep),
+                None => optinline_serve::Endpoint::Unix(default_socket_path()),
+            };
+            let connections: usize = args.flag("connections").unwrap_or("64").parse()?;
+            let seed: u64 = args.flag("seed").unwrap_or("0").parse()?;
+            let mix = loadgen::LoadMix::parse(args.flag("mix").unwrap_or("ping"))
+                .map_err(CliError::from)?;
+            // Search requests need a module; a small deterministic one
+            // generated from the seed keeps runs replayable.
+            let search_source = if mix.search > 0 { Some(cmd_gen(seed, 6, 2)?) } else { None };
+            let opts = loadgen::LoadgenOptions {
+                connections,
+                requests: args
+                    .flag("requests")
+                    .map(str::parse)
+                    .transpose()?
+                    .unwrap_or(connections as u64 * 10),
+                threads: args.flag("threads").unwrap_or("0").parse()?,
+                seed,
+                mix,
+                search_source,
+                deadline_ms: args.flag("deadline-ms").map(str::parse).transpose()?,
+            };
+            let report = loadgen::run(&endpoint, &opts).map_err(CliError::from)?;
+            print!("{}", report.render(&opts));
+            if report.errors > 0 {
+                return Err(format!("loadgen saw {} request errors", report.errors).into());
+            }
+            if report.balanced() == Some(false) {
+                return Err("server accounting is unbalanced after the load".into());
+            }
             Ok(())
         }
         "run" => {

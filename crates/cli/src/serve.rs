@@ -239,6 +239,9 @@ pub fn render_server_stats(stats: &ServerStats) -> String {
     let _ = writeln!(out, "errors:        {}", stats.errors);
     let _ = writeln!(out, "shed deadline: {}", stats.shed_deadline);
     let _ = writeln!(out, "cancelled:     {}", stats.cancelled);
+    let _ = writeln!(out, "peak conns:    {}", stats.peak_connections);
+    let _ = writeln!(out, "slow readers:  {}", stats.slow_reader_disconnects);
+    let _ = writeln!(out, "poll wakeups:  {}", stats.poll_wakeups);
     out
 }
 

@@ -21,6 +21,7 @@
 //! identical in-flight requests, so a duplicate send converges on the
 //! same bytes and at most one evaluation.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
 
@@ -128,6 +129,16 @@ pub struct Outcome {
     pub evaluated: bool,
 }
 
+/// What the event stream has revealed so far about one pipelined request
+/// that has not been [`finish`](Client::finish)ed yet.
+#[derive(Debug, Default)]
+struct Pending {
+    deduped: bool,
+    /// A terminal event that arrived while the caller was waiting on a
+    /// *different* pipelined request.
+    terminal: Option<Event>,
+}
+
 /// One connection to a running daemon.
 #[derive(Debug)]
 pub struct Client {
@@ -136,6 +147,12 @@ pub struct Client {
     reader: BufReader<Stream>,
     writer: Stream,
     next_id: u64,
+    /// How many times this client has dialed (1 after connect; +1 per
+    /// reconnect). A sequential request loop over one healthy daemon
+    /// must leave this at 1 — the persistent-reuse regression guard.
+    dials: u64,
+    /// Requests started but not yet finished, for the pipelined API.
+    pending: HashMap<u64, Pending>,
 }
 
 /// FNV-1a over the jitter inputs: the deterministic randomness source
@@ -180,7 +197,17 @@ impl Client {
             reader: BufReader::new(read_half),
             writer: stream,
             next_id: 1,
+            dials: 1,
+            pending: HashMap::new(),
         })
+    }
+
+    /// How many times this client has dialed the endpoint (the initial
+    /// connect counts as one). Sequential requests over a healthy daemon
+    /// reuse the connection, so this stays at 1 unless a mid-stream
+    /// retry had to reconnect.
+    pub fn dials(&self) -> u64 {
+        self.dials
     }
 
     /// Replaces this client's connection with a freshly dialed one
@@ -192,6 +219,10 @@ impl Client {
         let read_half = stream.try_clone().map_err(ClientError::Connect)?;
         self.reader = BufReader::new(read_half);
         self.writer = stream;
+        self.dials += 1;
+        // Events for pipelined requests sent on the old connection can
+        // never arrive now; their `finish` calls must fail, not hang.
+        self.pending.clear();
         Ok(())
     }
 
@@ -271,6 +302,87 @@ impl Client {
                 other => {
                     return Err(ClientError::Protocol(format!(
                         "unexpected event for request {id}: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Sends one request without waiting for its answer, so many
+    /// requests can ride one connection back-to-back (the load-generator
+    /// path). Returns the request id to pass to [`Client::finish`].
+    ///
+    /// Only `ping` and evaluation kinds may be pipelined; interleave no
+    /// [`Client::call`] / [`Client::ping`] / [`Client::server_stats`]
+    /// while pipelined requests are outstanding — those read the stream
+    /// directly and would trip over the out-of-order events.
+    pub fn start(&mut self, kind: RequestKind) -> Result<u64, ClientError> {
+        let id = self.send(kind)?;
+        self.pending.insert(id, Pending::default());
+        Ok(id)
+    }
+
+    /// Waits for the terminal answer to a pipelined request. Terminal
+    /// events for *other* outstanding requests that arrive meanwhile are
+    /// parked and handed out by their own `finish` calls, so completion
+    /// order does not have to match send order. Returns `None` for a
+    /// `ping` (its terminal is `pong`), the outcome otherwise.
+    pub fn finish(
+        &mut self,
+        id: u64,
+        progress: &mut dyn FnMut(&str),
+    ) -> Result<Option<Outcome>, ClientError> {
+        loop {
+            let Some(state) = self.pending.get_mut(&id) else {
+                return Err(ClientError::Protocol(format!("request {id} is not in flight")));
+            };
+            if let Some(terminal) = state.terminal.take() {
+                let deduped = state.deduped;
+                self.pending.remove(&id);
+                return match terminal {
+                    Event::Pong { .. } => Ok(None),
+                    Event::Done { report, module, measurement, evaluated, .. } => {
+                        Ok(Some(Outcome { report, module, measurement, deduped, evaluated }))
+                    }
+                    Event::Error { message, .. } => Err(ClientError::Remote(message)),
+                    Event::Rejected { reason, .. } => Err(ClientError::Rejected(reason)),
+                    other => Err(ClientError::Protocol(format!(
+                        "unexpected terminal for request {id}: {other:?}"
+                    ))),
+                };
+            }
+            match self.read_event()? {
+                Event::Queued { .. } => {}
+                Event::Started { id: eid, deduped } => {
+                    if let Some(p) = self.pending.get_mut(&eid) {
+                        p.deduped = deduped;
+                    }
+                }
+                Event::Progress { id: eid, note } => {
+                    if eid == id {
+                        progress(&note);
+                    }
+                }
+                terminal @ (Event::Pong { .. }
+                | Event::Done { .. }
+                | Event::Error { .. }
+                | Event::Rejected { .. }) => {
+                    let eid = match &terminal {
+                        Event::Pong { id }
+                        | Event::Done { id, .. }
+                        | Event::Error { id, .. }
+                        | Event::Rejected { id, .. } => *id,
+                        _ => unreachable!(),
+                    };
+                    if let Some(p) = self.pending.get_mut(&eid) {
+                        p.terminal = Some(terminal);
+                    }
+                    // An untracked id is stale fan-out from before a
+                    // reconnect; ignoring it keeps the stream in sync.
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected event while pipelining: {other:?}"
                     )));
                 }
             }

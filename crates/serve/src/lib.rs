@@ -26,6 +26,8 @@
 //!   fan-out, graceful drain.
 //! - [`Client`]: dial, stream events, distinguish "no daemon answered"
 //!   (fall back in-process) from mid-flight failures.
+//! - [`loadgen`]: a deterministic closed-loop load generator driving
+//!   thousands of persistent connections through the pipelined client.
 //! - [`install_drain_handler`]: a SIGTERM/SIGINT latch the server polls.
 
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ mod net;
 pub mod proto;
 
 mod client;
+pub mod loadgen;
 mod server;
 mod signal;
 

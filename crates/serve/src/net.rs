@@ -1,9 +1,18 @@
 //! Transport: a Unix domain socket by default, TCP behind a flag — both
 //! presented as one stream/listener pair so the protocol layers above
 //! never mention the address family.
+//!
+//! Also home to the event-loop plumbing the server's poll thread uses:
+//! a `poll(2)` FFI shim (std-only, the same pattern as the `signal(2)`
+//! shim in `signal.rs`), raw-fd access for registering streams with it,
+//! and a socketpair [`Waker`] other threads use to interrupt a sleeping
+//! poll. On non-Unix platforms the shim reports `Unsupported` at run
+//! time; the rest of the crate still compiles.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -213,5 +222,165 @@ impl Listener {
             Listener::Unix(_) => None,
             Listener::Tcp(l) => l.local_addr().ok(),
         }
+    }
+
+    /// The fd to register with `poll(2)`.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+impl Stream {
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The fd to register with `poll(2)`.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+/// One entry handed to `poll(2)` — the C `struct pollfd` layout.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+/// Readable (or a pending accept on a listener).
+pub(crate) const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub(crate) const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub(crate) const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub(crate) const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only) — always a server bug.
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+#[cfg(unix)]
+mod poll_imp {
+    use super::PollFd;
+
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on macOS;
+    // the call itself is in POSIX, so this is the whole shim.
+    #[cfg(target_os = "macos")]
+    type Nfds = u32;
+    #[cfg(not(target_os = "macos"))]
+    type Nfds = u64;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: i32) -> i32;
+    }
+
+    /// Blocks until an fd in `fds` is ready, `timeout_ms` elapses, or a
+    /// signal lands. EINTR is reported as `Ok(0)` — for the caller it is
+    /// a drain-flag check opportunity, not an error.
+    pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(not(unix))]
+mod poll_imp {
+    use super::PollFd;
+
+    pub(crate) fn poll_fds(_fds: &mut [PollFd], _timeout_ms: i32) -> std::io::Result<usize> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "the event loop needs poll(2); this platform has no shim",
+        ))
+    }
+}
+
+pub(crate) use poll_imp::poll_fds;
+
+/// Wakes a sleeping `poll` from another thread: one end of a socketpair
+/// sits in the poll set, the other takes a best-effort byte. A full pipe
+/// means a wake is already pending, which is all a waker must guarantee.
+#[cfg(unix)]
+#[derive(Debug)]
+pub(crate) struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    pub(crate) fn new() -> std::io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Nudges the poll loop. Never blocks, never fails visibly.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Swallows pending wake bytes so the fd goes quiet until the next
+    /// `wake`. Poll-thread only.
+    pub(crate) fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    pub(crate) fn fd(&self) -> i32 {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// No-op waker: the non-Unix event loop fails at `poll_fds` before any
+/// wake matters, but the server must still *construct*.
+#[cfg(not(unix))]
+#[derive(Debug)]
+pub(crate) struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    pub(crate) fn new() -> std::io::Result<Waker> {
+        Ok(Waker)
+    }
+
+    pub(crate) fn wake(&self) {}
+
+    pub(crate) fn drain(&self) {}
+
+    pub(crate) fn fd(&self) -> i32 {
+        -1
     }
 }

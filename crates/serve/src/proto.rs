@@ -332,6 +332,16 @@ pub struct ServerStats {
     pub queue_depth: u64,
     /// Leader evaluations executing right now.
     pub in_flight: u64,
+    /// Connections the poll loop holds open right now.
+    pub open_connections: u64,
+    /// Most connections ever open at once over this daemon's lifetime.
+    pub peak_connections: u64,
+    /// Connections dropped because their bounded outbound buffer
+    /// overflowed (a reader too slow for its own event stream).
+    pub slow_reader_disconnects: u64,
+    /// Times the poll loop woke up (readiness, waker, or timeout) — the
+    /// event-loop heartbeat, useful for spotting spin regressions.
+    pub poll_wakeups: u64,
 }
 
 fn get_u64(obj: &Object, key: &str) -> Result<u64, String> {
@@ -538,6 +548,13 @@ pub fn encode_event(event: &Event) -> String {
             obj.insert("cancelled".into(), Value::Int(stats.cancelled as i64));
             obj.insert("queue_depth".into(), Value::Int(stats.queue_depth as i64));
             obj.insert("in_flight".into(), Value::Int(stats.in_flight as i64));
+            obj.insert("open_connections".into(), Value::Int(stats.open_connections as i64));
+            obj.insert("peak_connections".into(), Value::Int(stats.peak_connections as i64));
+            obj.insert(
+                "slow_reader_disconnects".into(),
+                Value::Int(stats.slow_reader_disconnects as i64),
+            );
+            obj.insert("poll_wakeups".into(), Value::Int(stats.poll_wakeups as i64));
             (*id, "stats")
         }
         Event::ShuttingDown { id } => (*id, "shutting_down"),
@@ -578,6 +595,10 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
                 cancelled: get_u64_or_0(&obj, "cancelled")?,
                 queue_depth: get_u64(&obj, "queue_depth")?,
                 in_flight: get_u64(&obj, "in_flight")?,
+                open_connections: get_u64_or_0(&obj, "open_connections")?,
+                peak_connections: get_u64_or_0(&obj, "peak_connections")?,
+                slow_reader_disconnects: get_u64_or_0(&obj, "slow_reader_disconnects")?,
+                poll_wakeups: get_u64_or_0(&obj, "poll_wakeups")?,
             },
         }),
         "shutting_down" => Ok(Event::ShuttingDown { id }),
@@ -695,6 +716,10 @@ mod tests {
                     cancelled: 2,
                     queue_depth: 0,
                     in_flight: 0,
+                    open_connections: 3,
+                    peak_connections: 32,
+                    slow_reader_disconnects: 1,
+                    poll_wakeups: 97,
                 },
             },
             Event::ShuttingDown { id: 3 },
@@ -718,6 +743,8 @@ mod tests {
         assert_eq!(stats.shed_deadline, 0);
         assert_eq!(stats.cancelled, 0);
         assert_eq!(stats.completed, 4);
+        assert_eq!(stats.peak_connections, 0, "pre-gauge daemons decode with zero gauges");
+        assert_eq!(stats.poll_wakeups, 0);
     }
 
     #[test]

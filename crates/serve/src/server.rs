@@ -1,13 +1,20 @@
-//! The daemon: fair bounded admission, in-flight dedup, deadlines,
-//! cooperative cancellation, graceful drain.
+//! The daemon: event-driven connection multiplexing, fair bounded
+//! admission, in-flight dedup, deadlines, cooperative cancellation,
+//! graceful drain.
 //!
 //! # Life of a request
 //!
-//! A connection reader thread decodes one request per line. Admin
-//! requests (`ping`, `stats`, `shutdown`) are answered inline. Evaluation
-//! requests are acknowledged with `queued` and pushed into a bounded
-//! admission structure — when it is full the reader blocks, which
-//! back-pressures the client through the socket.
+//! A single **poll loop** thread owns the listener and every client
+//! socket, all non-blocking, registered with `poll(2)` (the FFI shim in
+//! `net.rs`). Readiness drives everything: pending connects are
+//! accepted, readable sockets are drained into per-connection line
+//! buffers, and each complete line decodes into one request. Admin
+//! requests (`ping`, `stats`, `shutdown`) are answered inline on the
+//! poll thread. Evaluation requests are acknowledged with `queued` and
+//! pushed into the bounded admission structure — when it is full the
+//! decoded job is *parked* and the connection's read interest is
+//! dropped, which back-pressures the client through the socket exactly
+//! like the old blocking reader did, without holding a thread.
 //!
 //! Admission is **round-robin per connection**, not a global FIFO: each
 //! connection owns a sub-queue and the dispatcher takes one job per
@@ -25,6 +32,20 @@
 //! the handler is caught and reported as an `error` event so joiners are
 //! never stranded.
 //!
+//! # Outbound buffering and slow readers
+//!
+//! No thread ever writes to a socket except the poll loop. [`Out::send`]
+//! appends the encoded event to the connection's bounded outbound buffer
+//! and nudges the poll loop through its waker; the loop drains buffers
+//! opportunistically and on `POLLOUT`. A stalled client therefore cannot
+//! block the dispatcher or an evaluation's fan-out — its buffer just
+//! grows until the bound trips, at which point everything pending is
+//! replaced by a typed `rejected{slow_reader}` farewell and the
+//! connection is doomed: one best-effort farewell flush, then disconnect
+//! and the usual waiter reaping. A single event larger than the bound is
+//! allowed into an *empty* buffer, so memory stays bounded by
+//! `out_buffer_cap + one event` without a frame-size ceiling.
+//!
 //! # Deadlines and shedding
 //!
 //! A request may carry a queue-time budget (`deadline_ms`). The
@@ -32,13 +53,16 @@
 //! answers them with a typed `rejected{deadline}` event — under overload
 //! the daemon sheds late work instead of evaluating it after the client
 //! stopped caring, and the shed is always observable, never a silent
-//! drop.
+//! drop. A *parked* job (never admitted) that expires is refused with
+//! the same event but counts as `rejected`, not `shed_deadline`, so the
+//! accepted-side ledger never sees a request it never accepted.
 //!
 //! # Cancellation
 //!
-//! A waiter whose socket write fails is reaped from its flight
-//! immediately, and a connection's death reaps its queued jobs and all
-//! its waiters. A flight whose **last** waiter disappears has its
+//! A waiter whose event cannot be delivered (dead or doomed connection)
+//! is reaped from its flight immediately, and a connection's death reaps
+//! its queued jobs and all its waiters. A flight whose **last** waiter
+//! disappears has its
 //! [`CancelToken`](optinline_ir::cancel::CancelToken) cancelled; the
 //! evaluation notices at its next pass/search checkpoint and unwinds with
 //! a `Cancelled` payload, which the executor absorbs — nobody is waiting
@@ -50,13 +74,17 @@
 //!
 //! `shutdown` requests, [`ServerHandle::drain`], and an optional external
 //! [`AtomicBool`] (wired to SIGTERM by the CLI) all trip the same flag:
-//! stop admitting (new work is answered `rejected{draining}`), finish
-//! what is queued and running, tell the handler to flush durable state
-//! ([`Handler::drained`]), close connections, remove the Unix socket
-//! file, and return final [`ServerStats`].
+//! the listener is dropped (new connects fail fast), new work is
+//! answered `rejected{draining}`, queued and running work finishes, the
+//! remaining outbound buffers are flushed (bounded by a grace period so
+//! one stalled reader cannot hold the exit hostage), the handler flushes
+//! durable state ([`Handler::drained`]), connections close, the Unix
+//! socket file is removed, and final [`ServerStats`] are returned. The
+//! SIGTERM flag is re-checked every poll timeout tick, which is the only
+//! periodic wake-up left — accept and I/O latency come from readiness.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -64,15 +92,28 @@ use std::time::{Duration, Instant};
 
 use optinline_ir::cancel::{self, CancelToken, Cancelled};
 
-use crate::net::{Endpoint, Listener, Stream};
+use crate::net::{
+    poll_fds, Endpoint, Listener, PollFd, Stream, Waker, POLLERR, POLLHUP, POLLIN, POLLNVAL,
+    POLLOUT,
+};
 use crate::proto::{self, Event, Request, RequestKind, ServerStats};
 
-/// How often the accept loop re-checks the drain flags while idle.
-const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+/// Poll timeout: bounds how stale the external drain-flag (SIGTERM)
+/// check can get. Everything else — accept, reads, writes, wakes — is
+/// readiness-driven; this tick never gates request latency.
+const POLL_TICK_MS: i32 = 25;
 
 /// How often the dispatcher sweeps for expired deadlines while blocked
 /// (all slots busy or queue empty): bounds shed latency under overload.
 const DISPATCH_TICK: Duration = Duration::from_millis(25);
+
+/// Read chunk size for draining a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How long the drain endgame keeps trying to flush outbound buffers
+/// before abandoning unread bytes — one stalled reader must not hold
+/// the exit hostage.
+const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(5);
 
 /// The result of one evaluation, fanned out verbatim to every waiter.
 ///
@@ -117,17 +158,21 @@ pub trait Handler: Send + Sync + 'static {
 #[derive(Clone, Copy, Debug)]
 pub struct ServeOptions {
     /// Bounded admission depth, summed across all per-connection
-    /// sub-queues; readers block (back-pressuring clients) when it is
-    /// full.
+    /// sub-queues; a connection whose job does not fit is parked and not
+    /// read from (back-pressuring the client) until space frees.
     pub queue_capacity: usize,
     /// Maximum evaluations running at once. `0` means "worker pool
     /// threads, at least 1".
     pub max_concurrent: usize,
+    /// Per-connection outbound buffer bound in bytes; a connection whose
+    /// pending events exceed it is disconnected as a slow reader. A
+    /// single event always fits an empty buffer, whatever its size.
+    pub out_buffer_cap: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { queue_capacity: 64, max_concurrent: 0 }
+        ServeOptions { queue_capacity: 64, max_concurrent: 0, out_buffer_cap: 1 << 20 }
     }
 }
 
@@ -139,6 +184,16 @@ impl ServeOptions {
             optinline_core::WorkerPool::global().threads().max(1)
         }
     }
+}
+
+/// The outcome of a non-blocking admission attempt; refusals return the
+/// job so its connection can park it or answer it.
+enum Admit {
+    Admitted,
+    /// The server is draining: refuse with `rejected{draining}`.
+    Draining(Job),
+    /// The queue is full: park the job, stop reading its connection.
+    Full(Job),
 }
 
 /// One evaluation request admitted into a connection's sub-queue.
@@ -172,26 +227,58 @@ struct Flight {
     cancel: CancelToken,
 }
 
-/// Per-connection serialized writer. Never hold this lock while calling
-/// `admit` (a full queue would then deadlock against fan-out trying to
-/// write to the same connection).
+/// A connection's outbound side, shared between the poll loop (which
+/// owns the socket and does every actual write) and the dispatcher /
+/// evaluation threads (which only ever append events here). Bounded: a
+/// reader that falls `cap` bytes behind is doomed, never waited on.
 #[derive(Debug)]
 struct Out {
     /// The owning connection's id — the admission fairness key and the
     /// reap key when the connection dies.
     conn: u64,
-    stream: Mutex<Stream>,
-    /// Cleared on the first write failure (and on reader exit): a dead
-    /// connection's waiters are reaped and its queued jobs dropped, and
-    /// no further writes are attempted.
+    /// Cleared when the connection is doomed (overflow, write failure,
+    /// EOF): no further events are accepted and the poll loop closes
+    /// the socket at its next pass.
     alive: AtomicBool,
+    /// Set when the doom was a buffer overflow — feeds the slow-reader
+    /// gauge exactly once, at reap time.
+    overflowed: AtomicBool,
+    /// Encoded event lines waiting for the socket to take them.
+    buf: Mutex<Vec<u8>>,
+    cap: usize,
+    /// Nudges the poll loop when bytes arrive or the connection dooms.
+    waker: Arc<Waker>,
     /// Context string for fault-injection filtering (the endpoint).
     ctx: Arc<str>,
 }
 
+/// The id a terminal farewell should carry when `event` overflowed the
+/// buffer: the same request the undeliverable event belonged to.
+fn event_id(event: &Event) -> u64 {
+    match event {
+        Event::Queued { id }
+        | Event::Started { id, .. }
+        | Event::Progress { id, .. }
+        | Event::Done { id, .. }
+        | Event::Error { id, .. }
+        | Event::Rejected { id, .. }
+        | Event::Pong { id }
+        | Event::Stats { id, .. }
+        | Event::ShuttingDown { id } => *id,
+    }
+}
+
 impl Out {
-    fn new(conn: u64, stream: Stream, ctx: Arc<str>) -> Out {
-        Out { conn, stream: Mutex::new(stream), alive: AtomicBool::new(true), ctx }
+    fn new(conn: u64, cap: usize, waker: Arc<Waker>, ctx: Arc<str>) -> Out {
+        Out {
+            conn,
+            alive: AtomicBool::new(true),
+            overflowed: AtomicBool::new(false),
+            buf: Mutex::new(Vec::new()),
+            cap,
+            waker,
+            ctx,
+        }
     }
 
     fn alive(&self) -> bool {
@@ -202,43 +289,55 @@ impl Out {
         self.alive.store(false, Ordering::Release);
     }
 
-    /// Writes one event line. Returns whether the write reached the
-    /// socket; a failure marks the connection dead so the caller can
-    /// reap its waiters — a vanished client must not take down an
-    /// evaluation other waiters still want, nor keep soaking up fan-out.
+    fn overflowed(&self) -> bool {
+        self.overflowed.load(Ordering::Acquire)
+    }
+
+    fn lock_buf(&self) -> MutexGuard<'_, Vec<u8>> {
+        self.buf.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn buffered(&self) -> bool {
+        !self.lock_buf().is_empty()
+    }
+
+    /// Queues one event line for the poll loop to write. Returns whether
+    /// the event was accepted; a refusal means the connection is (now)
+    /// dead, so the caller can reap its waiters — a vanished or stalled
+    /// client must not take down an evaluation other waiters still want,
+    /// nor keep soaking up fan-out.
     fn send(&self, event: &Event) -> bool {
         if !self.alive() {
             return false;
         }
-        let line = proto::encode_event(event);
-        let mut s = self.stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let result = (|| -> std::io::Result<()> {
-            if optinline_fault::armed() {
-                match optinline_fault::write_cap("serve.out", &self.ctx, line.len()) {
-                    optinline_fault::WriteFault::Pass => {}
-                    optinline_fault::WriteFault::Truncate(keep) => {
-                        let _ = s.write_all(&line.as_bytes()[..keep]);
-                        let _ = s.flush();
-                        return Err(optinline_fault::write_error("serve.out"));
-                    }
-                    optinline_fault::WriteFault::Error => {
-                        return Err(optinline_fault::write_error("serve.out"));
-                    }
-                }
+        let mut line = proto::encode_event(event);
+        line.push('\n');
+        {
+            let mut buf = self.lock_buf();
+            // The cap trips only when the reader is already behind
+            // (non-empty buffer): one oversized event in an empty buffer
+            // is accepted, bounding memory at `cap + one event` without
+            // imposing a frame-size ceiling.
+            if !buf.is_empty() && buf.len() + line.len() > self.cap {
+                // Slow reader: replace everything it has not taken with
+                // a typed farewell it might, and doom the connection.
+                buf.clear();
+                let mut farewell = proto::encode_event(&Event::Rejected {
+                    id: event_id(event),
+                    reason: "slow_reader".to_string(),
+                });
+                farewell.push('\n');
+                buf.extend_from_slice(farewell.as_bytes());
+                drop(buf);
+                self.overflowed.store(true, Ordering::SeqCst);
+                self.mark_dead();
+                self.waker.wake();
+                return false;
             }
-            s.write_all(line.as_bytes())?;
-            s.write_all(b"\n")?;
-            s.flush()
-        })();
-        if result.is_err() {
-            self.mark_dead();
-            // Close the socket outright: a half-written frame is garbage
-            // the client cannot resynchronize on, and the shutdown both
-            // unblocks the client's pending read immediately and wakes
-            // this connection's reader thread so its waiters get reaped.
-            s.shutdown();
+            buf.extend_from_slice(line.as_bytes());
         }
-        result.is_ok()
+        self.waker.wake();
+        true
     }
 }
 
@@ -332,15 +431,20 @@ struct Counters {
     errors: AtomicU64,
     shed_deadline: AtomicU64,
     cancelled: AtomicU64,
+    open_connections: AtomicU64,
+    peak_connections: AtomicU64,
+    slow_reader_disconnects: AtomicU64,
+    poll_wakeups: AtomicU64,
 }
 
 struct ServerInner {
     handler: Box<dyn Handler>,
     queue_capacity: usize,
     max_concurrent: usize,
+    out_buffer_cap: usize,
     state: Mutex<QueueState>,
-    /// Wakes the dispatcher (new job / freed slot), blocked admitters
-    /// (freed queue space), and the drain waiter (queue+running empty).
+    /// Wakes the dispatcher (new job / freed slot) and anything waiting
+    /// on queue state transitions.
     wake: Condvar,
     in_flight: Mutex<HashMap<u128, Flight>>,
     draining: AtomicBool,
@@ -350,9 +454,9 @@ struct ServerInner {
     /// Endpoint display string, threaded into every `Out` as the
     /// fault-injection context.
     ctx: Arc<str>,
-    /// Write halves of live connections, shut down after drain so reader
-    /// threads unblock and exit.
-    conns: Mutex<Vec<Stream>>,
+    /// Interrupts the poll loop's sleep: new outbound bytes, freed queue
+    /// space, or a drain from another thread.
+    waker: Arc<Waker>,
 }
 
 impl std::fmt::Debug for ServerInner {
@@ -377,6 +481,7 @@ impl ServerInner {
     fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.wake.notify_all();
+        self.waker.wake();
     }
 
     fn count_cancelled(&self, n: u64) {
@@ -401,27 +506,31 @@ impl ServerInner {
             cancelled: self.counters.cancelled.load(Ordering::SeqCst),
             queue_depth,
             in_flight,
+            open_connections: self.counters.open_connections.load(Ordering::SeqCst),
+            peak_connections: self.counters.peak_connections.load(Ordering::SeqCst),
+            slow_reader_disconnects: self.counters.slow_reader_disconnects.load(Ordering::SeqCst),
+            poll_wakeups: self.counters.poll_wakeups.load(Ordering::Relaxed),
         }
     }
 
-    /// Blocks until the job fits under the global bound (back-pressure)
-    /// or the server starts draining. Returns `false` if the job was
-    /// refused.
-    fn admit(self: &Arc<Self>, job: Job) -> bool {
+    /// Non-blocking admission: refused jobs come back to the caller,
+    /// which either refuses them with a typed event (`Draining`) or
+    /// parks them and pauses reading the connection (`Full`). The
+    /// draining check happens under the state lock so a drain cannot
+    /// slip a job in behind it.
+    fn try_admit(&self, job: Job) -> Admit {
         let mut s = self.lock_state();
-        loop {
-            if self.draining() {
-                return false;
-            }
-            if s.queued < self.queue_capacity {
-                s.push(job);
-                drop(s);
-                self.counters.accepted.fetch_add(1, Ordering::SeqCst);
-                self.wake.notify_all();
-                return true;
-            }
-            s = self.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
+        if self.draining() {
+            return Admit::Draining(job);
         }
+        if s.queued >= self.queue_capacity {
+            return Admit::Full(job);
+        }
+        s.push(job);
+        drop(s);
+        self.counters.accepted.fetch_add(1, Ordering::SeqCst);
+        self.wake.notify_all();
+        Admit::Admitted
     }
 
     /// Releases an evaluation slot (or a joiner's borrowed slot).
@@ -430,6 +539,8 @@ impl ServerInner {
         s.running -= 1;
         drop(s);
         self.wake.notify_all();
+        // The poll loop may be waiting on this for drain completion.
+        self.waker.wake();
     }
 
     /// Dispatcher loop: runs until draining *and* the queue is empty.
@@ -466,8 +577,9 @@ impl ServerInner {
                         .0;
                 }
             };
-            // Queue space was freed: unblock blocked admitters.
+            // Queue space was freed: let the poll loop retry parked jobs.
             self.wake.notify_all();
+            self.waker.wake();
             for job in shed.drain(..) {
                 self.counters.shed_deadline.fetch_add(1, Ordering::SeqCst);
                 job.out.send(&Event::Rejected { id: job.id, reason: "deadline".to_string() });
@@ -564,8 +676,7 @@ impl ServerInner {
             let progress = |note: &str| {
                 // Snapshot waiters, then send outside the lock: a stalled
                 // client socket must not block the dedup table. A waiter
-                // whose write fails is reaped on the spot (satellite of
-                // the disconnected-waiter leak fix) so later fan-out
+                // whose send fails is reaped on the spot so later fan-out
                 // skips it — and if it was the last one, the flight is
                 // cancelled.
                 let waiters = self
@@ -629,7 +740,7 @@ impl ServerInner {
                 }
             };
             // Every waiter lands in exactly one terminal counter; a
-            // failed terminal write counts as cancelled — the client
+            // failed terminal send counts as cancelled — the client
             // disconnected and never got an answer.
             let counter = match (&terminal, sent) {
                 (_, false) | (Terminal::Cancelled, true) => &self.counters.cancelled,
@@ -642,9 +753,9 @@ impl ServerInner {
         self.finish_slot();
     }
 
-    /// Reader-exit cleanup: the connection is gone, so drop its queued
-    /// jobs, remove its waiters from every flight (cancelling flights
-    /// that empty), and stop all future writes to it.
+    /// Connection-death cleanup: drop its queued jobs, remove its
+    /// waiters from every flight (cancelling flights that empty), and
+    /// refuse all future events to it.
     fn reap_connection(&self, conn: u64, out: &Out) {
         out.mark_dead();
         let dropped = {
@@ -670,59 +781,357 @@ impl ServerInner {
         }
         self.count_cancelled(reaped);
     }
+}
 
-    /// Reads requests off one connection until EOF or drain shutdown.
-    fn serve_conn(self: &Arc<Self>, stream: Stream) {
-        let Ok(read_half) = stream.try_clone() else { return };
-        let conn = self.next_conn.fetch_add(1, Ordering::SeqCst);
-        let out = Arc::new(Out::new(conn, stream, Arc::clone(&self.ctx)));
-        let reader = BufReader::new(read_half);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
+/// One connection as the poll loop sees it: the owned socket, the shared
+/// outbound side, the unparsed input bytes, and at most one decoded job
+/// waiting for queue space.
+struct Conn {
+    stream: Stream,
+    out: Arc<Out>,
+    /// Bytes read but not yet framed into lines.
+    rdbuf: Vec<u8>,
+    /// A decoded request the full queue refused; while present, the
+    /// connection is not read from (back-pressure) and not polled for
+    /// input.
+    parked: Option<Job>,
+    /// The read side reported EOF or a read error; the connection is
+    /// reaped at the end of the iteration.
+    eof: bool,
+}
+
+/// What a poll-set slot refers to.
+enum Key {
+    Waker,
+    Listener,
+    Conn(u64),
+}
+
+/// Accepts every pending connection (readiness said there is at least
+/// one; drain until `WouldBlock`).
+fn accept_ready(
+    inner: &Arc<ServerInner>,
+    listener: &Listener,
+    conns: &mut HashMap<u64, Conn>,
+) -> std::io::Result<()> {
+    while let Some(stream) = listener.accept()? {
+        // Poll-loop fault site: an injected accept failure drops the
+        // brand-new connection on the floor, as a listener with an
+        // exhausted fd table would — clients see a reset, not a hang.
+        if optinline_fault::armed()
+            && optinline_fault::fail_point("serve.accept", &inner.ctx).is_err()
+        {
+            stream.shutdown();
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            stream.shutdown();
+            continue;
+        }
+        let conn = inner.next_conn.fetch_add(1, Ordering::SeqCst);
+        let out = Arc::new(Out::new(
+            conn,
+            inner.out_buffer_cap,
+            Arc::clone(&inner.waker),
+            Arc::clone(&inner.ctx),
+        ));
+        conns.insert(conn, Conn { stream, out, rdbuf: Vec::new(), parked: None, eof: false });
+        let open = inner.counters.open_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        inner.counters.peak_connections.fetch_max(open, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+/// Drains a readable socket into the connection's line buffer and
+/// processes every complete line (until one parks).
+fn read_ready(inner: &Arc<ServerInner>, c: &mut Conn) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match c.stream.read(&mut chunk) {
+            Ok(0) => {
+                c.eof = true;
+                break;
+            }
+            Ok(n) => c.rdbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.eof = true;
+                break;
+            }
+        }
+    }
+    process_lines(inner, c);
+}
+
+/// Frames and handles complete lines out of `rdbuf`. Stops early when a
+/// request parks (the rest of the backlog waits with it) or the
+/// connection dooms. A trailing partial line stays buffered.
+fn process_lines(inner: &Arc<ServerInner>, c: &mut Conn) {
+    while c.parked.is_none() && c.out.alive() {
+        let Some(pos) = c.rdbuf.iter().position(|&b| b == b'\n') else { break };
+        let raw: Vec<u8> = c.rdbuf.drain(..=pos).collect();
+        match std::str::from_utf8(&raw[..raw.len() - 1]) {
+            Ok(line) => handle_line(inner, c, line.trim_end_matches('\r')),
+            Err(_) => {
+                // Not a protocol stream; drop the connection like the
+                // line reader it replaced would have.
+                c.eof = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes and answers one request line — the poll-loop half of request
+/// handling. Admin kinds are answered inline; evaluation kinds go
+/// through `queued` → admission (or parking, or a typed refusal).
+fn handle_line(inner: &Arc<ServerInner>, c: &mut Conn, line: &str) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let request = match proto::decode_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            c.out.send(&Event::Error { id: 0, message: format!("bad request: {e}") });
+            return;
+        }
+    };
+    let Request { id, kind, deadline_ms } = request;
+    match kind {
+        RequestKind::Ping => {
+            c.out.send(&Event::Pong { id });
+        }
+        RequestKind::Stats => {
+            let stats = inner.server_stats();
+            c.out.send(&Event::Stats { id, stats });
+        }
+        RequestKind::Shutdown => {
+            c.out.send(&Event::ShuttingDown { id });
+            inner.begin_drain();
+        }
+        kind => {
+            // `queued` goes out before admission so the client always
+            // sees it first, parked or not.
+            c.out.send(&Event::Queued { id });
+            let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            match inner.try_admit(Job { id, kind, out: Arc::clone(&c.out), deadline }) {
+                Admit::Admitted => {}
+                Admit::Draining(job) => {
+                    inner.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                    c.out.send(&Event::Rejected { id: job.id, reason: "draining".to_string() });
+                }
+                Admit::Full(job) => c.parked = Some(job),
+            }
+        }
+    }
+}
+
+/// Retries a parked job: admit it, or refuse it if the drain landed or
+/// its deadline expired while it waited. Once the park slot clears, the
+/// connection's buffered backlog resumes processing.
+fn retry_parked(inner: &Arc<ServerInner>, c: &mut Conn) {
+    let Some(job) = c.parked.take() else { return };
+    if job.deadline.is_some_and(|d| d <= Instant::now()) {
+        // Never admitted, so this is a pre-admission refusal (the
+        // `rejected` counter) — the accepted-side ledger must not see a
+        // request it never accepted.
+        inner.counters.rejected.fetch_add(1, Ordering::SeqCst);
+        c.out.send(&Event::Rejected { id: job.id, reason: "deadline".to_string() });
+    } else {
+        match inner.try_admit(job) {
+            Admit::Admitted => {}
+            Admit::Draining(job) => {
+                inner.counters.rejected.fetch_add(1, Ordering::SeqCst);
+                c.out.send(&Event::Rejected { id: job.id, reason: "draining".to_string() });
+            }
+            Admit::Full(job) => {
+                c.parked = Some(job);
+                return;
+            }
+        }
+    }
+    process_lines(inner, c);
+}
+
+/// Writes as much of the connection's outbound buffer as the socket will
+/// take. All failure modes doom the connection: a half-written frame is
+/// garbage the client cannot resynchronize on, so there is no partial
+/// recovery, only the close-and-reap path.
+fn flush_out(inner: &Arc<ServerInner>, c: &mut Conn) {
+    let _ = inner;
+    let mut buf = c.out.lock_buf();
+    while !buf.is_empty() {
+        if optinline_fault::armed() {
+            match optinline_fault::write_cap("serve.out", &c.out.ctx, buf.len()) {
+                optinline_fault::WriteFault::Pass => {}
+                optinline_fault::WriteFault::Truncate(keep) => {
+                    let keep = keep.min(buf.len());
+                    let _ = c.stream.write(&buf[..keep]);
+                    let _ = c.stream.flush();
+                    buf.clear();
+                    c.out.mark_dead();
+                    return;
+                }
+                optinline_fault::WriteFault::Error => {
+                    buf.clear();
+                    c.out.mark_dead();
+                    return;
+                }
+            }
+        }
+        match c.stream.write(&buf) {
+            Ok(0) => {
+                buf.clear();
+                c.out.mark_dead();
+                return;
+            }
+            Ok(n) => {
+                buf.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                buf.clear();
+                c.out.mark_dead();
+                return;
+            }
+        }
+    }
+}
+
+/// The poll loop: owns the listener and every connection, multiplexes
+/// accept/read/write readiness on one thread, and exits once a drain
+/// has finished all admitted work and flushed (or timed out flushing)
+/// every outbound buffer. Returns the surviving connections' sockets so
+/// `run` can close them *after* the handler has flushed durable state.
+fn event_loop(
+    inner: &Arc<ServerInner>,
+    listener: Listener,
+    drain_on: Option<&'static AtomicBool>,
+) -> std::io::Result<Vec<Stream>> {
+    listener.set_nonblocking(true)?;
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut keys: Vec<Key> = Vec::new();
+    let mut flush_deadline: Option<Instant> = None;
+
+    loop {
+        if let Some(flag) = drain_on {
+            if flag.load(Ordering::SeqCst) {
+                inner.begin_drain();
+            }
+        }
+        if inner.draining() && listener.is_some() {
+            // Dropping the listener the moment the drain lands makes new
+            // connects fail fast instead of parking in a backlog nobody
+            // will ever serve.
+            listener = None;
+        }
+
+        // Queue space may have freed (or the drain landed): settle
+        // parked jobs and resume reading their connections.
+        let parked: Vec<u64> =
+            conns.iter().filter(|(_, c)| c.parked.is_some()).map(|(&id, _)| id).collect();
+        for id in parked {
+            if let Some(c) = conns.get_mut(&id) {
+                retry_parked(inner, c);
+            }
+        }
+
+        // Drain endgame: every admitted job finished, nothing parked,
+        // and the outbound buffers flushed (or the grace expired).
+        if inner.draining() && conns.values().all(|c| c.parked.is_none()) {
+            let work_done = {
+                let s = inner.lock_state();
+                s.queued == 0 && s.running == 0
+            };
+            if work_done {
+                let deadline =
+                    *flush_deadline.get_or_insert_with(|| Instant::now() + DRAIN_FLUSH_GRACE);
+                let pending = conns.values().any(|c| c.out.alive() && c.out.buffered());
+                if !pending || Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+
+        fds.clear();
+        keys.clear();
+        fds.push(PollFd { fd: inner.waker.fd(), events: POLLIN, revents: 0 });
+        keys.push(Key::Waker);
+        if let Some(l) = &listener {
+            fds.push(PollFd { fd: l.raw_fd(), events: POLLIN, revents: 0 });
+            keys.push(Key::Listener);
+        }
+        for (&id, c) in &conns {
+            let mut events = 0i16;
+            if !c.eof && c.parked.is_none() && c.out.alive() {
+                events |= POLLIN;
+            }
+            if c.out.buffered() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd { fd: c.stream.raw_fd(), events, revents: 0 });
+                keys.push(Key::Conn(id));
+            }
+        }
+
+        poll_fds(&mut fds, POLL_TICK_MS)?;
+        inner.counters.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+
+        for (i, key) in keys.iter().enumerate() {
+            let revents = fds[i].revents;
+            if revents == 0 {
                 continue;
             }
-            let request = match proto::decode_request(&line) {
-                Ok(request) => request,
-                Err(e) => {
-                    out.send(&Event::Error { id: 0, message: format!("bad request: {e}") });
-                    continue;
-                }
-            };
-            let Request { id, kind, deadline_ms } = request;
-            match kind {
-                RequestKind::Ping => {
-                    out.send(&Event::Pong { id });
-                }
-                RequestKind::Stats => {
-                    out.send(&Event::Stats { id, stats: self.server_stats() });
-                }
-                RequestKind::Shutdown => {
-                    out.send(&Event::ShuttingDown { id });
-                    self.begin_drain();
-                }
-                kind => {
-                    if self.draining() {
-                        self.counters.rejected.fetch_add(1, Ordering::SeqCst);
-                        out.send(&Event::Rejected { id, reason: "draining".to_string() });
-                        continue;
+            match key {
+                Key::Waker => inner.waker.drain(),
+                Key::Listener => {
+                    if let Some(l) = &listener {
+                        accept_ready(inner, l, &mut conns)?;
                     }
-                    // `queued` goes out before `admit` can block so the
-                    // client always sees it first; the writer lock is NOT
-                    // held across `admit` (deadlock: full queue + fan-out
-                    // to this same connection).
-                    out.send(&Event::Queued { id });
-                    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-                    let admitted = self.admit(Job { id, kind, out: Arc::clone(&out), deadline });
-                    if !admitted {
-                        self.counters.rejected.fetch_add(1, Ordering::SeqCst);
-                        out.send(&Event::Rejected { id, reason: "draining".to_string() });
+                }
+                Key::Conn(id) => {
+                    if let Some(c) = conns.get_mut(id) {
+                        if revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+                            && c.parked.is_none()
+                        {
+                            read_ready(inner, c);
+                        }
                     }
                 }
             }
         }
-        self.reap_connection(conn, &out);
+
+        // Opportunistic flush: replies produced this iteration go out
+        // now if the socket will take them — no extra poll round, no
+        // added latency. Sockets that refuse keep POLLOUT interest.
+        for c in conns.values_mut() {
+            if c.out.buffered() {
+                flush_out(inner, c);
+            }
+        }
+
+        // Close what finished: EOF, write failure, or a slow-reader
+        // doom (its farewell just got its one best-effort flush above —
+        // waiting on a stalled peer is not an option).
+        conns.retain(|&id, c| {
+            let done = c.eof || !c.out.alive();
+            if done {
+                if c.out.overflowed() {
+                    inner.counters.slow_reader_disconnects.fetch_add(1, Ordering::SeqCst);
+                }
+                inner.reap_connection(id, &c.out);
+                c.stream.shutdown();
+                inner.counters.open_connections.fetch_sub(1, Ordering::SeqCst);
+            }
+            !done
+        });
     }
+    Ok(conns.into_values().map(|c| c.stream).collect())
 }
 
 /// A bound, not-yet-running server.
@@ -744,10 +1153,12 @@ impl Server {
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = Listener::bind(&endpoint)?;
+        let waker = Arc::new(Waker::new()?);
         let inner = Arc::new(ServerInner {
             handler,
             queue_capacity: opts.queue_capacity.max(1),
             max_concurrent: opts.effective_concurrency(),
+            out_buffer_cap: opts.out_buffer_cap.max(1),
             state: Mutex::new(QueueState::default()),
             wake: Condvar::new(),
             in_flight: Mutex::new(HashMap::new()),
@@ -756,13 +1167,13 @@ impl Server {
             next_conn: AtomicU64::new(0),
             next_gen: AtomicU64::new(0),
             ctx: Arc::from(endpoint.to_string()),
-            conns: Mutex::new(Vec::new()),
+            waker,
         });
         Ok(Server { inner, listener, endpoint, drain_on: None })
     }
 
     /// Additionally trip drain when `flag` becomes true (checked every
-    /// accept-poll tick). The CLI wires this to its SIGTERM handler.
+    /// poll tick). The CLI wires this to its SIGTERM handler.
     pub fn drain_on(mut self, flag: &'static AtomicBool) -> Server {
         self.drain_on = Some(flag);
         self
@@ -775,7 +1186,8 @@ impl Server {
     }
 
     /// Serves until drained, then returns final stats. Blocks the calling
-    /// thread; use [`Server::start`] for a handle-based variant.
+    /// thread (it becomes the poll loop); use [`Server::start`] for a
+    /// handle-based variant.
     pub fn run(self) -> std::io::Result<ServerStats> {
         let inner = Arc::clone(&self.inner);
         let dispatcher = std::thread::Builder::new()
@@ -783,57 +1195,27 @@ impl Server {
             .spawn(move || inner.dispatch())
             .expect("spawn dispatcher thread");
 
-        self.listener.set_nonblocking(true)?;
-        loop {
-            if let Some(flag) = self.drain_on {
-                if flag.load(Ordering::SeqCst) {
-                    self.inner.begin_drain();
-                }
+        let survivors = match event_loop(&self.inner, self.listener, self.drain_on) {
+            Ok(survivors) => survivors,
+            Err(e) => {
+                // Poll-layer failure: let the dispatcher wind down
+                // instead of leaving it spinning, then surface the error.
+                self.inner.begin_drain();
+                return Err(e);
             }
-            if self.inner.draining() {
-                break;
-            }
-            match self.listener.accept()? {
-                Some(stream) => {
-                    if let Ok(write_half) = stream.try_clone() {
-                        let mut conns = self
-                            .inner
-                            .conns
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        conns.push(write_half);
-                    }
-                    let inner = Arc::clone(&self.inner);
-                    std::thread::Builder::new()
-                        .name("serve-conn".to_string())
-                        .spawn(move || inner.serve_conn(stream))
-                        .expect("spawn connection thread");
-                }
-                None => std::thread::sleep(ACCEPT_POLL),
-            }
-        }
+        };
 
-        // Stop accepting, finish everything queued and running.
-        drop(self.listener);
-        {
-            let mut s = self.inner.lock_state();
-            while !(s.queued == 0 && s.running == 0) {
-                s = self.inner.wake.wait(s).unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-        }
+        // The event loop only exits once draining with the queue empty
+        // and no evaluation running, so the dispatcher is done too.
         let _ = dispatcher.join();
 
-        // All evaluations done: let the handler flush durable state before
-        // any client can observe the daemon as gone.
+        // All evaluations done and their events flushed: let the handler
+        // flush durable state before any client can observe the daemon
+        // as gone.
         self.inner.handler.drained();
 
-        // Unblock connection readers so their threads exit.
-        let conns = {
-            let mut c = self.inner.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            std::mem::take(&mut *c)
-        };
-        for conn in &conns {
-            conn.shutdown();
+        for stream in &survivors {
+            stream.shutdown();
         }
         if let Endpoint::Unix(path) = &self.endpoint {
             let _ = std::fs::remove_file(path);
@@ -846,7 +1228,7 @@ impl Server {
     pub fn start(self) -> ServerHandle {
         let inner = Arc::clone(&self.inner);
         let thread = std::thread::Builder::new()
-            .name("serve-accept".to_string())
+            .name("serve-poll".to_string())
             .spawn(move || self.run())
             .expect("spawn server thread");
         ServerHandle { inner, thread }

@@ -1,0 +1,58 @@
+//! End-to-end smoke test for the load generator against a live daemon:
+//! every request answered, one dial per connection, server ledger
+//! balanced afterwards.
+
+use std::path::PathBuf;
+
+use optinline_serve::loadgen::{run, LoadMix, LoadgenOptions};
+use optinline_serve::{Endpoint, Handler, Reply, RequestKind, ServeOptions, Server};
+
+struct EchoHandler;
+
+impl Handler for EchoHandler {
+    fn handle(&self, kind: &RequestKind, _progress: &dyn Fn(&str)) -> Result<Reply, String> {
+        Ok(Reply { report: format!("echo {}\n", kind.name()), module: None, measurement: None })
+    }
+}
+
+#[test]
+fn loadgen_drives_a_clean_balanced_run() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("optinline-loadgen-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let endpoint = Endpoint::Unix(path);
+    let handle = Server::bind(
+        endpoint.clone(),
+        Box::new(EchoHandler),
+        ServeOptions { queue_capacity: 128, max_concurrent: 4, ..ServeOptions::default() },
+    )
+    .expect("bind")
+    .start();
+
+    let opts = LoadgenOptions {
+        connections: 64,
+        requests: 512,
+        seed: 42,
+        mix: LoadMix { ping: 3, search: 1 },
+        search_source: Some("(module smoke)".to_string()),
+        ..LoadgenOptions::default()
+    };
+    let report = run(&endpoint, &opts).expect("load run completes");
+
+    assert_eq!(report.sent, 512);
+    assert_eq!(report.ok, 512, "every request is answered");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.dials, 64, "one dial per connection, no redials under load");
+    assert_eq!(report.balanced(), Some(true), "server ledger balances after the load");
+    let server = report.server.expect("stats snapshot");
+    assert!(server.peak_connections >= 64, "all connections were concurrently open");
+    assert_eq!(server.slow_reader_disconnects, 0);
+
+    // Same seed, same mix decisions: the request split is replayable.
+    let replay = run(&endpoint, &opts).expect("replay run completes");
+    assert_eq!(replay.ok, 512);
+
+    handle.drain();
+    handle.join().expect("clean exit");
+}

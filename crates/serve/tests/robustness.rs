@@ -153,7 +153,7 @@ fn expired_queued_work_is_shed_with_a_typed_event() {
     let gate = Arc::new(Gate::default());
     let order = Arc::new(Mutex::new(Vec::new()));
     let handler = OrderHandler { gate: Arc::clone(&gate), order: Arc::clone(&order) };
-    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 1 };
+    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 1, ..ServeOptions::default() };
     let handle = start_server(&path, Box::new(handler), opts);
 
     // Occupy the only slot.
@@ -194,7 +194,7 @@ fn admission_is_round_robin_across_connections() {
     let gate = Arc::new(Gate::default());
     let order = Arc::new(Mutex::new(Vec::new()));
     let handler = OrderHandler { gate: Arc::clone(&gate), order: Arc::clone(&order) };
-    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 1 };
+    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 1, ..ServeOptions::default() };
     let handle = start_server(&path, Box::new(handler), opts);
 
     // Connection A occupies the slot, then floods its sub-queue.
@@ -302,7 +302,7 @@ fn dead_joiners_are_reaped_without_disturbing_the_leader() {
     let handler = ProgressHandler { gate: Arc::clone(&gate) };
     // Two slots: dedup joining happens at dispatch, so the joiner needs a
     // free slot to be discovered while the leader occupies the first.
-    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 2 };
+    let opts = ServeOptions { queue_capacity: 16, max_concurrent: 2, ..ServeOptions::default() };
     let handle = start_server(&path, Box::new(handler), opts);
 
     // Leader parks on the gate.

@@ -175,7 +175,8 @@ fn identical_concurrent_requests_collapse_into_one_evaluation() {
     let path = sock_path("dedup");
     let gate = Arc::new(Gate::default());
     let (handler, handled, _) = TestHandler::gated(Arc::clone(&gate));
-    let opts = ServeOptions { queue_capacity: 64, max_concurrent: CLIENTS };
+    let opts =
+        ServeOptions { queue_capacity: 64, max_concurrent: CLIENTS, ..ServeOptions::default() };
     let server = Server::bind(Endpoint::Unix(path.clone()), handler, opts).expect("bind");
     let handle = server.start();
 
